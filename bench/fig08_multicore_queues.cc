@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Figure 8: multicore scalability of the software-managed queues.
+ *
+ * Claims reproduced: linear scaling with core count (no shared
+ * hardware queue), a request-rate bottleneck emerging at eight
+ * cores, and only ~50 % of the PCIe wire carrying useful data
+ * (~2 GB/s of the 4 GB/s peak).
+ */
+
+#include "bench/fig_common.hh"
+
+using namespace kmu;
+
+int
+main()
+{
+    FigureRunner runner;
+    for (unsigned us : {1u, 4u}) {
+        Table table(csprintf("Fig. 8 — multicore software queues, "
+                             "%u us device", us));
+        table.setHeader({"threads/core", "1 core", "2 cores",
+                         "4 cores", "8 cores", "useful_GBs@8c",
+                         "wire_GBs@8c"});
+        for (unsigned threads : {4u, 8u, 12u, 16u, 24u, 32u}) {
+            std::vector<std::string> row;
+            row.push_back(Table::num(std::uint64_t(threads)));
+            double useful = 0.0;
+            double wire = 0.0;
+            for (unsigned cores : {1u, 2u, 4u, 8u}) {
+                SystemConfig cfg;
+                cfg.mechanism = Mechanism::SwQueue;
+                cfg.numCores = cores;
+                cfg.threadsPerCore = threads;
+                cfg.device.latency = microseconds(us);
+                const auto res = runner.run(cfg);
+                if (cores == 8) {
+                    useful = res.toHostUsefulGBs;
+                    wire = res.toHostWireGBs;
+                }
+                row.push_back(Table::num(
+                    normalizedWorkIpc(res, runner.baseline(cfg)), 4));
+            }
+            row.push_back(Table::num(useful, 2));
+            row.push_back(Table::num(wire, 2));
+            table.addRow(std::move(row));
+        }
+        emit(table, csprintf("fig08_multicore_queues_%uus.csv", us));
+    }
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Quickstart: the kmu runtime in ~60 lines.
+ *
+ * Builds a small "device image", runs ten user-level threads that
+ * read from it through the prefetch + yield mechanism (the paper's
+ * Listing 1), and prints the aggregate. Switch `mechanism` to
+ * OnDemand or SwQueue to compare the paper's three access paths
+ * with no other code change — the property the library is built
+ * around.
+ *
+ * Build & run:  ./examples/quickstart
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "access/runtime.hh"
+
+int
+main()
+{
+    using namespace kmu;
+
+    // 1. A 1 MiB device image: word i holds i (the "dataset").
+    std::vector<std::uint8_t> image(1 << 20);
+    for (std::size_t off = 0; off + 8 <= image.size(); off += 8) {
+        const std::uint64_t v = off / 8;
+        std::memcpy(image.data() + off, &v, sizeof(v));
+    }
+
+    // 2. A runtime with the prefetch-based access mechanism.
+    Runtime rt(std::move(image),
+               {.mechanism = Mechanism::Prefetch});
+
+    // 3. Ten user-level threads, each summing a slice of the image.
+    //    Every read prefetches, yields to the other fibers while the
+    //    line is fetched, then loads.
+    constexpr std::uint32_t threads = 10;
+    std::uint64_t partial[threads] = {};
+    for (std::uint32_t t = 0; t < threads; ++t) {
+        rt.spawnWorker([t, &partial](AccessEngine &dev) {
+            const Addr begin = Addr(t) * (1 << 20) / threads;
+            const Addr end = Addr(t + 1) * (1 << 20) / threads;
+            for (Addr a = begin; a < end; a += cacheLineSize)
+                partial[t] += dev.read64(a);
+        });
+    }
+
+    // 4. Run all fibers to completion.
+    rt.run();
+
+    std::uint64_t total = 0;
+    for (std::uint64_t p : partial)
+        total += p;
+    std::printf("sum over %llu device reads: %llu\n",
+                (unsigned long long)rt.engine().accesses(),
+                (unsigned long long)total);
+    std::printf("mechanism: %s\n",
+                mechanismName(rt.engine().mechanism()));
+    return 0;
+}

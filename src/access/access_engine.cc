@@ -1,0 +1,22 @@
+#include "access/access_engine.hh"
+
+#include "common/logging.hh"
+
+namespace kmu
+{
+
+const char *
+mechanismName(Mechanism mech)
+{
+    switch (mech) {
+      case Mechanism::OnDemand:
+        return "on-demand";
+      case Mechanism::Prefetch:
+        return "prefetch";
+      case Mechanism::SwQueue:
+        return "sw-queue";
+    }
+    panic("unknown mechanism %d", int(mech));
+}
+
+} // namespace kmu

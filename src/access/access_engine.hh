@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Unified device-access interface for the host runtime.
+ *
+ * An AccessEngine hides one of the paper's three access mechanisms
+ * behind a synchronous, fiber-friendly read API: the calling fiber
+ * observes a blocking read, while the engine overlaps the latency
+ * with other fibers' work (prefetch + yield, or software queues) or
+ * not at all (on-demand baseline). Applications written against this
+ * interface switch mechanisms by construction flag only — the
+ * "minimal source changes" property the paper's library targets.
+ */
+
+#ifndef KMU_ACCESS_ACCESS_ENGINE_HH
+#define KMU_ACCESS_ACCESS_ENGINE_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace kmu
+{
+
+/** The device-access mechanisms studied in the paper. */
+enum class Mechanism
+{
+    OnDemand, //!< plain loads; hardware queues only (Section V-A)
+    Prefetch, //!< prefetch + user-level yield + load (Section V-B)
+    SwQueue   //!< application-managed software queues (Section V-C)
+};
+
+/** Human-readable mechanism name (for tables and logs). */
+const char *mechanismName(Mechanism mech);
+
+class AccessEngine
+{
+  public:
+    virtual ~AccessEngine() = default;
+
+    /** Largest batch readBatch()/readLines() accepts. */
+    static constexpr std::size_t maxBatch = 16;
+
+    /**
+     * Read the 64-bit word at device address @p addr (must be
+     * 8-byte aligned). Synchronous to the calling fiber.
+     */
+    virtual std::uint64_t read64(Addr addr) = 0;
+
+    /**
+     * Read @p n independent 64-bit words in one batch (the paper's
+     * MLP experiments): all requests are issued before the fiber
+     * waits, so their latencies overlap each other.
+     */
+    virtual void readBatch(const Addr *addrs, std::size_t n,
+                           std::uint64_t *out) = 0;
+
+    /**
+     * Read @p n full cache lines into @p out (64 bytes each,
+     * concatenated). Line-aligned addresses required.
+     */
+    virtual void readLines(const Addr *addrs, std::size_t n,
+                           void *out) = 0;
+
+    /**
+     * Write one full cache line (the paper's future-work write
+     * path). Writes are *posted*: the call returns as soon as the
+     * store is on its way, because — as the paper's conclusion
+     * notes — writes have no return value and do not block the
+     * reorder buffer. Ordering guarantee: a later read through the
+     * same engine observes the write.
+     */
+    virtual void writeLine(Addr addr, const void *line) = 0;
+
+    /**
+     * Write one 64-bit word. On the memory-mapped mechanisms this
+     * is a plain store; on the software-queue mechanism it must
+     * read-modify-write the containing line (the programmability
+     * cost of non-coherent queue interfaces that Section V-C of the
+     * paper warns about).
+     */
+    virtual void write64(Addr addr, std::uint64_t value) = 0;
+
+    /** Which mechanism this engine implements. */
+    virtual Mechanism mechanism() const = 0;
+
+    /** Total read requests issued through this engine. */
+    std::uint64_t accesses() const { return accessCount; }
+
+    /** Total line writes issued through this engine. */
+    std::uint64_t writes() const { return writeCount; }
+
+  protected:
+    std::uint64_t accessCount = 0;
+    std::uint64_t writeCount = 0;
+};
+
+} // namespace kmu
+
+#endif // KMU_ACCESS_ACCESS_ENGINE_HH

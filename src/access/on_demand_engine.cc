@@ -1,0 +1,70 @@
+#include "access/on_demand_engine.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace kmu
+{
+
+OnDemandEngine::OnDemandEngine(std::uint8_t *region_base,
+                               std::size_t region_bytes)
+    : base(region_base), bytes(region_bytes)
+{
+    kmuAssert(base != nullptr, "on-demand engine needs a region");
+}
+
+std::uint64_t
+OnDemandEngine::read64(Addr addr)
+{
+    kmuAssert(addr + 8 <= bytes, "read64 out of bounds: %#llx",
+              (unsigned long long)addr);
+    accessCount++;
+    std::uint64_t value;
+    std::memcpy(&value, base + addr, sizeof(value));
+    return value;
+}
+
+void
+OnDemandEngine::readBatch(const Addr *addrs, std::size_t n,
+                          std::uint64_t *out)
+{
+    kmuAssert(n <= maxBatch, "batch of %zu exceeds maxBatch", n);
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = read64(addrs[i]);
+}
+
+void
+OnDemandEngine::readLines(const Addr *addrs, std::size_t n, void *out)
+{
+    kmuAssert(n <= maxBatch, "batch of %zu exceeds maxBatch", n);
+    auto *dst = static_cast<std::uint8_t *>(out);
+    for (std::size_t i = 0; i < n; ++i) {
+        kmuAssert(isLineAligned(addrs[i]), "readLines needs aligned "
+                  "addresses");
+        kmuAssert(addrs[i] + cacheLineSize <= bytes,
+                  "readLines out of bounds");
+        accessCount++;
+        std::memcpy(dst + i * cacheLineSize, base + addrs[i],
+                    cacheLineSize);
+    }
+}
+
+void
+OnDemandEngine::writeLine(Addr addr, const void *line)
+{
+    kmuAssert(isLineAligned(addr), "writeLine needs alignment");
+    kmuAssert(addr + cacheLineSize <= bytes, "writeLine out of bounds");
+    writeCount++;
+    std::memcpy(base + addr, line, cacheLineSize);
+}
+
+void
+OnDemandEngine::write64(Addr addr, std::uint64_t value)
+{
+    kmuAssert(addr + 8 <= bytes, "write64 out of bounds");
+    writeCount++;
+    std::memcpy(base + addr, &value, sizeof(value));
+}
+
+} // namespace kmu

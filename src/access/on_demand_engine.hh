@@ -1,0 +1,45 @@
+/**
+ * @file
+ * On-demand access engine: the unmodified-software baseline.
+ *
+ * Reads are plain loads against the mapped device region. Latency
+ * hiding is left entirely to the core's out-of-order machinery —
+ * which, per the paper's Fig. 2, is hopeless for microsecond
+ * devices. On a real host the mapped region is DRAM, so this engine
+ * doubles as the paper's "DRAM baseline".
+ */
+
+#ifndef KMU_ACCESS_ON_DEMAND_ENGINE_HH
+#define KMU_ACCESS_ON_DEMAND_ENGINE_HH
+
+#include "access/access_engine.hh"
+
+namespace kmu
+{
+
+class OnDemandEngine : public AccessEngine
+{
+  public:
+    /**
+     * @param base  start of the mapped device region.
+     * @param bytes size of the region (bounds-checked accesses).
+     */
+    OnDemandEngine(std::uint8_t *base, std::size_t bytes);
+
+    std::uint64_t read64(Addr addr) override;
+    void readBatch(const Addr *addrs, std::size_t n,
+                   std::uint64_t *out) override;
+    void readLines(const Addr *addrs, std::size_t n, void *out) override;
+    void writeLine(Addr addr, const void *line) override;
+    void write64(Addr addr, std::uint64_t value) override;
+
+    Mechanism mechanism() const override { return Mechanism::OnDemand; }
+
+  private:
+    std::uint8_t *base;
+    std::size_t bytes;
+};
+
+} // namespace kmu
+
+#endif // KMU_ACCESS_ON_DEMAND_ENGINE_HH

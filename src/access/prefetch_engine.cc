@@ -1,0 +1,97 @@
+#include "access/prefetch_engine.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace kmu
+{
+
+PrefetchEngine::PrefetchEngine(std::uint8_t *region_base,
+                               std::size_t region_bytes,
+                               Scheduler &scheduler)
+    : base(region_base), bytes(region_bytes), sched(scheduler)
+{
+    kmuAssert(base != nullptr, "prefetch engine needs a region");
+}
+
+void
+PrefetchEngine::prefetch(Addr addr) const
+{
+    const std::uint8_t *p = base + addr;
+#if defined(__x86_64__)
+    asm volatile("prefetcht0 %0" : : "m"(*p));
+#else
+    __builtin_prefetch(p, 0, 3);
+#endif
+}
+
+std::uint64_t
+PrefetchEngine::read64(Addr addr)
+{
+    kmuAssert(addr + 8 <= bytes, "read64 out of bounds: %#llx",
+              (unsigned long long)addr);
+    accessCount++;
+    prefetch(addr);
+    yieldCount++;
+    sched.yield();
+    std::uint64_t value;
+    std::memcpy(&value, base + addr, sizeof(value));
+    return value;
+}
+
+void
+PrefetchEngine::readBatch(const Addr *addrs, std::size_t n,
+                          std::uint64_t *out)
+{
+    kmuAssert(n <= maxBatch, "batch of %zu exceeds maxBatch", n);
+    for (std::size_t i = 0; i < n; ++i) {
+        kmuAssert(addrs[i] + 8 <= bytes, "readBatch out of bounds");
+        prefetch(addrs[i]);
+    }
+    accessCount += n;
+    yieldCount++;
+    sched.yield();
+    for (std::size_t i = 0; i < n; ++i)
+        std::memcpy(&out[i], base + addrs[i], sizeof(out[0]));
+}
+
+void
+PrefetchEngine::readLines(const Addr *addrs, std::size_t n, void *out)
+{
+    kmuAssert(n <= maxBatch, "batch of %zu exceeds maxBatch", n);
+    auto *dst = static_cast<std::uint8_t *>(out);
+    for (std::size_t i = 0; i < n; ++i) {
+        kmuAssert(isLineAligned(addrs[i]), "readLines needs aligned "
+                  "addresses");
+        kmuAssert(addrs[i] + cacheLineSize <= bytes,
+                  "readLines out of bounds");
+        prefetch(addrs[i]);
+    }
+    accessCount += n;
+    yieldCount++;
+    sched.yield();
+    for (std::size_t i = 0; i < n; ++i) {
+        std::memcpy(dst + i * cacheLineSize, base + addrs[i],
+                    cacheLineSize);
+    }
+}
+
+void
+PrefetchEngine::writeLine(Addr addr, const void *line)
+{
+    kmuAssert(isLineAligned(addr), "writeLine needs alignment");
+    kmuAssert(addr + cacheLineSize <= bytes, "writeLine out of bounds");
+    writeCount++;
+    std::memcpy(base + addr, line, cacheLineSize);
+}
+
+void
+PrefetchEngine::write64(Addr addr, std::uint64_t value)
+{
+    kmuAssert(addr + 8 <= bytes, "write64 out of bounds");
+    writeCount++;
+    std::memcpy(base + addr, &value, sizeof(value));
+}
+
+} // namespace kmu

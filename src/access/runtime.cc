@@ -1,0 +1,69 @@
+#include "access/runtime.hh"
+
+#include "access/on_demand_engine.hh"
+#include "access/prefetch_engine.hh"
+#include "access/sw_queue_engine.hh"
+#include "common/logging.hh"
+
+namespace kmu
+{
+
+Runtime::Runtime(std::vector<std::uint8_t> device_image, Config config)
+    : cfg(config), imageBytes(device_image.size())
+{
+    kmuAssert(imageBytes >= cacheLineSize,
+              "device image must hold at least one line");
+
+    switch (cfg.mechanism) {
+      case Mechanism::OnDemand:
+        mappedRegion = std::move(device_image);
+        accessEngine = std::make_unique<OnDemandEngine>(
+            mappedRegion.data(), imageBytes);
+        break;
+      case Mechanism::Prefetch:
+        mappedRegion = std::move(device_image);
+        accessEngine = std::make_unique<PrefetchEngine>(
+            mappedRegion.data(), imageBytes, sched);
+        break;
+      case Mechanism::SwQueue: {
+        EmulatedDevice::Config dev_cfg;
+        dev_cfg.latency = cfg.deviceLatency;
+        dev_cfg.queueDepth = cfg.queueDepth;
+        device = std::make_unique<EmulatedDevice>(
+            std::move(device_image), dev_cfg);
+        pairIndex = device->addQueuePair();
+        accessEngine = std::make_unique<SwQueueEngine>(sched, *device,
+                                                       pairIndex);
+        break;
+      }
+    }
+}
+
+Runtime::~Runtime() = default;
+
+const std::uint8_t *
+Runtime::deviceImage() const
+{
+    return device ? device->contents() : mappedRegion.data();
+}
+
+void
+Runtime::spawnWorker(Worker worker, std::size_t stack_bytes)
+{
+    kmuAssert(worker != nullptr, "null worker");
+    sched.spawn([this, worker = std::move(worker)]() {
+        worker(*accessEngine);
+    }, stack_bytes);
+}
+
+void
+Runtime::run()
+{
+    if (device && !device->running())
+        device->start();
+    sched.run();
+    if (device && device->running())
+        device->stop();
+}
+
+} // namespace kmu

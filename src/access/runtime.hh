@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Host runtime: one-stop assembly of device image, fiber scheduler,
+ * emulated device, and access engine.
+ *
+ * This is the library façade a downstream application uses:
+ *
+ *   kmu::Runtime rt(std::move(image), {.mechanism = Mechanism::Prefetch});
+ *   for (int t = 0; t < 10; ++t)
+ *       rt.spawnWorker([&](kmu::AccessEngine &dev) { ... });
+ *   rt.run();
+ *
+ * With Mechanism::OnDemand or Prefetch, the device image is a plain
+ * cacheable host-memory region (standing in for an MMIO BAR mapped
+ * cacheable via MTRRs, as the paper does). With Mechanism::SwQueue,
+ * an EmulatedDevice thread services the queues with the configured
+ * emulated latency.
+ */
+
+#ifndef KMU_ACCESS_RUNTIME_HH
+#define KMU_ACCESS_RUNTIME_HH
+
+#include <chrono>
+#include <memory>
+#include <vector>
+
+#include "access/access_engine.hh"
+#include "device/emulated_device.hh"
+#include "ult/scheduler.hh"
+
+namespace kmu
+{
+
+class Runtime
+{
+  public:
+    struct Config
+    {
+        Mechanism mechanism = Mechanism::Prefetch;
+
+        /** Emulated device latency (SwQueue mechanism only). */
+        std::chrono::nanoseconds deviceLatency{1000};
+
+        /** Queue-pair ring depth (SwQueue mechanism only). */
+        std::size_t queueDepth = 256;
+    };
+
+    /**
+     * @param device_image the dataset "stored on the device";
+     *                     engines bounds-check against its size.
+     */
+    Runtime(std::vector<std::uint8_t> device_image, Config config);
+    ~Runtime();
+
+    Runtime(const Runtime &) = delete;
+    Runtime &operator=(const Runtime &) = delete;
+
+    /** Worker body: application code holding the engine. */
+    using Worker = std::function<void(AccessEngine &)>;
+
+    /** Spawn one user-level worker thread (before run()). */
+    void spawnWorker(Worker worker,
+                     std::size_t stack_bytes = Fiber::defaultStackBytes);
+
+    /** Run all workers to completion (starts/stops the device). */
+    void run();
+
+    AccessEngine &engine() { return *accessEngine; }
+    Scheduler &scheduler() { return sched; }
+
+    /** Device image size in bytes. */
+    std::size_t deviceBytes() const { return imageBytes; }
+
+    /** Read-only host view of the device image (for verification;
+     *  a real device would not offer this). */
+    const std::uint8_t *deviceImage() const;
+
+    /** The emulated device (SwQueue mechanism only, else nullptr);
+     *  exposed so callers can enable replay checking before run(). */
+    EmulatedDevice *emulatedDevice() { return device.get(); }
+
+    /** Queue-pair index of this runtime's engine (SwQueue only). */
+    std::size_t queuePairIndex() const { return pairIndex; }
+
+  private:
+    Config cfg;
+    Scheduler sched;
+    std::size_t imageBytes;
+
+    /** OnDemand/Prefetch: the image lives here as the mapped BAR. */
+    std::vector<std::uint8_t> mappedRegion;
+
+    /** SwQueue: the image lives inside the emulated device. */
+    std::unique_ptr<EmulatedDevice> device;
+    std::size_t pairIndex = 0;
+
+    std::unique_ptr<AccessEngine> accessEngine;
+};
+
+} // namespace kmu
+
+#endif // KMU_ACCESS_RUNTIME_HH

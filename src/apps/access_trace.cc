@@ -1,0 +1,66 @@
+#include "apps/access_trace.hh"
+
+#include <fstream>
+
+#include "common/logging.hh"
+
+namespace kmu
+{
+
+std::uint64_t
+AccessTrace::totalReads() const
+{
+    std::uint64_t total = 0;
+    for (auto b : batches)
+        total += b;
+    return total;
+}
+
+double
+AccessTrace::meanBatch() const
+{
+    if (batches.empty())
+        return 0.0;
+    return double(totalReads()) / double(batches.size());
+}
+
+std::function<IterationPlan(CoreId, ThreadId, std::uint64_t)>
+AccessTrace::makePlan(std::uint32_t work) const
+{
+    kmuAssert(!batches.empty(), "cannot plan from an empty trace");
+    // Copy the batch sequence into the closure so the plan outlives
+    // this AccessTrace.
+    auto seq = std::make_shared<std::vector<std::uint8_t>>(batches);
+    return [seq, work](CoreId core, ThreadId thread,
+                       std::uint64_t iter) {
+        const std::uint64_t offset =
+            (std::uint64_t(core) * 131 + thread) * 17 + iter;
+        const std::uint8_t batch = (*seq)[offset % seq->size()];
+        return IterationPlan{batch, work};
+    };
+}
+
+void
+AccessTrace::save(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open trace file '%s' for writing", path.c_str());
+    for (auto b : batches)
+        out << unsigned(b) << "\n";
+}
+
+AccessTrace
+AccessTrace::load(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open trace file '%s'", path.c_str());
+    AccessTrace trace;
+    unsigned batch;
+    while (in >> batch)
+        trace.add(batch);
+    return trace;
+}
+
+} // namespace kmu

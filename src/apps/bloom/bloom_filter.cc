@@ -1,0 +1,136 @@
+#include "apps/bloom/bloom_filter.hh"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace kmu
+{
+
+double
+BloomParams::theoreticalFpr(std::uint64_t n) const
+{
+    const double exponent =
+        -double(hashes) * double(n) / double(bits);
+    return std::pow(1.0 - std::exp(exponent), double(hashes));
+}
+
+void
+bloomProbePositions(const BloomParams &params, std::uint64_t key,
+                    std::uint64_t *bit_positions)
+{
+    const std::uint64_t h1 = mix64(key);
+    const std::uint64_t h2 = mix64(key ^ 0xdeadbeefcafef00dull) | 1;
+    for (std::uint32_t i = 0; i < params.hashes; ++i)
+        bit_positions[i] = (h1 + i * h2) % params.bits;
+}
+
+BloomBuilder::BloomBuilder(BloomParams params)
+    : cfg(params), words(divCeil(params.bits, 64), 0)
+{
+    kmuAssert(cfg.hashes >= 1 &&
+              cfg.hashes <= AccessEngine::maxBatch,
+              "hash count must fit one access batch");
+    kmuAssert(cfg.bits >= 64, "filter too small");
+}
+
+void
+BloomBuilder::insert(std::uint64_t key)
+{
+    std::uint64_t pos[AccessEngine::maxBatch];
+    bloomProbePositions(cfg, key, pos);
+    for (std::uint32_t i = 0; i < cfg.hashes; ++i)
+        words[pos[i] / 64] |= 1ull << (pos[i] % 64);
+    count++;
+}
+
+bool
+BloomBuilder::contains(std::uint64_t key) const
+{
+    std::uint64_t pos[AccessEngine::maxBatch];
+    bloomProbePositions(cfg, key, pos);
+    for (std::uint32_t i = 0; i < cfg.hashes; ++i) {
+        if (!(words[pos[i] / 64] & (1ull << (pos[i] % 64))))
+            return false;
+    }
+    return true;
+}
+
+std::vector<std::uint8_t>
+BloomBuilder::deviceImage() const
+{
+    std::vector<std::uint8_t> image(
+        roundUp(words.size() * 8, cacheLineSize));
+    std::memcpy(image.data(), words.data(), words.size() * 8);
+    return image;
+}
+
+BloomProber::BloomProber(BloomParams params, Addr image_base)
+    : cfg(params), base(image_base)
+{
+}
+
+void
+BloomProber::insert(AccessEngine &engine, std::uint64_t key) const
+{
+    std::uint64_t pos[AccessEngine::maxBatch];
+    bloomProbePositions(cfg, key, pos);
+
+    // Fetch all k words in one batch, then write back the ones that
+    // change. write64 performs the line-granular read-modify-write
+    // the queue protocol requires.
+    Addr addrs[AccessEngine::maxBatch];
+    std::uint64_t vals[AccessEngine::maxBatch];
+    for (std::uint32_t i = 0; i < cfg.hashes; ++i)
+        addrs[i] = base + (pos[i] / 64) * 8;
+    engine.readBatch(addrs, cfg.hashes, vals);
+
+    // Two probes can land in the same word; merge their bits into
+    // the first occurrence so the later write cannot clobber the
+    // earlier one.
+    std::uint64_t merged[AccessEngine::maxBatch];
+    for (std::uint32_t i = 0; i < cfg.hashes; ++i)
+        merged[i] = vals[i];
+    for (std::uint32_t i = 0; i < cfg.hashes; ++i) {
+        const std::uint64_t bit = 1ull << (pos[i] % 64);
+        for (std::uint32_t f = 0; f <= i; ++f) {
+            if (addrs[f] == addrs[i]) {
+                merged[f] |= bit;
+                break;
+            }
+        }
+    }
+    for (std::uint32_t i = 0; i < cfg.hashes; ++i) {
+        bool first = true;
+        for (std::uint32_t f = 0; f < i; ++f)
+            first &= addrs[f] != addrs[i];
+        if (first && merged[i] != vals[i])
+            engine.write64(addrs[i], merged[i]);
+    }
+}
+
+bool
+BloomProber::contains(AccessEngine &engine, std::uint64_t key) const
+{
+    std::uint64_t pos[AccessEngine::maxBatch];
+    bloomProbePositions(cfg, key, pos);
+
+    // All k probe words are independent: one batched access (the
+    // paper's 4-read batching for the Bloom filter benchmark).
+    Addr addrs[AccessEngine::maxBatch];
+    std::uint64_t vals[AccessEngine::maxBatch];
+    for (std::uint32_t i = 0; i < cfg.hashes; ++i)
+        addrs[i] = base + (pos[i] / 64) * 8;
+    engine.readBatch(addrs, cfg.hashes, vals);
+
+    for (std::uint32_t i = 0; i < cfg.hashes; ++i) {
+        if (!(vals[i] & (1ull << (pos[i] % 64))))
+            return false;
+    }
+    return true;
+}
+
+} // namespace kmu

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Bloom filter with its bit array on the microsecond-latency device.
+ *
+ * The paper's second application: membership lookups against a
+ * pre-populated, space-efficient probabilistic set. The k probe
+ * words of a query are independent, which is what lets the ported
+ * code batch four reads per lookup (the paper's Fig. 10 batching).
+ *
+ * Hashing is double hashing h_i = h1 + i * h2 over a 64-bit mix, the
+ * standard construction whose false-positive rate matches the
+ * (1 - e^{-kn/m})^k model.
+ */
+
+#ifndef KMU_APPS_BLOOM_BLOOM_FILTER_HH
+#define KMU_APPS_BLOOM_BLOOM_FILTER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "access/access_engine.hh"
+#include "common/types.hh"
+
+namespace kmu
+{
+
+struct BloomParams
+{
+    std::uint64_t bits = 1ull << 24; //!< m: filter size in bits
+    std::uint32_t hashes = 4;        //!< k: probes per query
+
+    /** Theoretical false-positive rate after @p n insertions. */
+    double theoreticalFpr(std::uint64_t n) const;
+};
+
+/**
+ * Host-side builder: insert keys, then serialize the bit array as a
+ * device image.
+ */
+class BloomBuilder
+{
+  public:
+    explicit BloomBuilder(BloomParams params);
+
+    void insert(std::uint64_t key);
+
+    /** Host-side query (ground truth for tests). */
+    bool contains(std::uint64_t key) const;
+
+    std::uint64_t insertions() const { return count; }
+    const BloomParams &params() const { return cfg; }
+
+    /** The bit array as a device image (word-per-8-bytes layout). */
+    std::vector<std::uint8_t> deviceImage() const;
+
+  private:
+    BloomParams cfg;
+    std::vector<std::uint64_t> words;
+    std::uint64_t count = 0;
+};
+
+/**
+ * Device-side querier: probes the bit array through an AccessEngine,
+ * batching all k word reads of one lookup together.
+ */
+class BloomProber
+{
+  public:
+    BloomProber(BloomParams params, Addr image_base = 0);
+
+    /** Membership query via batched device reads. */
+    bool contains(AccessEngine &engine, std::uint64_t key) const;
+
+    /**
+     * Insert a key directly on the device via read-modify-write of
+     * the k probe words (the paper's future-work write path at
+     * application level).
+     *
+     * Concurrency caveat — the coherence problem of Section V-C
+     * made concrete: the read and write of one word are separate
+     * device operations, so two fibers inserting keys that share a
+     * probe word can lose an update. Use a single writer fiber (or
+     * partition the filter) when inserting through this API.
+     */
+    void insert(AccessEngine &engine, std::uint64_t key) const;
+
+    const BloomParams &params() const { return cfg; }
+
+  private:
+    BloomParams cfg;
+    Addr base;
+};
+
+/** Probe positions shared by builder and prober. */
+void bloomProbePositions(const BloomParams &params, std::uint64_t key,
+                         std::uint64_t *bit_positions);
+
+} // namespace kmu
+
+#endif // KMU_APPS_BLOOM_BLOOM_FILTER_HH

@@ -1,0 +1,214 @@
+#include "apps/graph/bfs.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+#include "ult/barrier.hh"
+
+namespace kmu
+{
+
+namespace
+{
+
+/** Scan one vertex's neighbor range through the engine, line pair by
+ *  line pair (BFS's dependence-limited batch of two), invoking
+ *  visit(v) for every neighbor. */
+template <typename Visit>
+void
+scanNeighbors(AccessEngine &engine, const DeviceGraphLayout &layout,
+              std::uint64_t begin, std::uint64_t end, Visit visit)
+{
+    if (begin >= end)
+        return;
+
+    const Addr first_line = lineAlign(layout.adjAddr(begin));
+    const Addr last_line = lineAlign(layout.adjAddr(end - 1));
+
+    alignas(cacheLineSize) std::uint8_t scratch[2 * cacheLineSize];
+    for (Addr line = first_line; line <= last_line;
+         line += 2 * cacheLineSize) {
+        const std::size_t lines =
+            (line + cacheLineSize <= last_line) ? 2 : 1;
+        Addr addrs[2] = {line, line + cacheLineSize};
+        engine.readLines(addrs, lines, scratch);
+
+        // Neighbor words covered by the fetched line(s).
+        const std::uint64_t lo = std::max(
+            begin, (line - layout.adjBase) / 8);
+        const std::uint64_t hi = std::min(
+            end,
+            (line + lines * cacheLineSize - layout.adjBase) / 8);
+        for (std::uint64_t i = lo; i < hi; ++i) {
+            std::uint64_t v;
+            const std::size_t off =
+                std::size_t(layout.adjAddr(i) - line);
+            std::memcpy(&v, scratch + off, sizeof(v));
+            visit(v);
+        }
+    }
+}
+
+/** Process one frontier vertex: offset pair, then neighbor lines. */
+template <typename Visit>
+std::uint64_t
+expandVertex(AccessEngine &engine, const DeviceGraphLayout &layout,
+             std::uint64_t u, Visit visit)
+{
+    Addr offset_addrs[2] = {layout.offsetAddr(u),
+                            layout.offsetAddr(u + 1)};
+    std::uint64_t offsets[2];
+    engine.readBatch(offset_addrs, 2, offsets);
+    kmuAssert(offsets[0] <= offsets[1] && offsets[1] <= layout.m,
+              "corrupt CSR offsets for vertex %llu",
+              (unsigned long long)u);
+    scanNeighbors(engine, layout, offsets[0], offsets[1], visit);
+    return offsets[1] - offsets[0];
+}
+
+} // anonymous namespace
+
+BfsResult
+bfsReference(const CsrGraph &graph, std::uint64_t source)
+{
+    const std::uint64_t n = graph.vertexCount();
+    kmuAssert(source < n, "BFS source out of range");
+
+    BfsResult res;
+    res.level.assign(n, -1);
+    res.level[source] = 0;
+    res.reached = 1;
+
+    std::vector<std::uint64_t> frontier{source};
+    std::vector<std::uint64_t> next;
+    std::int64_t depth = 0;
+    while (!frontier.empty()) {
+        next.clear();
+        for (std::uint64_t u : frontier) {
+            for (std::uint64_t v : graph.neighbors(u)) {
+                res.edgesTraversed++;
+                if (res.level[v] < 0) {
+                    res.level[v] = depth + 1;
+                    res.reached++;
+                    next.push_back(v);
+                }
+            }
+        }
+        res.depth = depth;
+        depth++;
+        frontier.swap(next);
+    }
+    return res;
+}
+
+BfsResult
+bfsDevice(AccessEngine &engine, const DeviceGraphLayout &layout,
+          std::uint64_t source)
+{
+    kmuAssert(source < layout.n, "BFS source out of range");
+
+    BfsResult res;
+    res.level.assign(layout.n, -1);
+    res.level[source] = 0;
+    res.reached = 1;
+
+    std::vector<std::uint64_t> frontier{source};
+    std::vector<std::uint64_t> next;
+    std::int64_t depth = 0;
+    while (!frontier.empty()) {
+        next.clear();
+        for (std::uint64_t u : frontier) {
+            expandVertex(engine, layout, u, [&](std::uint64_t v) {
+                kmuAssert(v < layout.n, "neighbor out of range");
+                res.edgesTraversed++;
+                if (res.level[v] < 0) {
+                    res.level[v] = depth + 1;
+                    res.reached++;
+                    next.push_back(v);
+                }
+            });
+        }
+        res.depth = depth;
+        depth++;
+        frontier.swap(next);
+    }
+    return res;
+}
+
+BfsResult
+bfsDeviceParallel(Runtime &rt, const DeviceGraphLayout &layout,
+                  std::uint64_t source, std::uint32_t workers)
+{
+    kmuAssert(source < layout.n, "BFS source out of range");
+    kmuAssert(workers >= 1, "need at least one worker");
+
+    struct Shared
+    {
+        BfsResult res;
+        std::vector<std::uint64_t> frontier;
+        std::vector<std::vector<std::uint64_t>> localNext;
+        std::int64_t depth = 0;
+        bool done = false;
+    };
+
+    Shared shared;
+    shared.res.level.assign(layout.n, -1);
+    shared.res.level[source] = 0;
+    shared.res.reached = 1;
+    shared.frontier.push_back(source);
+    shared.localNext.resize(workers);
+
+    FiberBarrier barrier(rt.scheduler(), workers);
+
+    for (std::uint32_t w = 0; w < workers; ++w) {
+        rt.spawnWorker([w, workers, &shared, &barrier,
+                        &layout](AccessEngine &engine) {
+            while (!shared.done) {
+                // Slice of this level's frontier.
+                const std::uint64_t len = shared.frontier.size();
+                const std::uint64_t lo = len * w / workers;
+                const std::uint64_t hi = len * (w + 1) / workers;
+                auto &next = shared.localNext[w];
+                for (std::uint64_t i = lo; i < hi; ++i) {
+                    const std::uint64_t u = shared.frontier[i];
+                    expandVertex(
+                        engine, layout, u, [&](std::uint64_t v) {
+                            shared.res.edgesTraversed++;
+                            // Fibers are cooperative and there is no
+                            // yield between the check and the set, so
+                            // this claim is race-free.
+                            if (shared.res.level[v] < 0) {
+                                shared.res.level[v] =
+                                    shared.depth + 1;
+                                shared.res.reached++;
+                                next.push_back(v);
+                            }
+                        });
+                }
+
+                if (barrier.arrive()) {
+                    // Last arrival: the others are unblocked but
+                    // cannot resume until we yield, and this merge
+                    // has no yield points — so it completes before
+                    // any worker observes the new frontier.
+                    shared.frontier.clear();
+                    for (auto &local : shared.localNext) {
+                        shared.frontier.insert(shared.frontier.end(),
+                                               local.begin(),
+                                               local.end());
+                        local.clear();
+                    }
+                    shared.res.depth = shared.depth;
+                    shared.depth++;
+                    if (shared.frontier.empty())
+                        shared.done = true;
+                }
+            }
+        });
+    }
+
+    rt.run();
+    return std::move(shared.res);
+}
+
+} // namespace kmu

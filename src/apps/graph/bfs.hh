@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Breadth-first search over a device-resident CSR graph.
+ *
+ * The Graph500 BFS kernel, ported to the kmu access API the way the
+ * paper ports it: the CSR arrays live on the microsecond-latency
+ * device and are read through an AccessEngine; BFS bookkeeping
+ * (levels, frontiers) stays in host DRAM. Dependences limit the
+ * batching to two reads (the paper's observation): a vertex's two
+ * adjacent offsets are fetched together, and neighbor lines are
+ * streamed in pairs.
+ */
+
+#ifndef KMU_APPS_GRAPH_BFS_HH
+#define KMU_APPS_GRAPH_BFS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "access/access_engine.hh"
+#include "access/runtime.hh"
+#include "apps/graph/csr.hh"
+
+namespace kmu
+{
+
+/** Result of one BFS: level per vertex (-1 if unreached). */
+struct BfsResult
+{
+    std::vector<std::int64_t> level;
+    std::uint64_t reached = 0;
+    std::uint64_t edgesTraversed = 0;
+    std::int64_t depth = -1;
+};
+
+/** Host-reference BFS (plain arrays); ground truth for tests. */
+BfsResult bfsReference(const CsrGraph &graph, std::uint64_t source);
+
+/**
+ * Device BFS run by the *calling fiber* through @p engine.
+ * Suitable for single-worker runs and for trace recording.
+ */
+BfsResult bfsDevice(AccessEngine &engine,
+                    const DeviceGraphLayout &layout,
+                    std::uint64_t source);
+
+/**
+ * Device BFS with @p workers fibers splitting each frontier,
+ * synchronized by a cooperative barrier per level. Spawns workers
+ * on @p rt and runs them to completion.
+ */
+BfsResult bfsDeviceParallel(Runtime &rt,
+                            const DeviceGraphLayout &layout,
+                            std::uint64_t source,
+                            std::uint32_t workers);
+
+} // namespace kmu
+
+#endif // KMU_APPS_GRAPH_BFS_HH

@@ -1,0 +1,75 @@
+#include "apps/graph/csr.hh"
+
+#include <cstring>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace kmu
+{
+
+CsrGraph::CsrGraph(std::uint64_t num_vertices,
+                   const std::vector<Edge> &edges)
+    : n(num_vertices)
+{
+    kmuAssert(n >= 1, "graph needs vertices");
+
+    // Counting pass (both directions; drop self-loops).
+    std::vector<std::uint64_t> degree(n, 0);
+    std::uint64_t directed = 0;
+    for (const Edge &e : edges) {
+        kmuAssert(e.u < n && e.v < n, "edge endpoint out of range");
+        if (e.u == e.v)
+            continue;
+        degree[e.u]++;
+        degree[e.v]++;
+        directed += 2;
+    }
+
+    offsets.assign(n + 1, 0);
+    for (std::uint64_t u = 0; u < n; ++u)
+        offsets[u + 1] = offsets[u] + degree[u];
+
+    adj.assign(directed, 0);
+    std::vector<std::uint64_t> cursor(offsets.begin(),
+                                      offsets.end() - 1);
+    for (const Edge &e : edges) {
+        if (e.u == e.v)
+            continue;
+        adj[cursor[e.u]++] = e.v;
+        adj[cursor[e.v]++] = e.u;
+    }
+}
+
+std::uint64_t
+CsrGraph::maxDegreeVertex() const
+{
+    std::uint64_t best = 0;
+    std::uint64_t best_degree = 0;
+    for (std::uint64_t u = 0; u < n; ++u) {
+        const std::uint64_t deg = offsets[u + 1] - offsets[u];
+        if (deg > best_degree) {
+            best_degree = deg;
+            best = u;
+        }
+    }
+    return best;
+}
+
+std::vector<std::uint8_t>
+buildDeviceImage(const CsrGraph &graph, DeviceGraphLayout &layout)
+{
+    layout.n = graph.vertexCount();
+    layout.m = graph.directedEdgeCount();
+    layout.offsetsBase = 0;
+    layout.adjBase = roundUp((layout.n + 1) * 8, cacheLineSize);
+
+    std::vector<std::uint8_t> image(layout.imageBytes());
+    std::memcpy(image.data() + layout.offsetsBase,
+                graph.offsetArray().data(), (layout.n + 1) * 8);
+    std::memcpy(image.data() + layout.adjBase,
+                graph.neighborArray().data(), layout.m * 8);
+    return image;
+}
+
+} // namespace kmu

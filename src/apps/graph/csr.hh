@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Compressed sparse row graph and its on-device layout.
+ *
+ * The graph's adjacency structure (offset and neighbor arrays) is
+ * what the paper stores on the microsecond-latency device; auxiliary
+ * BFS state (visited marks, frontier queues) stays in host DRAM.
+ */
+
+#ifndef KMU_APPS_GRAPH_CSR_HH
+#define KMU_APPS_GRAPH_CSR_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "apps/graph/kronecker.hh"
+#include "common/types.hh"
+
+namespace kmu
+{
+
+/** In-host CSR representation (reference and build source). */
+class CsrGraph
+{
+  public:
+    /**
+     * Build an undirected CSR from an edge list over @p num_vertices
+     * vertices. Self-loops are dropped; multi-edges are kept (as in
+     * the Graph500 reference implementation).
+     */
+    CsrGraph(std::uint64_t num_vertices, const std::vector<Edge> &edges);
+
+    std::uint64_t vertexCount() const { return n; }
+    std::uint64_t directedEdgeCount() const { return adj.size(); }
+
+    /** Neighbors of @p u. */
+    std::span<const std::uint64_t>
+    neighbors(std::uint64_t u) const
+    {
+        return {adj.data() + offsets[u],
+                adj.data() + offsets[u + 1]};
+    }
+
+    /** Offset array (size n + 1). */
+    const std::vector<std::uint64_t> &offsetArray() const
+    {
+        return offsets;
+    }
+
+    /** Neighbor array (size = directedEdgeCount()). */
+    const std::vector<std::uint64_t> &neighborArray() const
+    {
+        return adj;
+    }
+
+    /** Vertex of maximum degree (a good BFS source). */
+    std::uint64_t maxDegreeVertex() const;
+
+  private:
+    std::uint64_t n;
+    std::vector<std::uint64_t> offsets;
+    std::vector<std::uint64_t> adj;
+};
+
+/**
+ * Where the CSR lives in device address space:
+ *   [0 .. 8(n+1))                     offsets (xadj)
+ *   [adjBase .. adjBase + 8m)         neighbors (adjncy)
+ * adjBase is the offset array size rounded up to a cache line.
+ */
+struct DeviceGraphLayout
+{
+    std::uint64_t n = 0;
+    std::uint64_t m = 0;
+    Addr offsetsBase = 0;
+    Addr adjBase = 0;
+
+    Addr offsetAddr(std::uint64_t u) const
+    {
+        return offsetsBase + u * 8;
+    }
+
+    Addr adjAddr(std::uint64_t index) const
+    {
+        return adjBase + index * 8;
+    }
+
+    /** Image size, padded to whole lines so the last neighbors can
+     *  be fetched with line-granular reads. */
+    std::uint64_t
+    imageBytes() const
+    {
+        const std::uint64_t raw = adjBase + m * 8;
+        return (raw + cacheLineSize - 1) & ~Addr(cacheLineSize - 1);
+    }
+};
+
+/** Serialize @p graph into a device image; layout returned via out. */
+std::vector<std::uint8_t> buildDeviceImage(const CsrGraph &graph,
+                                           DeviceGraphLayout &layout);
+
+} // namespace kmu
+
+#endif // KMU_APPS_GRAPH_CSR_HH

@@ -1,0 +1,44 @@
+#include "apps/graph/kronecker.hh"
+
+#include "common/logging.hh"
+
+namespace kmu
+{
+
+std::vector<Edge>
+generateKronecker(const KroneckerParams &params)
+{
+    kmuAssert(params.scale >= 1 && params.scale <= 32,
+              "kronecker scale out of range");
+    const double ab = params.a + params.b;
+    const double abc = ab + params.c;
+    kmuAssert(abc < 1.0, "initiator probabilities exceed 1");
+
+    Rng rng(params.seed);
+    std::vector<Edge> edges;
+    edges.reserve(params.edges());
+
+    for (std::uint64_t e = 0; e < params.edges(); ++e) {
+        std::uint64_t u = 0;
+        std::uint64_t v = 0;
+        for (std::uint32_t bit = 0; bit < params.scale; ++bit) {
+            const double r = rng.nextDouble();
+            u <<= 1;
+            v <<= 1;
+            if (r < params.a) {
+                // quadrant A: (0, 0)
+            } else if (r < ab) {
+                v |= 1; // quadrant B: (0, 1)
+            } else if (r < abc) {
+                u |= 1; // quadrant C: (1, 0)
+            } else {
+                u |= 1; // quadrant D: (1, 1)
+                v |= 1;
+            }
+        }
+        edges.push_back(Edge{u, v});
+    }
+    return edges;
+}
+
+} // namespace kmu

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Graph500-style Kronecker graph generator.
+ *
+ * The BFS benchmark of the paper is the Graph500 kernel; its input
+ * is a scale-free graph sampled from the stochastic Kronecker model
+ * with initiator probabilities (A, B, C, D) = (0.57, 0.19, 0.19,
+ * 0.05) and 16 edges per vertex. Generation is deterministic for a
+ * given seed.
+ */
+
+#ifndef KMU_APPS_GRAPH_KRONECKER_HH
+#define KMU_APPS_GRAPH_KRONECKER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hh"
+
+namespace kmu
+{
+
+/** One undirected edge. */
+struct Edge
+{
+    std::uint64_t u;
+    std::uint64_t v;
+};
+
+struct KroneckerParams
+{
+    std::uint32_t scale = 14;      //!< 2^scale vertices
+    std::uint32_t edgeFactor = 16; //!< edges per vertex
+    std::uint64_t seed = 1;
+
+    /** @{ Initiator matrix (Graph500 defaults). */
+    double a = 0.57;
+    double b = 0.19;
+    double c = 0.19;
+    /** @} */
+
+    std::uint64_t vertices() const { return 1ull << scale; }
+    std::uint64_t edges() const { return vertices() * edgeFactor; }
+};
+
+/** Sample an edge list from the Kronecker model. */
+std::vector<Edge> generateKronecker(const KroneckerParams &params);
+
+} // namespace kmu
+
+#endif // KMU_APPS_GRAPH_KRONECKER_HH

@@ -1,0 +1,227 @@
+#include "apps/kv/kv_store.hh"
+
+#include <cstring>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace kmu
+{
+
+namespace
+{
+
+/** Item header layout within its first line. */
+struct ItemHeader
+{
+    std::uint64_t keyHash;
+    Addr next; //!< device address of the next item, 0 at chain end
+    std::uint32_t keyLen;
+    std::uint32_t valLen;
+};
+
+static_assert(sizeof(ItemHeader) == 24, "header layout is part of "
+              "the device image format");
+
+/** Bytes an item occupies on the device (header+key line, then the
+ *  value rounded up to whole lines). */
+std::uint64_t
+itemBytes(std::uint32_t val_len)
+{
+    return cacheLineSize + roundUp(val_len, cacheLineSize);
+}
+
+} // anonymous namespace
+
+std::uint64_t
+kvHash(const std::string &key)
+{
+    // FNV-1a, finalized with the SplitMix64 mixer.
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (unsigned char ch : key) {
+        h ^= ch;
+        h *= 0x100000001b3ull;
+    }
+    return mix64(h);
+}
+
+KvBuilder::KvBuilder(KvParams params)
+    : cfg(params), chains(params.buckets)
+{
+    kmuAssert(isPowerOf2(cfg.buckets), "bucket count must be 2^k");
+    kmuAssert(cfg.valueBatch >= 1 &&
+              cfg.valueBatch <= AccessEngine::maxBatch,
+              "bad value batch");
+}
+
+void
+KvBuilder::put(const std::string &key, const std::string &value)
+{
+    kmuAssert(!key.empty() && key.size() <= kvMaxKeyLen,
+              "key length %zu out of range [1, %u]", key.size(),
+              kvMaxKeyLen);
+    const std::uint64_t hash = kvHash(key);
+    auto &chain = chains[hash & (cfg.buckets - 1)];
+    for (const PendingItem &item : chain) {
+        kmuAssert(item.key != key, "duplicate key '%s'", key.c_str());
+    }
+    chain.push_back(PendingItem{hash, key, value});
+    items++;
+}
+
+std::vector<std::uint8_t>
+KvBuilder::deviceImage() const
+{
+    // Pass 1: place items after the bucket array.
+    const Addr items_base = roundUp(cfg.buckets * 8, cacheLineSize);
+    std::uint64_t total = items_base;
+    for (const auto &chain : chains) {
+        for (const PendingItem &item : chain)
+            total += itemBytes(std::uint32_t(item.value.size()));
+    }
+
+    std::vector<std::uint8_t> image(std::max<std::uint64_t>(
+        total, cacheLineSize));
+
+    // Pass 2: serialize chains (head = last placed, as memcached
+    // prepends; order within a chain does not matter for lookups).
+    Addr cursor = items_base;
+    for (std::uint64_t b = 0; b < cfg.buckets; ++b) {
+        Addr head = 0;
+        for (const PendingItem &item : chains[b]) {
+            ItemHeader header;
+            header.keyHash = item.hash;
+            header.next = head;
+            header.keyLen = std::uint32_t(item.key.size());
+            header.valLen = std::uint32_t(item.value.size());
+
+            std::memcpy(image.data() + cursor, &header,
+                        sizeof(header));
+            std::memcpy(image.data() + cursor + sizeof(header),
+                        item.key.data(), item.key.size());
+            std::memcpy(image.data() + cursor + cacheLineSize,
+                        item.value.data(), item.value.size());
+
+            head = cursor;
+            cursor += itemBytes(header.valLen);
+        }
+        std::memcpy(image.data() + b * 8, &head, sizeof(head));
+    }
+    kmuAssert(cursor == total, "image layout mismatch");
+    return image;
+}
+
+KvProber::KvProber(KvParams params, Addr image_base)
+    : cfg(params), base(image_base)
+{
+}
+
+std::optional<std::string>
+KvProber::get(AccessEngine &engine, const std::string &key) const
+{
+    kmuAssert(!key.empty() && key.size() <= kvMaxKeyLen,
+              "key length out of range");
+    const std::uint64_t hash = kvHash(key);
+
+    // 1. Bucket head.
+    const Addr bucket_addr = base + (hash & (cfg.buckets - 1)) * 8;
+    Addr item = engine.read64(bucket_addr);
+
+    // 2. Chain walk: header line per item (serial pointer chase).
+    alignas(cacheLineSize) std::uint8_t header_line[cacheLineSize];
+    while (item != 0) {
+        const Addr line = base + item;
+        engine.readLines(&line, 1, header_line);
+
+        ItemHeader header;
+        std::memcpy(&header, header_line, sizeof(header));
+
+        const bool match =
+            header.keyHash == hash && header.keyLen == key.size() &&
+            std::memcmp(header_line + sizeof(header), key.data(),
+                        key.size()) == 0;
+        if (!match) {
+            item = header.next;
+            continue;
+        }
+
+        // 3. Value retrieval: independent line reads, batched.
+        std::string value(header.valLen, '\0');
+        const std::uint64_t lines =
+            divCeil(header.valLen, cacheLineSize);
+        alignas(cacheLineSize)
+            std::uint8_t chunk[AccessEngine::maxBatch][cacheLineSize];
+        for (std::uint64_t first = 0; first < lines;
+             first += cfg.valueBatch) {
+            const std::size_t n = std::min<std::uint64_t>(
+                cfg.valueBatch, lines - first);
+            Addr addrs[AccessEngine::maxBatch];
+            for (std::size_t i = 0; i < n; ++i) {
+                addrs[i] = base + item + cacheLineSize +
+                           (first + i) * cacheLineSize;
+            }
+            engine.readLines(addrs, n, chunk[0]);
+            for (std::size_t i = 0; i < n; ++i) {
+                const std::uint64_t off =
+                    (first + i) * cacheLineSize;
+                const std::size_t take = std::min<std::uint64_t>(
+                    cacheLineSize, header.valLen - off);
+                std::memcpy(value.data() + off, chunk[i], take);
+            }
+        }
+        return value;
+    }
+    return std::nullopt;
+}
+
+bool
+KvProber::update(AccessEngine &engine, const std::string &key,
+                 const std::string &value) const
+{
+    kmuAssert(!key.empty() && key.size() <= kvMaxKeyLen,
+              "key length out of range");
+    const std::uint64_t hash = kvHash(key);
+
+    const Addr bucket_addr = base + (hash & (cfg.buckets - 1)) * 8;
+    Addr item = engine.read64(bucket_addr);
+
+    alignas(cacheLineSize) std::uint8_t header_line[cacheLineSize];
+    while (item != 0) {
+        const Addr line = base + item;
+        engine.readLines(&line, 1, header_line);
+
+        ItemHeader header;
+        std::memcpy(&header, header_line, sizeof(header));
+
+        const bool match =
+            header.keyHash == hash && header.keyLen == key.size() &&
+            std::memcmp(header_line + sizeof(header), key.data(),
+                        key.size()) == 0;
+        if (!match) {
+            item = header.next;
+            continue;
+        }
+
+        if (header.valLen != value.size())
+            return false; // no on-device allocator: in-place only
+
+        // Posted line writes of the new value; a subsequent read
+        // through the same engine observes them (FIFO ordering).
+        const std::uint64_t lines =
+            divCeil(header.valLen, cacheLineSize);
+        alignas(cacheLineSize) std::uint8_t buf[cacheLineSize];
+        for (std::uint64_t l = 0; l < lines; ++l) {
+            const std::uint64_t off = l * cacheLineSize;
+            const std::size_t take = std::min<std::uint64_t>(
+                cacheLineSize, header.valLen - off);
+            std::memset(buf, 0, cacheLineSize);
+            std::memcpy(buf, value.data() + off, take);
+            engine.writeLine(base + item + cacheLineSize + off, buf);
+        }
+        return true;
+    }
+    return false;
+}
+
+} // namespace kmu

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Memcached-style key-value store with its data on the device.
+ *
+ * The paper's third application performs the lookup path of
+ * memcached: hash the key, read the bucket head, walk the chain
+ * comparing keys, then retrieve the value. Values span multiple
+ * cache lines, and those line reads are independent — the paper
+ * batches four reads per retrieval; chain walking, by contrast, is
+ * inherently serial (pointer chasing).
+ *
+ * On-device layout:
+ *   [0 .. 8*buckets)   bucket heads: device address of first item
+ *   items region       64-byte-aligned items:
+ *     line 0:  keyHash(8) | next(8) | keyLen(4) | valLen(4) | key…
+ *              (keys up to 40 bytes live inline in the header line)
+ *     line 1+: value bytes
+ */
+
+#ifndef KMU_APPS_KV_KV_STORE_HH
+#define KMU_APPS_KV_KV_STORE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "access/access_engine.hh"
+#include "common/types.hh"
+
+namespace kmu
+{
+
+struct KvParams
+{
+    std::uint64_t buckets = 1ull << 16; //!< power of two
+    std::uint32_t valueBatch = 4;       //!< value lines per batch
+};
+
+/** Longest key that fits inline in the item header line. */
+constexpr std::uint32_t kvMaxKeyLen = 40;
+
+/** Hash used for bucket selection and fast key comparison. */
+std::uint64_t kvHash(const std::string &key);
+
+/**
+ * Host-side builder: populate the store, then serialize it as a
+ * device image.
+ */
+class KvBuilder
+{
+  public:
+    explicit KvBuilder(KvParams params);
+
+    /**
+     * Insert a key/value pair (no overwrite support: inserting a
+     * duplicate key is a usage error, as in a pre-populated lookup
+     * benchmark).
+     */
+    void put(const std::string &key, const std::string &value);
+
+    std::uint64_t itemCount() const { return items; }
+    const KvParams &params() const { return cfg; }
+
+    /** Serialize bucket array + items as the device image. */
+    std::vector<std::uint8_t> deviceImage() const;
+
+  private:
+    struct PendingItem
+    {
+        std::uint64_t hash;
+        std::string key;
+        std::string value;
+    };
+
+    KvParams cfg;
+    std::vector<std::vector<PendingItem>> chains;
+    std::uint64_t items = 0;
+};
+
+/**
+ * Device-side lookup engine for an image built by KvBuilder.
+ */
+class KvProber
+{
+  public:
+    KvProber(KvParams params, Addr image_base = 0);
+
+    /**
+     * memcached GET: returns the value, or nullopt when absent.
+     * Performs: one bucket read, one header-line read per chain
+     * item visited, then value-line reads batched `valueBatch` at
+     * a time.
+     */
+    std::optional<std::string> get(AccessEngine &engine,
+                                   const std::string &key) const;
+
+    /**
+     * In-place value update (same length) through the device write
+     * path: locates the item via the read path, then writes the
+     * value lines with posted line writes. Returns false when the
+     * key is absent or the length differs (this store has no
+     * on-device allocator). Single-writer per engine, per the
+     * Section V-C coherence caveat.
+     */
+    bool update(AccessEngine &engine, const std::string &key,
+                const std::string &value) const;
+
+    const KvParams &params() const { return cfg; }
+
+  private:
+    KvParams cfg;
+    Addr base;
+};
+
+} // namespace kmu
+
+#endif // KMU_APPS_KV_KV_STORE_HH

@@ -1,0 +1,165 @@
+#include "apps/workloads.hh"
+
+#include "apps/bloom/bloom_filter.hh"
+#include "apps/graph/bfs.hh"
+#include "apps/graph/csr.hh"
+#include "apps/graph/kronecker.hh"
+#include "apps/kv/kv_store.hh"
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace kmu
+{
+
+const char *
+appName(AppKind app)
+{
+    switch (app) {
+      case AppKind::Bfs:
+        return "BFS";
+      case AppKind::Bloom:
+        return "Bloomfilter";
+      case AppKind::Memcached:
+        return "Memcached";
+    }
+    panic("unknown app kind %d", int(app));
+}
+
+namespace
+{
+
+AppRunOutcome
+runBfs(const AppWorkloadParams &params)
+{
+    KroneckerParams kp;
+    kp.scale = params.bfsScale;
+    kp.edgeFactor = params.bfsEdgeFactor;
+    kp.seed = params.seed;
+    const auto edges = generateKronecker(kp);
+    const CsrGraph graph(kp.vertices(), edges);
+
+    DeviceGraphLayout layout;
+    auto image = buildDeviceImage(graph, layout);
+
+    Runtime rt(std::move(image), {.mechanism = Mechanism::OnDemand});
+
+    AppRunOutcome outcome;
+    rt.spawnWorker([&](AccessEngine &engine) {
+        TracingEngine traced(engine, outcome.trace);
+        const auto res =
+            bfsDevice(traced, layout, graph.maxDegreeVertex());
+        outcome.operations = res.reached;
+        outcome.checksum =
+            res.reached * 1000003 + std::uint64_t(res.depth);
+    });
+    rt.run();
+    return outcome;
+}
+
+AppRunOutcome
+runBloom(const AppWorkloadParams &params)
+{
+    BloomParams bp;
+    bp.bits = params.bloomBits;
+    bp.hashes = params.bloomHashes;
+    BloomBuilder builder(bp);
+
+    Rng rng(params.seed);
+    for (std::uint64_t i = 0; i < params.bloomKeys; ++i)
+        builder.insert(rng.next());
+
+    Runtime rt(builder.deviceImage(),
+               {.mechanism = Mechanism::OnDemand});
+    BloomProber prober(bp);
+
+    AppRunOutcome outcome;
+    rt.spawnWorker([&](AccessEngine &engine) {
+        TracingEngine traced(engine, outcome.trace);
+        // Half re-queries of inserted keys, half random probes.
+        Rng requery(params.seed);
+        Rng fresh(params.seed ^ 0xabcdef);
+        std::uint64_t hits = 0;
+        for (std::uint64_t q = 0; q < params.bloomQueries; ++q) {
+            const bool member = (q % 2) == 0;
+            const std::uint64_t key =
+                member ? requery.next() : fresh.next();
+            if (member && q / 2 >= params.bloomKeys)
+                break;
+            hits += prober.contains(traced, key) ? 1 : 0;
+        }
+        outcome.operations = params.bloomQueries;
+        outcome.checksum = hits;
+    });
+    rt.run();
+    return outcome;
+}
+
+AppRunOutcome
+runMemcached(const AppWorkloadParams &params)
+{
+    KvParams kp;
+    kp.buckets = params.kvBuckets;
+    KvBuilder builder(kp);
+
+    auto key_of = [](std::uint64_t i) {
+        return csprintf("key-%016llx", (unsigned long long)mix64(i));
+    };
+    auto value_of = [&params](std::uint64_t i) {
+        std::string v(params.kvValueBytes, '\0');
+        std::uint64_t state = i;
+        for (auto &ch : v)
+            ch = char('a' + splitMix64(state) % 26);
+        return v;
+    };
+    for (std::uint64_t i = 0; i < params.kvItems; ++i)
+        builder.put(key_of(i), value_of(i));
+
+    Runtime rt(builder.deviceImage(),
+               {.mechanism = Mechanism::OnDemand});
+    KvProber prober(kp);
+
+    AppRunOutcome outcome;
+    rt.spawnWorker([&](AccessEngine &engine) {
+        TracingEngine traced(engine, outcome.trace);
+        Rng rng(params.seed ^ 0x5eed);
+        std::uint64_t found = 0;
+        std::uint64_t bytes = 0;
+        for (std::uint64_t q = 0; q < params.kvQueries; ++q) {
+            // 90 % hits, 10 % misses — a cache-like mix.
+            const bool hit = rng.nextDouble() < 0.9;
+            const std::string key =
+                hit ? key_of(rng.nextBounded(params.kvItems))
+                    : csprintf("missing-%llu",
+                               (unsigned long long)rng.next());
+            const auto value = prober.get(traced, key);
+            kmuAssert(value.has_value() == hit,
+                      "memcached lookup result mismatch");
+            if (value) {
+                found++;
+                bytes += value->size();
+            }
+        }
+        outcome.operations = params.kvQueries;
+        outcome.checksum = found * 1000003 + bytes;
+    });
+    rt.run();
+    return outcome;
+}
+
+} // anonymous namespace
+
+AppRunOutcome
+runAndTrace(AppKind app, const AppWorkloadParams &params)
+{
+    switch (app) {
+      case AppKind::Bfs:
+        return runBfs(params);
+      case AppKind::Bloom:
+        return runBloom(params);
+      case AppKind::Memcached:
+        return runMemcached(params);
+    }
+    panic("unknown app kind %d", int(app));
+}
+
+} // namespace kmu

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Canned application workloads: dataset synthesis, a functional run
+ * through the host runtime, and access-trace capture for the timing
+ * model (the full Fig. 10 pipeline).
+ */
+
+#ifndef KMU_APPS_WORKLOADS_HH
+#define KMU_APPS_WORKLOADS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "apps/access_trace.hh"
+
+namespace kmu
+{
+
+/** The paper's three application benchmarks. */
+enum class AppKind
+{
+    Bfs,      //!< Graph500 breadth-first search (batch limit 2)
+    Bloom,    //!< Bloom filter lookups (batch 4)
+    Memcached //!< memcached-style GETs (batch 4 value reads)
+};
+
+const char *appName(AppKind app);
+
+/** Scale knobs for workload synthesis (defaults are test-sized). */
+struct AppWorkloadParams
+{
+    std::uint64_t seed = 42;
+
+    /** @{ BFS: Kronecker scale / edge factor. */
+    std::uint32_t bfsScale = 12;
+    std::uint32_t bfsEdgeFactor = 16;
+    /** @} */
+
+    /** @{ Bloom: filter population and query count. */
+    std::uint64_t bloomKeys = 20000;
+    std::uint64_t bloomQueries = 30000;
+    std::uint64_t bloomBits = 1ull << 21;
+    std::uint32_t bloomHashes = 4;
+    /** @} */
+
+    /** @{ Memcached: population and query count. */
+    std::uint64_t kvItems = 20000;
+    std::uint64_t kvQueries = 20000;
+    std::uint32_t kvValueBytes = 256; //!< 4 lines: the paper's batch
+    std::uint64_t kvBuckets = 1ull << 14;
+    /** @} */
+};
+
+/** Outcome of a functional run + trace capture. */
+struct AppRunOutcome
+{
+    AccessTrace trace;             //!< batch-size sequence
+    std::uint64_t operations = 0;  //!< app-level ops performed
+    std::uint64_t checksum = 0;    //!< result digest (determinism)
+};
+
+/**
+ * Build the dataset for @p app, run it functionally on the host
+ * runtime's on-demand engine, and capture its access trace.
+ * Deterministic for fixed parameters.
+ */
+AppRunOutcome runAndTrace(AppKind app, const AppWorkloadParams &params);
+
+} // namespace kmu
+
+#endif // KMU_APPS_WORKLOADS_HH

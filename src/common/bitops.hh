@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used across the codebase.
+ */
+
+#ifndef KMU_COMMON_BITOPS_HH
+#define KMU_COMMON_BITOPS_HH
+
+#include <bit>
+#include <cstdint>
+
+namespace kmu
+{
+
+/** True iff @p value is a power of two (zero is not). */
+constexpr bool
+isPowerOf2(std::uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/** floor(log2(value)); value must be non-zero. */
+constexpr std::uint32_t
+floorLog2(std::uint64_t value)
+{
+    return 63u - std::uint32_t(std::countl_zero(value));
+}
+
+/** ceil(log2(value)); value must be non-zero. */
+constexpr std::uint32_t
+ceilLog2(std::uint64_t value)
+{
+    return value <= 1 ? 0 : floorLog2(value - 1) + 1;
+}
+
+/** Round @p value up to the next multiple of @p align (a power of 2). */
+constexpr std::uint64_t
+roundUp(std::uint64_t value, std::uint64_t align)
+{
+    return (value + align - 1) & ~(align - 1);
+}
+
+/** Round @p value down to a multiple of @p align (a power of 2). */
+constexpr std::uint64_t
+roundDown(std::uint64_t value, std::uint64_t align)
+{
+    return value & ~(align - 1);
+}
+
+/** Integer ceiling division. */
+constexpr std::uint64_t
+divCeil(std::uint64_t num, std::uint64_t den)
+{
+    return (num + den - 1) / den;
+}
+
+} // namespace kmu
+
+#endif // KMU_COMMON_BITOPS_HH

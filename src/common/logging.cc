@@ -1,0 +1,102 @@
+#include "common/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace kmu
+{
+
+namespace
+{
+
+LogLevel globalLevel = LogLevel::Normal;
+
+void
+emit(const char *prefix, const char *fmt, std::va_list args)
+{
+    std::string body = vcsprintf(fmt, args);
+    std::fprintf(stderr, "%s%s\n", prefix, body.c_str());
+}
+
+} // anonymous namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    globalLevel = level;
+}
+
+LogLevel
+logLevel()
+{
+    return globalLevel;
+}
+
+std::string
+vcsprintf(const char *fmt, std::va_list args)
+{
+    std::va_list copy;
+    va_copy(copy, args);
+    const int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+    if (needed < 0)
+        return "<format error>";
+    std::vector<char> buf(std::size_t(needed) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, args);
+    return std::string(buf.data(), std::size_t(needed));
+}
+
+std::string
+csprintf(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::string out = vcsprintf(fmt, args);
+    va_end(args);
+    return out;
+}
+
+void
+panic(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    emit("panic: ", fmt, args);
+    va_end(args);
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    emit("fatal: ", fmt, args);
+    va_end(args);
+    std::exit(1);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    if (globalLevel == LogLevel::Quiet)
+        return;
+    std::va_list args;
+    va_start(args, fmt);
+    emit("warn: ", fmt, args);
+    va_end(args);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (globalLevel == LogLevel::Quiet)
+        return;
+    std::va_list args;
+    va_start(args, fmt);
+    emit("info: ", fmt, args);
+    va_end(args);
+}
+
+} // namespace kmu

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * gem5-style status and error reporting.
+ *
+ * panic()  — an internal invariant was violated; aborts.
+ * fatal()  — the user asked for something impossible; exits cleanly.
+ * warn()   — suspicious but survivable condition.
+ * inform() — progress / status messages.
+ *
+ * All functions accept printf-style format strings.
+ */
+
+#ifndef KMU_COMMON_LOGGING_HH
+#define KMU_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace kmu
+{
+
+/** Verbosity threshold for inform(); warnings always print. */
+enum class LogLevel
+{
+    Quiet,   //!< only panic/fatal
+    Normal,  //!< + warn and inform
+    Verbose  //!< + verbose diagnostics
+};
+
+/** Set the process-wide verbosity (default Normal). */
+void setLogLevel(LogLevel level);
+
+/** Current process-wide verbosity. */
+LogLevel logLevel();
+
+/** Abort: an internal kmu bug. Never returns. */
+[[noreturn]] [[gnu::format(printf, 1, 2)]]
+void panic(const char *fmt, ...);
+
+/** Exit(1): unusable configuration or input. Never returns. */
+[[noreturn]] [[gnu::format(printf, 1, 2)]]
+void fatal(const char *fmt, ...);
+
+/** Print a warning to stderr. */
+[[gnu::format(printf, 1, 2)]]
+void warn(const char *fmt, ...);
+
+/** Print a status message to stderr (suppressed when Quiet). */
+[[gnu::format(printf, 1, 2)]]
+void inform(const char *fmt, ...);
+
+/** Printf-style formatting into a std::string. */
+[[gnu::format(printf, 1, 2)]]
+std::string csprintf(const char *fmt, ...);
+
+/** vprintf-style formatting into a std::string. */
+std::string vcsprintf(const char *fmt, std::va_list args);
+
+/**
+ * Invariant check that stays active in release builds.
+ * Usage: kmuAssert(cond, "message with %d details", x);
+ */
+#define kmuAssert(cond, ...)                                            \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            ::kmu::panic("assertion '%s' failed at %s:%d: %s",          \
+                         #cond, __FILE__, __LINE__,                     \
+                         ::kmu::csprintf(__VA_ARGS__).c_str());         \
+        }                                                               \
+    } while (0)
+
+} // namespace kmu
+
+#endif // KMU_COMMON_LOGGING_HH

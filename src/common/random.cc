@@ -1,0 +1,101 @@
+#include "common/random.hh"
+
+#include "common/logging.hh"
+
+namespace kmu
+{
+
+std::uint64_t
+splitMix64(std::uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ull;
+    return mix64(state);
+}
+
+std::uint64_t
+mix64(std::uint64_t value)
+{
+    std::uint64_t z = value;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+namespace
+{
+
+inline std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // anonymous namespace
+
+Rng::Rng(std::uint64_t seed_value)
+{
+    seed(seed_value);
+}
+
+void
+Rng::seed(std::uint64_t seed_value)
+{
+    std::uint64_t sm = seed_value;
+    for (auto &word : s)
+        word = splitMix64(sm);
+    // xoshiro must not start from the all-zero state.
+    if ((s[0] | s[1] | s[2] | s[3]) == 0)
+        s[0] = 0x9e3779b97f4a7c15ull;
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s[1] * 5, 7) * 9;
+    const std::uint64_t t = s[1] << 17;
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = rotl(s[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::nextBounded(std::uint64_t bound)
+{
+    kmuAssert(bound > 0, "nextBounded requires a positive bound");
+    // Lemire's nearly-divisionless method.
+    __uint128_t m = __uint128_t(next()) * bound;
+    std::uint64_t low = std::uint64_t(m);
+    if (low < bound) {
+        const std::uint64_t threshold = (0 - bound) % bound;
+        while (low < threshold) {
+            m = __uint128_t(next()) * bound;
+            low = std::uint64_t(m);
+        }
+    }
+    return std::uint64_t(m >> 64);
+}
+
+std::uint64_t
+Rng::nextRange(std::uint64_t lo, std::uint64_t hi)
+{
+    kmuAssert(lo <= hi, "nextRange with inverted bounds");
+    return lo + nextBounded(hi - lo + 1);
+}
+
+double
+Rng::nextDouble()
+{
+    return double(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+} // namespace kmu

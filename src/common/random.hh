@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic component in kmu (graph generators, workload
+ * synthesis, replay fuzzing) draws from an explicitly seeded Rng so
+ * that experiments are reproducible bit-for-bit across runs and
+ * machines. The generator is xoshiro256**, seeded via SplitMix64.
+ */
+
+#ifndef KMU_COMMON_RANDOM_HH
+#define KMU_COMMON_RANDOM_HH
+
+#include <cstdint>
+
+namespace kmu
+{
+
+/** SplitMix64 step; used for seeding and cheap hashing. */
+std::uint64_t splitMix64(std::uint64_t &state);
+
+/** Stateless 64-bit mix of a value (finalizer of SplitMix64). */
+std::uint64_t mix64(std::uint64_t value);
+
+/**
+ * xoshiro256** generator with convenience draws.
+ *
+ * Not thread-safe; give each thread/component its own instance.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via SplitMix64). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Re-seed in place. */
+    void seed(std::uint64_t seed);
+
+    /** Next raw 64-bit draw. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound) using Lemire's method. */
+    std::uint64_t nextBounded(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t nextRange(std::uint64_t lo, std::uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli draw with probability p of returning true. */
+    bool nextBool(double p = 0.5);
+
+  private:
+    std::uint64_t s[4];
+};
+
+} // namespace kmu
+
+#endif // KMU_COMMON_RANDOM_HH

@@ -1,0 +1,171 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "common/logging.hh"
+
+namespace kmu
+{
+
+StatBase::StatBase(StatGroup &parent, std::string name, std::string desc)
+    : statName(std::move(name)), statDesc(std::move(desc))
+{
+    parent.registerStat(this);
+}
+
+std::string
+Counter::render() const
+{
+    return csprintf("%llu", (unsigned long long)count);
+}
+
+void
+Average::sample(double value)
+{
+    sampleCount++;
+    sum += value;
+    minValue = std::min(minValue, value);
+    maxValue = std::max(maxValue, value);
+}
+
+double
+Average::mean() const
+{
+    return sampleCount ? sum / double(sampleCount) : 0.0;
+}
+
+std::string
+Average::render() const
+{
+    return csprintf("%.4f (n=%llu min=%.4f max=%.4f)", mean(),
+                    (unsigned long long)sampleCount, min(), max());
+}
+
+void
+Average::reset()
+{
+    sampleCount = 0;
+    sum = 0.0;
+    minValue = std::numeric_limits<double>::infinity();
+    maxValue = -std::numeric_limits<double>::infinity();
+}
+
+Histogram::Histogram(StatGroup &parent, std::string name, std::string desc,
+                     double lo, double width, std::size_t bins)
+    : StatBase(parent, std::move(name), std::move(desc)),
+      lowBound(lo), binWidth(width), counts(bins, 0)
+{
+    kmuAssert(width > 0.0, "histogram bin width must be positive");
+    kmuAssert(bins > 0, "histogram needs at least one bin");
+}
+
+void
+Histogram::sample(double value)
+{
+    sampleCount++;
+    sum += value;
+    if (value < lowBound) {
+        below++;
+        return;
+    }
+    const auto idx = std::size_t((value - lowBound) / binWidth);
+    if (idx >= counts.size())
+        above++;
+    else
+        counts[idx]++;
+}
+
+double
+Histogram::mean() const
+{
+    return sampleCount ? sum / double(sampleCount) : 0.0;
+}
+
+std::string
+Histogram::render() const
+{
+    std::string out = csprintf("n=%llu mean=%.3f [",
+                               (unsigned long long)sampleCount, mean());
+    out += csprintf("<%llu|", (unsigned long long)below);
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        out += csprintf("%llu", (unsigned long long)counts[i]);
+        if (i + 1 != counts.size())
+            out += " ";
+    }
+    out += csprintf("|>%llu]", (unsigned long long)above);
+    return out;
+}
+
+void
+Histogram::reset()
+{
+    std::fill(counts.begin(), counts.end(), 0);
+    below = above = sampleCount = 0;
+    sum = 0.0;
+}
+
+StatGroup::StatGroup(std::string name, StatGroup *parent_group)
+    : groupName(std::move(name)), parent(parent_group)
+{
+    if (parent)
+        parent->registerChild(this);
+}
+
+StatGroup::~StatGroup()
+{
+    if (parent)
+        parent->unregisterChild(this);
+}
+
+std::string
+StatGroup::path() const
+{
+    if (!parent)
+        return groupName;
+    return parent->path() + "." + groupName;
+}
+
+void
+StatGroup::registerStat(StatBase *stat)
+{
+    ownedStats.push_back(stat);
+}
+
+void
+StatGroup::registerChild(StatGroup *child)
+{
+    children.push_back(child);
+}
+
+void
+StatGroup::unregisterChild(StatGroup *child)
+{
+    auto it = std::find(children.begin(), children.end(), child);
+    if (it != children.end())
+        children.erase(it);
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    const std::string prefix = path();
+    for (const StatBase *stat : ownedStats) {
+        os << std::left << std::setw(48) << (prefix + "." + stat->name())
+           << " " << std::setw(32) << stat->render()
+           << " # " << stat->desc() << "\n";
+    }
+    for (const StatGroup *child : children)
+        child->dump(os);
+}
+
+void
+StatGroup::resetAll()
+{
+    for (StatBase *stat : ownedStats)
+        stat->reset();
+    for (StatGroup *child : children)
+        child->resetAll();
+}
+
+} // namespace kmu

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Lightweight statistics package (gem5-flavoured).
+ *
+ * Components own a StatGroup and register named statistics with it.
+ * At the end of a run the group can be dumped as aligned text or CSV.
+ * Three stat kinds cover everything kmu needs:
+ *
+ *  - Counter:   a monotonically increasing event count / byte count.
+ *  - Average:   running mean of sampled values (also tracks min/max).
+ *  - Histogram: fixed-width linear bins with underflow/overflow.
+ */
+
+#ifndef KMU_COMMON_STATS_HH
+#define KMU_COMMON_STATS_HH
+
+#include <cstdint>
+#include <limits>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace kmu
+{
+
+class StatGroup;
+
+/** Common metadata for all statistics. */
+class StatBase
+{
+  public:
+    StatBase(StatGroup &parent, std::string name, std::string desc);
+    virtual ~StatBase() = default;
+
+    StatBase(const StatBase &) = delete;
+    StatBase &operator=(const StatBase &) = delete;
+
+    const std::string &name() const { return statName; }
+    const std::string &desc() const { return statDesc; }
+
+    /** Render the value portion of a dump line. */
+    virtual std::string render() const = 0;
+
+    /** Reset to the just-constructed state. */
+    virtual void reset() = 0;
+
+  private:
+    std::string statName;
+    std::string statDesc;
+};
+
+/** Monotonic event counter. */
+class Counter : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    Counter &operator++() { count += 1; return *this; }
+    Counter &operator+=(std::uint64_t n) { count += n; return *this; }
+
+    std::uint64_t value() const { return count; }
+
+    std::string render() const override;
+    void reset() override { count = 0; }
+
+  private:
+    std::uint64_t count = 0;
+};
+
+/** Running mean over sampled values; tracks min and max too. */
+class Average : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    void sample(double value);
+
+    std::uint64_t samples() const { return sampleCount; }
+    double mean() const;
+    double min() const { return sampleCount ? minValue : 0.0; }
+    double max() const { return sampleCount ? maxValue : 0.0; }
+
+    std::string render() const override;
+    void reset() override;
+
+  private:
+    std::uint64_t sampleCount = 0;
+    double sum = 0.0;
+    double minValue = std::numeric_limits<double>::infinity();
+    double maxValue = -std::numeric_limits<double>::infinity();
+};
+
+/** Linear-bin histogram with underflow/overflow buckets. */
+class Histogram : public StatBase
+{
+  public:
+    /**
+     * @param lo     lower bound of the first bin.
+     * @param width  width of each bin (must be > 0).
+     * @param bins   number of bins between the outlier buckets.
+     */
+    Histogram(StatGroup &parent, std::string name, std::string desc,
+              double lo, double width, std::size_t bins);
+
+    void sample(double value);
+
+    std::uint64_t samples() const { return sampleCount; }
+    std::uint64_t binCount(std::size_t i) const { return counts.at(i); }
+    std::uint64_t underflow() const { return below; }
+    std::uint64_t overflow() const { return above; }
+    double mean() const;
+
+    std::string render() const override;
+    void reset() override;
+
+  private:
+    double lowBound;
+    double binWidth;
+    std::vector<std::uint64_t> counts;
+    std::uint64_t below = 0;
+    std::uint64_t above = 0;
+    std::uint64_t sampleCount = 0;
+    double sum = 0.0;
+};
+
+/**
+ * Named collection of statistics belonging to one component.
+ * Groups nest: a SimSystem group holds per-core child groups.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name, StatGroup *parent = nullptr);
+    ~StatGroup();
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    const std::string &name() const { return groupName; }
+
+    /** Fully qualified dotted name (parent.child). */
+    std::string path() const;
+
+    /** Dump this group and children as aligned "path value # desc". */
+    void dump(std::ostream &os) const;
+
+    /** Reset all stats in this group and its children. */
+    void resetAll();
+
+    /** @{ Registration hooks used by StatBase / child groups. */
+    void registerStat(StatBase *stat);
+    void registerChild(StatGroup *child);
+    void unregisterChild(StatGroup *child);
+    /** @} */
+
+    const std::vector<StatBase *> &stats() const { return ownedStats; }
+
+  private:
+    std::string groupName;
+    StatGroup *parent;
+    std::vector<StatBase *> ownedStats;
+    std::vector<StatGroup *> children;
+};
+
+} // namespace kmu
+
+#endif // KMU_COMMON_STATS_HH

@@ -1,0 +1,129 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/logging.hh"
+
+namespace kmu
+{
+
+Table::Table(std::string title)
+    : tableTitle(std::move(title))
+{
+}
+
+void
+Table::setHeader(std::vector<std::string> names)
+{
+    kmuAssert(body.empty(), "setHeader must precede addRow");
+    header = std::move(names);
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    kmuAssert(cells.size() == header.size(),
+              "row arity %zu != header arity %zu",
+              cells.size(), header.size());
+    body.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double value, int precision)
+{
+    return csprintf("%.*f", precision, value);
+}
+
+std::string
+Table::num(std::uint64_t value)
+{
+    return csprintf("%llu", (unsigned long long)value);
+}
+
+const std::vector<std::string> &
+Table::row(std::size_t i) const
+{
+    kmuAssert(i < body.size(), "row index %zu out of range", i);
+    return body[i];
+}
+
+void
+Table::printAscii(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(header.size(), 0);
+    for (std::size_t c = 0; c < header.size(); ++c)
+        widths[c] = header[c].size();
+    for (const auto &row_cells : body)
+        for (std::size_t c = 0; c < row_cells.size(); ++c)
+            widths[c] = std::max(widths[c], row_cells[c].size());
+
+    auto rule = [&]() {
+        os << "+";
+        for (auto w : widths)
+            os << std::string(w + 2, '-') << "+";
+        os << "\n";
+    };
+    auto line = [&](const std::vector<std::string> &cells) {
+        os << "|";
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << " " << cells[c]
+               << std::string(widths[c] - cells[c].size(), ' ') << " |";
+        }
+        os << "\n";
+    };
+
+    os << "== " << tableTitle << " ==\n";
+    rule();
+    line(header);
+    rule();
+    for (const auto &row_cells : body)
+        line(row_cells);
+    rule();
+}
+
+namespace
+{
+
+std::string
+csvEscape(const std::string &cell)
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos)
+        return cell;
+    std::string out = "\"";
+    for (char ch : cell) {
+        if (ch == '"')
+            out += '"';
+        out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+} // anonymous namespace
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    for (std::size_t c = 0; c < header.size(); ++c)
+        os << csvEscape(header[c]) << (c + 1 == header.size() ? "" : ",");
+    os << "\n";
+    for (const auto &row_cells : body) {
+        for (std::size_t c = 0; c < row_cells.size(); ++c) {
+            os << csvEscape(row_cells[c])
+               << (c + 1 == row_cells.size() ? "" : ",");
+        }
+        os << "\n";
+    }
+}
+
+void
+Table::writeCsvFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open '%s' for writing", path.c_str());
+    printCsv(out);
+}
+
+} // namespace kmu

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Result table emitters used by the figure-reproduction benches.
+ *
+ * A Table is a column-major grid of strings with a title; it renders
+ * either as an aligned ASCII table (for the terminal) or as CSV (for
+ * replotting). Figure benches build one Table per paper figure so the
+ * printed rows mirror the paper's series.
+ */
+
+#ifndef KMU_COMMON_TABLE_HH
+#define KMU_COMMON_TABLE_HH
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace kmu
+{
+
+class Table
+{
+  public:
+    explicit Table(std::string title);
+
+    /** Define the column headers; must precede addRow(). */
+    void setHeader(std::vector<std::string> names);
+
+    /** Append a row; must match the header arity. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with fixed precision. */
+    static std::string num(double value, int precision = 3);
+
+    /** Convenience: format an integer. */
+    static std::string num(std::uint64_t value);
+
+    const std::string &title() const { return tableTitle; }
+    std::size_t rows() const { return body.size(); }
+    std::size_t cols() const { return header.size(); }
+    const std::vector<std::string> &row(std::size_t i) const;
+
+    /** Aligned, boxed ASCII rendering. */
+    void printAscii(std::ostream &os) const;
+
+    /** RFC-4180-ish CSV rendering (header row first). */
+    void printCsv(std::ostream &os) const;
+
+    /** Write CSV to @p path, creating/overwriting the file. */
+    void writeCsvFile(const std::string &path) const;
+
+  private:
+    std::string tableTitle;
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> body;
+};
+
+} // namespace kmu
+
+#endif // KMU_COMMON_TABLE_HH

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Time and data-rate unit helpers for the picosecond tick base.
+ */
+
+#ifndef KMU_COMMON_UNITS_HH
+#define KMU_COMMON_UNITS_HH
+
+#include "common/types.hh"
+
+namespace kmu
+{
+
+/** Ticks per picosecond (the tick base itself). */
+constexpr Tick tickPerPs = 1;
+/** Ticks per nanosecond. */
+constexpr Tick tickPerNs = 1000;
+/** Ticks per microsecond. */
+constexpr Tick tickPerUs = 1000 * 1000;
+/** Ticks per millisecond. */
+constexpr Tick tickPerMs = Tick(1000) * 1000 * 1000;
+/** Ticks per second. */
+constexpr Tick tickPerSec = Tick(1000) * 1000 * 1000 * 1000;
+
+/** User-facing literal-style constructors. */
+constexpr Tick
+picoseconds(std::uint64_t n)
+{
+    return n * tickPerPs;
+}
+
+constexpr Tick
+nanoseconds(std::uint64_t n)
+{
+    return n * tickPerNs;
+}
+
+constexpr Tick
+microseconds(std::uint64_t n)
+{
+    return n * tickPerUs;
+}
+
+constexpr Tick
+milliseconds(std::uint64_t n)
+{
+    return n * tickPerMs;
+}
+
+/** Convert ticks to (double) nanoseconds for reporting. */
+constexpr double
+ticksToNs(Tick t)
+{
+    return double(t) / double(tickPerNs);
+}
+
+/** Convert ticks to (double) microseconds for reporting. */
+constexpr double
+ticksToUs(Tick t)
+{
+    return double(t) / double(tickPerUs);
+}
+
+/** Convert ticks to (double) seconds for reporting. */
+constexpr double
+ticksToSec(Tick t)
+{
+    return double(t) / double(tickPerSec);
+}
+
+/**
+ * Time to serialize @p bytes on a link of @p bytes_per_sec, rounded up
+ * to a whole tick so zero-cost transfers cannot occur.
+ */
+constexpr Tick
+transferTicks(std::uint64_t bytes, std::uint64_t bytes_per_sec)
+{
+    // ticks = bytes / (bytes/sec) * tickPerSec, computed without
+    // overflow for realistic rates (<= tens of GB/s).
+    const __uint128_t num = __uint128_t(bytes) * tickPerSec;
+    return Tick((num + bytes_per_sec - 1) / bytes_per_sec);
+}
+
+/** Bytes per second from a GB/s figure (decimal GB). */
+constexpr std::uint64_t
+gbPerSec(double gb)
+{
+    return std::uint64_t(gb * 1e9);
+}
+
+} // namespace kmu
+
+#endif // KMU_COMMON_UNITS_HH

@@ -1,0 +1,18 @@
+#include "core/core_base.hh"
+
+namespace kmu
+{
+
+CoreBase::CoreBase(std::string name, EventQueue &eq, CoreId id,
+                   const SystemConfig &config, IssueLine issue,
+                   StatGroup *stat_parent)
+    : SimObject(std::move(name), eq, stat_parent),
+      cfg(config), issueLine(std::move(issue)),
+      lineFillBuffers(this->name() + ".lfb", eq, config.lfbPerCore,
+                      &stats()),
+      l1Cache(this->name() + ".l1", eq, config.l1, &stats()),
+      coreId(id)
+{
+}
+
+} // namespace kmu

@@ -1,0 +1,267 @@
+#include "core/sim_system.hh"
+
+#include "core/on_demand_core.hh"
+#include "core/prefetch_core.hh"
+#include "core/sw_queue_core.hh"
+
+namespace kmu
+{
+
+namespace
+{
+
+/** Ring depth for the software queues: must absorb every thread's
+ *  maximum batch simultaneously. */
+constexpr std::size_t swQueueDepth = 4096;
+
+} // anonymous namespace
+
+SimSystem::SimSystem(SystemConfig config)
+    : cfg(std::move(config)), root("system")
+{
+    kmuAssert(cfg.numCores >= 1, "need at least one core");
+    kmuAssert(cfg.threadsPerCore >= 1, "need at least one thread");
+    kmuAssert(cfg.batch >= 1 && cfg.batch <= AccessEngine::maxBatch,
+              "batch out of range");
+
+    dram = std::make_unique<DramModel>("dram", eq, cfg.dram, &root);
+    readLatency = std::make_unique<Average>(
+        root, "read_latency_ns", "issue-to-fill read latency");
+
+    if (cfg.mechanism == Mechanism::SwQueue) {
+        kmuAssert(cfg.backing == Backing::Device,
+                  "software queues target the device");
+        buildSwQueue();
+    } else {
+        buildMemoryMapped();
+    }
+}
+
+SimSystem::~SimSystem() = default;
+
+RequestFetcher *
+SimSystem::fetcher(std::size_t i)
+{
+    return i < fetchers.size() ? fetchers[i].get() : nullptr;
+}
+
+void
+SimSystem::buildMemoryMapped()
+{
+    const bool to_device = cfg.backing == Backing::Device;
+    const bool membus =
+        to_device && cfg.attach == DeviceAttach::MemoryBus;
+    if (to_device && !membus) {
+        link = std::make_unique<PcieLink>("pcie", eq, cfg.pcie, &root);
+        chipPcie = std::make_unique<UncoreQueue>(
+            "chip_pcie_queue", eq, cfg.chipPcieQueue, &root);
+        device = std::make_unique<DeviceEmulator>(
+            "device", eq, cfg.device, *link, cfg.numCores, &root);
+    }
+    if (membus) {
+        // Memory-bus attach: the device answers like a slow DIMM
+        // behind the chip's deep DRAM-path queue; the configured
+        // latency already covers the on-bus round trip.
+        chipPcie = std::make_unique<UncoreQueue>(
+            "chip_membus_queue", eq, cfg.chipDramQueue, &root);
+    }
+
+    for (CoreId c = 0; c < cfg.numCores; ++c) {
+        CoreBase::IssueLine issue;
+        if (membus) {
+            issue = [this](Addr line, std::function<void()> fill) {
+                (void)line;
+                const Tick issued = eq.curTick();
+                chipPcie->acquire([this, issued,
+                                   fill = std::move(fill)]() mutable {
+                    eq.scheduleLambda(
+                        eq.curTick() + cfg.device.latency,
+                        [this, issued, fill = std::move(fill)]() {
+                            chipPcie->release();
+                            readLatency->sample(
+                                ticksToNs(eq.curTick() - issued));
+                            fill();
+                        },
+                        EventPriority::DeviceResponse,
+                        "membus.fill");
+                });
+            };
+        } else if (to_device) {
+            issue = [this, c](Addr line, std::function<void()> fill) {
+                const Tick issued = eq.curTick();
+                chipPcie->acquire(
+                    [this, c, line, issued,
+                     fill = std::move(fill)]() mutable {
+                        device->hostRead(
+                            c, line,
+                            [this, issued,
+                             fill = std::move(fill)]() {
+                                chipPcie->release();
+                                readLatency->sample(
+                                    ticksToNs(eq.curTick() - issued));
+                                fill();
+                            });
+                    });
+            };
+        } else {
+            issue = [this](Addr line, std::function<void()> fill) {
+                const Tick issued = eq.curTick();
+                dram->access(
+                    line,
+                    [this, issued, fill = std::move(fill)]() {
+                        readLatency->sample(
+                            ticksToNs(eq.curTick() - issued));
+                        fill();
+                    });
+            };
+        }
+
+        const std::string name = csprintf("core%u", c);
+        if (cfg.mechanism == Mechanism::OnDemand) {
+            cores.push_back(std::make_unique<OnDemandCore>(
+                name, eq, c, cfg, std::move(issue), &root));
+        } else {
+            cores.push_back(std::make_unique<PrefetchCore>(
+                name, eq, c, cfg, std::move(issue), &root));
+        }
+
+        if (to_device && !membus) {
+            cores.back()->setWriteHook([this, c](Addr line) {
+                device->hostWrite(c, line);
+            });
+        }
+        // Memory-bus-attached and DRAM-backed writes are absorbed by
+        // the write buffers / bus posting: no hook needed.
+    }
+}
+
+void
+SimSystem::buildSwQueue()
+{
+    link = std::make_unique<PcieLink>("pcie", eq, cfg.pcie, &root);
+
+    for (CoreId c = 0; c < cfg.numCores; ++c) {
+        queuePairs.push_back(
+            std::make_unique<SwQueuePair>(swQueueDepth));
+        fetchers.push_back(std::make_unique<RequestFetcher>(
+            csprintf("fetcher%u", c), eq, c, cfg.device,
+            *queuePairs.back(), *link, cfg.dram.latency,
+            [this, c](const CompletionDescriptor &) {
+                static_cast<SwQueueCore &>(*cores[c])
+                    .onCompletionPosted();
+            },
+            &root));
+    }
+
+    for (CoreId c = 0; c < cfg.numCores; ++c) {
+        RequestFetcher *fetch = fetchers[c].get();
+        cores.push_back(std::make_unique<SwQueueCore>(
+            csprintf("core%u", c), eq, c, cfg, *queuePairs[c],
+            [fetch]() { fetch->ringDoorbell(); }, &root));
+    }
+}
+
+RunResult
+SimSystem::run()
+{
+    kmuAssert(!ran, "SimSystem::run is single-shot");
+    ran = true;
+
+    for (auto &core : cores) {
+        core->setLatencySampler(
+            [this](double ns) { readLatency->sample(ns); });
+        core->start();
+    }
+
+    // Warmup window.
+    eq.run(cfg.warmup);
+
+    struct Snapshot
+    {
+        std::uint64_t iters, work, accesses, writes;
+    };
+    std::vector<Snapshot> snaps;
+    snaps.reserve(cores.size());
+    for (auto &core : cores) {
+        snaps.push_back(Snapshot{core->iterations(), core->workInstrs(),
+                                 core->accessesDone(),
+                                 core->writesDone()});
+    }
+    if (link)
+        link->resetCounters();
+
+    // Measurement window.
+    const Tick end = cfg.warmup + cfg.measure;
+    eq.run(end);
+
+    RunResult res;
+    res.elapsed = cfg.measure;
+    for (std::size_t i = 0; i < cores.size(); ++i) {
+        res.iterations += cores[i]->iterations() - snaps[i].iters;
+        res.workInstrs += cores[i]->workInstrs() - snaps[i].work;
+        res.accesses += cores[i]->accessesDone() - snaps[i].accesses;
+        res.writes += cores[i]->writesDone() - snaps[i].writes;
+    }
+
+    const double cycles =
+        double(res.elapsed) * cfg.coreFreqHz / double(tickPerSec);
+    res.workIpc = cycles > 0 ? double(res.workInstrs) / cycles : 0.0;
+    res.accessesPerUs =
+        double(res.accesses) / ticksToUs(res.elapsed);
+
+    if (link) {
+        const double secs = ticksToSec(res.elapsed);
+        res.toHostWireGBs =
+            double(link->wireBytes(LinkDir::ToHost)) / secs / 1e9;
+        res.toHostUsefulGBs =
+            double(link->usefulBytes(LinkDir::ToHost)) / secs / 1e9;
+        res.toDeviceWireGBs =
+            double(link->wireBytes(LinkDir::ToDevice)) / secs / 1e9;
+    }
+    res.meanReadLatencyNs = readLatency->mean();
+    if (chipPcie)
+        res.chipQueuePeak = chipPcie->peakOccupancy();
+    if (device)
+        res.replayMisses = device->replayMisses.value();
+
+    for (auto &core : cores) {
+        if (auto *pf = dynamic_cast<PrefetchCore *>(core.get()))
+            res.prefetchesQueued += pf->prefetchesQueued.value();
+    }
+    return res;
+}
+
+RunResult
+runSystem(const SystemConfig &cfg)
+{
+    SimSystem system(cfg);
+    return system.run();
+}
+
+SystemConfig
+baselineConfig(const SystemConfig &cfg)
+{
+    SystemConfig base = cfg;
+    base.mechanism = Mechanism::OnDemand;
+    base.backing = Backing::Dram;
+    base.numCores = 1;
+    base.threadsPerCore = 1;
+    base.smtContexts = 1; // the paper's hyperthreading-off baseline
+    return base;
+}
+
+double
+normalizedWorkIpc(const RunResult &result, const RunResult &baseline)
+{
+    kmuAssert(baseline.workIpc > 0.0, "degenerate baseline");
+    return result.workIpc / baseline.workIpc;
+}
+
+double
+normalizedWorkIpc(const SystemConfig &cfg)
+{
+    return normalizedWorkIpc(runSystem(cfg),
+                             runSystem(baselineConfig(cfg)));
+}
+
+} // namespace kmu

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Whole-system assembly of the timing model.
+ *
+ * A SimSystem instantiates, for one SystemConfig: the cores (one
+ * model per mechanism), per-core LFBs, the chip-level shared queues,
+ * the PCIe link, the device emulator (memory-mapped) or per-core
+ * request fetchers + software queue pairs (software-queue mode), and
+ * host DRAM. run() executes warmup + measurement windows and returns
+ * aggregate metrics.
+ *
+ * Normalization follows the paper: every result is divided by the
+ * work IPC of a single-threaded, single-core, on-demand run with the
+ * data in DRAM and the same iteration plan ("normalized work IPC").
+ */
+
+#ifndef KMU_CORE_SIM_SYSTEM_HH
+#define KMU_CORE_SIM_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/core_base.hh"
+#include "core/system_config.hh"
+#include "device/device_emulator.hh"
+#include "device/request_fetcher.hh"
+#include "mem/dram_model.hh"
+#include "mem/pcie_link.hh"
+#include "mem/uncore_queue.hh"
+#include "queue/sw_queue_pair.hh"
+
+namespace kmu
+{
+
+/** Aggregate metrics of one measured window. */
+struct RunResult
+{
+    Tick elapsed = 0;               //!< measurement window length
+    std::uint64_t iterations = 0;   //!< completed across all cores
+    std::uint64_t workInstrs = 0;   //!< work instructions retired
+    std::uint64_t accesses = 0;     //!< device/DRAM accesses done
+    std::uint64_t writes = 0;       //!< posted line writes emitted
+
+    double workIpc = 0.0;           //!< work instrs per core cycle
+    double accessesPerUs = 0.0;     //!< aggregate access throughput
+
+    double meanReadLatencyNs = 0.0; //!< issue-to-fill, host observed
+
+    double toHostWireGBs = 0.0;     //!< PCIe device->host, with headers
+    double toHostUsefulGBs = 0.0;   //!< PCIe device->host, data only
+    double toDeviceWireGBs = 0.0;   //!< PCIe host->device, with headers
+
+    std::uint32_t chipQueuePeak = 0;   //!< peak PCIe-path occupancy
+    std::uint64_t prefetchesQueued = 0; //!< prefetches that waited for
+                                        //!< a free LFB entry
+    std::uint64_t replayMisses = 0;     //!< spurious device requests
+};
+
+class SimSystem
+{
+  public:
+    explicit SimSystem(SystemConfig config);
+    ~SimSystem();
+
+    SimSystem(const SimSystem &) = delete;
+    SimSystem &operator=(const SimSystem &) = delete;
+
+    /** Execute warmup + measurement; callable once per SimSystem. */
+    RunResult run();
+
+    /** @{ Component access for tests. */
+    EventQueue &eventQueue() { return eq; }
+    const SystemConfig &config() const { return cfg; }
+    CoreBase &core(std::size_t i) { return *cores.at(i); }
+    std::size_t coreCount() const { return cores.size(); }
+    PcieLink *pcieLink() { return link.get(); }
+    UncoreQueue *chipQueue() { return chipPcie.get(); }
+    DeviceEmulator *deviceEmulator() { return device.get(); }
+    RequestFetcher *fetcher(std::size_t i);
+    StatGroup &stats() { return root; }
+    /** @} */
+
+  private:
+    void buildMemoryMapped();
+    void buildSwQueue();
+
+    SystemConfig cfg;
+    EventQueue eq;
+    StatGroup root;
+
+    std::unique_ptr<DramModel> dram;
+    std::unique_ptr<PcieLink> link;
+    std::unique_ptr<UncoreQueue> chipPcie;
+    std::unique_ptr<DeviceEmulator> device;
+    std::vector<std::unique_ptr<SwQueuePair>> queuePairs;
+    std::vector<std::unique_ptr<RequestFetcher>> fetchers;
+    std::vector<std::unique_ptr<CoreBase>> cores;
+    std::unique_ptr<Average> readLatency; //!< ns, issue to fill
+    bool ran = false;
+};
+
+/** Build and run one system; convenience for benches and tests. */
+RunResult runSystem(const SystemConfig &cfg);
+
+/**
+ * The paper's normalization baseline for @p cfg: single-core,
+ * single-thread, on-demand accesses with data in DRAM, same
+ * iteration plan and work shape.
+ */
+SystemConfig baselineConfig(const SystemConfig &cfg);
+
+/** Normalized work IPC of @p result against @p baseline. */
+double normalizedWorkIpc(const RunResult &result,
+                         const RunResult &baseline);
+
+/** Run both @p cfg and its baseline, returning the normalized IPC. */
+double normalizedWorkIpc(const SystemConfig &cfg);
+
+} // namespace kmu
+
+#endif // KMU_CORE_SIM_SYSTEM_HH

@@ -1,0 +1,192 @@
+#include "core/sw_queue_core.hh"
+
+namespace kmu
+{
+
+SwQueueCore::SwQueueCore(std::string name, EventQueue &eq, CoreId id,
+                         const SystemConfig &config, SwQueuePair &qp,
+                         RingDoorbell ring, StatGroup *stat_parent)
+    : CoreBase(std::move(name), eq, id, config,
+               IssueLine{}, // software queues bypass the LFB path
+               stat_parent),
+      submits(stats(), "submits", "request descriptors enqueued"),
+      doorbellsRung(stats(), "doorbells_rung",
+                    "MMIO doorbells performed (flag observed set)"),
+      pollPasses(stats(), "poll_passes",
+                 "completion-queue poll passes"),
+      completionsHandled(stats(), "completions_handled",
+                         "completion records reaped"),
+      idleWaits(stats(), "idle_waits",
+                "times the scheduler ran out of ready threads and "
+                "completions alike"),
+      queues(qp), ringDoorbell(std::move(ring))
+{
+    threads.resize(cfg.threadsPerCore);
+}
+
+void
+SwQueueCore::start()
+{
+    for (ThreadId tid = 0; tid < threads.size(); ++tid)
+        readyQueue.push_back(tid);
+    coreLoop();
+}
+
+void
+SwQueueCore::coreLoop()
+{
+    if (!readyQueue.empty()) {
+        const ThreadId tid = readyQueue.front();
+        readyQueue.pop_front();
+        chargeAndThen(cfg.ctxSwitchCost,
+                      [this, tid]() { visitThread(tid); });
+        return;
+    }
+    pollLoop();
+}
+
+void
+SwQueueCore::visitThread(ThreadId tid)
+{
+    UThread &t = threads[tid];
+    if (!t.started) {
+        t.started = true;
+        submitPhase(tid);
+        return;
+    }
+
+    // Consume the read responses (first touch of each DMA-written
+    // buffer) and run the dependent work block; posted writes left
+    // nothing to consume.
+    const Tick consume = Tick(t.reads) * cfg.responseReadCost;
+    const Tick work = cfg.workTicks(t.plan);
+    chargeAndThen(consume + work, [this, tid]() {
+        retireIteration(threads[tid].plan);
+        threads[tid].iter++;
+        submitPhase(tid);
+    });
+}
+
+void
+SwQueueCore::submitPhase(ThreadId tid)
+{
+    UThread &t0 = threads[tid];
+    t0.plan = cfg.planFor(id(), tid, t0.iter);
+    kmuAssert(t0.plan.batch >= 1 &&
+              t0.plan.batch <= AccessEngine::maxBatch,
+              "bad plan batch %u", t0.plan.batch);
+    const Tick enqueue = Tick(t0.plan.batch) * cfg.qEnqueueCost;
+    chargeAndThen(enqueue, [this, tid]() {
+        UThread &t = threads[tid];
+        std::uint32_t reads = 0;
+        Tick staging_cost = 0;
+        for (std::uint32_t slot = 0; slot < t.plan.batch; ++slot) {
+            const Addr line = lineAlign(addrFor(tid, t.iter, slot));
+            RequestDescriptor desc;
+            if (isWriteSlot(tid, t.iter, slot)) {
+                // Posted write: stage the line, submit, don't wait.
+                desc = RequestDescriptor::write(
+                    line, encodeTag(tid, slot) | 1);
+                staging_cost += cfg.storeLatency;
+                writesPosted++;
+                accessesCompleted++;
+            } else {
+                desc = RequestDescriptor::read(line,
+                                               encodeTag(tid, slot));
+                submitTicks[desc.hostAddr] = curTick();
+                reads++;
+            }
+            const bool ok = queues.submit(desc);
+            kmuAssert(ok, "request ring overflow: deepen queueDepth");
+            ++submits;
+        }
+        t.reads = reads;
+        t.pendingFills = reads;
+        if (reads == 0) {
+            // All-write iteration: nothing to wait for; the thread
+            // goes straight back on the ready queue.
+            readyQueue.push_back(tid);
+        }
+        // Staging the write payloads costs core time; doorbells add
+        // the MMIO cost when the flag protocol demands one.
+        Tick post_cost = staging_cost;
+        bool ring = false;
+        if (!cfg.device.doorbellFlag) {
+            // Ablation: no flag protocol — every submission batch
+            // pays the MMIO doorbell.
+            ring = true;
+        } else if (queues.consumeDoorbellRequest()) {
+            ring = true;
+        }
+        if (ring) {
+            ++doorbellsRung;
+            post_cost += cfg.doorbellCost;
+        }
+        if (post_cost == 0) {
+            coreLoop();
+            return;
+        }
+        chargeAndThen(post_cost, [this, ring]() {
+            if (ring)
+                ringDoorbell();
+            coreLoop();
+        });
+    });
+}
+
+void
+SwQueueCore::pollLoop()
+{
+    ++pollPasses;
+    chargeAndThen(cfg.pollCost, [this]() {
+        std::uint32_t reaped = 0;
+        CompletionDescriptor comp;
+        while (queues.reapCompletion(comp)) {
+            ++completionsHandled;
+            reaped++;
+            if (isWriteTag(comp.hostAddr)) {
+                // Posted-write completion: bookkeeping only.
+                continue;
+            }
+            const ThreadId tid = decodeThread(comp.hostAddr);
+            kmuAssert(tid < threads.size(),
+                      "completion for unknown thread %u", tid);
+            UThread &t = threads[tid];
+            kmuAssert(t.pendingFills > 0, "unexpected completion");
+            auto sub = submitTicks.find(comp.hostAddr);
+            if (sub != submitTicks.end()) {
+                if (sampleLatency)
+                    sampleLatency(ticksToNs(curTick() - sub->second));
+                submitTicks.erase(sub);
+            }
+            t.pendingFills--;
+            accessesCompleted++;
+            if (t.pendingFills == 0)
+                readyQueue.push_back(tid);
+        }
+
+        if (reaped > 0) {
+            chargeAndThen(Tick(reaped) * cfg.completionHandleCost,
+                          [this]() { coreLoop(); });
+            return;
+        }
+
+        // Nothing arrived: sleep until the device posts a completion.
+        ++idleWaits;
+        idleWaiting = true;
+    });
+}
+
+void
+SwQueueCore::onCompletionPosted()
+{
+    if (!idleWaiting)
+        return;
+    idleWaiting = false;
+    // Wake the scheduler; the next poll pass reaps the record.
+    eventQueue().scheduleLambda(curTick(), [this]() { pollLoop(); },
+                                EventPriority::CpuTick,
+                                name() + ".wake");
+}
+
+} // namespace kmu

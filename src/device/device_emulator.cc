@@ -1,0 +1,88 @@
+#include "device/device_emulator.hh"
+
+namespace kmu
+{
+
+DeviceEmulator::DeviceEmulator(std::string name, EventQueue &eq,
+                               DeviceParams params, PcieLink &pcie,
+                               std::uint32_t num_cores,
+                               StatGroup *stat_parent)
+    : SimObject(std::move(name), eq, stat_parent),
+      requests(stats(), "requests", "read-request TLPs received"),
+      replayMatches(stats(), "replay_matches",
+                    "requests matched in a replay window"),
+      replayMisses(stats(), "replay_misses",
+                   "spurious requests served by the on-demand module"),
+      responsesSent(stats(), "responses_sent",
+                    "completion TLPs transmitted"),
+      writesReceived(stats(), "writes_received",
+                     "posted line-write TLPs absorbed"),
+      cfg(params), link(pcie)
+{
+    replayModules.resize(num_cores);
+}
+
+void
+DeviceEmulator::setReplaySource(CoreId core,
+                                ReplayWindow::SequenceSource src)
+{
+    kmuAssert(core < replayModules.size(),
+              "replay source for unknown core %u", core);
+    replayModules[core] = std::make_unique<ReplayWindow>(
+        std::move(src), cfg.replayWindowSize);
+}
+
+void
+DeviceEmulator::hostRead(CoreId core, Addr addr, ResponseCallback cb)
+{
+    // Read-request TLP: header only (the request carries no payload).
+    link.send(LinkDir::ToDevice, 0, 0,
+              [this, core, addr, cb = std::move(cb)]() mutable {
+                  deviceReceive(core, addr, std::move(cb));
+              });
+}
+
+void
+DeviceEmulator::hostWrite(CoreId core, Addr addr)
+{
+    (void)core;
+    (void)addr;
+    // Posted write: 64-byte payload TLP, absorbed at the device.
+    link.send(LinkDir::ToDevice, cacheLineSize, 0,
+              [this]() { ++writesReceived; });
+}
+
+void
+DeviceEmulator::deviceReceive(CoreId core, Addr addr, ResponseCallback cb)
+{
+    kmuAssert(core < replayModules.size(),
+              "request from unknown core %u", core);
+    ++requests;
+
+    // Replay lookup; spurious requests pay the on-demand path.
+    Tick service = cfg.holdTime();
+    ReplayWindow *replay = replayModules[core].get();
+    if (replay) {
+        if (replay->lookup(lineAlign(addr)) == ReplayWindow::Result::Miss) {
+            ++replayMisses;
+            service += cfg.onDemandLatency;
+        } else {
+            ++replayMatches;
+        }
+    } else {
+        ++replayMatches; // live mode: stream always pre-loaded
+    }
+
+    // Delay module: the request was timestamped on arrival (curTick);
+    // the response completion leaves after the residual hold time.
+    eventQueue().scheduleLambda(
+        curTick() + service,
+        [this, cb = std::move(cb)]() mutable {
+            ++responsesSent;
+            link.send(LinkDir::ToHost, cacheLineSize, cacheLineSize,
+                      std::move(cb));
+        },
+        EventPriority::Default, name() + ".delay");
+}
+
+} // namespace kmu

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Timing model of the FPGA microsecond-latency device emulator
+ * (memory-mapped interface; the paper's Fig. 1 without the request
+ * fetchers, which live in request_fetcher.hh).
+ *
+ * Structure mirrors the hardware design:
+ *  - a *request dispatcher* steers each incoming read-request TLP to
+ *    the replay module of the issuing core (the address space is
+ *    partitioned per core, since PCIe transactions carry no core id);
+ *  - per-core *replay modules* match requests against the
+ *    pre-recorded access stream via a ReplayWindow;
+ *  - unmatched (spurious) requests fall through to the *on-demand
+ *    module*, paying an extra on-board-DRAM access latency;
+ *  - the *delay module* timestamps each request on arrival and emits
+ *    the response completion so it reaches the host at the
+ *    configured device latency.
+ */
+
+#ifndef KMU_DEVICE_DEVICE_EMULATOR_HH
+#define KMU_DEVICE_DEVICE_EMULATOR_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "device/device_params.hh"
+#include "device/replay_window.hh"
+#include "mem/pcie_link.hh"
+#include "sim/sim_object.hh"
+
+namespace kmu
+{
+
+class DeviceEmulator : public SimObject
+{
+  public:
+    /** Runs at the host when the response completion TLP arrives. */
+    using ResponseCallback = std::function<void()>;
+
+    DeviceEmulator(std::string name, EventQueue &eq, DeviceParams params,
+                   PcieLink &link, std::uint32_t num_cores,
+                   StatGroup *stat_parent);
+
+    const DeviceParams &params() const { return cfg; }
+
+    /**
+     * Install a pre-recorded access stream for @p core's replay
+     * module (the paper's first-run recording). Without a source the
+     * module runs in live mode: every request matches, which models
+     * a perfectly pre-loaded replay stream.
+     */
+    void setReplaySource(CoreId core, ReplayWindow::SequenceSource src);
+
+    /**
+     * Host-side entry point of the memory-mapped path: transmits the
+     * read-request TLP, waits out the emulated device latency, and
+     * returns the cache-line completion; @p cb runs at the host when
+     * the data arrives on-chip.
+     */
+    void hostRead(CoreId core, Addr addr, ResponseCallback cb);
+
+    /**
+     * Host-side entry point for a posted line write: a 64-byte
+     * write TLP travels to the device and is absorbed; no response
+     * returns (the paper's future-work write path).
+     */
+    void hostWrite(CoreId core, Addr addr);
+
+    /** @{ Device-side statistics. */
+    Counter requests;
+    Counter replayMatches;
+    Counter replayMisses;
+    Counter responsesSent;
+    Counter writesReceived;
+    /** @} */
+
+  private:
+    /** Request dispatcher + replay + delay for one arrived TLP. */
+    void deviceReceive(CoreId core, Addr addr, ResponseCallback cb);
+
+    DeviceParams cfg;
+    PcieLink &link;
+    std::vector<std::unique_ptr<ReplayWindow>> replayModules;
+};
+
+} // namespace kmu
+
+#endif // KMU_DEVICE_DEVICE_EMULATOR_HH

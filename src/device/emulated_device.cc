@@ -1,0 +1,180 @@
+#include "device/emulated_device.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace kmu
+{
+
+EmulatedDevice::EmulatedDevice(std::vector<std::uint8_t> backing,
+                               Config config)
+    : data(std::move(backing)), cfg(config)
+{
+}
+
+EmulatedDevice::~EmulatedDevice()
+{
+    if (running())
+        stop();
+}
+
+std::size_t
+EmulatedDevice::addQueuePair()
+{
+    kmuAssert(!running(), "add queue pairs before start()");
+    pairs.push_back(std::make_unique<Pair>(cfg.queueDepth));
+    return pairs.size() - 1;
+}
+
+SwQueuePair &
+EmulatedDevice::queuePair(std::size_t index)
+{
+    kmuAssert(index < pairs.size(), "bad queue pair index %zu", index);
+    return pairs[index]->queues;
+}
+
+void
+EmulatedDevice::enableReplayCheck(std::size_t index,
+                                  std::vector<Addr> sequence,
+                                  std::size_t window_size)
+{
+    kmuAssert(index < pairs.size(), "bad queue pair index %zu", index);
+    kmuAssert(!running(), "enable replay checks before start()");
+    Pair &pair = *pairs[index];
+    pair.recordedSequence = std::move(sequence);
+    pair.replayCursor = 0;
+    Pair *p = &pair;
+    pair.replayCheck = std::make_unique<ReplayWindow>(
+        [p](Addr &next) {
+            if (p->replayCursor >= p->recordedSequence.size())
+                return false;
+            next = p->recordedSequence[p->replayCursor++];
+            return true;
+        },
+        window_size);
+}
+
+void
+EmulatedDevice::doorbell(std::size_t index)
+{
+    kmuAssert(index < pairs.size(), "bad queue pair index %zu", index);
+    pairs[index]->parked.store(false, std::memory_order_release);
+}
+
+void
+EmulatedDevice::start()
+{
+    kmuAssert(!running(), "device already running");
+    stopRequested.store(false, std::memory_order_relaxed);
+    serviceThread = std::thread([this]() { serviceLoop(); });
+}
+
+void
+EmulatedDevice::stop()
+{
+    kmuAssert(running(), "device not running");
+    stopRequested.store(true, std::memory_order_release);
+    serviceThread.join();
+}
+
+void
+EmulatedDevice::serviceLoop()
+{
+    while (true) {
+        const bool stopping =
+            stopRequested.load(std::memory_order_acquire);
+        bool busy = false;
+        bool draining = false;
+
+        const auto now = Clock::now();
+        for (auto &pair : pairs) {
+            busy |= servicePair(*pair, now);
+            draining |= !pair->inFlight.empty();
+        }
+
+        if (stopping && !draining)
+            return;
+        if (!busy)
+            std::this_thread::yield();
+    }
+}
+
+bool
+EmulatedDevice::servicePair(Pair &pair, Clock::time_point now)
+{
+    bool busy = false;
+
+    // Fetch stage: burst-read descriptors unless parked. An empty
+    // burst sets the doorbell-request flag and parks the fetcher,
+    // exactly like the hardware protocol.
+    if (!pair.parked.load(std::memory_order_acquire)) {
+        std::vector<RequestDescriptor> burst;
+        burst.reserve(descriptorBurst);
+        pair.queues.fetchBurst(burst);
+        if (burst.empty()) {
+            // Publish the doorbell-request flag FIRST, then re-check
+            // the queue once: a request submitted between our empty
+            // read and the flag publication would otherwise be
+            // stranded (its submitter saw the flag still clear and
+            // did not ring the doorbell).
+            pair.queues.requestDoorbell();
+            pair.queues.fetchBurst(burst);
+            if (burst.empty())
+                pair.parked.store(true, std::memory_order_release);
+        }
+        if (!burst.empty()) {
+            busy = true;
+            const auto deadline = now + cfg.latency;
+            for (const RequestDescriptor &desc : burst) {
+                if (pair.replayCheck) {
+                    const auto result = pair.replayCheck->lookup(
+                        lineAlign(desc.deviceAddr));
+                    if (result == ReplayWindow::Result::Miss)
+                        spurious.fetch_add(1, std::memory_order_relaxed);
+                }
+                pair.inFlight.push_back(Pending{desc, deadline});
+            }
+        }
+    }
+
+    // Delay stage: complete requests whose deadline has passed.
+    // Bursts are fetched in order, so the deque front is oldest —
+    // which also gives same-queue read-after-write ordering.
+    while (!pair.inFlight.empty() &&
+           pair.inFlight.front().deadline <= now) {
+        const Pending &pending = pair.inFlight.front();
+        const RequestDescriptor &desc = pending.desc;
+        const Addr line = desc.lineAddr();
+
+        kmuAssert(line + cacheLineSize <= data.size(),
+                  "device access beyond backing store: %#llx",
+                  (unsigned long long)line);
+
+        auto *host = reinterpret_cast<std::uint8_t *>(
+            static_cast<std::uintptr_t>(desc.hostAddr));
+        if (desc.isWrite()) {
+            // Store the host-provided line into the backing store.
+            std::memcpy(data.data() + line, host, cacheLineSize);
+        } else {
+            // Response data write, ordered before the completion.
+            std::memcpy(host, data.data() + line, cacheLineSize);
+        }
+        std::atomic_thread_fence(std::memory_order_release);
+
+        // Both kinds complete: reads to wake the requester, writes
+        // so the host can recycle the staging buffer.
+        CompletionDescriptor comp{desc.hostAddr};
+        const bool ok = pair.queues.postCompletion(comp);
+        kmuAssert(ok, "completion queue overflow");
+
+        serviced.fetch_add(1, std::memory_order_relaxed);
+        pair.inFlight.pop_front();
+        busy = true;
+    }
+
+    return busy;
+}
+
+} // namespace kmu

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Real-time software stand-in for the FPGA device.
+ *
+ * The paper's hardware emulator answers requests with correct data
+ * after a configurable delay. On a machine without the FPGA we run
+ * the same protocol on a dedicated OS thread: it services one
+ * SwQueuePair per worker, burst-fetches descriptors, holds each until
+ * its deadline (fetch time + configured latency), copies the cache
+ * line from the backing store to the host buffer, and posts the
+ * completion — honoring the doorbell-request flag protocol so the
+ * host-side code is identical to what would drive real hardware.
+ *
+ * An optional replay-check mode routes every descriptor through a
+ * ReplayWindow against a recorded sequence, reproducing the paper's
+ * record-and-replay methodology functionally.
+ *
+ * Timing fidelity depends on having a spare core for the device
+ * thread; correctness does not.
+ */
+
+#ifndef KMU_DEVICE_EMULATED_DEVICE_HH
+#define KMU_DEVICE_EMULATED_DEVICE_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "device/replay_window.hh"
+#include "queue/sw_queue_pair.hh"
+
+namespace kmu
+{
+
+class EmulatedDevice
+{
+  public:
+    struct Config
+    {
+        /** Emulated device access latency. */
+        std::chrono::nanoseconds latency{1000};
+
+        /** Ring depth of each queue pair. */
+        std::size_t queueDepth = 256;
+    };
+
+    /**
+     * @param backing device contents; descriptors' deviceAddr values
+     *                index into this buffer.
+     */
+    EmulatedDevice(std::vector<std::uint8_t> backing, Config config);
+    ~EmulatedDevice();
+
+    EmulatedDevice(const EmulatedDevice &) = delete;
+    EmulatedDevice &operator=(const EmulatedDevice &) = delete;
+
+    /** Device capacity in bytes. */
+    std::size_t size() const { return data.size(); }
+
+    /** Read-only view of the backing store (for verification). */
+    const std::uint8_t *contents() const { return data.data(); }
+
+    /**
+     * Create one queue pair (call before start()).
+     * @return its index, to be passed to queuePair()/doorbell().
+     */
+    std::size_t addQueuePair();
+
+    SwQueuePair &queuePair(std::size_t index);
+
+    /**
+     * Enable replay checking on a pair: descriptors are matched
+     * against @p sequence; mismatches are counted as spurious.
+     */
+    void enableReplayCheck(std::size_t index, std::vector<Addr> sequence,
+                           std::size_t window_size = 64);
+
+    /** Host side: restart the parked fetcher of pair @p index. */
+    void doorbell(std::size_t index);
+
+    /** Launch the device service thread. */
+    void start();
+
+    /** Drain in-flight requests and stop the service thread. */
+    void stop();
+
+    bool running() const { return serviceThread.joinable(); }
+
+    /** @{ Aggregate statistics (valid while running or after stop). */
+    std::uint64_t requestsServiced() const { return serviced.load(); }
+    std::uint64_t replayMisses() const { return spurious.load(); }
+    /** @} */
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    struct Pending
+    {
+        RequestDescriptor desc;
+        Clock::time_point deadline;
+    };
+
+    struct Pair
+    {
+        explicit Pair(std::size_t depth) : queues(depth) {}
+
+        SwQueuePair queues;
+        std::deque<Pending> inFlight;
+        std::atomic<bool> parked{true};
+        std::unique_ptr<ReplayWindow> replayCheck;
+        std::vector<Addr> recordedSequence;
+        std::size_t replayCursor = 0;
+    };
+
+    /** Device thread main loop. */
+    void serviceLoop();
+
+    /** One scheduling pass over a pair; returns true if it did work. */
+    bool servicePair(Pair &pair, Clock::time_point now);
+
+    std::vector<std::uint8_t> data;
+    Config cfg;
+    std::vector<std::unique_ptr<Pair>> pairs;
+    std::thread serviceThread;
+    std::atomic<bool> stopRequested{false};
+    std::atomic<std::uint64_t> serviced{0};
+    std::atomic<std::uint64_t> spurious{0};
+};
+
+} // namespace kmu
+
+#endif // KMU_DEVICE_EMULATED_DEVICE_HH

@@ -1,0 +1,62 @@
+#include "device/replay_window.hh"
+
+#include "common/logging.hh"
+
+namespace kmu
+{
+
+ReplayWindow::ReplayWindow(SequenceSource src, std::size_t window_size)
+    : source(std::move(src)), windowSize(window_size)
+{
+    kmuAssert(windowSize > 0, "replay window must hold entries");
+    refill();
+}
+
+void
+ReplayWindow::refill()
+{
+    while (!sourceDrained && window.size() < windowSize) {
+        Addr next;
+        if (!source(next)) {
+            sourceDrained = true;
+            break;
+        }
+        window.push_back(Entry{next, nextSeq++});
+    }
+}
+
+ReplayWindow::Result
+ReplayWindow::lookup(Addr addr, std::uint64_t *seq_out)
+{
+    // Age-based scan: oldest entries first, so the earliest recorded
+    // occurrence of a repeated address wins.
+    for (std::size_t i = 0; i < window.size(); ++i) {
+        if (window[i].addr != addr)
+            continue;
+
+        const std::uint64_t matched_seq = window[i].seq;
+        if (seq_out)
+            *seq_out = matched_seq;
+        if (i != 0)
+            oooCount++;
+        matchCount++;
+        window.erase(window.begin() + std::ptrdiff_t(i));
+
+        // Slide: keep skipped entries only while the match front is
+        // within the window of them; anything the stream has moved
+        // a full window past is a cache hit that will never arrive.
+        while (!window.empty() &&
+               window.front().seq + windowSize < matched_seq) {
+            window.pop_front();
+            agedOutCount++;
+        }
+
+        refill();
+        return Result::Matched;
+    }
+
+    missCount++;
+    return Result::Miss;
+}
+
+} // namespace kmu

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Sliding-window associative matcher for access replay.
+ *
+ * The paper's FPGA cannot serve random reads from its slow on-board
+ * DRAM at microsecond rates, so it *replays* a pre-recorded access
+ * sequence: the expected (address, data) stream is buffered well in
+ * advance, and each incoming host request is matched against a
+ * sliding window of that stream. Three deviations must be survived
+ * (Section IV-A):
+ *
+ *  - *skipped* entries: the host hit in its cache and never sent the
+ *    request. The entry lingers in the window (it may still match a
+ *    reordered request) and ages out silently once the window slides
+ *    far enough past it.
+ *  - *reordered* requests: an age-based associative lookup scans the
+ *    window oldest-first, so out-of-order arrivals still match.
+ *  - *spurious* requests: wrong-path speculative reads match nothing
+ *    in the window; the caller must satisfy them from the on-demand
+ *    copy of the dataset, because their (cached) responses can be
+ *    consumed by later correct-path execution.
+ *
+ * The class is purely functional (no simulated time) so both the
+ * timing model's ReplayModule and the real-time EmulatedDevice reuse
+ * it verbatim.
+ */
+
+#ifndef KMU_DEVICE_REPLAY_WINDOW_HH
+#define KMU_DEVICE_REPLAY_WINDOW_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "common/types.hh"
+
+namespace kmu
+{
+
+class ReplayWindow
+{
+  public:
+    /**
+     * Pulls the next recorded access; returns false when the
+     * recorded sequence is exhausted.
+     */
+    using SequenceSource = std::function<bool(Addr &next)>;
+
+    /** Outcome of matching one host request. */
+    enum class Result
+    {
+        Matched, //!< found in the window (possibly after skips)
+        Miss     //!< spurious: serve from the on-demand module
+    };
+
+    /**
+     * @param source      recorded access stream.
+     * @param window_size max entries held / scanned per lookup.
+     */
+    ReplayWindow(SequenceSource source, std::size_t window_size);
+
+    /**
+     * Match one incoming request against the window.
+     *
+     * @param addr     line-aligned request address.
+     * @param seq_out  on Matched, the absolute sequence index of the
+     *                 matched entry (for data lookup by the caller).
+     */
+    Result lookup(Addr addr, std::uint64_t *seq_out = nullptr);
+
+    /** Entries currently buffered. */
+    std::size_t buffered() const { return window.size(); }
+
+    /** @{ Counters for tests and stats bridging. */
+    std::uint64_t matches() const { return matchCount; }
+    std::uint64_t misses() const { return missCount; }
+    std::uint64_t agedOut() const { return agedOutCount; }
+    std::uint64_t outOfOrderMatches() const { return oooCount; }
+    /** @} */
+
+  private:
+    struct Entry
+    {
+        Addr addr;
+        std::uint64_t seq;
+    };
+
+    /** Top up the window from the source to its nominal size. */
+    void refill();
+
+    SequenceSource source;
+    std::size_t windowSize;
+    std::deque<Entry> window;
+    std::uint64_t nextSeq = 0;
+    bool sourceDrained = false;
+
+    std::uint64_t matchCount = 0;
+    std::uint64_t missCount = 0;
+    std::uint64_t agedOutCount = 0;
+    std::uint64_t oooCount = 0;
+};
+
+} // namespace kmu
+
+#endif // KMU_DEVICE_REPLAY_WINDOW_HH

@@ -1,0 +1,178 @@
+#include "device/request_fetcher.hh"
+
+namespace kmu
+{
+
+RequestFetcher::RequestFetcher(std::string name, EventQueue &eq,
+                               CoreId core_id, DeviceParams params,
+                               SwQueuePair &qp, PcieLink &pcie,
+                               Tick host_mem_latency,
+                               CompletionNotify notify_cb,
+                               StatGroup *stat_parent)
+    : SimObject(std::move(name), eq, stat_parent),
+      doorbells(stats(), "doorbells", "doorbell MMIO writes received"),
+      burstReads(stats(), "burst_reads", "descriptor DMA bursts issued"),
+      descriptorsFetched(stats(), "descriptors_fetched",
+                         "request descriptors retrieved"),
+      emptyBursts(stats(), "empty_bursts",
+                  "bursts that retrieved no new descriptor"),
+      responses(stats(), "responses", "data+completion write pairs sent"),
+      core(core_id), cfg(params), queues(qp), link(pcie),
+      hostMemLatency(host_mem_latency), notify(std::move(notify_cb))
+{
+}
+
+void
+RequestFetcher::setReplaySource(ReplayWindow::SequenceSource src)
+{
+    replay = std::make_unique<ReplayWindow>(std::move(src),
+                                            cfg.replayWindowSize);
+}
+
+void
+RequestFetcher::ringDoorbell()
+{
+    // MMIO doorbell write: small posted write toward the device.
+    link.send(LinkDir::ToDevice, 4, 0, [this]() {
+        ++doorbells;
+        if (active)
+            return; // already fetching; doorbell is redundant
+        active = true;
+        issueBurst();
+    });
+}
+
+void
+RequestFetcher::issueBurst()
+{
+    ++burstReads;
+    // Upstream read-request TLP for the descriptor region...
+    link.send(LinkDir::ToHost, 0, 0, [this]() {
+        // ...host memory access to gather the burst...
+        eventQueue().scheduleLambda(
+            curTick() + hostMemLatency,
+            [this]() {
+                std::vector<RequestDescriptor> burst;
+                burst.reserve(cfg.burstSize);
+                queues.fetchBurst(burst, cfg.burstSize);
+                // The device always over-reads a full burst worth of
+                // descriptor slots regardless of how many are new.
+                const std::uint32_t payload =
+                    cfg.burstSize * sizeof(RequestDescriptor);
+                link.send(LinkDir::ToDevice, payload, 0,
+                          [this, burst = std::move(burst)]() mutable {
+                              processBurst(std::move(burst));
+                          });
+            },
+            EventPriority::Default, name() + ".descRead");
+    });
+}
+
+void
+RequestFetcher::processBurst(std::vector<RequestDescriptor> burst)
+{
+    if (burst.empty()) {
+        ++emptyBursts;
+        if (!cfg.doorbellFlag) {
+            // Ablation mode: no flag protocol; the host doorbells
+            // every submission, so parking silently is safe.
+            active = false;
+            return;
+        }
+        // Park: publish the doorbell-request flag to host memory,
+        // then sweep the queue once more after the flag lands. A
+        // descriptor submitted while the flag write was in flight
+        // would otherwise be stranded: its submitter saw the flag
+        // clear and skipped the doorbell.
+        link.send(LinkDir::ToHost, 8, 0, [this]() {
+            queues.requestDoorbell();
+            std::vector<RequestDescriptor> sweep;
+            sweep.reserve(cfg.burstSize);
+            queues.fetchBurst(sweep, cfg.burstSize);
+            if (sweep.empty()) {
+                active = false;
+                return;
+            }
+            // Raced-in requests: service them and keep fetching.
+            descriptorsFetched += sweep.size();
+            for (const RequestDescriptor &desc : sweep)
+                serviceDescriptor(desc);
+            issueBurst();
+        });
+        return;
+    }
+
+    descriptorsFetched += burst.size();
+    for (const RequestDescriptor &desc : burst)
+        serviceDescriptor(desc);
+
+    // At least one new descriptor: keep fetching without a doorbell.
+    issueBurst();
+}
+
+void
+RequestFetcher::serviceDescriptor(const RequestDescriptor &desc)
+{
+    if (desc.isWrite()) {
+        // Write path: DMA-read the 64-byte payload from the host
+        // staging buffer, apply it after the hold time, then post
+        // only a completion (no data travels back to the host).
+        link.send(LinkDir::ToHost, 0, 0, [this, desc]() {
+            eventQueue().scheduleLambda(
+                curTick() + hostMemLatency,
+                [this, desc]() {
+                    link.send(
+                        LinkDir::ToDevice, cacheLineSize, 0,
+                        [this, desc]() {
+                            eventQueue().scheduleLambda(
+                                curTick() + cfg.holdTime(),
+                                [this, desc]() {
+                                    ++responses;
+                                    sendCompletion(desc);
+                                },
+                                EventPriority::Default,
+                                name() + ".writeDelay");
+                        });
+                },
+                EventPriority::Default, name() + ".writeData");
+        });
+        return;
+    }
+
+    Tick service = cfg.holdTime();
+    if (replay) {
+        // Software-generated requests are never missing or spurious,
+        // but we still route them through the replay module for
+        // functional fidelity with the hardware design.
+        if (replay->lookup(lineAlign(desc.lineAddr())) ==
+            ReplayWindow::Result::Miss) {
+            service += cfg.onDemandLatency;
+        }
+    }
+
+    eventQueue().scheduleLambda(
+        curTick() + service,
+        [this, desc]() {
+            ++responses;
+            // Ordered pair: response data first, completion second.
+            // FIFO link serialization preserves the order.
+            link.send(LinkDir::ToHost, cacheLineSize, cacheLineSize,
+                      []() {});
+            sendCompletion(desc);
+        },
+        EventPriority::Default, name() + ".delay");
+}
+
+void
+RequestFetcher::sendCompletion(const RequestDescriptor &desc)
+{
+    link.send(LinkDir::ToHost, sizeof(CompletionDescriptor), 0,
+              [this, desc]() {
+                  CompletionDescriptor comp{desc.hostAddr};
+                  const bool ok = queues.postCompletion(comp);
+                  kmuAssert(ok, "completion queue overflow");
+                  notify(comp);
+              });
+}
+
+} // namespace kmu

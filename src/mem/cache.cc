@@ -1,0 +1,94 @@
+#include "mem/cache.hh"
+
+#include <algorithm>
+
+#include "common/bitops.hh"
+
+namespace kmu
+{
+
+L1Cache::L1Cache(std::string name, EventQueue &eq, CacheParams params,
+                 StatGroup *stat_parent)
+    : SimObject(std::move(name), eq, stat_parent),
+      hits(stats(), "hits", "lookups that found the line"),
+      misses(stats(), "misses", "lookups that missed"),
+      installs(stats(), "installs", "lines filled into the cache"),
+      evictions(stats(), "evictions", "LRU lines displaced"),
+      invalidations(stats(), "invalidations",
+                    "lines dropped by invalidate()"),
+      cfg(params)
+{
+    kmuAssert(cfg.ways >= 1, "cache needs at least one way");
+    const std::uint64_t lines = cfg.sizeBytes / cacheLineSize;
+    kmuAssert(lines >= cfg.ways, "cache smaller than one set");
+    const std::uint64_t set_count = lines / cfg.ways;
+    kmuAssert(isPowerOf2(set_count),
+              "size/ways must give a power-of-two set count");
+    tags.resize(set_count);
+    for (auto &set : tags)
+        set.reserve(cfg.ways);
+}
+
+L1Cache::Set &
+L1Cache::setFor(Addr line)
+{
+    return tags[lineNumber(line) & (tags.size() - 1)];
+}
+
+const L1Cache::Set &
+L1Cache::setFor(Addr line) const
+{
+    return tags[lineNumber(line) & (tags.size() - 1)];
+}
+
+bool
+L1Cache::lookup(Addr line)
+{
+    Set &set = setFor(line);
+    auto it = std::find(set.begin(), set.end(), line);
+    if (it == set.end()) {
+        ++misses;
+        return false;
+    }
+    // Move to MRU position.
+    set.erase(it);
+    set.insert(set.begin(), line);
+    ++hits;
+    return true;
+}
+
+void
+L1Cache::install(Addr line)
+{
+    Set &set = setFor(line);
+    auto it = std::find(set.begin(), set.end(), line);
+    if (it != set.end()) {
+        // Refill of a resident line (e.g. racing fills): refresh LRU.
+        set.erase(it);
+    } else if (set.size() >= cfg.ways) {
+        set.pop_back(); // evict LRU
+        ++evictions;
+    }
+    set.insert(set.begin(), line);
+    ++installs;
+}
+
+bool
+L1Cache::contains(Addr line) const
+{
+    const Set &set = setFor(line);
+    return std::find(set.begin(), set.end(), line) != set.end();
+}
+
+void
+L1Cache::invalidate(Addr line)
+{
+    Set &set = setFor(line);
+    auto it = std::find(set.begin(), set.end(), line);
+    if (it != set.end()) {
+        set.erase(it);
+        ++invalidations;
+    }
+}
+
+} // namespace kmu

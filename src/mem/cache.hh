@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Set-associative L1 cache model (tags only).
+ *
+ * The paper maps the device BAR cacheable, so device lines live in
+ * the ordinary cache hierarchy; its synthetic microbenchmark defeats
+ * the cache on purpose (every access to a fresh line), but the real
+ * applications it ports do revisit lines — which is also what makes
+ * the FPGA's replay window see *skipped* entries (requests that
+ * never leave the CPU). This model supplies that behaviour to the
+ * timing simulator: LRU, line-granular, tag-array only (the timing
+ * model carries no data).
+ */
+
+#ifndef KMU_MEM_CACHE_HH
+#define KMU_MEM_CACHE_HH
+
+#include <vector>
+
+#include "sim/sim_object.hh"
+
+namespace kmu
+{
+
+/** Static cache geometry. */
+struct CacheParams
+{
+    std::uint32_t sizeBytes = 32 * 1024; //!< total capacity
+    std::uint32_t ways = 8;              //!< associativity
+};
+
+class L1Cache : public SimObject
+{
+  public:
+    L1Cache(std::string name, EventQueue &eq, CacheParams params,
+            StatGroup *stat_parent);
+
+    std::uint32_t sets() const { return std::uint32_t(tags.size()); }
+    std::uint32_t ways() const { return cfg.ways; }
+
+    /** Look up @p line; on a hit the line becomes most recent. */
+    bool lookup(Addr line);
+
+    /** Install @p line, evicting the set's LRU entry if needed. */
+    void install(Addr line);
+
+    /** True iff @p line is resident; does not touch LRU state. */
+    bool contains(Addr line) const;
+
+    /** Drop @p line if resident (write-invalidate policy). */
+    void invalidate(Addr line);
+
+    /** @{ Statistics. */
+    Counter hits;
+    Counter misses;
+    Counter installs;
+    Counter evictions;
+    Counter invalidations;
+    /** @} */
+
+  private:
+    /** MRU-first tag list of one set. */
+    using Set = std::vector<Addr>;
+
+    Set &setFor(Addr line);
+    const Set &setFor(Addr line) const;
+
+    CacheParams cfg;
+    std::vector<Set> tags;
+};
+
+} // namespace kmu
+
+#endif // KMU_MEM_CACHE_HH

@@ -1,0 +1,31 @@
+#include "mem/dram_model.hh"
+
+namespace kmu
+{
+
+DramModel::DramModel(std::string name, EventQueue &eq, DramParams params,
+                     StatGroup *stat_parent)
+    : SimObject(std::move(name), eq, stat_parent),
+      reads(stats(), "reads", "cache-line reads serviced"),
+      cfg(params),
+      pathQueue(this->name() + ".queue", eq, params.queueDepth, &stats())
+{
+}
+
+void
+DramModel::access(Addr line, FillCallback cb)
+{
+    (void)line;
+    ++reads;
+    pathQueue.acquire([this, cb = std::move(cb)]() mutable {
+        eventQueue().scheduleLambda(
+            curTick() + cfg.latency,
+            [this, cb = std::move(cb)]() {
+                pathQueue.release();
+                cb();
+            },
+            EventPriority::DeviceResponse, name() + ".fill");
+    });
+}
+
+} // namespace kmu

@@ -1,0 +1,85 @@
+#include "mem/lfb.hh"
+
+namespace kmu
+{
+
+Lfb::Lfb(std::string name, EventQueue &eq, std::uint32_t capacity,
+         StatGroup *stat_parent)
+    : SimObject(std::move(name), eq, stat_parent),
+      allocs(stats(), "allocs", "LFB entries allocated"),
+      merges(stats(), "merges", "requests merged into pending entries"),
+      rejections(stats(), "rejections", "requests that found LFB full"),
+      fills(stats(), "fills", "entries filled and freed"),
+      occupancyAtAlloc(stats(), "occupancy_at_alloc",
+                       "entries in use when a new entry was allocated"),
+      cap(capacity)
+{
+    kmuAssert(capacity > 0, "LFB capacity must be positive");
+}
+
+bool
+Lfb::pending(Addr line) const
+{
+    return entries.find(line) != entries.end();
+}
+
+Lfb::AllocResult
+Lfb::request(Addr line, FillCallback cb)
+{
+    auto it = entries.find(line);
+    if (it != entries.end()) {
+        it->second.waiters.push_back(std::move(cb));
+        ++merges;
+        return AllocResult::Merged;
+    }
+    if (full()) {
+        ++rejections;
+        return AllocResult::NoEntry;
+    }
+    occupancyAtAlloc.sample(double(inUse()));
+    Entry entry;
+    entry.waiters.push_back(std::move(cb));
+    entries.emplace(line, std::move(entry));
+    ++allocs;
+    return AllocResult::NewEntry;
+}
+
+void
+Lfb::waitForFree(FreeCallback cb)
+{
+    if (!full()) {
+        // An entry is already free; run the callback this tick but
+        // off the current call stack for re-entrancy safety.
+        eventQueue().scheduleLambda(curTick(), std::move(cb),
+                                    EventPriority::Default,
+                                    name() + ".freeNow");
+        return;
+    }
+    freeWaiters.push_back(std::move(cb));
+}
+
+void
+Lfb::fill(Addr line)
+{
+    auto it = entries.find(line);
+    kmuAssert(it != entries.end(),
+              "fill for line %#llx with no LFB entry",
+              (unsigned long long)line);
+
+    // Detach before invoking callbacks: a waiter may re-request.
+    auto waiters = std::move(it->second.waiters);
+    entries.erase(it);
+    ++fills;
+
+    for (auto &cb : waiters)
+        cb();
+
+    // One freed entry admits one waiting demand miss.
+    if (!freeWaiters.empty() && !full()) {
+        auto cb = std::move(freeWaiters.front());
+        freeWaiters.pop_front();
+        cb();
+    }
+}
+
+} // namespace kmu

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Line Fill Buffer (MSHR) model.
+ *
+ * Intel cores track outstanding L1 misses — demand loads and software
+ * prefetches alike — in a small set of Line Fill Buffers (10 per core
+ * on the Xeon E5 v3 parts the paper measures). The LFB is the first
+ * hardware queue a prefetch-based device access meets, and its size is
+ * the paper's headline single-core bottleneck (Fig. 3/4/6).
+ *
+ * Semantics modelled here:
+ *  - an entry is allocated per in-flight line and freed on fill;
+ *  - requests to an already-pending line merge into that entry
+ *    (secondary misses coalesce, consuming no extra entry);
+ *  - a software prefetch that finds all entries busy is *dropped*
+ *    (x86 prefetch hints are non-binding), so the eventual demand
+ *    load takes the full miss path;
+ *  - a demand load that finds the LFB full must wait for a free
+ *    entry before it can even issue.
+ */
+
+#ifndef KMU_MEM_LFB_HH
+#define KMU_MEM_LFB_HH
+
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/sim_object.hh"
+
+namespace kmu
+{
+
+class Lfb : public SimObject
+{
+  public:
+    /** Invoked when the requested line's data arrives. */
+    using FillCallback = std::function<void()>;
+
+    /** Invoked once a free entry exists for a waiting demand miss. */
+    using FreeCallback = std::function<void()>;
+
+    /** Outcome of an allocation attempt. */
+    enum class AllocResult
+    {
+        NewEntry,  //!< entry allocated; caller must issue downstream
+        Merged,    //!< line already in flight; callback attached
+        NoEntry    //!< all entries busy (prefetch: drop; load: wait)
+    };
+
+    Lfb(std::string name, EventQueue &eq, std::uint32_t capacity,
+        StatGroup *stat_parent);
+
+    std::uint32_t capacity() const { return cap; }
+    std::uint32_t inUse() const { return std::uint32_t(entries.size()); }
+    bool full() const { return inUse() >= cap; }
+
+    /** True iff a miss to @p line is currently outstanding. */
+    bool pending(Addr line) const;
+
+    /**
+     * Try to allocate (or merge into) an entry for @p line.
+     *
+     * On NewEntry the caller is responsible for issuing the request
+     * downstream and eventually calling fill(line). On Merged or
+     * NewEntry, @p cb fires when the line's data arrives. On NoEntry
+     * nothing is recorded.
+     */
+    AllocResult request(Addr line, FillCallback cb);
+
+    /**
+     * Register @p cb to run as soon as any entry is free. Used by
+     * demand misses that must stall on a full LFB. Callbacks fire in
+     * FIFO order, one per freed entry.
+     */
+    void waitForFree(FreeCallback cb);
+
+    /** Data for @p line arrived; wake waiters and free the entry. */
+    void fill(Addr line);
+
+    /** @{ Occupancy statistics. */
+    Counter allocs;
+    Counter merges;
+    Counter rejections;
+    Counter fills;
+    Average occupancyAtAlloc;
+    /** @} */
+
+  private:
+    struct Entry
+    {
+        std::vector<FillCallback> waiters;
+    };
+
+    std::uint32_t cap;
+    std::unordered_map<Addr, Entry> entries;
+    std::deque<FreeCallback> freeWaiters;
+};
+
+} // namespace kmu
+
+#endif // KMU_MEM_LFB_HH

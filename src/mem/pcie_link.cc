@@ -1,0 +1,79 @@
+#include "mem/pcie_link.hh"
+
+#include "common/units.hh"
+
+namespace kmu
+{
+
+PcieLink::PcieLink(std::string name, EventQueue &eq,
+                   PcieLinkParams params, StatGroup *stat_parent)
+    : SimObject(std::move(name), eq, stat_parent), cfg(params)
+{
+    kmuAssert(cfg.bytesPerSec > 0, "link bandwidth must be positive");
+}
+
+PcieLink::Direction &
+PcieLink::dirState(LinkDir dir)
+{
+    return dir == LinkDir::ToDevice ? toDevice : toHost;
+}
+
+const PcieLink::Direction &
+PcieLink::dirState(LinkDir dir) const
+{
+    return dir == LinkDir::ToDevice ? toDevice : toHost;
+}
+
+void
+PcieLink::send(LinkDir dir, std::uint32_t payload_bytes,
+               std::uint32_t useful_bytes, DeliverCallback cb)
+{
+    kmuAssert(useful_bytes <= payload_bytes,
+              "useful bytes exceed payload");
+    Direction &d = dirState(dir);
+
+    const std::uint32_t wire_bytes = payload_bytes + cfg.tlpHeaderBytes;
+    const Tick start = std::max(curTick(), d.wireFreeAt);
+    const Tick done = start + transferTicks(wire_bytes, cfg.bytesPerSec);
+    d.wireFreeAt = done;
+    d.wire += wire_bytes;
+    d.useful += useful_bytes;
+    d.tlps += 1;
+
+    eventQueue().scheduleLambda(done + cfg.propagation, std::move(cb),
+                                EventPriority::DeviceResponse,
+                                name() + ".deliver");
+}
+
+std::uint64_t
+PcieLink::wireBytes(LinkDir dir) const
+{
+    return dirState(dir).wire;
+}
+
+std::uint64_t
+PcieLink::usefulBytes(LinkDir dir) const
+{
+    return dirState(dir).useful;
+}
+
+std::uint64_t
+PcieLink::tlpCount(LinkDir dir) const
+{
+    return dirState(dir).tlps;
+}
+
+Tick
+PcieLink::busyUntil(LinkDir dir) const
+{
+    return dirState(dir).wireFreeAt;
+}
+
+void
+PcieLink::resetCounters()
+{
+    toDevice.wire = toDevice.useful = toDevice.tlps = 0;
+    toHost.wire = toHost.useful = toHost.tlps = 0;
+}
+
+} // namespace kmu

@@ -1,0 +1,55 @@
+#include "mem/uncore_queue.hh"
+
+namespace kmu
+{
+
+UncoreQueue::UncoreQueue(std::string name, EventQueue &eq,
+                         std::uint32_t capacity, StatGroup *stat_parent)
+    : SimObject(std::move(name), eq, stat_parent),
+      entries(stats(), "entries", "requests that acquired a slot"),
+      fullStalls(stats(), "full_stalls",
+                 "requests that had to wait for a free slot"),
+      occupancy(stats(), "occupancy", "slots in use at acquire time"),
+      cap(capacity)
+{
+    kmuAssert(capacity > 0, "uncore queue capacity must be positive");
+}
+
+void
+UncoreQueue::grant(EnterCallback cb)
+{
+    used++;
+    peak = std::max(peak, used);
+    ++entries;
+    occupancy.sample(double(used));
+    // Run off the current stack so release() inside the callback
+    // cannot recurse into waiter admission mid-flight.
+    eventQueue().scheduleLambda(curTick(), std::move(cb),
+                                EventPriority::Default,
+                                name() + ".enter");
+}
+
+void
+UncoreQueue::acquire(EnterCallback cb)
+{
+    if (!full()) {
+        grant(std::move(cb));
+        return;
+    }
+    ++fullStalls;
+    waiters.push_back(std::move(cb));
+}
+
+void
+UncoreQueue::release()
+{
+    kmuAssert(used > 0, "release on an empty uncore queue");
+    used--;
+    if (!waiters.empty()) {
+        auto cb = std::move(waiters.front());
+        waiters.pop_front();
+        grant(std::move(cb));
+    }
+}
+
+} // namespace kmu

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Descriptor formats for the application-managed software queues.
+ *
+ * Mirrors the paper's Section IV-A protocol: the host writes request
+ * descriptors into an in-memory Request Queue; the device DMA-reads
+ * them (in bursts of eight), performs the access, writes the response
+ * data to the host buffer named by the descriptor, and then writes a
+ * completion descriptor into the Completion Queue. Completion-queue
+ * writes are ordered after the corresponding data writes.
+ */
+
+#ifndef KMU_QUEUE_DESCRIPTOR_HH
+#define KMU_QUEUE_DESCRIPTOR_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace kmu
+{
+
+/**
+ * One request, as laid out in host memory (16 bytes).
+ *
+ * Matches the paper's wire format: "each descriptor contains the
+ * address to read, and the target address where the response data is
+ * to be stored". The paper studies reads only; this implementation
+ * adds line-granular writes (its stated future work) by carrying a
+ * one-bit opcode in the low bit of the line-aligned device address —
+ * the usual trick when a descriptor format has no spare field.
+ */
+struct RequestDescriptor
+{
+    /** Device line address (bit 0: 0 = read, 1 = write). */
+    Addr deviceAddr = 0;
+
+    /** Read: host buffer the device writes the 64-byte response
+     *  into. Write: host buffer holding the 64 bytes to store. The
+     *  host runtime also uses it as the completion tag. */
+    Addr hostAddr = 0;
+
+    /** Build a read descriptor for a line-aligned address. */
+    static RequestDescriptor
+    read(Addr device_line, Addr host)
+    {
+        return RequestDescriptor{device_line, host};
+    }
+
+    /** Build a write descriptor for a line-aligned address. */
+    static RequestDescriptor
+    write(Addr device_line, Addr host)
+    {
+        return RequestDescriptor{device_line | 1, host};
+    }
+
+    /** True for write descriptors. */
+    bool isWrite() const { return (deviceAddr & 1) != 0; }
+
+    /** Device line address with the opcode bit stripped. */
+    Addr lineAddr() const { return deviceAddr & ~Addr(1); }
+};
+
+static_assert(sizeof(RequestDescriptor) == 16,
+              "descriptor layout must match the 16-byte wire format");
+
+/** One completion record (8 bytes of payload): echo of hostAddr. */
+struct CompletionDescriptor
+{
+    Addr hostAddr = 0;
+};
+
+/** Descriptors fetched per DMA burst read (paper Section IV-A). */
+constexpr std::uint32_t descriptorBurst = 8;
+
+} // namespace kmu
+
+#endif // KMU_QUEUE_DESCRIPTOR_HH

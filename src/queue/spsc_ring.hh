@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Bounded single-producer / single-consumer ring buffer.
+ *
+ * This is the in-host-memory structure backing both the Request Queue
+ * (host produces, device consumes) and the Completion Queue (device
+ * produces, host consumes). It is lock-free with acquire/release
+ * atomics so the real runtime can run the device emulator on another
+ * OS thread; used single-threadedly by the timing model, the atomics
+ * compile down to plain loads/stores.
+ *
+ * Capacity must be a power of two. One slot is sacrificed to
+ * distinguish full from empty.
+ */
+
+#ifndef KMU_QUEUE_SPSC_RING_HH
+#define KMU_QUEUE_SPSC_RING_HH
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace kmu
+{
+
+template <typename T>
+class SpscRing
+{
+  public:
+    explicit SpscRing(std::size_t capacity)
+        : slots(capacity), mask(capacity - 1)
+    {
+        kmuAssert(isPowerOf2(capacity),
+                  "SPSC ring capacity must be a power of two");
+        kmuAssert(capacity >= 2, "SPSC ring needs at least two slots");
+    }
+
+    /** Usable capacity (one slot is reserved). */
+    std::size_t capacity() const { return slots.size() - 1; }
+
+    /** Producer: true on success, false when full. */
+    bool
+    tryPush(const T &value)
+    {
+        const std::size_t h = head.load(std::memory_order_relaxed);
+        const std::size_t next = (h + 1) & mask;
+        if (next == tail.load(std::memory_order_acquire))
+            return false;
+        slots[h] = value;
+        head.store(next, std::memory_order_release);
+        return true;
+    }
+
+    /** Consumer: true on success, false when empty. */
+    bool
+    tryPop(T &out)
+    {
+        const std::size_t t = tail.load(std::memory_order_relaxed);
+        if (t == head.load(std::memory_order_acquire))
+            return false;
+        out = slots[t];
+        tail.store((t + 1) & mask, std::memory_order_release);
+        return true;
+    }
+
+    /**
+     * Consumer: pop up to @p max items into @p out (appended).
+     * Models the device's burst descriptor read.
+     * @return number of items popped.
+     */
+    std::size_t
+    popBurst(std::vector<T> &out, std::size_t max)
+    {
+        std::size_t n = 0;
+        T item;
+        while (n < max && tryPop(item)) {
+            out.push_back(item);
+            n++;
+        }
+        return n;
+    }
+
+    /** Consumer-side snapshot of queued item count (approximate
+     *  under concurrency, exact single-threaded). */
+    std::size_t
+    size() const
+    {
+        const std::size_t h = head.load(std::memory_order_acquire);
+        const std::size_t t = tail.load(std::memory_order_acquire);
+        return (h - t) & mask;
+    }
+
+    bool empty() const { return size() == 0; }
+
+  private:
+    std::vector<T> slots;
+    std::size_t mask;
+    alignas(64) std::atomic<std::size_t> head{0};
+    alignas(64) std::atomic<std::size_t> tail{0};
+};
+
+} // namespace kmu
+
+#endif // KMU_QUEUE_SPSC_RING_HH

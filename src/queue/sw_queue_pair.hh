@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Request/completion queue pair with the doorbell-request protocol.
+ *
+ * The paper's best software-managed interface pairs two in-memory
+ * rings with two optimizations that it found strictly necessary:
+ *
+ *  1. a *doorbell-request flag*: the device keeps fetching requests
+ *     on its own until a burst read returns nothing new; it then sets
+ *     the flag and stops. The host only performs the (costly) MMIO
+ *     doorbell when it observes the flag set, and clears it after.
+ *  2. *burst reads*: descriptors are fetched eight at a time to
+ *     amortize per-transaction costs.
+ *
+ * This class is the host-memory state shared by both sides; the
+ * timing model and the real runtime layer their costs on top of it.
+ */
+
+#ifndef KMU_QUEUE_SW_QUEUE_PAIR_HH
+#define KMU_QUEUE_SW_QUEUE_PAIR_HH
+
+#include <atomic>
+#include <cstdint>
+
+#include "queue/descriptor.hh"
+#include "queue/spsc_ring.hh"
+
+namespace kmu
+{
+
+class SwQueuePair
+{
+  public:
+    /** @param depth ring capacity (power of two). */
+    explicit SwQueuePair(std::size_t depth = 256)
+        : requests(depth), completions(depth)
+    {
+    }
+
+    /** Host side: enqueue one request descriptor.
+     *  @return false when the request ring is full. */
+    bool
+    submit(const RequestDescriptor &desc)
+    {
+        return requests.tryPush(desc);
+    }
+
+    /**
+     * Host side: check-and-clear the doorbell-request flag. Call
+     * after submit(); a true return means the host must ring the
+     * MMIO doorbell to restart the fetcher.
+     */
+    bool
+    consumeDoorbellRequest()
+    {
+        bool expected = true;
+        return doorbellNeeded.compare_exchange_strong(
+            expected, false, std::memory_order_acq_rel);
+    }
+
+    /** Host side: poll one completion. */
+    bool
+    reapCompletion(CompletionDescriptor &out)
+    {
+        return completions.tryPop(out);
+    }
+
+    /** Device side: burst-fetch up to @p max requests (default: the
+     *  paper's burst of eight). */
+    std::size_t
+    fetchBurst(std::vector<RequestDescriptor> &out,
+               std::size_t max = descriptorBurst)
+    {
+        return requests.popBurst(out, max);
+    }
+
+    /** Device side: post a completion (after the data write). */
+    bool
+    postCompletion(const CompletionDescriptor &desc)
+    {
+        return completions.tryPush(desc);
+    }
+
+    /** Device side: no new descriptors seen — request a doorbell. */
+    void
+    requestDoorbell()
+    {
+        doorbellNeeded.store(true, std::memory_order_release);
+    }
+
+    /** True when the fetcher is parked waiting for a doorbell. */
+    bool
+    doorbellRequested() const
+    {
+        return doorbellNeeded.load(std::memory_order_acquire);
+    }
+
+    std::size_t pendingRequests() const { return requests.size(); }
+    std::size_t pendingCompletions() const { return completions.size(); }
+
+  private:
+    SpscRing<RequestDescriptor> requests;
+    SpscRing<CompletionDescriptor> completions;
+    std::atomic<bool> doorbellNeeded{true}; //!< starts parked
+};
+
+} // namespace kmu
+
+#endif // KMU_QUEUE_SW_QUEUE_PAIR_HH

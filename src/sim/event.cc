@@ -1,0 +1,134 @@
+#include "sim/event.hh"
+
+#include "common/logging.hh"
+
+namespace kmu
+{
+
+Event::Event(std::string name, EventPriority priority)
+    : eventName(std::move(name)), prio(priority)
+{
+}
+
+Event::~Event()
+{
+    // Owners must deschedule before destroying; we cannot reach the
+    // queue from here, so just flag misuse.
+    if (isScheduled)
+        panic("event '%s' destroyed while scheduled", eventName.c_str());
+}
+
+EventQueue::EventQueue() = default;
+
+EventQueue::~EventQueue()
+{
+    // Free any one-shot lambdas that never ran.
+    while (!heap.empty()) {
+        HeapEntry entry = heap.top();
+        heap.pop();
+        Event *ev = entry.event;
+        if (ev->isScheduled && ev->generation == entry.generation) {
+            ev->isScheduled = false;
+            if (ev->ownedByQueue)
+                delete ev;
+        }
+    }
+}
+
+void
+EventQueue::schedule(Event *event, Tick when)
+{
+    kmuAssert(!event->isScheduled,
+              "event '%s' scheduled twice", event->name().c_str());
+    kmuAssert(when >= now,
+              "event '%s' scheduled in the past (%llu < %llu)",
+              event->name().c_str(), (unsigned long long)when,
+              (unsigned long long)now);
+    event->isScheduled = true;
+    event->scheduledAt = when;
+    event->generation++;
+    heap.push(HeapEntry{when, std::int32_t(event->prio), nextSeq++,
+                        event, event->generation});
+    liveEvents++;
+}
+
+void
+EventQueue::deschedule(Event *event)
+{
+    kmuAssert(event->isScheduled,
+              "descheduling idle event '%s'", event->name().c_str());
+    event->isScheduled = false;
+    event->generation++; // invalidates the heap entry
+    liveEvents--;
+}
+
+void
+EventQueue::reschedule(Event *event, Tick when)
+{
+    if (event->isScheduled)
+        deschedule(event);
+    schedule(event, when);
+}
+
+void
+EventQueue::scheduleLambda(Tick when, std::function<void()> fn,
+                           EventPriority prio, std::string name)
+{
+    auto *ev = new CallbackEvent(std::move(name), std::move(fn), prio);
+    ev->ownedByQueue = true;
+    schedule(ev, when);
+}
+
+void
+EventQueue::skipDead()
+{
+    while (!heap.empty()) {
+        const HeapEntry &entry = heap.top();
+        if (entry.event->isScheduled &&
+            entry.event->generation == entry.generation) {
+            return;
+        }
+        heap.pop();
+    }
+}
+
+bool
+EventQueue::serviceOne()
+{
+    skipDead();
+    if (heap.empty())
+        return false;
+
+    HeapEntry entry = heap.top();
+    heap.pop();
+    Event *ev = entry.event;
+
+    kmuAssert(entry.when >= now, "event queue time went backwards");
+    now = entry.when;
+    ev->isScheduled = false;
+    liveEvents--;
+    servicedCount++;
+    ev->process();
+
+    // One-shot lambdas are freed once they have run (unless they
+    // rescheduled themselves, which CallbackEvent never does).
+    if (ev->ownedByQueue && !ev->scheduled())
+        delete ev;
+    return true;
+}
+
+Tick
+EventQueue::run(Tick limit)
+{
+    while (true) {
+        skipDead();
+        if (heap.empty())
+            break;
+        if (heap.top().when > limit)
+            break;
+        serviceOne();
+    }
+    return now;
+}
+
+} // namespace kmu

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Event and EventQueue: the discrete-event simulation kernel.
+ *
+ * The kernel is deliberately small and deterministic. Events are
+ * ordered by (tick, priority, insertion sequence), so two runs of the
+ * same configuration produce identical schedules. Components own their
+ * Event objects and schedule them on the queue; one-shot lambda events
+ * are also supported for glue logic.
+ */
+
+#ifndef KMU_SIM_EVENT_HH
+#define KMU_SIM_EVENT_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace kmu
+{
+
+class EventQueue;
+
+/** Scheduling priority; lower values service first within a tick. */
+enum class EventPriority : std::int32_t
+{
+    DeviceResponse = -20, //!< deliver data before consumers run
+    Default = 0,
+    CpuTick = 10,         //!< core progress after deliveries
+    Stats = 100           //!< end-of-tick accounting
+};
+
+/**
+ * Base class for all schedulable work.
+ *
+ * An Event may be scheduled on at most one queue at a time. The queue
+ * never owns Events derived from this class; their owner must keep
+ * them alive while scheduled.
+ */
+class Event
+{
+  public:
+    explicit Event(std::string name = "anon",
+                   EventPriority prio = EventPriority::Default);
+    virtual ~Event();
+
+    Event(const Event &) = delete;
+    Event &operator=(const Event &) = delete;
+
+    /** Invoked by the queue when the event's tick arrives. */
+    virtual void process() = 0;
+
+    const std::string &name() const { return eventName; }
+    EventPriority priority() const { return prio; }
+    bool scheduled() const { return isScheduled; }
+
+    /** Tick this event is scheduled for (valid only if scheduled()). */
+    Tick when() const { return scheduledAt; }
+
+  private:
+    friend class EventQueue;
+
+    std::string eventName;
+    EventPriority prio;
+    bool isScheduled = false;
+    bool ownedByQueue = false; //!< queue frees it after it runs
+    Tick scheduledAt = 0;
+    std::uint64_t generation = 0; //!< invalidates stale queue entries
+};
+
+/** Event whose process() runs a bound callable. */
+class CallbackEvent : public Event
+{
+  public:
+    CallbackEvent(std::string name, std::function<void()> fn,
+                  EventPriority prio = EventPriority::Default)
+        : Event(std::move(name), prio), callback(std::move(fn))
+    {}
+
+    void process() override { callback(); }
+
+  private:
+    std::function<void()> callback;
+};
+
+/**
+ * Deterministic time-ordered event queue.
+ *
+ * Descheduling is lazy: the heap entry is invalidated via the event's
+ * generation counter and skipped when popped.
+ */
+class EventQueue
+{
+  public:
+    EventQueue();
+    ~EventQueue();
+
+    /** Current simulated time. */
+    Tick curTick() const { return now; }
+
+    /** Schedule @p event at absolute tick @p when (>= curTick()). */
+    void schedule(Event *event, Tick when);
+
+    /** Remove a scheduled event from the queue. */
+    void deschedule(Event *event);
+
+    /** Deschedule (if needed) and schedule at a new tick. */
+    void reschedule(Event *event, Tick when);
+
+    /**
+     * Schedule a one-shot lambda; the queue owns and frees it after
+     * it runs (or at queue destruction if never reached).
+     */
+    void scheduleLambda(Tick when, std::function<void()> fn,
+                        EventPriority prio = EventPriority::Default,
+                        std::string name = "lambda");
+
+    /** True when no runnable events remain. */
+    bool empty() const { return liveEvents == 0; }
+
+    /** Number of currently scheduled events. */
+    std::uint64_t size() const { return liveEvents; }
+
+    /** Service the single next event; returns false if none remain. */
+    bool serviceOne();
+
+    /**
+     * Run until the queue drains or curTick() would exceed @p limit.
+     * @return the tick of the last serviced event.
+     */
+    Tick run(Tick limit = maxTick);
+
+    /** Total events serviced since construction. */
+    std::uint64_t serviced() const { return servicedCount; }
+
+  private:
+    struct HeapEntry
+    {
+        Tick when;
+        std::int32_t prio;
+        std::uint64_t seq;
+        Event *event;
+        std::uint64_t generation;
+    };
+
+    struct HeapCompare
+    {
+        bool
+        operator()(const HeapEntry &a, const HeapEntry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.prio != b.prio)
+                return a.prio > b.prio;
+            return a.seq > b.seq;
+        }
+    };
+
+    /** Pop invalidated entries off the heap top. */
+    void skipDead();
+
+    Tick now = 0;
+    std::uint64_t nextSeq = 0;
+    std::uint64_t liveEvents = 0;
+    std::uint64_t servicedCount = 0;
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapCompare>
+        heap;
+};
+
+} // namespace kmu
+
+#endif // KMU_SIM_EVENT_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Cooperative barrier for fibers of one scheduler.
+ *
+ * Used by level-synchronous algorithms (e.g. multi-worker BFS): each
+ * worker calls arrive() at the end of a phase; the last arrival
+ * releases everyone and the barrier resets for the next phase.
+ */
+
+#ifndef KMU_ULT_BARRIER_HH
+#define KMU_ULT_BARRIER_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/logging.hh"
+#include "ult/scheduler.hh"
+
+namespace kmu
+{
+
+class FiberBarrier
+{
+  public:
+    FiberBarrier(Scheduler &scheduler, std::size_t parties)
+        : sched(scheduler), parties(parties)
+    {
+        kmuAssert(parties >= 1, "barrier needs at least one party");
+        waiters.reserve(parties);
+    }
+
+    /**
+     * Arrive at the barrier.
+     * @return true for exactly one caller per generation (the last
+     *         arrival), which may perform phase-transition work
+     *         before the others resume.
+     */
+    bool
+    arrive()
+    {
+        if (waiters.size() + 1 == parties) {
+            // Last arrival: release the generation.
+            for (Fiber *fiber : waiters)
+                sched.unblock(*fiber);
+            waiters.clear();
+            generation++;
+            return true;
+        }
+        Fiber *self = sched.current();
+        kmuAssert(self != nullptr, "barrier arrive outside a fiber");
+        waiters.push_back(self);
+        sched.block();
+        return false;
+    }
+
+    std::uint64_t generations() const { return generation; }
+
+  private:
+    Scheduler &sched;
+    std::size_t parties;
+    std::vector<Fiber *> waiters;
+    std::uint64_t generation = 0;
+};
+
+} // namespace kmu
+
+#endif // KMU_ULT_BARRIER_HH

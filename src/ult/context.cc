@@ -1,0 +1,40 @@
+#include "ult/context.hh"
+
+#include "common/logging.hh"
+
+extern "C" void kmuFiberBootstrap();
+
+namespace kmu
+{
+
+FiberContext
+makeFiberContext(void *stack, std::size_t size, FiberEntryFn entry,
+                 void *arg)
+{
+    kmuAssert(size >= 1024, "fiber stack too small (%zu bytes)", size);
+
+    // Highest 16-byte-aligned address within the stack.
+    auto top = (reinterpret_cast<std::uintptr_t>(stack) + size) & ~15ull;
+
+    // Seed the frame that kmuCtxSwitch's restore path consumes:
+    //   [top-8]  terminator (fake return address for unwinders)
+    //   [top-16] kmuFiberBootstrap   <- `ret` target
+    //   [top-24] rbp slot = arg
+    //   [top-32] rbx slot = entry
+    //   [top-40] r12 = 0 ... [top-64] r15 = 0
+    auto *slots = reinterpret_cast<std::uintptr_t *>(top);
+    slots[-1] = 0;
+    slots[-2] = reinterpret_cast<std::uintptr_t>(&kmuFiberBootstrap);
+    slots[-3] = reinterpret_cast<std::uintptr_t>(arg);
+    slots[-4] = reinterpret_cast<std::uintptr_t>(entry);
+    slots[-5] = 0;
+    slots[-6] = 0;
+    slots[-7] = 0;
+    slots[-8] = 0;
+
+    FiberContext ctx;
+    ctx.sp = reinterpret_cast<void *>(top - 8 * sizeof(std::uintptr_t));
+    return ctx;
+}
+
+} // namespace kmu

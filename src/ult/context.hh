@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Raw user-level context-switch primitive.
+ *
+ * The paper reduced GNU Pth's 2 µs context switches to 20–50 ns by
+ * stripping the switch down to the bare minimum: save callee-saved
+ * registers, swap stack pointers, restore. This header exposes that
+ * primitive; Fiber and the schedulers build on it.
+ *
+ * On x86-64 SysV the switch is ~12 instructions of hand-written
+ * assembly (context_switch.S). Signal masks, FPU environment, and TLS
+ * are deliberately *not* switched — the same functionality the paper
+ * sacrificed for speed.
+ */
+
+#ifndef KMU_ULT_CONTEXT_HH
+#define KMU_ULT_CONTEXT_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace kmu
+{
+
+/**
+ * Saved execution context: just the stack pointer. All other state
+ * lives on the fiber's stack.
+ */
+struct FiberContext
+{
+    void *sp = nullptr;
+};
+
+/** Signature of a fiber entry function; @p arg is caller-defined. */
+using FiberEntryFn = void (*)(void *arg);
+
+/**
+ * Suspend the current context into @p from and resume @p to.
+ * Returns when some other context switches back into @p from.
+ */
+extern "C" void kmuCtxSwitch(FiberContext *from, FiberContext *to);
+
+/**
+ * Prepare a fresh context at the top of [stack, stack+size) that,
+ * when first switched to, invokes entry(arg). The entry function
+ * must never return; it must switch away (and its owner must never
+ * resume it again) when finished.
+ *
+ * @return the initialized context.
+ */
+FiberContext makeFiberContext(void *stack, std::size_t size,
+                              FiberEntryFn entry, void *arg);
+
+} // namespace kmu
+
+#endif // KMU_ULT_CONTEXT_HH

@@ -1,0 +1,79 @@
+#include "ult/fiber.hh"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "ult/scheduler.hh"
+
+namespace kmu
+{
+
+namespace
+{
+
+/** Watermark byte used to measure stack headroom. */
+constexpr std::uint8_t stackWatermark = 0xab;
+
+} // anonymous namespace
+
+Fiber::Fiber(std::function<void()> entry_fn, std::size_t stack_bytes)
+    : entry(std::move(entry_fn))
+{
+    kmuAssert(entry != nullptr, "fiber requires an entry function");
+
+    // Page-granular mapping with an inaccessible guard page at the
+    // low end (stacks grow down): overflow faults instead of
+    // scribbling over a neighbouring fiber's stack.
+    const std::size_t page = std::size_t(sysconf(_SC_PAGESIZE));
+    stackSize = roundUp(stack_bytes, page);
+    mappingSize = stackSize + page;
+    mapping = mmap(nullptr, mappingSize, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (mapping == MAP_FAILED)
+        fatal("cannot map a %zu-byte fiber stack", mappingSize);
+    if (mprotect(mapping, page, PROT_NONE) != 0)
+        fatal("cannot protect the fiber stack guard page");
+
+    stack = static_cast<std::uint8_t *>(mapping) + page;
+    std::memset(stack, stackWatermark, stackSize);
+    context = makeFiberContext(stack, stackSize,
+                               &Fiber::entryThunk, this);
+}
+
+Fiber::~Fiber()
+{
+    kmuAssert(fiberState != FiberState::Running,
+              "fiber destroyed while running");
+    if (mapping)
+        munmap(mapping, mappingSize);
+}
+
+std::size_t
+Fiber::stackHeadroom() const
+{
+    std::size_t untouched = 0;
+    while (untouched < stackSize &&
+           stack[untouched] == stackWatermark) {
+        untouched++;
+    }
+    return untouched;
+}
+
+void
+Fiber::entryThunk(void *self)
+{
+    auto *fiber = static_cast<Fiber *>(self);
+    fiber->entry();
+    fiber->fiberState = FiberState::Finished;
+    // Hand control back to the scheduler for good; the scheduler
+    // never resumes a Finished fiber.
+    kmuAssert(fiber->owner != nullptr, "finished fiber has no owner");
+    fiber->owner->yield();
+    panic("finished fiber was resumed");
+}
+
+} // namespace kmu

@@ -1,0 +1,150 @@
+#include "ult/scheduler.hh"
+
+#include "common/logging.hh"
+
+namespace kmu
+{
+
+namespace
+{
+
+thread_local Scheduler *activeScheduler = nullptr;
+
+} // anonymous namespace
+
+Scheduler::Scheduler() = default;
+
+Scheduler::~Scheduler()
+{
+    kmuAssert(!inRun, "scheduler destroyed while running");
+}
+
+Scheduler *
+Scheduler::currentScheduler()
+{
+    return activeScheduler;
+}
+
+Fiber &
+Scheduler::spawn(std::function<void()> entry, std::size_t stack_bytes)
+{
+    auto fiber = std::make_unique<Fiber>(std::move(entry), stack_bytes);
+    fiber->owner = this;
+    Fiber &ref = *fiber;
+    fibers.push_back(std::move(fiber));
+    readyQueue.push_back(&ref);
+    live++;
+    return ref;
+}
+
+void
+Scheduler::dispatch(Fiber &fiber)
+{
+    kmuAssert(fiber.fiberState == FiberState::Ready,
+              "dispatching a non-ready fiber");
+    fiber.fiberState = FiberState::Running;
+    running = &fiber;
+    switchCount++;
+    kmuCtxSwitch(&schedulerContext, &fiber.context);
+    running = nullptr;
+    if (fiber.fiberState == FiberState::Finished) {
+        kmuAssert(live > 0, "live fiber count underflow");
+        live--;
+    }
+}
+
+void
+Scheduler::switchToScheduler()
+{
+    Fiber *self = running;
+    kmuCtxSwitch(&self->context, &schedulerContext);
+}
+
+void
+Scheduler::yield()
+{
+    kmuAssert(running != nullptr, "yield outside a fiber");
+    Fiber *self = running;
+    if (self->fiberState != FiberState::Finished) {
+        self->fiberState = FiberState::Ready;
+        readyQueue.push_back(self);
+    }
+    switchToScheduler();
+}
+
+void
+Scheduler::block()
+{
+    kmuAssert(running != nullptr, "block outside a fiber");
+    running->fiberState = FiberState::Blocked;
+    switchToScheduler();
+}
+
+void
+Scheduler::unblock(Fiber &fiber)
+{
+    kmuAssert(fiber.owner == this, "unblock of a foreign fiber");
+    kmuAssert(fiber.fiberState == FiberState::Blocked,
+              "unblock of a non-blocked fiber");
+    fiber.fiberState = FiberState::Ready;
+    readyQueue.push_back(&fiber);
+}
+
+void
+Scheduler::setIdleHandler(IdleHandler handler)
+{
+    idleHandler = std::move(handler);
+}
+
+void
+Scheduler::run()
+{
+    kmuAssert(!inRun, "re-entrant Scheduler::run");
+    inRun = true;
+    Scheduler *previous = activeScheduler;
+    activeScheduler = this;
+
+    while (live > 0) {
+        if (readyQueue.empty()) {
+            // All live fibers are blocked: poll for completions.
+            if (!idleHandler || !idleHandler()) {
+                panic("scheduler deadlock: %zu fibers blocked with no "
+                      "idle progress", live);
+            }
+            continue;
+        }
+        Fiber *next = readyQueue.front();
+        readyQueue.pop_front();
+        dispatch(*next);
+    }
+
+    activeScheduler = previous;
+    inRun = false;
+
+    // All fibers finished; release their stacks.
+    fibers.clear();
+    readyQueue.clear();
+}
+
+namespace thisFiber
+{
+
+void
+yield()
+{
+    Scheduler *sched = Scheduler::currentScheduler();
+    kmuAssert(sched != nullptr, "thisFiber::yield with no scheduler");
+    sched->yield();
+}
+
+void
+block()
+{
+    Scheduler *sched = Scheduler::currentScheduler();
+    kmuAssert(sched != nullptr, "thisFiber::block with no scheduler");
+    sched->block();
+}
+
+} // namespace thisFiber
+
+} // namespace kmu

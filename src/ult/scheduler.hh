@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Cooperative round-robin scheduler for fibers.
+ *
+ * The scheduler runs on its caller's (OS thread's) context. run()
+ * repeatedly resumes the next ready fiber; fibers come back via
+ * yield() (requeue at the tail — round robin), block() (wait for an
+ * external unblock(), e.g. a device completion), or by finishing.
+ *
+ * When no fiber is ready but some are blocked, the scheduler invokes
+ * the *idle handler* — the hook where the software-queue runtime
+ * polls its completion queue, mirroring the paper's design ("the
+ * scheduler polls the completion queue only when no threads remain
+ * in the ready state"). Fibers are managed strictly FIFO, which also
+ * keeps device access sequences deterministic for replay.
+ */
+
+#ifndef KMU_ULT_SCHEDULER_HH
+#define KMU_ULT_SCHEDULER_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "ult/fiber.hh"
+
+namespace kmu
+{
+
+class Scheduler
+{
+  public:
+    /**
+     * Called when every live fiber is blocked. Should make progress
+     * toward unblocking at least one (e.g. reap completions).
+     * Return false to declare deadlock and abort run().
+     */
+    using IdleHandler = std::function<bool()>;
+
+    Scheduler();
+    ~Scheduler();
+
+    Scheduler(const Scheduler &) = delete;
+    Scheduler &operator=(const Scheduler &) = delete;
+
+    /** Create a fiber owned by this scheduler; it becomes Ready. */
+    Fiber &spawn(std::function<void()> entry,
+                 std::size_t stack_bytes = Fiber::defaultStackBytes);
+
+    /** Run until all fibers have finished. */
+    void run();
+
+    /** From inside a fiber: requeue self and resume the scheduler. */
+    void yield();
+
+    /** From inside a fiber: mark self Blocked and switch away. The
+     *  fiber resumes only after some context calls unblock(). */
+    void block();
+
+    /** Make a Blocked fiber Ready (FIFO order). Callable from the
+     *  scheduler context or from another fiber of this scheduler. */
+    void unblock(Fiber &fiber);
+
+    /** Install the all-blocked hook (see IdleHandler). */
+    void setIdleHandler(IdleHandler handler);
+
+    /** Fiber currently executing, or nullptr in scheduler context. */
+    Fiber *current() { return running; }
+
+    /** Fibers not yet finished. */
+    std::size_t liveFibers() const { return live; }
+
+    /** Total fiber-to-scheduler-to-fiber switch pairs performed. */
+    std::uint64_t switches() const { return switchCount; }
+
+    /** The scheduler of the calling OS thread's innermost run(). */
+    static Scheduler *currentScheduler();
+
+  private:
+    /** Resume @p fiber from the scheduler context. */
+    void dispatch(Fiber &fiber);
+
+    /** From a fiber: save into the fiber, resume scheduler context. */
+    void switchToScheduler();
+
+    std::vector<std::unique_ptr<Fiber>> fibers;
+    std::deque<Fiber *> readyQueue;
+    Fiber *running = nullptr;
+    FiberContext schedulerContext;
+    IdleHandler idleHandler;
+    std::size_t live = 0;
+    std::uint64_t switchCount = 0;
+    bool inRun = false;
+};
+
+/**
+ * Convenience free functions targeting the calling thread's active
+ * scheduler; these are what application code and dev_access() use.
+ */
+namespace thisFiber
+{
+
+/** Yield the current fiber (round-robin requeue). */
+void yield();
+
+/** Block the current fiber until unblocked. */
+void block();
+
+} // namespace thisFiber
+
+} // namespace kmu
+
+#endif // KMU_ULT_SCHEDULER_HH

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Tests for device-resident BFS across all access mechanisms.
+ */
+
+#include <gtest/gtest.h>
+
+#include "access/runtime.hh"
+#include "apps/graph/bfs.hh"
+
+namespace kmu
+{
+namespace
+{
+
+struct BuiltGraph
+{
+    BuiltGraph(std::uint32_t scale, std::uint64_t seed)
+        : params{scale, 16, seed},
+          graph(params.vertices(), generateKronecker(params)),
+          image(buildDeviceImage(graph, layout))
+    {
+    }
+
+    KroneckerParams params;
+    CsrGraph graph;
+    DeviceGraphLayout layout;
+    std::vector<std::uint8_t> image;
+};
+
+class BfsMechanismTest : public ::testing::TestWithParam<Mechanism>
+{
+};
+
+TEST_P(BfsMechanismTest, MatchesReferenceBfs)
+{
+    BuiltGraph built(9, 3);
+    const std::uint64_t source = built.graph.maxDegreeVertex();
+    const BfsResult expect = bfsReference(built.graph, source);
+
+    Runtime rt(built.image,
+               {.mechanism = GetParam(),
+                .deviceLatency = std::chrono::nanoseconds(200)});
+    BfsResult got;
+    rt.spawnWorker([&](AccessEngine &dev) {
+        got = bfsDevice(dev, built.layout, source);
+    });
+    rt.run();
+
+    EXPECT_EQ(got.level, expect.level);
+    EXPECT_EQ(got.reached, expect.reached);
+    EXPECT_EQ(got.depth, expect.depth);
+    EXPECT_EQ(got.edgesTraversed, expect.edgesTraversed);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMechanisms, BfsMechanismTest,
+                         ::testing::Values(Mechanism::OnDemand,
+                                           Mechanism::Prefetch,
+                                           Mechanism::SwQueue));
+
+class BfsParallelTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BfsParallelTest, ParallelMatchesReference)
+{
+    const std::uint32_t workers = std::uint32_t(GetParam());
+    BuiltGraph built(9, 5);
+    const std::uint64_t source = built.graph.maxDegreeVertex();
+    const BfsResult expect = bfsReference(built.graph, source);
+
+    Runtime rt(built.image, {.mechanism = Mechanism::Prefetch});
+    const BfsResult got =
+        bfsDeviceParallel(rt, built.layout, source, workers);
+
+    EXPECT_EQ(got.level, expect.level);
+    EXPECT_EQ(got.reached, expect.reached);
+    EXPECT_EQ(got.edgesTraversed, expect.edgesTraversed);
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerCounts, BfsParallelTest,
+                         ::testing::Values(1, 2, 7, 16));
+
+TEST(BfsTest, LevelsSatisfyBfsInvariant)
+{
+    // Property: for every edge (u, v) with both sides reached,
+    // |level(u) - level(v)| <= 1; and every reached non-source
+    // vertex has a neighbor one level closer.
+    BuiltGraph built(10, 11);
+    const std::uint64_t source = built.graph.maxDegreeVertex();
+    const BfsResult res = bfsReference(built.graph, source);
+
+    for (std::uint64_t u = 0; u < built.graph.vertexCount(); ++u) {
+        if (res.level[u] < 0)
+            continue;
+        bool has_parent_level = u == source;
+        for (std::uint64_t v : built.graph.neighbors(u)) {
+            ASSERT_GE(res.level[v], 0); // neighbors of reached are reached
+            EXPECT_LE(std::abs(res.level[u] - res.level[v]), 1);
+            has_parent_level |= res.level[v] == res.level[u] - 1;
+        }
+        if (built.graph.neighbors(u).size() > 0 || u == source) {
+            EXPECT_TRUE(has_parent_level) << "vertex " << u;
+        }
+    }
+}
+
+TEST(BfsTest, SingleVertexGraph)
+{
+    CsrGraph g(1, {});
+    DeviceGraphLayout layout;
+    auto image = buildDeviceImage(g, layout);
+    Runtime rt(std::move(image), {.mechanism = Mechanism::OnDemand});
+    BfsResult got;
+    rt.spawnWorker([&](AccessEngine &dev) {
+        got = bfsDevice(dev, layout, 0);
+    });
+    rt.run();
+    EXPECT_EQ(got.reached, 1u);
+    EXPECT_EQ(got.level[0], 0);
+}
+
+TEST(BfsTest, DisconnectedComponentUnreached)
+{
+    // 0-1 and 2-3: starting at 0 must not reach {2, 3}.
+    CsrGraph g(4, {{0, 1}, {2, 3}});
+    DeviceGraphLayout layout;
+    auto image = buildDeviceImage(g, layout);
+    Runtime rt(std::move(image), {.mechanism = Mechanism::Prefetch});
+    BfsResult got;
+    rt.spawnWorker([&](AccessEngine &dev) {
+        got = bfsDevice(dev, layout, 0);
+    });
+    rt.run();
+    EXPECT_EQ(got.reached, 2u);
+    EXPECT_EQ(got.level[2], -1);
+    EXPECT_EQ(got.level[3], -1);
+}
+
+} // anonymous namespace
+} // namespace kmu

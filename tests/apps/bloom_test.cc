@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tests for the device-resident Bloom filter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "access/runtime.hh"
+#include "apps/bloom/bloom_filter.hh"
+#include "common/random.hh"
+
+namespace kmu
+{
+namespace
+{
+
+BloomParams
+smallParams()
+{
+    BloomParams p;
+    p.bits = 1 << 18;
+    p.hashes = 4;
+    return p;
+}
+
+TEST(BloomTest, NoFalseNegativesHostSide)
+{
+    BloomBuilder builder(smallParams());
+    Rng rng(1);
+    std::vector<std::uint64_t> keys;
+    for (int i = 0; i < 5000; ++i) {
+        keys.push_back(rng.next());
+        builder.insert(keys.back());
+    }
+    for (std::uint64_t k : keys)
+        EXPECT_TRUE(builder.contains(k));
+}
+
+TEST(BloomTest, FalsePositiveRateNearTheory)
+{
+    BloomParams p = smallParams();
+    BloomBuilder builder(p);
+    Rng rng(2);
+    const std::uint64_t n = 30000;
+    for (std::uint64_t i = 0; i < n; ++i)
+        builder.insert(rng.next());
+
+    Rng probe(999);
+    const int probes = 50000;
+    int fp = 0;
+    for (int i = 0; i < probes; ++i)
+        fp += builder.contains(probe.next());
+    const double measured = double(fp) / probes;
+    const double theory = p.theoreticalFpr(n);
+    EXPECT_GT(theory, 0.01); // the config is meaningfully loaded
+    EXPECT_NEAR(measured, theory, 0.35 * theory);
+}
+
+class BloomMechanismTest : public ::testing::TestWithParam<Mechanism>
+{
+};
+
+TEST_P(BloomMechanismTest, DeviceProberMatchesHostBuilder)
+{
+    BloomParams p = smallParams();
+    BloomBuilder builder(p);
+    Rng rng(3);
+    std::vector<std::uint64_t> keys;
+    for (int i = 0; i < 2000; ++i) {
+        keys.push_back(rng.next());
+        builder.insert(keys.back());
+    }
+
+    Runtime rt(builder.deviceImage(),
+               {.mechanism = GetParam(),
+                .deviceLatency = std::chrono::nanoseconds(200)});
+    BloomProber prober(p);
+    bool ok = true;
+    rt.spawnWorker([&](AccessEngine &dev) {
+        // Every inserted key must be found (no false negatives).
+        for (std::uint64_t k : keys)
+            ok &= prober.contains(dev, k);
+        // And device answers equal host answers on random probes.
+        Rng probe(77);
+        for (int i = 0; i < 2000; ++i) {
+            const std::uint64_t k = probe.next();
+            ok &= prober.contains(dev, k) == builder.contains(k);
+        }
+    });
+    rt.run();
+    EXPECT_TRUE(ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMechanisms, BloomMechanismTest,
+                         ::testing::Values(Mechanism::OnDemand,
+                                           Mechanism::Prefetch,
+                                           Mechanism::SwQueue));
+
+TEST(BloomTest, ProbePositionsDeterministicAndBounded)
+{
+    BloomParams p = smallParams();
+    std::uint64_t a[AccessEngine::maxBatch];
+    std::uint64_t b[AccessEngine::maxBatch];
+    bloomProbePositions(p, 0x1234, a);
+    bloomProbePositions(p, 0x1234, b);
+    for (std::uint32_t i = 0; i < p.hashes; ++i) {
+        EXPECT_EQ(a[i], b[i]);
+        EXPECT_LT(a[i], p.bits);
+    }
+    // Different keys probe different positions (overwhelmingly).
+    bloomProbePositions(p, 0x5678, b);
+    int same = 0;
+    for (std::uint32_t i = 0; i < p.hashes; ++i)
+        same += a[i] == b[i];
+    EXPECT_LT(same, 2);
+}
+
+TEST(BloomTest, TheoreticalFprMonotonicInLoad)
+{
+    BloomParams p = smallParams();
+    EXPECT_LT(p.theoreticalFpr(1000), p.theoreticalFpr(10000));
+    EXPECT_LT(p.theoreticalFpr(10000), p.theoreticalFpr(100000));
+    EXPECT_GT(p.theoreticalFpr(1000), 0.0);
+    EXPECT_LT(p.theoreticalFpr(100000), 1.0);
+}
+
+TEST(BloomTest, HashCountMustFitBatch)
+{
+    BloomParams p;
+    p.hashes = AccessEngine::maxBatch + 1;
+    EXPECT_DEATH(BloomBuilder{p}, "batch");
+}
+
+} // anonymous namespace
+} // namespace kmu

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Tests for CSR construction and the on-device graph layout.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "apps/graph/csr.hh"
+
+namespace kmu
+{
+namespace
+{
+
+std::vector<Edge>
+diamond()
+{
+    // 0-1, 0-2, 1-3, 2-3, plus a self-loop (dropped) and an
+    // isolated vertex 4.
+    return {{0, 1}, {0, 2}, {1, 3}, {2, 3}, {2, 2}};
+}
+
+TEST(CsrTest, AdjacencyMatchesEdges)
+{
+    CsrGraph g(5, diamond());
+    EXPECT_EQ(g.vertexCount(), 5u);
+    EXPECT_EQ(g.directedEdgeCount(), 8u); // 4 edges, both ways
+
+    auto sorted_neighbors = [&](std::uint64_t u) {
+        auto span = g.neighbors(u);
+        std::vector<std::uint64_t> v(span.begin(), span.end());
+        std::sort(v.begin(), v.end());
+        return v;
+    };
+    EXPECT_EQ(sorted_neighbors(0), (std::vector<std::uint64_t>{1, 2}));
+    EXPECT_EQ(sorted_neighbors(1), (std::vector<std::uint64_t>{0, 3}));
+    EXPECT_EQ(sorted_neighbors(2), (std::vector<std::uint64_t>{0, 3}));
+    EXPECT_EQ(sorted_neighbors(3), (std::vector<std::uint64_t>{1, 2}));
+    EXPECT_TRUE(sorted_neighbors(4).empty());
+}
+
+TEST(CsrTest, OffsetsMonotonic)
+{
+    CsrGraph g(5, diamond());
+    const auto &off = g.offsetArray();
+    ASSERT_EQ(off.size(), 6u);
+    for (std::size_t i = 0; i + 1 < off.size(); ++i)
+        EXPECT_LE(off[i], off[i + 1]);
+    EXPECT_EQ(off.back(), g.directedEdgeCount());
+}
+
+TEST(CsrTest, MultiEdgesAreKept)
+{
+    std::vector<Edge> edges = {{0, 1}, {0, 1}};
+    CsrGraph g(2, edges);
+    EXPECT_EQ(g.directedEdgeCount(), 4u);
+    EXPECT_EQ(g.neighbors(0).size(), 2u);
+}
+
+TEST(CsrTest, MaxDegreeVertex)
+{
+    std::vector<Edge> edges = {{0, 1}, {2, 1}, {3, 1}, {0, 2}};
+    CsrGraph g(4, edges);
+    EXPECT_EQ(g.maxDegreeVertex(), 1u);
+}
+
+TEST(CsrTest, DeviceImageRoundTrips)
+{
+    CsrGraph g(5, diamond());
+    DeviceGraphLayout layout;
+    const auto image = buildDeviceImage(g, layout);
+
+    EXPECT_EQ(layout.n, 5u);
+    EXPECT_EQ(layout.m, 8u);
+    EXPECT_EQ(layout.adjBase % cacheLineSize, 0u);
+    EXPECT_EQ(image.size(), layout.imageBytes());
+
+    // Offsets and neighbors read back exactly.
+    for (std::uint64_t u = 0; u <= layout.n; ++u) {
+        std::uint64_t v;
+        std::memcpy(&v, image.data() + layout.offsetAddr(u), 8);
+        EXPECT_EQ(v, g.offsetArray()[u]);
+    }
+    for (std::uint64_t i = 0; i < layout.m; ++i) {
+        std::uint64_t v;
+        std::memcpy(&v, image.data() + layout.adjAddr(i), 8);
+        EXPECT_EQ(v, g.neighborArray()[i]);
+    }
+}
+
+} // anonymous namespace
+} // namespace kmu

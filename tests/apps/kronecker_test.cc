@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Tests for the Kronecker graph generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/graph/kronecker.hh"
+
+namespace kmu
+{
+namespace
+{
+
+TEST(KroneckerTest, EdgeCountMatchesParams)
+{
+    KroneckerParams p;
+    p.scale = 10;
+    p.edgeFactor = 16;
+    const auto edges = generateKronecker(p);
+    EXPECT_EQ(edges.size(), (1ull << 10) * 16);
+}
+
+TEST(KroneckerTest, EndpointsInRange)
+{
+    KroneckerParams p;
+    p.scale = 8;
+    const auto edges = generateKronecker(p);
+    for (const Edge &e : edges) {
+        EXPECT_LT(e.u, p.vertices());
+        EXPECT_LT(e.v, p.vertices());
+    }
+}
+
+TEST(KroneckerTest, DeterministicPerSeed)
+{
+    KroneckerParams p;
+    p.scale = 9;
+    p.seed = 7;
+    const auto a = generateKronecker(p);
+    const auto b = generateKronecker(p);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].u, b[i].u);
+        EXPECT_EQ(a[i].v, b[i].v);
+    }
+    p.seed = 8;
+    const auto c = generateKronecker(p);
+    std::size_t same = 0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        same += a[i].u == c[i].u && a[i].v == c[i].v;
+    EXPECT_LT(same, a.size() / 10);
+}
+
+TEST(KroneckerTest, DegreeDistributionIsSkewed)
+{
+    // Scale-free-ish graphs: the max degree dwarfs the mean.
+    KroneckerParams p;
+    p.scale = 12;
+    const auto edges = generateKronecker(p);
+    std::vector<std::uint64_t> degree(p.vertices(), 0);
+    for (const Edge &e : edges) {
+        degree[e.u]++;
+        degree[e.v]++;
+    }
+    const std::uint64_t max_degree =
+        *std::max_element(degree.begin(), degree.end());
+    const double mean = 2.0 * double(edges.size()) / p.vertices();
+    EXPECT_GT(double(max_degree), 10.0 * mean);
+}
+
+TEST(KroneckerTest, VertexZeroIsHot)
+{
+    // With A = 0.57 the (0,0) quadrant dominates, concentrating
+    // edges on low vertex ids.
+    KroneckerParams p;
+    p.scale = 12;
+    const auto edges = generateKronecker(p);
+    std::uint64_t low = 0;
+    for (const Edge &e : edges)
+        low += e.u < p.vertices() / 4;
+    EXPECT_GT(low, edges.size() / 2);
+}
+
+} // anonymous namespace
+} // namespace kmu

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Tests for the memcached-style KV store.
+ */
+
+#include <gtest/gtest.h>
+
+#include "access/runtime.hh"
+#include "apps/kv/kv_store.hh"
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace kmu
+{
+namespace
+{
+
+std::string
+valueFor(std::uint64_t i, std::size_t len)
+{
+    std::string v(len, '\0');
+    std::uint64_t state = i;
+    for (auto &ch : v)
+        ch = char('A' + splitMix64(state) % 26);
+    return v;
+}
+
+class KvMechanismTest : public ::testing::TestWithParam<Mechanism>
+{
+};
+
+TEST_P(KvMechanismTest, GetReturnsExactValues)
+{
+    KvParams p;
+    p.buckets = 1 << 8;
+    KvBuilder builder(p);
+    constexpr int n = 500;
+    for (int i = 0; i < n; ++i) {
+        builder.put(csprintf("key-%04d", i),
+                    valueFor(i, 100 + (i % 400)));
+    }
+
+    Runtime rt(builder.deviceImage(),
+               {.mechanism = GetParam(),
+                .deviceLatency = std::chrono::nanoseconds(200)});
+    KvProber prober(p);
+    bool ok = true;
+    rt.spawnWorker([&](AccessEngine &dev) {
+        for (int i = 0; i < n; ++i) {
+            const auto got = prober.get(dev, csprintf("key-%04d", i));
+            ok &= got.has_value() &&
+                  *got == valueFor(i, 100 + (i % 400));
+        }
+        // Misses return nullopt.
+        for (int i = 0; i < 100; ++i)
+            ok &= !prober.get(dev, csprintf("no-%04d", i)).has_value();
+    });
+    rt.run();
+    EXPECT_TRUE(ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMechanisms, KvMechanismTest,
+                         ::testing::Values(Mechanism::OnDemand,
+                                           Mechanism::Prefetch,
+                                           Mechanism::SwQueue));
+
+TEST(KvTest, CollidingChainsResolve)
+{
+    // One bucket: every item chains behind it.
+    KvParams p;
+    p.buckets = 1;
+    KvBuilder builder(p);
+    for (int i = 0; i < 50; ++i)
+        builder.put(csprintf("chained-%d", i), valueFor(i, 64));
+
+    Runtime rt(builder.deviceImage(),
+               {.mechanism = Mechanism::OnDemand});
+    KvProber prober(p);
+    bool ok = true;
+    rt.spawnWorker([&](AccessEngine &dev) {
+        for (int i = 0; i < 50; ++i) {
+            const auto got = prober.get(dev, csprintf("chained-%d", i));
+            ok &= got.has_value() && *got == valueFor(i, 64);
+        }
+        ok &= !prober.get(dev, "absent").has_value();
+    });
+    rt.run();
+    EXPECT_TRUE(ok);
+}
+
+TEST(KvTest, ValueSizeEdgeCases)
+{
+    KvParams p;
+    p.buckets = 16;
+    KvBuilder builder(p);
+    builder.put("empty", "");
+    builder.put("one", "x");
+    builder.put("line", std::string(64, 'y'));
+    builder.put("line-plus", std::string(65, 'z'));
+    builder.put("big", valueFor(9, 1000));
+
+    Runtime rt(builder.deviceImage(),
+               {.mechanism = Mechanism::Prefetch});
+    KvProber prober(p);
+    bool ok = true;
+    rt.spawnWorker([&](AccessEngine &dev) {
+        ok &= prober.get(dev, "empty") == "";
+        ok &= prober.get(dev, "one") == "x";
+        ok &= prober.get(dev, "line") == std::string(64, 'y');
+        ok &= prober.get(dev, "line-plus") == std::string(65, 'z');
+        ok &= prober.get(dev, "big") == valueFor(9, 1000);
+    });
+    rt.run();
+    EXPECT_TRUE(ok);
+}
+
+TEST(KvTest, MaxKeyLengthSupported)
+{
+    KvParams p;
+    p.buckets = 4;
+    KvBuilder builder(p);
+    const std::string long_key(kvMaxKeyLen, 'k');
+    builder.put(long_key, "value");
+
+    Runtime rt(builder.deviceImage(),
+               {.mechanism = Mechanism::OnDemand});
+    KvProber prober(p);
+    bool ok = true;
+    rt.spawnWorker([&](AccessEngine &dev) {
+        ok &= prober.get(dev, long_key) == "value";
+        // Same prefix, shorter: must not match.
+        ok &= !prober.get(dev, long_key.substr(0, kvMaxKeyLen - 1))
+                   .has_value();
+    });
+    rt.run();
+    EXPECT_TRUE(ok);
+}
+
+TEST(KvTest, DuplicateKeyRejected)
+{
+    KvBuilder builder(KvParams{.buckets = 4});
+    builder.put("dup", "a");
+    EXPECT_DEATH(builder.put("dup", "b"), "duplicate");
+}
+
+TEST(KvTest, OverlongKeyRejected)
+{
+    KvBuilder builder(KvParams{.buckets = 4});
+    EXPECT_DEATH(builder.put(std::string(kvMaxKeyLen + 1, 'k'), "v"),
+                 "length");
+}
+
+TEST(KvTest, HashIsStable)
+{
+    EXPECT_EQ(kvHash("alpha"), kvHash("alpha"));
+    EXPECT_NE(kvHash("alpha"), kvHash("beta"));
+}
+
+} // anonymous namespace
+} // namespace kmu

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Unit tests for common/bitops.hh.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitops.hh"
+
+namespace kmu
+{
+namespace
+{
+
+TEST(BitopsTest, IsPowerOf2)
+{
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(2));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_TRUE(isPowerOf2(1ull << 63));
+    EXPECT_FALSE(isPowerOf2((1ull << 63) + 1));
+}
+
+TEST(BitopsTest, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(64), 6u);
+    EXPECT_EQ(floorLog2(65), 6u);
+    EXPECT_EQ(floorLog2(~0ull), 63u);
+}
+
+TEST(BitopsTest, CeilLog2)
+{
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(64), 6u);
+    EXPECT_EQ(ceilLog2(65), 7u);
+}
+
+TEST(BitopsTest, RoundUpDown)
+{
+    EXPECT_EQ(roundUp(0, 64), 0u);
+    EXPECT_EQ(roundUp(1, 64), 64u);
+    EXPECT_EQ(roundUp(64, 64), 64u);
+    EXPECT_EQ(roundUp(65, 64), 128u);
+    EXPECT_EQ(roundDown(63, 64), 0u);
+    EXPECT_EQ(roundDown(64, 64), 64u);
+    EXPECT_EQ(roundDown(127, 64), 64u);
+}
+
+TEST(BitopsTest, DivCeil)
+{
+    EXPECT_EQ(divCeil(0, 7), 0u);
+    EXPECT_EQ(divCeil(1, 7), 1u);
+    EXPECT_EQ(divCeil(7, 7), 1u);
+    EXPECT_EQ(divCeil(8, 7), 2u);
+}
+
+/** Property sweep: roundUp is the least multiple >= value. */
+class RoundUpProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RoundUpProperty, LeastMultipleNotBelow)
+{
+    const std::uint64_t align = GetParam();
+    for (std::uint64_t v = 0; v < 4 * align; ++v) {
+        const std::uint64_t r = roundUp(v, align);
+        EXPECT_GE(r, v);
+        EXPECT_EQ(r % align, 0u);
+        EXPECT_LT(r - v, align);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alignments, RoundUpProperty,
+                         ::testing::Values(1, 2, 8, 64, 4096));
+
+} // anonymous namespace
+} // namespace kmu

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Unit tests for common/logging.hh.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace kmu
+{
+namespace
+{
+
+TEST(LoggingTest, Csprintf)
+{
+    EXPECT_EQ(csprintf("plain"), "plain");
+    EXPECT_EQ(csprintf("%d + %d = %d", 1, 2, 3), "1 + 2 = 3");
+    EXPECT_EQ(csprintf("%s/%s", "a", "b"), "a/b");
+    EXPECT_EQ(csprintf("%#x", 0xff), "0xff");
+}
+
+TEST(LoggingTest, CsprintfLongOutput)
+{
+    const std::string big(10000, 'x');
+    EXPECT_EQ(csprintf("%s", big.c_str()).size(), big.size());
+}
+
+TEST(LoggingTest, LogLevelRoundTrip)
+{
+    const LogLevel saved = logLevel();
+    setLogLevel(LogLevel::Quiet);
+    EXPECT_EQ(logLevel(), LogLevel::Quiet);
+    setLogLevel(LogLevel::Verbose);
+    EXPECT_EQ(logLevel(), LogLevel::Verbose);
+    setLogLevel(saved);
+}
+
+TEST(LoggingDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(panic("boom %d", 42), "boom 42");
+}
+
+TEST(LoggingDeathTest, AssertMacroAborts)
+{
+    EXPECT_DEATH(kmuAssert(1 == 2, "impossible %s", "case"),
+                 "impossible case");
+}
+
+TEST(LoggingTest, AssertMacroPassesQuietly)
+{
+    kmuAssert(2 + 2 == 4, "arithmetic broke");
+    SUCCEED();
+}
+
+} // anonymous namespace
+} // namespace kmu

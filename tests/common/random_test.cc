@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Unit and property tests for common/random.hh.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.hh"
+
+namespace kmu
+{
+namespace
+{
+
+TEST(RandomTest, DeterministicForSeed)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RandomTest, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(RandomTest, ReseedRestartsSequence)
+{
+    Rng rng(7);
+    const auto first = rng.next();
+    rng.next();
+    rng.seed(7);
+    EXPECT_EQ(rng.next(), first);
+}
+
+TEST(RandomTest, Mix64IsStableAndSpreads)
+{
+    EXPECT_EQ(mix64(0x1234), mix64(0x1234));
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t i = 0; i < 1000; ++i)
+        seen.insert(mix64(i));
+    EXPECT_EQ(seen.size(), 1000u); // no collisions on a tiny domain
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval)
+{
+    Rng rng(99);
+    for (int i = 0; i < 10000; ++i) {
+        const double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(RandomTest, NextBoolRespectsProbability)
+{
+    Rng rng(5);
+    int trues = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        trues += rng.nextBool(0.25);
+    EXPECT_NEAR(double(trues) / n, 0.25, 0.02);
+}
+
+class BoundedDraw : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(BoundedDraw, StaysInBoundAndHitsAllResidues)
+{
+    const std::uint64_t bound = GetParam();
+    Rng rng(bound * 7919 + 3);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 5000; ++i) {
+        const std::uint64_t v = rng.nextBounded(bound);
+        EXPECT_LT(v, bound);
+        seen.insert(v);
+    }
+    if (bound <= 16) {
+        EXPECT_EQ(seen.size(), bound); // small bounds fully covered
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, BoundedDraw,
+                         ::testing::Values(1, 2, 3, 10, 16, 1000,
+                                           1ull << 40));
+
+TEST(RandomTest, NextRangeInclusive)
+{
+    Rng rng(11);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const auto v = rng.nextRange(10, 13);
+        EXPECT_GE(v, 10u);
+        EXPECT_LE(v, 13u);
+        saw_lo |= v == 10;
+        saw_hi |= v == 13;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(RandomTest, RoughUniformity)
+{
+    Rng rng(2024);
+    const int buckets = 16;
+    const int n = 160000;
+    int counts[16] = {};
+    for (int i = 0; i < n; ++i)
+        counts[rng.nextBounded(buckets)]++;
+    for (int b = 0; b < buckets; ++b)
+        EXPECT_NEAR(counts[b], n / buckets, n / buckets / 5);
+}
+
+} // anonymous namespace
+} // namespace kmu

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Unit tests for the statistics package.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/stats.hh"
+
+namespace kmu
+{
+namespace
+{
+
+TEST(StatsTest, CounterIncrements)
+{
+    StatGroup group("g");
+    Counter c(group, "events", "test events");
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 41;
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(StatsTest, AverageTracksMoments)
+{
+    StatGroup group("g");
+    Average a(group, "lat", "latency");
+    EXPECT_EQ(a.mean(), 0.0);
+    a.sample(10.0);
+    a.sample(20.0);
+    a.sample(30.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 20.0);
+    EXPECT_DOUBLE_EQ(a.min(), 10.0);
+    EXPECT_DOUBLE_EQ(a.max(), 30.0);
+    EXPECT_EQ(a.samples(), 3u);
+    a.reset();
+    EXPECT_EQ(a.samples(), 0u);
+    EXPECT_EQ(a.min(), 0.0);
+}
+
+TEST(StatsTest, HistogramBinsAndOutliers)
+{
+    StatGroup group("g");
+    Histogram h(group, "h", "hist", 0.0, 10.0, 4); // [0,40) in 4 bins
+    h.sample(-1.0);  // underflow
+    h.sample(0.0);   // bin 0
+    h.sample(9.99);  // bin 0
+    h.sample(10.0);  // bin 1
+    h.sample(39.9);  // bin 3
+    h.sample(40.0);  // overflow
+    h.sample(1000);  // overflow
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.binCount(0), 2u);
+    EXPECT_EQ(h.binCount(1), 1u);
+    EXPECT_EQ(h.binCount(2), 0u);
+    EXPECT_EQ(h.binCount(3), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.samples(), 7u);
+}
+
+TEST(StatsTest, GroupPathsNest)
+{
+    StatGroup root("system");
+    StatGroup child("core0", &root);
+    StatGroup grand("lfb", &child);
+    EXPECT_EQ(root.path(), "system");
+    EXPECT_EQ(child.path(), "system.core0");
+    EXPECT_EQ(grand.path(), "system.core0.lfb");
+}
+
+TEST(StatsTest, DumpContainsAllStats)
+{
+    StatGroup root("sys");
+    StatGroup child("sub", &root);
+    Counter a(root, "alpha", "first");
+    Counter b(child, "beta", "second");
+    a += 7;
+    b += 9;
+
+    std::ostringstream os;
+    root.dump(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("sys.alpha"), std::string::npos);
+    EXPECT_NE(out.find("sys.sub.beta"), std::string::npos);
+    EXPECT_NE(out.find("7"), std::string::npos);
+    EXPECT_NE(out.find("# second"), std::string::npos);
+}
+
+TEST(StatsTest, ResetAllRecurses)
+{
+    StatGroup root("sys");
+    StatGroup child("sub", &root);
+    Counter a(root, "a", "");
+    Counter b(child, "b", "");
+    a += 1;
+    b += 2;
+    root.resetAll();
+    EXPECT_EQ(a.value(), 0u);
+    EXPECT_EQ(b.value(), 0u);
+}
+
+TEST(StatsTest, ChildUnregistersOnDestruction)
+{
+    StatGroup root("sys");
+    {
+        StatGroup child("gone", &root);
+        Counter c(child, "x", "");
+        c += 1;
+    }
+    std::ostringstream os;
+    root.dump(os); // must not touch the destroyed child
+    EXPECT_EQ(os.str().find("gone"), std::string::npos);
+}
+
+} // anonymous namespace
+} // namespace kmu

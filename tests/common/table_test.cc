@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Unit tests for the result-table emitters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/table.hh"
+
+namespace kmu
+{
+namespace
+{
+
+Table
+sampleTable()
+{
+    Table t("Fig X");
+    t.setHeader({"threads", "1us", "4us"});
+    t.addRow({"1", "0.125", "0.033"});
+    t.addRow({"10", "1.064", "0.328"});
+    return t;
+}
+
+TEST(TableTest, Dimensions)
+{
+    Table t = sampleTable();
+    EXPECT_EQ(t.rows(), 2u);
+    EXPECT_EQ(t.cols(), 3u);
+    EXPECT_EQ(t.row(1)[1], "1.064");
+}
+
+TEST(TableTest, NumFormatting)
+{
+    EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+    EXPECT_EQ(Table::num(1.0, 3), "1.000");
+    EXPECT_EQ(Table::num(std::uint64_t(42)), "42");
+}
+
+TEST(TableTest, AsciiContainsAlignedCells)
+{
+    std::ostringstream os;
+    sampleTable().printAscii(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("== Fig X =="), std::string::npos);
+    EXPECT_NE(out.find("threads"), std::string::npos);
+    EXPECT_NE(out.find("1.064"), std::string::npos);
+    EXPECT_NE(out.find("+--"), std::string::npos);
+}
+
+TEST(TableTest, CsvPlain)
+{
+    std::ostringstream os;
+    sampleTable().printCsv(os);
+    EXPECT_EQ(os.str(),
+              "threads,1us,4us\n1,0.125,0.033\n10,1.064,0.328\n");
+}
+
+TEST(TableTest, CsvEscaping)
+{
+    Table t("esc");
+    t.setHeader({"a,b", "c\"d"});
+    t.addRow({"x\ny", "plain"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "\"a,b\",\"c\"\"d\"\n\"x\ny\",plain\n");
+}
+
+TEST(TableTest, WriteCsvFile)
+{
+    const std::string path = ::testing::TempDir() + "kmu_table.csv";
+    sampleTable().writeCsvFile(path);
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string header;
+    std::getline(in, header);
+    EXPECT_EQ(header, "threads,1us,4us");
+    std::remove(path.c_str());
+}
+
+TEST(TableDeathTest, RowArityMismatchPanics)
+{
+    Table t("bad");
+    t.setHeader({"one", "two"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "arity");
+}
+
+} // anonymous namespace
+} // namespace kmu

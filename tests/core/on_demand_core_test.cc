@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Tests for the OoO-window on-demand core model (also the DRAM
+ * baseline of every figure).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/on_demand_core.hh"
+#include "core/sim_system.hh"
+
+namespace kmu
+{
+namespace
+{
+
+SystemConfig
+dramBaseline(std::uint32_t work, std::uint32_t batch = 1)
+{
+    SystemConfig cfg;
+    cfg.mechanism = Mechanism::OnDemand;
+    cfg.backing = Backing::Dram;
+    cfg.workCount = work;
+    cfg.batch = batch;
+    return cfg;
+}
+
+TEST(OnDemandCoreTest, BaselineIpcMatchesAnalyticModel)
+{
+    // One 250-instr iteration exceeds half the ROB, so exactly one
+    // iteration is in flight: iter time = work/1.4 cycles + DRAM.
+    const auto cfg = dramBaseline(250);
+    const auto res = runSystem(cfg);
+    const double work_ns = 250.0 / 1.4 / 2.5; // 71.4
+    const double loop_ns = 8.0 / 1.4 / 2.5;
+    const double iter_ns = work_ns + loop_ns + 60.0;
+    const double expect = 250.0 / (iter_ns * 2.5);
+    EXPECT_NEAR(res.workIpc, expect, 0.02 * expect);
+}
+
+TEST(OnDemandCoreTest, SmallIterationsOverlapDramAccesses)
+{
+    // 50-instr iterations fit the ROB ~3x: DRAM latency overlaps and
+    // per-work-instruction throughput beats the 250-instr case.
+    const auto small = runSystem(dramBaseline(50));
+    const auto big = runSystem(dramBaseline(250));
+    const double small_per_iter =
+        small.workIpc / 50.0;  // iterations per cycle
+    const double big_per_iter = big.workIpc / 250.0;
+    EXPECT_GT(small_per_iter, 1.5 * big_per_iter);
+}
+
+TEST(OnDemandCoreTest, WindowAdmitsMultipleSmallIterations)
+{
+    SystemConfig cfg = dramBaseline(50);
+    SimSystem sys(cfg);
+    auto &core = static_cast<OnDemandCore &>(sys.core(0));
+    EXPECT_GE(core.maxInWindow(), 2u);
+    SystemConfig cfg_big = dramBaseline(1000);
+    SimSystem sys_big(cfg_big);
+    auto &core_big = static_cast<OnDemandCore &>(sys_big.core(0));
+    EXPECT_EQ(core_big.maxInWindow(), 1u);
+}
+
+TEST(OnDemandCoreTest, DeviceLatencyCollapsesThroughput)
+{
+    SystemConfig dev = dramBaseline(250);
+    dev.backing = Backing::Device;
+    dev.device.latency = microseconds(1);
+    const double norm = normalizedWorkIpc(dev);
+    EXPECT_LT(norm, 0.15); // the paper's "abysmal" Fig. 2 point
+    EXPECT_GT(norm, 0.05);
+}
+
+TEST(OnDemandCoreTest, MoreWorkPartiallyAbatesDeviceLatency)
+{
+    double prev = 0.0;
+    for (std::uint32_t work : {250u, 1000u, 5000u}) {
+        SystemConfig dev = dramBaseline(work);
+        dev.backing = Backing::Device;
+        const double norm = normalizedWorkIpc(dev);
+        EXPECT_GT(norm, prev);
+        prev = norm;
+    }
+    // Even at 5000 work instructions the gap remains (Fig. 2).
+    EXPECT_LT(prev, 0.8);
+    EXPECT_GT(prev, 0.5);
+}
+
+TEST(OnDemandCoreTest, LongerLatencyAlwaysWorse)
+{
+    double prev = 1.0;
+    for (unsigned us : {1u, 2u, 4u}) {
+        SystemConfig dev = dramBaseline(250);
+        dev.backing = Backing::Device;
+        dev.device.latency = microseconds(us);
+        const double norm = normalizedWorkIpc(dev);
+        EXPECT_LT(norm, prev);
+        prev = norm;
+    }
+}
+
+TEST(OnDemandCoreTest, BatchedLoadsOverlapInBaseline)
+{
+    // MLP in the window: 4 adjacent independent loads share one DRAM
+    // round trip, so IPC rises with batch.
+    const auto b1 = runSystem(dramBaseline(250, 1));
+    const auto b4 = runSystem(dramBaseline(250, 4));
+    EXPECT_GT(b4.workIpc, 1.2 * b1.workIpc);
+}
+
+TEST(OnDemandCoreTest, DeterministicAcrossRuns)
+{
+    const auto a = runSystem(dramBaseline(250));
+    const auto b = runSystem(dramBaseline(250));
+    EXPECT_EQ(a.workInstrs, b.workInstrs);
+    EXPECT_EQ(a.iterations, b.iterations);
+    EXPECT_DOUBLE_EQ(a.workIpc, b.workIpc);
+}
+
+} // anonymous namespace
+} // namespace kmu

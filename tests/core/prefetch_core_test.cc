@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Tests for the prefetch + context-switch core model: the LFB
+ * plateaus and knees of Figs. 3, 4 and 6.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/prefetch_core.hh"
+#include "core/sim_system.hh"
+
+namespace kmu
+{
+namespace
+{
+
+SystemConfig
+prefetchConfig(std::uint32_t threads, Tick latency = microseconds(1))
+{
+    SystemConfig cfg;
+    cfg.mechanism = Mechanism::Prefetch;
+    cfg.backing = Backing::Device;
+    cfg.threadsPerCore = threads;
+    cfg.device.latency = latency;
+    return cfg;
+}
+
+double
+normAt(std::uint32_t threads, Tick latency = microseconds(1),
+       std::uint32_t batch = 1)
+{
+    SystemConfig cfg = prefetchConfig(threads, latency);
+    cfg.batch = batch;
+    return normalizedWorkIpc(cfg);
+}
+
+TEST(PrefetchCoreTest, ThroughputScalesWithThreadsBeforeKnee)
+{
+    const double t1 = normAt(1);
+    const double t2 = normAt(2);
+    const double t4 = normAt(4);
+    EXPECT_NEAR(t2, 2.0 * t1, 0.15 * t2);
+    EXPECT_NEAR(t4, 4.0 * t1, 0.15 * t4);
+}
+
+TEST(PrefetchCoreTest, ApproachesDramAtTenThreadsFor1us)
+{
+    // The paper: "At 10 threads and 1 us device latency, the
+    // performance is similar to running the application with data in
+    // DRAM", marginally above it.
+    const double t10 = normAt(10);
+    EXPECT_GT(t10, 0.95);
+    EXPECT_LT(t10, 1.25);
+}
+
+TEST(PrefetchCoreTest, LfbPlateauAtTenThreads)
+{
+    const double t10 = normAt(10, microseconds(4));
+    const double t16 = normAt(16, microseconds(4));
+    const double t32 = normAt(32, microseconds(4));
+    // No improvement beyond 10 threads, and no collapse either.
+    EXPECT_NEAR(t16, t10, 0.05 * t10);
+    EXPECT_NEAR(t32, t10, 0.05 * t10);
+}
+
+TEST(PrefetchCoreTest, PlateauTracksLfbOverLatency)
+{
+    // Once latency-bound, the plateau is LFB/latency: doubling the
+    // latency halves it. At 1 us the plateau is slot-bound instead
+    // (full hiding), so it sits below twice the 2 us value.
+    const double p1 = normAt(16, microseconds(1));
+    const double p2 = normAt(16, microseconds(2));
+    const double p4 = normAt(16, microseconds(4));
+    EXPECT_NEAR(p4 * 2.0, p2, 0.1 * p2);
+    EXPECT_LT(p1, 2.0 * p2);
+    EXPECT_GT(p1, p2);
+}
+
+TEST(PrefetchCoreTest, EnlargedLfbLiftsThePlateau)
+{
+    // The paper's central claim: resize the queues and the plateau
+    // moves. 4 us needs ~80 in-flight accesses (20 x latency-us).
+    SystemConfig small = prefetchConfig(40, microseconds(4));
+    SystemConfig big = prefetchConfig(40, microseconds(4));
+    big.lfbPerCore = 80;
+    big.chipPcieQueue = 256;
+    const double with_small = normalizedWorkIpc(small);
+    const double with_big = normalizedWorkIpc(big);
+    EXPECT_GT(with_big, 2.5 * with_small);
+    EXPECT_GT(with_big, 0.9); // approaches DRAM
+}
+
+TEST(PrefetchCoreTest, MlpConsumesLfbsFaster)
+{
+    // Fig. 6: knees at ~10/5/3 threads for MLP 1/2/4. Past the knee,
+    // extra threads do not help.
+    const double b2_at5 = normAt(5, microseconds(1), 2);
+    const double b2_at10 = normAt(10, microseconds(1), 2);
+    EXPECT_NEAR(b2_at10, b2_at5 * 10 / 10, 0.25 * b2_at10);
+    EXPECT_LT(b2_at10, 1.15 * b2_at5 + 0.25);
+
+    const double b4_at3 = normAt(3, microseconds(1), 4);
+    const double b4_at10 = normAt(10, microseconds(1), 4);
+    EXPECT_LT(b4_at10, 1.25 * b4_at3);
+}
+
+TEST(PrefetchCoreTest, MlpPlateauBelowItsOwnBaseline)
+{
+    // "the LFB limit is more problematic for applications with
+    // inherent MLP": the 4-read plateau sits clearly below its
+    // (MLP-matched) DRAM baseline, unlike the 1-read case.
+    const double b1 = normAt(16, microseconds(1), 1);
+    const double b4 = normAt(16, microseconds(1), 4);
+    EXPECT_GT(b1, 1.0);
+    EXPECT_LT(b4, 0.95);
+}
+
+TEST(PrefetchCoreTest, NoPrefetchQueuingBelowLfbLimit)
+{
+    SystemConfig cfg = prefetchConfig(8);
+    const auto res = runSystem(cfg);
+    EXPECT_EQ(res.prefetchesQueued, 0u);
+    SystemConfig over = prefetchConfig(16);
+    const auto res_over = runSystem(over);
+    EXPECT_GT(res_over.prefetchesQueued, 0u);
+}
+
+TEST(PrefetchCoreTest, ContextSwitchCostMatters)
+{
+    // The paper's 2 us Pth switches would defeat the mechanism.
+    SystemConfig fast = prefetchConfig(10);
+    SystemConfig slow = prefetchConfig(10);
+    slow.ctxSwitchCost = microseconds(2);
+    const double f = normalizedWorkIpc(fast);
+    const double s = normalizedWorkIpc(slow);
+    EXPECT_GT(f, 3.0 * s);
+}
+
+TEST(PrefetchCoreTest, PrefetchToDramAblation)
+{
+    // Prefetch+yield against plain DRAM: the mechanism costs a
+    // little (switch overhead) but stays near the baseline.
+    SystemConfig cfg = prefetchConfig(4);
+    cfg.backing = Backing::Dram;
+    const double norm = normalizedWorkIpc(cfg);
+    EXPECT_GT(norm, 0.7);
+    EXPECT_LT(norm, 1.4);
+}
+
+} // anonymous namespace
+} // namespace kmu

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Tests for the SMT extension of the on-demand core model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/on_demand_core.hh"
+#include "core/sim_system.hh"
+
+namespace kmu
+{
+namespace
+{
+
+SystemConfig
+smtConfig(std::uint32_t contexts, Tick latency = microseconds(1))
+{
+    SystemConfig cfg;
+    cfg.mechanism = Mechanism::OnDemand;
+    cfg.backing = Backing::Device;
+    cfg.smtContexts = contexts;
+    cfg.device.latency = latency;
+    return cfg;
+}
+
+TEST(SmtTest, SingleContextUnchangedFromBaselineModel)
+{
+    // smtContexts = 1 must reproduce the original single-stream
+    // model exactly (it is the normalization baseline everywhere).
+    SystemConfig one = smtConfig(1);
+    SimSystem sys(one);
+    auto &core = static_cast<OnDemandCore &>(sys.core(0));
+    EXPECT_EQ(core.contexts(), 1u);
+    EXPECT_EQ(core.maxInWindow(), 1u); // 250-instr iterations
+}
+
+TEST(SmtTest, TwoContextsDoubleTheThroughput)
+{
+    // Latency-bound regime: contexts overlap each other's stalls.
+    const double one = normalizedWorkIpc(smtConfig(1));
+    const double two = normalizedWorkIpc(smtConfig(2));
+    EXPECT_NEAR(two, 2.0 * one, 0.1 * two);
+}
+
+TEST(SmtTest, ScalingStopsAtTheLfbLimit)
+{
+    // Once aggregate in-flight loads reach the shared 10-entry LFB,
+    // more contexts cannot help (same ceiling as prefetch threads).
+    const double c16 = normalizedWorkIpc(smtConfig(16));
+    const double c32 = normalizedWorkIpc(smtConfig(32));
+    EXPECT_NEAR(c32, c16, 0.03 * c16);
+
+    // And the ceiling tracks LFB/latency: 4 us caps at half of 2 us.
+    const double c32_2us =
+        normalizedWorkIpc(smtConfig(32, microseconds(2)));
+    const double c32_4us =
+        normalizedWorkIpc(smtConfig(32, microseconds(4)));
+    EXPECT_NEAR(c32_4us * 2.0, c32_2us, 0.1 * c32_2us);
+}
+
+TEST(SmtTest, RobPartitionsAcrossContexts)
+{
+    // With small iterations, one context overlaps iterations inside
+    // its ROB share; splitting the ROB across 4 contexts shrinks the
+    // per-context window.
+    SystemConfig small = smtConfig(1);
+    small.workCount = 40;
+    SimSystem sys1(small);
+    const auto win1 =
+        static_cast<OnDemandCore &>(sys1.core(0)).maxInWindow();
+
+    small.smtContexts = 4;
+    SimSystem sys4(small);
+    const auto win4 =
+        static_cast<OnDemandCore &>(sys4.core(0)).maxInWindow();
+    EXPECT_GT(win1, win4);
+    EXPECT_GE(win4, 1u);
+}
+
+TEST(SmtTest, ContextsProgressIndependently)
+{
+    SimSystem sys(smtConfig(4));
+    const auto res = sys.run();
+    // All four contexts retire work: aggregate far beyond what one
+    // blocked stream could manage in the window.
+    const auto single = runSystem(smtConfig(1));
+    EXPECT_GT(res.iterations, 3 * single.iterations);
+}
+
+TEST(SmtTest, DeterministicAcrossRuns)
+{
+    const auto a = runSystem(smtConfig(3));
+    const auto b = runSystem(smtConfig(3));
+    EXPECT_EQ(a.workInstrs, b.workInstrs);
+    EXPECT_EQ(a.accesses, b.accesses);
+}
+
+} // anonymous namespace
+} // namespace kmu

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Property sweeps over the timing model: broad invariants that must
+ * hold at every (mechanism, latency, thread-count) point.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/sim_system.hh"
+
+namespace kmu
+{
+namespace
+{
+
+struct SweepPoint
+{
+    Mechanism mechanism;
+    unsigned latencyUs;
+};
+
+class MechanismLatencySweep
+    : public ::testing::TestWithParam<SweepPoint>
+{
+  protected:
+    SystemConfig
+    configFor(std::uint32_t threads) const
+    {
+        SystemConfig cfg;
+        cfg.mechanism = GetParam().mechanism;
+        cfg.backing = Backing::Device;
+        cfg.threadsPerCore = threads;
+        cfg.device.latency = microseconds(GetParam().latencyUs);
+        return cfg;
+    }
+};
+
+TEST_P(MechanismLatencySweep, ThroughputMonotonicInThreads)
+{
+    // More threads never hurt (within 2% numerical slack): each
+    // mechanism either gains or plateaus.
+    double prev = 0.0;
+    for (std::uint32_t threads : {1u, 2u, 4u, 8u, 16u, 32u}) {
+        SystemConfig cfg = configFor(threads);
+        if (cfg.mechanism == Mechanism::OnDemand && threads > 1)
+            break; // single software thread by construction
+        const auto res = runSystem(cfg);
+        EXPECT_GE(res.workIpc, prev * 0.98)
+            << "threads " << threads;
+        prev = res.workIpc;
+    }
+}
+
+TEST_P(MechanismLatencySweep, SanityBoundsHoldEverywhere)
+{
+    for (std::uint32_t threads : {1u, 6u, 24u}) {
+        SystemConfig cfg = configFor(threads);
+        if (cfg.mechanism == Mechanism::OnDemand && threads > 1)
+            continue;
+        SimSystem sys(cfg);
+        const auto res = sys.run();
+
+        // Normalized IPC is positive and below the physical limit
+        // (workIpc cannot exceed the machine's work IPC).
+        EXPECT_GT(res.workIpc, 0.0);
+        EXPECT_LE(res.workIpc, cfg.workIpc * 1.001);
+
+        // Access accounting: iterations x batch accesses completed,
+        // modulo in-flight at the window edges.
+        EXPECT_NEAR(double(res.accesses),
+                    double(res.iterations) * cfg.batch,
+                    double(3 * cfg.threadsPerCore * cfg.batch) + 4);
+
+        // Observed latency can never be below the configured one.
+        EXPECT_GE(res.meanReadLatencyNs,
+                  0.98 * ticksToNs(cfg.device.latency));
+
+        // Hardware occupancy never exceeds the configured caps.
+        if (sys.chipQueue())
+            EXPECT_LE(res.chipQueuePeak, cfg.chipPcieQueue);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MechanismLatencySweep,
+    ::testing::Values(SweepPoint{Mechanism::OnDemand, 1},
+                      SweepPoint{Mechanism::OnDemand, 4},
+                      SweepPoint{Mechanism::Prefetch, 1},
+                      SweepPoint{Mechanism::Prefetch, 2},
+                      SweepPoint{Mechanism::Prefetch, 4},
+                      SweepPoint{Mechanism::SwQueue, 1},
+                      SweepPoint{Mechanism::SwQueue, 2},
+                      SweepPoint{Mechanism::SwQueue, 4}),
+    [](const auto &info) {
+        return std::string(mechanismName(info.param.mechanism) ==
+                                   std::string("on-demand")
+                               ? "OnDemand"
+                               : mechanismName(info.param.mechanism) ==
+                                         std::string("prefetch")
+                                     ? "Prefetch"
+                                     : "SwQueue") +
+               std::to_string(info.param.latencyUs) + "us";
+    });
+
+} // anonymous namespace
+} // namespace kmu

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Timing-model tests for the posted-write extension.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/sim_system.hh"
+
+namespace kmu
+{
+namespace
+{
+
+SystemConfig
+mixConfig(Mechanism mech, double frac, std::uint32_t threads)
+{
+    SystemConfig cfg;
+    cfg.mechanism = mech;
+    cfg.backing = Backing::Device;
+    cfg.threadsPerCore = threads;
+    cfg.writeFraction = frac;
+    return cfg;
+}
+
+TEST(WriteMixTest, WriteCountsTrackTheFraction)
+{
+    for (Mechanism mech :
+         {Mechanism::OnDemand, Mechanism::Prefetch,
+          Mechanism::SwQueue}) {
+        const auto res = runSystem(mixConfig(mech, 0.5, 4));
+        ASSERT_GT(res.accesses, 0u);
+        const double measured =
+            double(res.writes) / double(res.accesses);
+        EXPECT_NEAR(measured, 0.5, 0.05)
+            << "mechanism " << int(mech);
+    }
+}
+
+TEST(WriteMixTest, ZeroFractionEmitsNoWrites)
+{
+    const auto res = runSystem(mixConfig(Mechanism::Prefetch, 0.0, 8));
+    EXPECT_EQ(res.writes, 0u);
+}
+
+TEST(WriteMixTest, PrefetchHoldsParityUnderWriteHeavyMix)
+{
+    // The paper's conclusion: write latency hides behind the same
+    // thread's later instructions. A 75 %-write mix must not drop
+    // the prefetch mechanism below ~DRAM parity.
+    const double norm =
+        normalizedWorkIpc(mixConfig(Mechanism::Prefetch, 0.75, 10));
+    EXPECT_GT(norm, 0.9);
+}
+
+TEST(WriteMixTest, WritesBypassTheLfbBottleneck)
+{
+    // At 4 us and 16 threads the read-only run is hard-capped by the
+    // 10-entry LFB; replacing half the accesses with posted writes
+    // raises normalized throughput.
+    SystemConfig reads = mixConfig(Mechanism::Prefetch, 0.0, 16);
+    reads.device.latency = microseconds(4);
+    SystemConfig mixed = mixConfig(Mechanism::Prefetch, 0.5, 16);
+    mixed.device.latency = microseconds(4);
+    EXPECT_GT(normalizedWorkIpc(mixed),
+              1.3 * normalizedWorkIpc(reads));
+}
+
+TEST(WriteMixTest, QueueOverheadPersistsForWrites)
+{
+    // Software queues pay descriptor management per write, so even
+    // a write-heavy mix stays near the overhead-bound peak.
+    const double norm =
+        normalizedWorkIpc(mixConfig(Mechanism::SwQueue, 0.75, 32));
+    EXPECT_LT(norm, 0.65);
+    EXPECT_GT(norm, 0.3);
+}
+
+TEST(WriteMixTest, WriteTlpsReachTheDevice)
+{
+    SimSystem sys(mixConfig(Mechanism::Prefetch, 0.5, 8));
+    const auto res = sys.run();
+    ASSERT_GT(res.writes, 0u);
+    // Every posted write becomes a TLP; at the measurement cutoff a
+    // handful may still be on the wire.
+    const std::uint64_t emitted = sys.core(0).writesDone();
+    const std::uint64_t received =
+        sys.deviceEmulator()->writesReceived.value();
+    EXPECT_LE(received, emitted);
+    EXPECT_GE(received + 64, emitted);
+}
+
+TEST(WriteMixTest, DeterministicWriteSlotSelection)
+{
+    const auto a = runSystem(mixConfig(Mechanism::Prefetch, 0.3, 6));
+    const auto b = runSystem(mixConfig(Mechanism::Prefetch, 0.3, 6));
+    EXPECT_EQ(a.writes, b.writes);
+    EXPECT_EQ(a.workInstrs, b.workInstrs);
+}
+
+} // anonymous namespace
+} // namespace kmu

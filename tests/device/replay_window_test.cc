@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Unit and property tests for the sliding-window replay matcher —
+ * the trickiest functional piece of the paper's device emulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.hh"
+#include "device/replay_window.hh"
+
+namespace kmu
+{
+namespace
+{
+
+ReplayWindow::SequenceSource
+vectorSource(std::vector<Addr> seq)
+{
+    auto state = std::make_shared<std::pair<std::vector<Addr>,
+                                            std::size_t>>(
+        std::move(seq), 0);
+    return [state](Addr &next) {
+        if (state->second >= state->first.size())
+            return false;
+        next = state->first[state->second++];
+        return true;
+    };
+}
+
+std::vector<Addr>
+linearSequence(std::size_t n)
+{
+    std::vector<Addr> seq(n);
+    for (std::size_t i = 0; i < n; ++i)
+        seq[i] = Addr(i) * 64;
+    return seq;
+}
+
+TEST(ReplayWindowTest, InOrderStreamMatches)
+{
+    auto seq = linearSequence(100);
+    ReplayWindow window(vectorSource(seq), 8);
+    for (Addr a : seq) {
+        std::uint64_t idx = ~0ull;
+        EXPECT_EQ(window.lookup(a, &idx), ReplayWindow::Result::Matched);
+        EXPECT_EQ(idx, a / 64);
+    }
+    EXPECT_EQ(window.matches(), 100u);
+    EXPECT_EQ(window.misses(), 0u);
+    EXPECT_EQ(window.outOfOrderMatches(), 0u);
+}
+
+TEST(ReplayWindowTest, SkippedEntriesToleratedAsCacheHits)
+{
+    // The host "hits in cache" on every third access and never sends
+    // those requests.
+    auto seq = linearSequence(60);
+    ReplayWindow window(vectorSource(seq), 16);
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+        if (i % 3 == 2)
+            continue;
+        EXPECT_EQ(window.lookup(seq[i]), ReplayWindow::Result::Matched)
+            << "at index " << i;
+    }
+    EXPECT_EQ(window.misses(), 0u);
+}
+
+TEST(ReplayWindowTest, ReorderedRequestsMatchWithinWindow)
+{
+    auto seq = linearSequence(40);
+    ReplayWindow window(vectorSource(seq), 8);
+    // Swap neighbours pairwise: 1,0,3,2,...
+    for (std::size_t i = 0; i + 1 < seq.size(); i += 2) {
+        EXPECT_EQ(window.lookup(seq[i + 1]),
+                  ReplayWindow::Result::Matched);
+        EXPECT_EQ(window.lookup(seq[i]),
+                  ReplayWindow::Result::Matched);
+    }
+    EXPECT_EQ(window.misses(), 0u);
+    EXPECT_GT(window.outOfOrderMatches(), 0u);
+}
+
+TEST(ReplayWindowTest, SpuriousRequestMisses)
+{
+    auto seq = linearSequence(10);
+    ReplayWindow window(vectorSource(seq), 8);
+    EXPECT_EQ(window.lookup(0xdead0000),
+              ReplayWindow::Result::Miss);
+    EXPECT_EQ(window.misses(), 1u);
+    // The stream is undisturbed.
+    EXPECT_EQ(window.lookup(seq[0]), ReplayWindow::Result::Matched);
+}
+
+TEST(ReplayWindowTest, RepeatedAddressMatchesOldestFirst)
+{
+    std::vector<Addr> seq = {64, 128, 64, 192};
+    ReplayWindow window(vectorSource(seq), 8);
+    std::uint64_t idx;
+    ASSERT_EQ(window.lookup(64, &idx), ReplayWindow::Result::Matched);
+    EXPECT_EQ(idx, 0u); // age-based: oldest occurrence first
+    ASSERT_EQ(window.lookup(64, &idx), ReplayWindow::Result::Matched);
+    EXPECT_EQ(idx, 2u);
+}
+
+TEST(ReplayWindowTest, ExhaustedSourceMisses)
+{
+    auto seq = linearSequence(4);
+    ReplayWindow window(vectorSource(seq), 8);
+    for (Addr a : seq)
+        window.lookup(a);
+    EXPECT_EQ(window.lookup(seq[0]), ReplayWindow::Result::Miss);
+    EXPECT_EQ(window.buffered(), 0u);
+}
+
+TEST(ReplayWindowTest, SkippedEntriesAgeOut)
+{
+    auto seq = linearSequence(100);
+    const std::size_t w = 8;
+    ReplayWindow window(vectorSource(seq), w);
+    // Never request entry 0; march far past it.
+    for (std::size_t i = 1; i < 50; ++i)
+        ASSERT_EQ(window.lookup(seq[i]), ReplayWindow::Result::Matched);
+    EXPECT_GT(window.agedOut(), 0u);
+    // Entry 0 is long gone: it must miss, not match.
+    EXPECT_EQ(window.lookup(seq[0]), ReplayWindow::Result::Miss);
+}
+
+/**
+ * Property: any request stream derived from the recorded sequence by
+ * (a) dropping arbitrary entries and (b) reordering within a
+ * distance smaller than the window matches completely.
+ */
+class ReplayPerturbation : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ReplayPerturbation, PerturbedStreamsFullyMatch)
+{
+    const std::uint64_t seed = GetParam();
+    Rng rng(seed);
+    const std::size_t n = 500;
+    const std::size_t window_size = 32;
+
+    auto seq = linearSequence(n);
+
+    // Drop ~20 % of entries (cache hits).
+    std::vector<Addr> requests;
+    for (Addr a : seq) {
+        if (!rng.nextBool(0.2))
+            requests.push_back(a);
+    }
+
+    // Bounded local reordering: sorting by (index + noise) displaces
+    // every request by at most the noise amplitude in either
+    // direction — half the window, as a real core's reorder window
+    // would.
+    std::vector<std::pair<std::size_t, Addr>> keyed;
+    keyed.reserve(requests.size());
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        keyed.emplace_back(i + rng.nextBounded(window_size / 2),
+                           requests[i]);
+    }
+    std::stable_sort(keyed.begin(), keyed.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.first < b.first;
+                     });
+    for (std::size_t i = 0; i < requests.size(); ++i)
+        requests[i] = keyed[i].second;
+
+    ReplayWindow window(vectorSource(seq), window_size);
+    for (Addr a : requests) {
+        ASSERT_EQ(window.lookup(a), ReplayWindow::Result::Matched)
+            << "request " << a << " seed " << seed;
+    }
+    EXPECT_EQ(window.matches(), requests.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReplayPerturbation,
+                         ::testing::Range(1, 9));
+
+} // anonymous namespace
+} // namespace kmu

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Timing tests for the software-queue request fetcher.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/units.hh"
+#include "device/request_fetcher.hh"
+
+namespace kmu
+{
+namespace
+{
+
+struct FetcherFixture : public ::testing::Test
+{
+    FetcherFixture()
+        : link("pcie", eq, PcieLinkParams{}, &root),
+          qp(64)
+    {
+        DeviceParams params;
+        params.latency = microseconds(1);
+        fetcher = std::make_unique<RequestFetcher>(
+            "fetch0", eq, 0, params, qp, link, nanoseconds(60),
+            [this](const CompletionDescriptor &c) {
+                completions.push_back(c.hostAddr);
+                completionTicks.push_back(eq.curTick());
+            },
+            &root);
+    }
+
+    EventQueue eq;
+    StatGroup root{"root"};
+    PcieLink link;
+    SwQueuePair qp;
+    std::unique_ptr<RequestFetcher> fetcher;
+    std::vector<Addr> completions;
+    std::vector<Tick> completionTicks;
+};
+
+TEST_F(FetcherFixture, DoorbellFetchesAndCompletes)
+{
+    ASSERT_TRUE(qp.submit({0, 0xaaa}));
+    ASSERT_TRUE(qp.consumeDoorbellRequest());
+    fetcher->ringDoorbell();
+    eq.run();
+
+    ASSERT_EQ(completions.size(), 1u);
+    EXPECT_EQ(completions[0], 0xaaau);
+    EXPECT_EQ(fetcher->descriptorsFetched.value(), 1u);
+    EXPECT_EQ(fetcher->responses.value(), 1u);
+    // The completion is visible in the host-side queue too.
+    CompletionDescriptor c;
+    EXPECT_TRUE(qp.reapCompletion(c));
+    EXPECT_EQ(c.hostAddr, 0xaaau);
+    // Fetcher parked again and requested a doorbell.
+    EXPECT_FALSE(fetcher->fetching());
+    EXPECT_TRUE(qp.doorbellRequested());
+}
+
+TEST_F(FetcherFixture, EndToEndLatencyIncludesFetchPath)
+{
+    qp.submit({0, 1});
+    qp.consumeDoorbellRequest();
+    fetcher->ringDoorbell();
+    eq.run();
+    ASSERT_EQ(completionTicks.size(), 1u);
+    // doorbell TLP + descriptor fetch round trip + 200 ns hold +
+    // data & completion writes: the protocol cannot beat ~1.2 us and
+    // should stay under ~2.5 us.
+    EXPECT_GT(completionTicks[0], microseconds(1));
+    EXPECT_LT(completionTicks[0], nanoseconds(2500));
+}
+
+TEST_F(FetcherFixture, BurstServicesManyPerRead)
+{
+    for (std::uint64_t i = 0; i < 8; ++i)
+        qp.submit({i * 64, i});
+    qp.consumeDoorbellRequest();
+    fetcher->ringDoorbell();
+    eq.run();
+    EXPECT_EQ(completions.size(), 8u);
+    // All eight came from one burst (plus trailing empty reads).
+    EXPECT_EQ(fetcher->descriptorsFetched.value(), 8u);
+    EXPECT_GE(fetcher->burstReads.value(), 2u);
+    EXPECT_GE(fetcher->emptyBursts.value(), 1u);
+}
+
+TEST_F(FetcherFixture, KeepsFetchingWhileDescriptorsFlow)
+{
+    // Submit a second request while the first is being serviced; no
+    // second doorbell is needed.
+    qp.submit({0, 1});
+    qp.consumeDoorbellRequest();
+    fetcher->ringDoorbell();
+    eq.scheduleLambda(nanoseconds(600), [this]() {
+        ASSERT_TRUE(qp.submit({64, 2}));
+        // The fetcher is still active: flag must not be set yet.
+        EXPECT_FALSE(qp.consumeDoorbellRequest());
+    });
+    eq.run();
+    EXPECT_EQ(completions.size(), 2u);
+    EXPECT_EQ(fetcher->doorbells.value(), 1u);
+}
+
+TEST_F(FetcherFixture, RacedSubmissionSweptAfterFlagWrite)
+{
+    // A descriptor that lands between the fetcher's empty read and
+    // its flag write must still be serviced (the post-flag sweep).
+    qp.submit({0, 1});
+    qp.consumeDoorbellRequest();
+    fetcher->ringDoorbell();
+    bool injected = false;
+    // Poll each 50 ns; inject the raced descriptor the moment the
+    // first completion lands (the fetcher is then winding down).
+    std::function<void()> poll = [&]() {
+        if (!injected && !completions.empty()) {
+            injected = true;
+            ASSERT_TRUE(qp.submit({64, 2}));
+            // Do NOT ring the doorbell: emulate the race where the
+            // flag write was still in flight.
+            return;
+        }
+        if (!injected)
+            eq.scheduleLambda(eq.curTick() + nanoseconds(50), poll);
+    };
+    eq.scheduleLambda(nanoseconds(50), poll);
+    eq.run();
+    EXPECT_EQ(completions.size(), 2u);
+}
+
+TEST_F(FetcherFixture, DataWritePrecedesCompletionOnTheWire)
+{
+    qp.submit({0, 7});
+    qp.consumeDoorbellRequest();
+    fetcher->ringDoorbell();
+    eq.run();
+    // 64B data (88B wire) + 8B completion (32B wire): the completion
+    // notify must arrive at least the data-TLP serialization later
+    // than the hold expiry.
+    ASSERT_EQ(completionTicks.size(), 1u);
+    EXPECT_EQ(link.usefulBytes(LinkDir::ToHost), 64u);
+    EXPECT_GE(link.wireBytes(LinkDir::ToHost), 88u + 32u);
+}
+
+TEST_F(FetcherFixture, RedundantDoorbellIgnoredWhileActive)
+{
+    qp.submit({0, 1});
+    qp.consumeDoorbellRequest();
+    fetcher->ringDoorbell();
+    fetcher->ringDoorbell(); // spurious second ring
+    eq.run();
+    EXPECT_EQ(completions.size(), 1u);
+    EXPECT_EQ(fetcher->doorbells.value(), 2u);
+}
+
+} // anonymous namespace
+} // namespace kmu

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Unit tests for the L1 tag-array model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+
+namespace kmu
+{
+namespace
+{
+
+struct CacheFixture : public ::testing::Test
+{
+    EventQueue eq;
+    StatGroup root{"root"};
+    // 4 sets x 2 ways of 64-byte lines.
+    L1Cache cache{"l1", eq, CacheParams{512, 2}, &root};
+};
+
+TEST_F(CacheFixture, Geometry)
+{
+    EXPECT_EQ(cache.sets(), 4u);
+    EXPECT_EQ(cache.ways(), 2u);
+}
+
+TEST_F(CacheFixture, MissThenHit)
+{
+    EXPECT_FALSE(cache.lookup(0));
+    cache.install(0);
+    EXPECT_TRUE(cache.lookup(0));
+    EXPECT_EQ(cache.hits.value(), 1u);
+    EXPECT_EQ(cache.misses.value(), 1u);
+}
+
+TEST_F(CacheFixture, LruEvictionWithinSet)
+{
+    // Lines 0, 256, 512 map to set 0 (4 sets x 64 B stride).
+    cache.install(0);
+    cache.install(256);
+    // Touch 0 so 256 is LRU, then install a third line.
+    EXPECT_TRUE(cache.lookup(0));
+    cache.install(512);
+    EXPECT_TRUE(cache.contains(0));
+    EXPECT_FALSE(cache.contains(256)); // evicted
+    EXPECT_TRUE(cache.contains(512));
+    EXPECT_EQ(cache.evictions.value(), 1u);
+}
+
+TEST_F(CacheFixture, SetsAreIndependent)
+{
+    cache.install(0);   // set 0
+    cache.install(64);  // set 1
+    cache.install(128); // set 2
+    cache.install(192); // set 3
+    EXPECT_TRUE(cache.contains(0));
+    EXPECT_TRUE(cache.contains(64));
+    EXPECT_TRUE(cache.contains(128));
+    EXPECT_TRUE(cache.contains(192));
+    EXPECT_EQ(cache.evictions.value(), 0u);
+}
+
+TEST_F(CacheFixture, ContainsDoesNotPerturbLru)
+{
+    cache.install(0);
+    cache.install(256);
+    // contains() must not promote 0 to MRU...
+    EXPECT_TRUE(cache.contains(0));
+    cache.install(512);
+    // ...so 0 (the LRU) is the victim.
+    EXPECT_FALSE(cache.contains(0));
+    EXPECT_TRUE(cache.contains(256));
+}
+
+TEST_F(CacheFixture, InvalidateDropsLine)
+{
+    cache.install(0);
+    cache.invalidate(0);
+    EXPECT_FALSE(cache.contains(0));
+    EXPECT_EQ(cache.invalidations.value(), 1u);
+    cache.invalidate(0); // idempotent on absent lines
+    EXPECT_EQ(cache.invalidations.value(), 1u);
+}
+
+TEST_F(CacheFixture, ReinstallRefreshesLru)
+{
+    cache.install(0);
+    cache.install(256);
+    cache.install(0); // refresh, not duplicate
+    cache.install(512);
+    EXPECT_TRUE(cache.contains(0));
+    EXPECT_FALSE(cache.contains(256));
+}
+
+TEST(CacheParamsTest, BadGeometryRejected)
+{
+    EventQueue eq;
+    StatGroup root("root");
+    // 3 sets is not a power of two (192 bytes / 64 / 1 way).
+    EXPECT_DEATH((L1Cache{"bad", eq, CacheParams{192, 1}, &root}),
+                 "power-of-two");
+}
+
+TEST(CacheSweepTest, HitRateTracksWorkingSet)
+{
+    EventQueue eq;
+    StatGroup root("root");
+    L1Cache cache("l1", eq, CacheParams{32 * 1024, 8}, &root);
+
+    // Working set half the capacity: after the cold pass, all hits.
+    const Addr lines = 32 * 1024 / 64 / 2;
+    for (int pass = 0; pass < 4; ++pass) {
+        for (Addr i = 0; i < lines; ++i) {
+            if (!cache.lookup(i * 64))
+                cache.install(i * 64);
+        }
+    }
+    EXPECT_EQ(cache.misses.value(), lines);
+    EXPECT_EQ(cache.hits.value(), 3 * lines);
+
+    // Working set 4x the capacity with a sweep pattern: ~no hits.
+    L1Cache big_ws("l1b", eq, CacheParams{32 * 1024, 8}, &root);
+    const Addr big = 4 * 32 * 1024 / 64;
+    for (int pass = 0; pass < 2; ++pass) {
+        for (Addr i = 0; i < big; ++i) {
+            if (!big_ws.lookup(i * 64))
+                big_ws.install(i * 64);
+        }
+    }
+    EXPECT_EQ(big_ws.hits.value(), 0u);
+}
+
+} // anonymous namespace
+} // namespace kmu

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Unit tests for the Line Fill Buffer (MSHR) model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/lfb.hh"
+
+namespace kmu
+{
+namespace
+{
+
+struct LfbFixture : public ::testing::Test
+{
+    EventQueue eq;
+    StatGroup root{"root"};
+    Lfb lfb{"lfb", eq, 4, &root};
+};
+
+TEST_F(LfbFixture, AllocateUntilFull)
+{
+    int fills = 0;
+    for (Addr line = 0; line < 4 * 64; line += 64) {
+        EXPECT_EQ(lfb.request(line, [&]() { fills++; }),
+                  Lfb::AllocResult::NewEntry);
+    }
+    EXPECT_TRUE(lfb.full());
+    EXPECT_EQ(lfb.request(1024, []() {}), Lfb::AllocResult::NoEntry);
+    EXPECT_EQ(lfb.rejections.value(), 1u);
+    EXPECT_EQ(fills, 0);
+}
+
+TEST_F(LfbFixture, SecondaryMissMerges)
+{
+    int first = 0;
+    int second = 0;
+    EXPECT_EQ(lfb.request(0, [&]() { first++; }),
+              Lfb::AllocResult::NewEntry);
+    EXPECT_EQ(lfb.request(0, [&]() { second++; }),
+              Lfb::AllocResult::Merged);
+    EXPECT_EQ(lfb.inUse(), 1u);
+    lfb.fill(0);
+    EXPECT_EQ(first, 1);
+    EXPECT_EQ(second, 1);
+    EXPECT_EQ(lfb.inUse(), 0u);
+}
+
+TEST_F(LfbFixture, FillFreesEntryForReuse)
+{
+    lfb.request(0, []() {});
+    lfb.fill(0);
+    EXPECT_FALSE(lfb.pending(0));
+    EXPECT_EQ(lfb.request(0, []() {}), Lfb::AllocResult::NewEntry);
+}
+
+TEST_F(LfbFixture, WaitForFreeFifoOrder)
+{
+    for (Addr line = 0; line < 4 * 64; line += 64)
+        lfb.request(line, []() {});
+
+    std::vector<int> order;
+    lfb.waitForFree([&]() { order.push_back(1); });
+    lfb.waitForFree([&]() { order.push_back(2); });
+
+    lfb.fill(0);
+    EXPECT_EQ(order, (std::vector<int>{1}));
+    lfb.fill(64);
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST_F(LfbFixture, WaitForFreeImmediateWhenNotFull)
+{
+    bool granted = false;
+    lfb.waitForFree([&]() { granted = true; });
+    EXPECT_FALSE(granted); // deferred off-stack
+    eq.run();
+    EXPECT_TRUE(granted);
+}
+
+TEST_F(LfbFixture, PendingReportsInFlightLines)
+{
+    EXPECT_FALSE(lfb.pending(64));
+    lfb.request(64, []() {});
+    EXPECT_TRUE(lfb.pending(64));
+    EXPECT_FALSE(lfb.pending(128));
+}
+
+TEST_F(LfbFixture, StatsCountAllocationKinds)
+{
+    lfb.request(0, []() {});
+    lfb.request(0, []() {});
+    lfb.request(64, []() {});
+    lfb.fill(0);
+    EXPECT_EQ(lfb.allocs.value(), 2u);
+    EXPECT_EQ(lfb.merges.value(), 1u);
+    EXPECT_EQ(lfb.fills.value(), 1u);
+}
+
+TEST_F(LfbFixture, WaiterCanReallocateFreedEntry)
+{
+    for (Addr line = 0; line < 4 * 64; line += 64)
+        lfb.request(line, []() {});
+
+    bool reissued = false;
+    lfb.waitForFree([&]() {
+        EXPECT_EQ(lfb.request(4096, []() {}),
+                  Lfb::AllocResult::NewEntry);
+        reissued = true;
+    });
+    lfb.fill(0);
+    EXPECT_TRUE(reissued);
+    EXPECT_TRUE(lfb.full()); // 3 old + the reissued one
+}
+
+TEST_F(LfbFixture, FillUnknownLinePanics)
+{
+    EXPECT_DEATH(lfb.fill(0xdead00), "no LFB entry");
+}
+
+} // anonymous namespace
+} // namespace kmu

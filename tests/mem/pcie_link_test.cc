@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Unit tests for the PCIe link model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/units.hh"
+#include "mem/pcie_link.hh"
+
+namespace kmu
+{
+namespace
+{
+
+PcieLinkParams
+testParams()
+{
+    PcieLinkParams p;
+    p.bytesPerSec = 4'000'000'000ull; // 4 GB/s
+    p.tlpHeaderBytes = 24;
+    p.propagation = nanoseconds(100);
+    return p;
+}
+
+struct LinkFixture : public ::testing::Test
+{
+    EventQueue eq;
+    StatGroup root{"root"};
+    PcieLink link{"pcie", eq, testParams(), &root};
+};
+
+TEST_F(LinkFixture, SingleTlpTiming)
+{
+    Tick delivered = 0;
+    // 64B payload + 24B header = 88B at 4 GB/s = 22 ns, + 100 ns.
+    link.send(LinkDir::ToHost, 64, 64,
+              [&]() { delivered = eq.curTick(); });
+    eq.run();
+    EXPECT_EQ(delivered, nanoseconds(122));
+}
+
+TEST_F(LinkFixture, SerializationQueuesBackToBack)
+{
+    std::vector<Tick> arrivals;
+    for (int i = 0; i < 3; ++i) {
+        link.send(LinkDir::ToHost, 64, 64,
+                  [&]() { arrivals.push_back(eq.curTick()); });
+    }
+    eq.run();
+    ASSERT_EQ(arrivals.size(), 3u);
+    // Wire occupancy is 22 ns per TLP; arrivals pipeline at 22 ns.
+    EXPECT_EQ(arrivals[0], nanoseconds(122));
+    EXPECT_EQ(arrivals[1], nanoseconds(144));
+    EXPECT_EQ(arrivals[2], nanoseconds(166));
+}
+
+TEST_F(LinkFixture, DirectionsAreIndependent)
+{
+    Tick up = 0;
+    Tick down = 0;
+    link.send(LinkDir::ToDevice, 64, 0, [&]() { up = eq.curTick(); });
+    link.send(LinkDir::ToHost, 64, 0, [&]() { down = eq.curTick(); });
+    eq.run();
+    // Neither waits behind the other.
+    EXPECT_EQ(up, nanoseconds(122));
+    EXPECT_EQ(down, nanoseconds(122));
+}
+
+TEST_F(LinkFixture, HeaderOnlyTlp)
+{
+    Tick at = 0;
+    link.send(LinkDir::ToDevice, 0, 0, [&]() { at = eq.curTick(); });
+    eq.run();
+    EXPECT_EQ(at, nanoseconds(106)); // 24B = 6 ns + 100 ns
+}
+
+TEST_F(LinkFixture, ByteAccounting)
+{
+    link.send(LinkDir::ToHost, 64, 64, []() {});
+    link.send(LinkDir::ToHost, 8, 0, []() {});
+    link.send(LinkDir::ToDevice, 128, 0, []() {});
+    eq.run();
+    EXPECT_EQ(link.wireBytes(LinkDir::ToHost), 64u + 24 + 8 + 24);
+    EXPECT_EQ(link.usefulBytes(LinkDir::ToHost), 64u);
+    EXPECT_EQ(link.tlpCount(LinkDir::ToHost), 2u);
+    EXPECT_EQ(link.wireBytes(LinkDir::ToDevice), 152u);
+    EXPECT_EQ(link.tlpCount(LinkDir::ToDevice), 1u);
+
+    link.resetCounters();
+    EXPECT_EQ(link.wireBytes(LinkDir::ToHost), 0u);
+    EXPECT_EQ(link.tlpCount(LinkDir::ToDevice), 0u);
+}
+
+TEST_F(LinkFixture, FifoDeliveryPerDirection)
+{
+    std::vector<int> order;
+    link.send(LinkDir::ToHost, 512, 0, [&]() { order.push_back(1); });
+    link.send(LinkDir::ToHost, 8, 0, [&]() { order.push_back(2); });
+    eq.run();
+    // The small TLP cannot overtake the large one.
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST_F(LinkFixture, UsefulNeverExceedsPayload)
+{
+    EXPECT_DEATH(link.send(LinkDir::ToHost, 8, 64, []() {}),
+                 "useful");
+}
+
+} // anonymous namespace
+} // namespace kmu

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Unit tests for the chip-level shared queue.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/uncore_queue.hh"
+
+namespace kmu
+{
+namespace
+{
+
+struct UncoreFixture : public ::testing::Test
+{
+    EventQueue eq;
+    StatGroup root{"root"};
+    UncoreQueue q{"q", eq, 3, &root};
+};
+
+TEST_F(UncoreFixture, GrantsUpToCapacity)
+{
+    int granted = 0;
+    for (int i = 0; i < 3; ++i)
+        q.acquire([&]() { granted++; });
+    eq.run();
+    EXPECT_EQ(granted, 3);
+    EXPECT_TRUE(q.full());
+    EXPECT_EQ(q.inUse(), 3u);
+}
+
+TEST_F(UncoreFixture, WaitersAdmittedFifoOnRelease)
+{
+    for (int i = 0; i < 3; ++i)
+        q.acquire([]() {});
+    std::vector<int> order;
+    q.acquire([&]() { order.push_back(1); });
+    q.acquire([&]() { order.push_back(2); });
+    eq.run();
+    EXPECT_TRUE(order.empty());
+    EXPECT_EQ(q.waiting(), 2u);
+
+    q.release();
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1}));
+    q.release();
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_EQ(q.fullStalls.value(), 2u);
+}
+
+TEST_F(UncoreFixture, OccupancyNeverExceedsCapacity)
+{
+    int in_flight = 0;
+    int peak = 0;
+    for (int i = 0; i < 20; ++i) {
+        q.acquire([&]() {
+            in_flight++;
+            peak = std::max(peak, in_flight);
+            // Release after 10 ticks.
+            eq.scheduleLambda(eq.curTick() + 10, [&]() {
+                in_flight--;
+                q.release();
+            });
+        });
+    }
+    eq.run();
+    EXPECT_EQ(peak, 3);
+    EXPECT_EQ(q.peakOccupancy(), 3u);
+    EXPECT_EQ(q.entries.value(), 20u);
+    EXPECT_EQ(q.inUse(), 0u);
+}
+
+TEST_F(UncoreFixture, ReleaseOnEmptyPanics)
+{
+    EXPECT_DEATH(q.release(), "empty");
+}
+
+} // anonymous namespace
+} // namespace kmu

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Unit and concurrency tests for the SPSC ring buffer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "queue/spsc_ring.hh"
+
+namespace kmu
+{
+namespace
+{
+
+TEST(SpscRingTest, PushPopRoundTrip)
+{
+    SpscRing<int> ring(8);
+    EXPECT_TRUE(ring.empty());
+    EXPECT_TRUE(ring.tryPush(42));
+    EXPECT_EQ(ring.size(), 1u);
+    int out = 0;
+    EXPECT_TRUE(ring.tryPop(out));
+    EXPECT_EQ(out, 42);
+    EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRingTest, CapacityIsDepthMinusOne)
+{
+    SpscRing<int> ring(8);
+    EXPECT_EQ(ring.capacity(), 7u);
+    for (int i = 0; i < 7; ++i)
+        EXPECT_TRUE(ring.tryPush(i));
+    EXPECT_FALSE(ring.tryPush(7)); // full
+    int out;
+    EXPECT_TRUE(ring.tryPop(out));
+    EXPECT_TRUE(ring.tryPush(7)); // room again
+}
+
+TEST(SpscRingTest, PopOnEmptyFails)
+{
+    SpscRing<int> ring(4);
+    int out = -1;
+    EXPECT_FALSE(ring.tryPop(out));
+    EXPECT_EQ(out, -1);
+}
+
+TEST(SpscRingTest, FifoOrderAcrossWraparound)
+{
+    SpscRing<int> ring(4);
+    int expect = 0;
+    int produced = 0;
+    for (int round = 0; round < 10; ++round) {
+        while (ring.tryPush(produced))
+            produced++;
+        int out;
+        while (ring.tryPop(out))
+            EXPECT_EQ(out, expect++);
+    }
+    EXPECT_EQ(expect, produced);
+    EXPECT_GT(produced, 20);
+}
+
+TEST(SpscRingTest, PopBurstHonorsMax)
+{
+    SpscRing<int> ring(16);
+    for (int i = 0; i < 10; ++i)
+        ring.tryPush(i);
+    std::vector<int> out;
+    EXPECT_EQ(ring.popBurst(out, 8), 8u);
+    EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+    EXPECT_EQ(ring.popBurst(out, 8), 2u);
+    EXPECT_EQ(out.size(), 10u);
+    EXPECT_EQ(ring.popBurst(out, 8), 0u);
+}
+
+TEST(SpscRingTest, NonPowerOfTwoRejected)
+{
+    EXPECT_DEATH(SpscRing<int>(6), "power of two");
+}
+
+TEST(SpscRingTest, ThreadedProducerConsumer)
+{
+    SpscRing<std::uint64_t> ring(64);
+    constexpr std::uint64_t total = 200000;
+
+    std::thread producer([&]() {
+        for (std::uint64_t i = 0; i < total;) {
+            if (ring.tryPush(i))
+                i++;
+        }
+    });
+
+    std::uint64_t expect = 0;
+    std::uint64_t sum = 0;
+    while (expect < total) {
+        std::uint64_t v;
+        if (ring.tryPop(v)) {
+            ASSERT_EQ(v, expect);
+            sum += v;
+            expect++;
+        }
+    }
+    producer.join();
+    EXPECT_EQ(sum, total * (total - 1) / 2);
+}
+
+} // anonymous namespace
+} // namespace kmu

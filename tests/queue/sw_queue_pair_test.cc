@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Protocol tests for the request/completion queue pair.
+ */
+
+#include <gtest/gtest.h>
+
+#include "queue/sw_queue_pair.hh"
+
+namespace kmu
+{
+namespace
+{
+
+TEST(SwQueuePairTest, SubmitAndFetchBurst)
+{
+    SwQueuePair qp(64);
+    for (std::uint64_t i = 0; i < 5; ++i)
+        EXPECT_TRUE(qp.submit({i * 64, i}));
+    EXPECT_EQ(qp.pendingRequests(), 5u);
+
+    std::vector<RequestDescriptor> burst;
+    EXPECT_EQ(qp.fetchBurst(burst), 5u);
+    EXPECT_EQ(burst[3].deviceAddr, 3u * 64);
+    EXPECT_EQ(burst[3].hostAddr, 3u);
+    EXPECT_EQ(qp.pendingRequests(), 0u);
+}
+
+TEST(SwQueuePairTest, BurstCapsAtEight)
+{
+    SwQueuePair qp(64);
+    for (std::uint64_t i = 0; i < 12; ++i)
+        qp.submit({i, i});
+    std::vector<RequestDescriptor> burst;
+    EXPECT_EQ(qp.fetchBurst(burst), descriptorBurst);
+    EXPECT_EQ(burst.size(), 8u);
+    burst.clear();
+    EXPECT_EQ(qp.fetchBurst(burst), 4u);
+}
+
+TEST(SwQueuePairTest, DoorbellStartsRequested)
+{
+    SwQueuePair qp(16);
+    EXPECT_TRUE(qp.doorbellRequested());
+    EXPECT_TRUE(qp.consumeDoorbellRequest());
+    // Consumed: second check fails until the device re-requests.
+    EXPECT_FALSE(qp.consumeDoorbellRequest());
+    qp.requestDoorbell();
+    EXPECT_TRUE(qp.doorbellRequested());
+    EXPECT_TRUE(qp.consumeDoorbellRequest());
+}
+
+TEST(SwQueuePairTest, CompletionFlow)
+{
+    SwQueuePair qp(16);
+    EXPECT_TRUE(qp.postCompletion({0xabc}));
+    EXPECT_TRUE(qp.postCompletion({0xdef}));
+    EXPECT_EQ(qp.pendingCompletions(), 2u);
+
+    CompletionDescriptor c;
+    EXPECT_TRUE(qp.reapCompletion(c));
+    EXPECT_EQ(c.hostAddr, 0xabcu);
+    EXPECT_TRUE(qp.reapCompletion(c));
+    EXPECT_EQ(c.hostAddr, 0xdefu);
+    EXPECT_FALSE(qp.reapCompletion(c));
+}
+
+TEST(SwQueuePairTest, SubmitFailsWhenFull)
+{
+    SwQueuePair qp(4); // capacity 3
+    EXPECT_TRUE(qp.submit({1, 1}));
+    EXPECT_TRUE(qp.submit({2, 2}));
+    EXPECT_TRUE(qp.submit({3, 3}));
+    EXPECT_FALSE(qp.submit({4, 4}));
+}
+
+TEST(SwQueuePairTest, DescriptorWireFormat)
+{
+    // The 16-byte layout is part of the device-visible ABI.
+    RequestDescriptor d{0x1122334455667788ull, 0x99aabbccddeeff00ull};
+    EXPECT_EQ(sizeof(d), 16u);
+    auto *bytes = reinterpret_cast<const std::uint8_t *>(&d);
+    // Little-endian x86: first field serializes first.
+    EXPECT_EQ(bytes[0], 0x88);
+    EXPECT_EQ(bytes[8], 0x00);
+}
+
+} // anonymous namespace
+} // namespace kmu

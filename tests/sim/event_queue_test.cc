@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event.hh"
+
+namespace kmu
+{
+namespace
+{
+
+class RecordingEvent : public Event
+{
+  public:
+    RecordingEvent(std::string name, std::vector<std::string> &log,
+                   EventPriority prio = EventPriority::Default)
+        : Event(std::move(name), prio), log(log)
+    {
+    }
+
+    void process() override { log.push_back(name()); }
+
+  private:
+    std::vector<std::string> &log;
+};
+
+TEST(EventQueueTest, OrdersByTick)
+{
+    EventQueue eq;
+    std::vector<std::string> log;
+    RecordingEvent a("a", log);
+    RecordingEvent b("b", log);
+    RecordingEvent c("c", log);
+    eq.schedule(&b, 20);
+    eq.schedule(&a, 10);
+    eq.schedule(&c, 30);
+    eq.run();
+    EXPECT_EQ(log, (std::vector<std::string>{"a", "b", "c"}));
+    EXPECT_EQ(eq.curTick(), 30u);
+}
+
+TEST(EventQueueTest, SameTickFifoWithinPriority)
+{
+    EventQueue eq;
+    std::vector<std::string> log;
+    RecordingEvent a("first", log);
+    RecordingEvent b("second", log);
+    eq.schedule(&a, 5);
+    eq.schedule(&b, 5);
+    eq.run();
+    EXPECT_EQ(log, (std::vector<std::string>{"first", "second"}));
+}
+
+TEST(EventQueueTest, PriorityBreaksTickTies)
+{
+    EventQueue eq;
+    std::vector<std::string> log;
+    RecordingEvent late("cpu", log, EventPriority::CpuTick);
+    RecordingEvent early("resp", log, EventPriority::DeviceResponse);
+    eq.schedule(&late, 5);
+    eq.schedule(&early, 5);
+    eq.run();
+    EXPECT_EQ(log, (std::vector<std::string>{"resp", "cpu"}));
+}
+
+TEST(EventQueueTest, DescheduleSkipsEvent)
+{
+    EventQueue eq;
+    std::vector<std::string> log;
+    RecordingEvent a("a", log);
+    RecordingEvent b("b", log);
+    eq.schedule(&a, 10);
+    eq.schedule(&b, 20);
+    eq.deschedule(&a);
+    EXPECT_FALSE(a.scheduled());
+    eq.run();
+    EXPECT_EQ(log, (std::vector<std::string>{"b"}));
+}
+
+TEST(EventQueueTest, RescheduleMovesEvent)
+{
+    EventQueue eq;
+    std::vector<std::string> log;
+    RecordingEvent a("a", log);
+    RecordingEvent b("b", log);
+    eq.schedule(&a, 10);
+    eq.schedule(&b, 20);
+    eq.reschedule(&a, 30);
+    eq.run();
+    EXPECT_EQ(log, (std::vector<std::string>{"b", "a"}));
+}
+
+TEST(EventQueueTest, RunHonorsLimit)
+{
+    EventQueue eq;
+    std::vector<std::string> log;
+    RecordingEvent a("a", log);
+    RecordingEvent b("b", log);
+    eq.schedule(&a, 10);
+    eq.schedule(&b, 100);
+    eq.run(50);
+    EXPECT_EQ(log, (std::vector<std::string>{"a"}));
+    EXPECT_TRUE(b.scheduled());
+    eq.run();
+    EXPECT_EQ(log.size(), 2u);
+}
+
+TEST(EventQueueTest, ServiceOneStepsExactlyOne)
+{
+    EventQueue eq;
+    std::vector<std::string> log;
+    RecordingEvent a("a", log);
+    RecordingEvent b("b", log);
+    eq.schedule(&a, 1);
+    eq.schedule(&b, 2);
+    EXPECT_TRUE(eq.serviceOne());
+    EXPECT_EQ(log.size(), 1u);
+    EXPECT_TRUE(eq.serviceOne());
+    EXPECT_FALSE(eq.serviceOne());
+    EXPECT_EQ(eq.serviced(), 2u);
+}
+
+TEST(EventQueueTest, LambdaEventsRunAndFree)
+{
+    EventQueue eq;
+    int hits = 0;
+    for (int i = 0; i < 100; ++i)
+        eq.scheduleLambda(Tick(i), [&hits]() { hits++; });
+    eq.run();
+    EXPECT_EQ(hits, 100);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueueTest, EventsScheduledDuringProcessing)
+{
+    EventQueue eq;
+    int depth = 0;
+    std::function<void()> chain = [&]() {
+        if (++depth < 5)
+            eq.scheduleLambda(eq.curTick() + 10, chain);
+    };
+    eq.scheduleLambda(0, chain);
+    eq.run();
+    EXPECT_EQ(depth, 5);
+    EXPECT_EQ(eq.curTick(), 40u);
+}
+
+TEST(EventQueueTest, SizeTracksLiveEvents)
+{
+    EventQueue eq;
+    std::vector<std::string> log;
+    RecordingEvent a("a", log);
+    eq.schedule(&a, 10);
+    EXPECT_EQ(eq.size(), 1u);
+    eq.deschedule(&a);
+    EXPECT_EQ(eq.size(), 0u);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueueDeathTest, PastSchedulingPanics)
+{
+    EventQueue eq;
+    std::vector<std::string> log;
+    RecordingEvent a("a", log);
+    eq.scheduleLambda(100, []() {});
+    eq.run();
+    EXPECT_DEATH(eq.schedule(&a, 50), "past");
+}
+
+TEST(EventQueueDeathTest, DoubleSchedulePanics)
+{
+    EventQueue eq;
+    std::vector<std::string> log;
+    RecordingEvent a("a", log);
+    eq.schedule(&a, 10);
+    EXPECT_DEATH(eq.schedule(&a, 20), "twice");
+    eq.deschedule(&a);
+}
+
+} // anonymous namespace
+} // namespace kmu

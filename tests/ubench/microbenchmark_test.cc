@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Tests for the host-side microbenchmark driver and work loop.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ubench/microbenchmark.hh"
+#include "ubench/work_loop.hh"
+
+namespace kmu
+{
+namespace
+{
+
+TEST(WorkLoopTest, DependsOnSeed)
+{
+    EXPECT_EQ(workLoop(1, 100), workLoop(1, 100));
+    EXPECT_NE(workLoop(1, 100), workLoop(2, 100));
+    EXPECT_NE(workLoop(1, 100), workLoop(1, 200));
+}
+
+TEST(WorkLoopTest, ScalesWithInstructionCount)
+{
+    // More requested instructions must take more time; coarse check
+    // with a large ratio to stay robust on loaded machines.
+    const auto time_of = [](std::uint32_t instrs) {
+        const auto start = std::chrono::steady_clock::now();
+        std::uint64_t acc = 0;
+        for (int i = 0; i < 2000; ++i)
+            acc ^= workLoop(acc + i, instrs);
+        consume(acc);
+        return std::chrono::steady_clock::now() - start;
+    };
+    // Warm up, then measure.
+    time_of(100);
+    const auto small = time_of(100);
+    const auto large = time_of(3200);
+    EXPECT_GT(large, 4 * small);
+}
+
+struct HostBenchCase
+{
+    Mechanism mechanism;
+    std::uint32_t threads;
+    std::uint32_t batch;
+};
+
+class HostBenchTest : public ::testing::TestWithParam<HostBenchCase>
+{
+};
+
+TEST_P(HostBenchTest, RunsAndChecksums)
+{
+    // runHostMicrobenchmark internally verifies every loaded word
+    // against the image; surviving the call is the data-correctness
+    // assertion.
+    HostBenchConfig cfg;
+    cfg.mechanism = GetParam().mechanism;
+    cfg.threads = GetParam().threads;
+    cfg.batch = GetParam().batch;
+    cfg.iterationsPerThread = 400;
+    cfg.workCount = 100;
+    cfg.regionBytes = 8 << 20;
+    cfg.deviceLatency = std::chrono::nanoseconds(300);
+
+    const auto res = runHostMicrobenchmark(cfg);
+    EXPECT_EQ(res.iterations, 400u * cfg.threads);
+    EXPECT_EQ(res.accesses, res.iterations * cfg.batch);
+    EXPECT_GT(res.seconds, 0.0);
+    EXPECT_GT(res.accessesPerUs, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mechanisms, HostBenchTest,
+    ::testing::Values(
+        HostBenchCase{Mechanism::OnDemand, 1, 1},
+        HostBenchCase{Mechanism::Prefetch, 8, 1},
+        HostBenchCase{Mechanism::Prefetch, 8, 4},
+        HostBenchCase{Mechanism::SwQueue, 8, 1},
+        HostBenchCase{Mechanism::SwQueue, 8, 4}));
+
+TEST(HostBenchTest, NormalizationHelper)
+{
+    HostBenchResult base;
+    base.workInstrsPerUs = 200.0;
+    HostBenchResult other;
+    other.workInstrsPerUs = 100.0;
+    EXPECT_DOUBLE_EQ(hostNormalized(other, base), 0.5);
+}
+
+} // anonymous namespace
+} // namespace kmu

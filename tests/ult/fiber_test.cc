@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Tests for the fiber library: context switching, scheduling order,
+ * blocking, barriers, and stack integrity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "ult/barrier.hh"
+#include "ult/scheduler.hh"
+
+namespace kmu
+{
+namespace
+{
+
+TEST(FiberTest, RunsToCompletion)
+{
+    Scheduler sched;
+    bool ran = false;
+    sched.spawn([&]() { ran = true; });
+    sched.run();
+    EXPECT_TRUE(ran);
+    EXPECT_EQ(sched.liveFibers(), 0u);
+}
+
+TEST(FiberTest, RoundRobinOrder)
+{
+    Scheduler sched;
+    std::vector<int> order;
+    for (int f = 0; f < 3; ++f) {
+        sched.spawn([&order, f, &sched]() {
+            for (int round = 0; round < 3; ++round) {
+                order.push_back(f * 10 + round);
+                sched.yield();
+            }
+        });
+    }
+    sched.run();
+    // Strict round robin: 00 10 20 01 11 21 02 12 22.
+    EXPECT_EQ(order, (std::vector<int>{0, 10, 20, 1, 11, 21, 2, 12,
+                                       22}));
+}
+
+TEST(FiberTest, ManyFibers)
+{
+    Scheduler sched;
+    std::uint64_t sum = 0;
+    constexpr int n = 1000;
+    for (int f = 0; f < n; ++f) {
+        sched.spawn([&sum, f, &sched]() {
+            sched.yield();
+            sum += std::uint64_t(f);
+            sched.yield();
+        }, 16 * 1024);
+    }
+    sched.run();
+    EXPECT_EQ(sum, std::uint64_t(n) * (n - 1) / 2);
+    EXPECT_GE(sched.switches(), std::uint64_t(n) * 3);
+}
+
+TEST(FiberTest, LocalsSurviveSwitches)
+{
+    Scheduler sched;
+    bool ok = true;
+    for (int f = 0; f < 8; ++f) {
+        sched.spawn([&ok, f, &sched]() {
+            // Fill a chunk of stack with fiber-specific data.
+            int locals[256];
+            std::iota(locals, locals + 256, f * 1000);
+            for (int round = 0; round < 10; ++round)
+                sched.yield();
+            for (int i = 0; i < 256; ++i)
+                ok &= locals[i] == f * 1000 + i;
+        });
+    }
+    sched.run();
+    EXPECT_TRUE(ok);
+}
+
+TEST(FiberTest, BlockAndUnblock)
+{
+    Scheduler sched;
+    std::vector<int> order;
+    Fiber *sleeper = nullptr;
+    sleeper = &sched.spawn([&]() {
+        order.push_back(1);
+        sched.block();
+        order.push_back(3);
+    });
+    sched.spawn([&]() {
+        order.push_back(2);
+        sched.unblock(*sleeper);
+        sched.yield();
+        order.push_back(4);
+    });
+    sched.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(FiberTest, IdleHandlerResolvesAllBlocked)
+{
+    Scheduler sched;
+    Fiber *blocked = nullptr;
+    int idle_calls = 0;
+    blocked = &sched.spawn([&]() { sched.block(); });
+    sched.setIdleHandler([&]() {
+        idle_calls++;
+        sched.unblock(*blocked);
+        return true;
+    });
+    sched.run();
+    EXPECT_EQ(idle_calls, 1);
+}
+
+TEST(FiberTest, DeadlockPanicsWithoutIdleHandler)
+{
+    EXPECT_DEATH(
+        {
+            Scheduler sched;
+            sched.spawn([&]() { sched.block(); });
+            sched.run();
+        },
+        "deadlock");
+}
+
+TEST(FiberTest, NestedSpawnFromFiber)
+{
+    Scheduler sched;
+    std::vector<int> order;
+    sched.spawn([&]() {
+        order.push_back(1);
+        sched.spawn([&]() { order.push_back(3); });
+        order.push_back(2);
+    });
+    sched.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(FiberTest, ThisFiberHelpers)
+{
+    Scheduler sched;
+    int hits = 0;
+    sched.spawn([&]() {
+        EXPECT_EQ(Scheduler::currentScheduler(), &sched);
+        EXPECT_NE(sched.current(), nullptr);
+        thisFiber::yield();
+        hits++;
+    });
+    sched.run();
+    EXPECT_EQ(hits, 1);
+    EXPECT_EQ(Scheduler::currentScheduler(), nullptr);
+    EXPECT_EQ(sched.current(), nullptr);
+}
+
+TEST(FiberTest, StackHeadroomDetectsUsage)
+{
+    Scheduler sched;
+    Fiber &small = sched.spawn([]() {}, 32 * 1024);
+    // Before running, stacks are untouched except the seed frame.
+    EXPECT_GT(small.stackHeadroom(), 31 * 1024u);
+    sched.run();
+
+    Scheduler sched2;
+    std::size_t headroom = 0;
+    sched2.spawn([&headroom, &sched2]() {
+        volatile char burn[8 * 1024];
+        for (std::size_t i = 0; i < sizeof(burn); ++i)
+            burn[i] = char(i);
+        headroom = sched2.current()->stackHeadroom();
+    }, 32 * 1024);
+    sched2.run();
+    EXPECT_LT(headroom, 24 * 1024u); // at least 8 KiB consumed
+    EXPECT_GT(headroom, 1024u);      // but nowhere near exhausted
+}
+
+TEST(FiberDeathTest, StackOverflowHitsGuardPage)
+{
+    // A frame far larger than the stack must fault on the guard
+    // page instead of silently corrupting neighbouring memory.
+    EXPECT_DEATH(
+        {
+            Scheduler sched;
+            sched.spawn([]() {
+                volatile char big[64 * 1024];
+                for (std::size_t i = 0; i < sizeof(big); ++i)
+                    big[i] = char(i);
+            }, 16 * 1024);
+            sched.run();
+        },
+        "");
+}
+
+TEST(FiberBarrierTest, SynchronizesPhases)
+{
+    Scheduler sched;
+    FiberBarrier barrier(sched, 3);
+    std::vector<int> log;
+    for (int f = 0; f < 3; ++f) {
+        sched.spawn([&, f]() {
+            for (int phase = 0; phase < 4; ++phase) {
+                log.push_back(phase * 10 + f);
+                barrier.arrive();
+            }
+        });
+    }
+    sched.run();
+    ASSERT_EQ(log.size(), 12u);
+    // Within each phase block of three entries, all share the phase.
+    for (int phase = 0; phase < 4; ++phase) {
+        for (int i = 0; i < 3; ++i)
+            EXPECT_EQ(log[phase * 3 + i] / 10, phase);
+    }
+    EXPECT_EQ(barrier.generations(), 4u);
+}
+
+TEST(FiberBarrierTest, ExactlyOneLeaderPerGeneration)
+{
+    Scheduler sched;
+    FiberBarrier barrier(sched, 4);
+    int leaders = 0;
+    for (int f = 0; f < 4; ++f) {
+        sched.spawn([&]() {
+            for (int phase = 0; phase < 5; ++phase) {
+                if (barrier.arrive())
+                    leaders++;
+            }
+        });
+    }
+    sched.run();
+    EXPECT_EQ(leaders, 5);
+}
+
+} // anonymous namespace
+} // namespace kmu

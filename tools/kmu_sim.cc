@@ -1,0 +1,168 @@
+/**
+ * @file
+ * kmu_sim — command-line front end for the timing model.
+ *
+ * Explore any configuration without writing code:
+ *
+ *   kmu_sim mechanism=prefetch threads=10 latency_us=1
+ *   kmu_sim mechanism=swqueue cores=8 threads=24 stats=1
+ *   kmu_sim mechanism=ondemand smt=2 work=100 batch=4
+ *
+ * Prints the run's headline metrics, the plan-matched DRAM-baseline
+ * normalization, and (with stats=1) the full statistics tree of
+ * every component in the modelled system.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "core/sim_system.hh"
+
+using namespace kmu;
+
+namespace
+{
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(stderr,
+        "usage: kmu_sim [key=value ...]\n"
+        "  mechanism=ondemand|prefetch|swqueue   (prefetch)\n"
+        "  backing=dram|device                   (device)\n"
+        "  attach=pcie|membus  device attach point (pcie)\n"
+        "  cores=N            physical cores     (1)\n"
+        "  threads=N          user threads/core  (1)\n"
+        "  smt=N              SMT contexts, on-demand only (1)\n"
+        "  latency_us=F       device latency     (1)\n"
+        "  work=N             work instrs/access (250)\n"
+        "  batch=N            reads/iteration    (1)\n"
+        "  write_frac=F       posted-write share (0)\n"
+        "  lfb=N              LFB entries/core   (10)\n"
+        "  chipq=N            chip PCIe queue    (14)\n"
+        "  ctx_ns=N           context switch     (50)\n"
+        "  measure_us=N       measured window    (600)\n"
+        "  stats=0|1          dump component stats (0)\n");
+    std::exit(1);
+}
+
+bool
+parseKv(const char *arg, std::string &key, std::string &value)
+{
+    const char *eq = std::strchr(arg, '=');
+    if (!eq || eq == arg)
+        return false;
+    key.assign(arg, eq);
+    value.assign(eq + 1);
+    return true;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    SystemConfig cfg;
+    bool dump_stats = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string key;
+        std::string value;
+        if (!parseKv(argv[i], key, value))
+            usage();
+
+        if (key == "mechanism") {
+            if (value == "ondemand")
+                cfg.mechanism = Mechanism::OnDemand;
+            else if (value == "prefetch")
+                cfg.mechanism = Mechanism::Prefetch;
+            else if (value == "swqueue")
+                cfg.mechanism = Mechanism::SwQueue;
+            else
+                usage();
+        } else if (key == "backing") {
+            if (value == "dram")
+                cfg.backing = Backing::Dram;
+            else if (value == "device")
+                cfg.backing = Backing::Device;
+            else
+                usage();
+        } else if (key == "attach") {
+            if (value == "pcie")
+                cfg.attach = DeviceAttach::Pcie;
+            else if (value == "membus")
+                cfg.attach = DeviceAttach::MemoryBus;
+            else
+                usage();
+        } else if (key == "cores") {
+            cfg.numCores = std::uint32_t(std::stoul(value));
+        } else if (key == "threads") {
+            cfg.threadsPerCore = std::uint32_t(std::stoul(value));
+        } else if (key == "smt") {
+            cfg.smtContexts = std::uint32_t(std::stoul(value));
+        } else if (key == "latency_us") {
+            cfg.device.latency = Tick(std::stod(value) * tickPerUs);
+        } else if (key == "work") {
+            cfg.workCount = std::uint32_t(std::stoul(value));
+        } else if (key == "batch") {
+            cfg.batch = std::uint32_t(std::stoul(value));
+        } else if (key == "write_frac") {
+            cfg.writeFraction = std::stod(value);
+        } else if (key == "lfb") {
+            cfg.lfbPerCore = std::uint32_t(std::stoul(value));
+        } else if (key == "chipq") {
+            cfg.chipPcieQueue = std::uint32_t(std::stoul(value));
+        } else if (key == "ctx_ns") {
+            cfg.ctxSwitchCost = nanoseconds(std::stoul(value));
+        } else if (key == "measure_us") {
+            cfg.measure = microseconds(std::stoul(value));
+        } else if (key == "stats") {
+            dump_stats = value != "0";
+        } else {
+            usage();
+        }
+    }
+
+    SimSystem system(cfg);
+    const RunResult res = system.run();
+    const RunResult base = runSystem(baselineConfig(cfg));
+
+    std::printf("mechanism          %s (%s-backed)\n",
+                mechanismName(cfg.mechanism),
+                cfg.backing == Backing::Dram ? "DRAM" : "device");
+    std::printf("cores x threads    %u x %u\n", cfg.numCores,
+                cfg.threadsPerCore);
+    std::printf("device latency     %.2f us\n",
+                ticksToUs(cfg.device.latency));
+    std::printf("iterations         %llu\n",
+                (unsigned long long)res.iterations);
+    std::printf("accesses/us        %.2f (%.1f%% writes)\n",
+                res.accessesPerUs,
+                res.accesses
+                    ? 100.0 * double(res.writes) / double(res.accesses)
+                    : 0.0);
+    std::printf("work IPC           %.4f\n", res.workIpc);
+    std::printf("normalized (DRAM)  %.4f\n",
+                normalizedWorkIpc(res, base));
+    std::printf("mean read latency  %.1f ns\n", res.meanReadLatencyNs);
+    if (res.toHostWireGBs > 0.0) {
+        std::printf("PCIe to-host       %.2f GB/s wire, %.2f GB/s "
+                    "useful\n", res.toHostWireGBs,
+                    res.toHostUsefulGBs);
+    }
+    if (res.chipQueuePeak > 0)
+        std::printf("chip-queue peak    %u\n", res.chipQueuePeak);
+    if (res.prefetchesQueued > 0) {
+        std::printf("prefetches queued  %llu (LFB pressure)\n",
+                    (unsigned long long)res.prefetchesQueued);
+    }
+
+    if (dump_stats) {
+        std::printf("\n--- component statistics ---\n");
+        system.stats().dump(std::cout);
+    }
+    return 0;
+}
