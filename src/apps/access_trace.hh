@@ -74,8 +74,8 @@ class AccessTrace
 class TracingEngine : public AccessEngine
 {
   public:
-    TracingEngine(AccessEngine &inner, AccessTrace &trace)
-        : inner(inner), trace(trace)
+    TracingEngine(AccessEngine &wrapped, AccessTrace &sink)
+        : inner(wrapped), trace(sink)
     {
     }
 

@@ -67,8 +67,12 @@ buildDeviceImage(const CsrGraph &graph, DeviceGraphLayout &layout)
     std::vector<std::uint8_t> image(layout.imageBytes());
     std::memcpy(image.data() + layout.offsetsBase,
                 graph.offsetArray().data(), (layout.n + 1) * 8);
-    std::memcpy(image.data() + layout.adjBase,
-                graph.neighborArray().data(), layout.m * 8);
+    // An edgeless graph has an empty (null-data) neighbour array;
+    // memcpy's arguments are declared nonnull even for size 0.
+    if (layout.m > 0) {
+        std::memcpy(image.data() + layout.adjBase,
+                    graph.neighborArray().data(), layout.m * 8);
+    }
     return image;
 }
 

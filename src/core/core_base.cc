@@ -3,14 +3,14 @@
 namespace kmu
 {
 
-CoreBase::CoreBase(std::string name, EventQueue &eq, CoreId id,
+CoreBase::CoreBase(std::string name, EventQueue &queue, CoreId id,
                    const SystemConfig &config, IssueLine issue,
                    StatGroup *stat_parent)
-    : SimObject(std::move(name), eq, stat_parent),
+    : SimObject(std::move(name), queue, stat_parent),
       cfg(config), issueLine(std::move(issue)),
-      lineFillBuffers(this->name() + ".lfb", eq, config.lfbPerCore,
+      lineFillBuffers(this->name() + ".lfb", queue, config.lfbPerCore,
                       &stats()),
-      l1Cache(this->name() + ".l1", eq, config.l1, &stats()),
+      l1Cache(this->name() + ".l1", queue, config.l1, &stats()),
       coreId(id)
 {
 }

@@ -36,7 +36,7 @@ class CoreBase : public SimObject
     /** Emit one posted line write toward the backing store. */
     using PostWrite = std::function<void(Addr)>;
 
-    CoreBase(std::string name, EventQueue &eq, CoreId id,
+    CoreBase(std::string name, EventQueue &queue, CoreId id,
              const SystemConfig &cfg, IssueLine issue,
              StatGroup *stat_parent);
 

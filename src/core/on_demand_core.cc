@@ -3,10 +3,10 @@
 namespace kmu
 {
 
-OnDemandCore::OnDemandCore(std::string name, EventQueue &eq, CoreId id,
+OnDemandCore::OnDemandCore(std::string name, EventQueue &queue, CoreId id,
                            const SystemConfig &config, IssueLine issue,
                            StatGroup *stat_parent)
-    : CoreBase(std::move(name), eq, id, config, std::move(issue),
+    : CoreBase(std::move(name), queue, id, config, std::move(issue),
                stat_parent)
 {
     kmuAssert(cfg.smtContexts >= 1, "need at least one SMT context");

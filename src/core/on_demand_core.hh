@@ -42,7 +42,7 @@ namespace kmu
 class OnDemandCore : public CoreBase
 {
   public:
-    OnDemandCore(std::string name, EventQueue &eq, CoreId id,
+    OnDemandCore(std::string name, EventQueue &queue, CoreId id,
                  const SystemConfig &cfg, IssueLine issue,
                  StatGroup *stat_parent);
 

@@ -3,10 +3,10 @@
 namespace kmu
 {
 
-PrefetchCore::PrefetchCore(std::string name, EventQueue &eq, CoreId id,
+PrefetchCore::PrefetchCore(std::string name, EventQueue &queue, CoreId id,
                            const SystemConfig &config, IssueLine issue,
                            StatGroup *stat_parent)
-    : CoreBase(std::move(name), eq, id, config, std::move(issue),
+    : CoreBase(std::move(name), queue, id, config, std::move(issue),
                stat_parent),
       prefetchesIssued(stats(), "prefetches_issued",
                        "software prefetches that allocated an LFB "

@@ -34,7 +34,7 @@ namespace kmu
 class PrefetchCore : public CoreBase
 {
   public:
-    PrefetchCore(std::string name, EventQueue &eq, CoreId id,
+    PrefetchCore(std::string name, EventQueue &queue, CoreId id,
                  const SystemConfig &cfg, IssueLine issue,
                  StatGroup *stat_parent);
 

@@ -35,6 +35,7 @@ SimSystem::SimSystem(SystemConfig config)
     } else {
         buildMemoryMapped();
     }
+    buildChecker();
 }
 
 SimSystem::~SimSystem() = default;
@@ -161,12 +162,82 @@ SimSystem::buildSwQueue()
     }
 }
 
+void
+SimSystem::buildChecker()
+{
+    checker = std::make_unique<SimChecker>("checker", eq, tickPerUs,
+                                           &root);
+
+    // Global conservation laws that no single transition sees: stat
+    // counters must reconcile with the live structure sizes they
+    // shadow, and no occupancy may exceed its hardware capacity.
+    checker->addCheck("lfb_conservation", [this]() {
+        for (auto &core : cores) {
+            Lfb &lfb = core->lfb();
+            KMU_INVARIANT(lfb.inUse() <= lfb.capacity(),
+                          "%s holds %u entries, capacity %u",
+                          lfb.name().c_str(), lfb.inUse(),
+                          lfb.capacity());
+            KMU_MODEL_CHECK(
+                lfb.allocs.value() - lfb.fills.value() == lfb.inUse(),
+                "%s in-flight %u != allocated %llu - filled %llu",
+                lfb.name().c_str(), lfb.inUse(),
+                (unsigned long long)lfb.allocs.value(),
+                (unsigned long long)lfb.fills.value());
+        }
+    });
+    checker->addCheck("chip_queue_conservation", [this]() {
+        if (!chipPcie)
+            return;
+        KMU_INVARIANT(chipPcie->inUse() <= chipPcie->capacity(),
+                      "%s holds %u slots, capacity %u",
+                      chipPcie->name().c_str(), chipPcie->inUse(),
+                      chipPcie->capacity());
+        KMU_MODEL_CHECK(
+            chipPcie->entries.value() - chipPcie->totalReleases() ==
+                chipPcie->inUse(),
+            "%s slots in use %u != granted %llu - released %llu",
+            chipPcie->name().c_str(), chipPcie->inUse(),
+            (unsigned long long)chipPcie->entries.value(),
+            (unsigned long long)chipPcie->totalReleases());
+        KMU_MODEL_CHECK(chipPcie->waiting() == 0 || chipPcie->full(),
+                        "%zu waiters stalled on a non-full %s",
+                        chipPcie->waiting(),
+                        chipPcie->name().c_str());
+    });
+    checker->addCheck("link_goodput", [this]() {
+        if (!link)
+            return;
+        for (LinkDir dir : {LinkDir::ToDevice, LinkDir::ToHost}) {
+            KMU_MODEL_CHECK(
+                link->usefulBytes(dir) <= link->wireBytes(dir),
+                "%s useful bytes %llu exceed wire bytes %llu",
+                link->name().c_str(),
+                (unsigned long long)link->usefulBytes(dir),
+                (unsigned long long)link->wireBytes(dir));
+        }
+    });
+    checker->addCheck("sw_queue_conservation", [this]() {
+        for (auto &pair : queuePairs) {
+            KMU_MODEL_CHECK(
+                pair->requestRing().totalPops() <=
+                    pair->requestRing().totalPushes(),
+                "request ring popped more than was pushed");
+            KMU_MODEL_CHECK(
+                pair->completionRing().totalPops() <=
+                    pair->completionRing().totalPushes(),
+                "completion ring popped more than was pushed");
+        }
+    });
+}
+
 RunResult
 SimSystem::run()
 {
     kmuAssert(!ran, "SimSystem::run is single-shot");
     ran = true;
 
+    checker->start();
     for (auto &core : cores) {
         core->setLatencySampler(
             [this](double ns) { readLatency->sample(ns); });

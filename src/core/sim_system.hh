@@ -20,6 +20,7 @@
 #include <memory>
 #include <vector>
 
+#include "check/sim_checker.hh"
 #include "core/core_base.hh"
 #include "core/system_config.hh"
 #include "device/device_emulator.hh"
@@ -78,11 +79,13 @@ class SimSystem
     DeviceEmulator *deviceEmulator() { return device.get(); }
     RequestFetcher *fetcher(std::size_t i);
     StatGroup &stats() { return root; }
+    SimChecker &invariantChecker() { return *checker; }
     /** @} */
 
   private:
     void buildMemoryMapped();
     void buildSwQueue();
+    void buildChecker();
 
     SystemConfig cfg;
     EventQueue eq;
@@ -96,6 +99,7 @@ class SimSystem
     std::vector<std::unique_ptr<RequestFetcher>> fetchers;
     std::vector<std::unique_ptr<CoreBase>> cores;
     std::unique_ptr<Average> readLatency; //!< ns, issue to fill
+    std::unique_ptr<SimChecker> checker; //!< periodic invariant sweeps
     bool ran = false;
 };
 

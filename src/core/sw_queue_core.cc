@@ -3,10 +3,10 @@
 namespace kmu
 {
 
-SwQueueCore::SwQueueCore(std::string name, EventQueue &eq, CoreId id,
+SwQueueCore::SwQueueCore(std::string name, EventQueue &queue, CoreId id,
                          const SystemConfig &config, SwQueuePair &qp,
                          RingDoorbell ring, StatGroup *stat_parent)
-    : CoreBase(std::move(name), eq, id, config,
+    : CoreBase(std::move(name), queue, id, config,
                IssueLine{}, // software queues bypass the LFB path
                stat_parent),
       submits(stats(), "submits", "request descriptors enqueued"),

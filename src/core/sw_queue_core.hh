@@ -35,7 +35,7 @@ class SwQueueCore : public CoreBase
     /** Ring the per-core doorbell register on the device. */
     using RingDoorbell = std::function<void()>;
 
-    SwQueueCore(std::string name, EventQueue &eq, CoreId id,
+    SwQueueCore(std::string name, EventQueue &queue, CoreId id,
                 const SystemConfig &cfg, SwQueuePair &queues,
                 RingDoorbell ring, StatGroup *stat_parent);
 

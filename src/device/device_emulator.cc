@@ -3,11 +3,11 @@
 namespace kmu
 {
 
-DeviceEmulator::DeviceEmulator(std::string name, EventQueue &eq,
+DeviceEmulator::DeviceEmulator(std::string name, EventQueue &queue,
                                DeviceParams params, PcieLink &pcie,
                                std::uint32_t num_cores,
                                StatGroup *stat_parent)
-    : SimObject(std::move(name), eq, stat_parent),
+    : SimObject(std::move(name), queue, stat_parent),
       requests(stats(), "requests", "read-request TLPs received"),
       replayMatches(stats(), "replay_matches",
                     "requests matched in a replay window"),

@@ -38,7 +38,7 @@ class DeviceEmulator : public SimObject
     /** Runs at the host when the response completion TLP arrives. */
     using ResponseCallback = std::function<void()>;
 
-    DeviceEmulator(std::string name, EventQueue &eq, DeviceParams params,
+    DeviceEmulator(std::string name, EventQueue &queue, DeviceParams params,
                    PcieLink &link, std::uint32_t num_cores,
                    StatGroup *stat_parent);
 

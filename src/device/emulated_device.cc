@@ -158,10 +158,12 @@ EmulatedDevice::servicePair(Pair &pair, Clock::time_point now)
             // Store the host-provided line into the backing store.
             std::memcpy(data.data() + line, host, cacheLineSize);
         } else {
-            // Response data write, ordered before the completion.
+            // Response data write. No explicit fence needed: the
+            // completion ring's release-store (postCompletion)
+            // orders it before the completion is visible, and TSan
+            // models that edge (it cannot model bare fences).
             std::memcpy(host, data.data() + line, cacheLineSize);
         }
-        std::atomic_thread_fence(std::memory_order_release);
 
         // Both kinds complete: reads to wake the requester, writes
         // so the host can recycle the staging buffer.

@@ -1,5 +1,6 @@
 #include "device/replay_window.hh"
 
+#include "check/invariant.hh"
 #include "common/logging.hh"
 
 namespace kmu
@@ -23,6 +24,9 @@ ReplayWindow::refill()
         }
         window.push_back(Entry{next, nextSeq++});
     }
+    KMU_MODEL_CHECK(window.size() <= windowSize,
+                    "replay window holds %zu entries, limit %zu",
+                    window.size(), windowSize);
 }
 
 ReplayWindow::Result
@@ -35,6 +39,18 @@ ReplayWindow::lookup(Addr addr, std::uint64_t *seq_out)
             continue;
 
         const std::uint64_t matched_seq = window[i].seq;
+        KMU_INVARIANT(matched_seq < nextSeq,
+                      "matched sequence %llu was never issued "
+                      "(next is %llu)",
+                      (unsigned long long)matched_seq,
+                      (unsigned long long)nextSeq);
+        // A stale epoch would mean the window handed out an entry the
+        // sliding front had already aged past and discarded.
+        KMU_INVARIANT(matched_seq >= agedOutHigh,
+                      "matched stale sequence %llu below aged-out "
+                      "frontier %llu",
+                      (unsigned long long)matched_seq,
+                      (unsigned long long)agedOutHigh);
         if (seq_out)
             *seq_out = matched_seq;
         if (i != 0)
@@ -47,6 +63,7 @@ ReplayWindow::lookup(Addr addr, std::uint64_t *seq_out)
         // a full window past is a cache hit that will never arrive.
         while (!window.empty() &&
                window.front().seq + windowSize < matched_seq) {
+            agedOutHigh = window.front().seq + 1;
             window.pop_front();
             agedOutCount++;
         }

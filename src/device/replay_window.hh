@@ -93,6 +93,10 @@ class ReplayWindow
     std::deque<Entry> window;
     std::uint64_t nextSeq = 0;
     bool sourceDrained = false;
+    /** Exclusive upper bound of the aged-out prefix: every sequence
+     *  index below this has left the window for good, so matching one
+     *  again would mean replaying a stale epoch. */
+    std::uint64_t agedOutHigh = 0;
 
     std::uint64_t matchCount = 0;
     std::uint64_t missCount = 0;

@@ -3,13 +3,13 @@
 namespace kmu
 {
 
-RequestFetcher::RequestFetcher(std::string name, EventQueue &eq,
+RequestFetcher::RequestFetcher(std::string name, EventQueue &queue,
                                CoreId core_id, DeviceParams params,
                                SwQueuePair &qp, PcieLink &pcie,
                                Tick host_mem_latency,
                                CompletionNotify notify_cb,
                                StatGroup *stat_parent)
-    : SimObject(std::move(name), eq, stat_parent),
+    : SimObject(std::move(name), queue, stat_parent),
       doorbells(stats(), "doorbells", "doorbell MMIO writes received"),
       burstReads(stats(), "burst_reads", "descriptor DMA bursts issued"),
       descriptorsFetched(stats(), "descriptors_fetched",

@@ -40,7 +40,7 @@ class RequestFetcher : public SimObject
     /** Runs at the host when a completion record lands in the CQ. */
     using CompletionNotify = std::function<void(const CompletionDescriptor &)>;
 
-    RequestFetcher(std::string name, EventQueue &eq, CoreId core,
+    RequestFetcher(std::string name, EventQueue &queue, CoreId core,
                    DeviceParams params, SwQueuePair &qp, PcieLink &link,
                    Tick host_mem_latency, CompletionNotify notify,
                    StatGroup *stat_parent);

@@ -7,9 +7,9 @@
 namespace kmu
 {
 
-L1Cache::L1Cache(std::string name, EventQueue &eq, CacheParams params,
+L1Cache::L1Cache(std::string name, EventQueue &queue, CacheParams params,
                  StatGroup *stat_parent)
-    : SimObject(std::move(name), eq, stat_parent),
+    : SimObject(std::move(name), queue, stat_parent),
       hits(stats(), "hits", "lookups that found the line"),
       misses(stats(), "misses", "lookups that missed"),
       installs(stats(), "installs", "lines filled into the cache"),

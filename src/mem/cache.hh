@@ -32,7 +32,7 @@ struct CacheParams
 class L1Cache : public SimObject
 {
   public:
-    L1Cache(std::string name, EventQueue &eq, CacheParams params,
+    L1Cache(std::string name, EventQueue &queue, CacheParams params,
             StatGroup *stat_parent);
 
     std::uint32_t sets() const { return std::uint32_t(tags.size()); }

@@ -3,12 +3,12 @@
 namespace kmu
 {
 
-DramModel::DramModel(std::string name, EventQueue &eq, DramParams params,
+DramModel::DramModel(std::string name, EventQueue &queue, DramParams params,
                      StatGroup *stat_parent)
-    : SimObject(std::move(name), eq, stat_parent),
+    : SimObject(std::move(name), queue, stat_parent),
       reads(stats(), "reads", "cache-line reads serviced"),
       cfg(params),
-      pathQueue(this->name() + ".queue", eq, params.queueDepth, &stats())
+      pathQueue(this->name() + ".queue", queue, params.queueDepth, &stats())
 {
 }
 

@@ -36,7 +36,7 @@ class DramModel : public SimObject
   public:
     using FillCallback = std::function<void()>;
 
-    DramModel(std::string name, EventQueue &eq, DramParams params,
+    DramModel(std::string name, EventQueue &queue, DramParams params,
               StatGroup *stat_parent);
 
     const DramParams &params() const { return cfg; }

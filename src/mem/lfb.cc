@@ -1,11 +1,13 @@
 #include "mem/lfb.hh"
 
+#include "check/invariant.hh"
+
 namespace kmu
 {
 
-Lfb::Lfb(std::string name, EventQueue &eq, std::uint32_t capacity,
+Lfb::Lfb(std::string name, EventQueue &queue, std::uint32_t capacity,
          StatGroup *stat_parent)
-    : SimObject(std::move(name), eq, stat_parent),
+    : SimObject(std::move(name), queue, stat_parent),
       allocs(stats(), "allocs", "LFB entries allocated"),
       merges(stats(), "merges", "requests merged into pending entries"),
       rejections(stats(), "rejections", "requests that found LFB full"),
@@ -41,6 +43,14 @@ Lfb::request(Addr line, FillCallback cb)
     entry.waiters.push_back(std::move(cb));
     entries.emplace(line, std::move(entry));
     ++allocs;
+    KMU_INVARIANT(inUse() <= cap,
+                  "LFB occupancy %u exceeds capacity %u", inUse(), cap);
+    // Conservation: every live entry was allocated and not yet filled.
+    KMU_MODEL_CHECK(allocs.value() - fills.value() == inUse(),
+                    "LFB in-flight count %u != allocated %llu - "
+                    "filled %llu", inUse(),
+                    (unsigned long long)allocs.value(),
+                    (unsigned long long)fills.value());
     return AllocResult::NewEntry;
 }
 
@@ -62,9 +72,9 @@ void
 Lfb::fill(Addr line)
 {
     auto it = entries.find(line);
-    kmuAssert(it != entries.end(),
-              "fill for line %#llx with no LFB entry",
-              (unsigned long long)line);
+    KMU_INVARIANT(it != entries.end(),
+                  "fill for line %#llx with no LFB entry",
+                  (unsigned long long)line);
 
     // Detach before invoking callbacks: a waiter may re-request.
     auto waiters = std::move(it->second.waiters);
@@ -80,6 +90,11 @@ Lfb::fill(Addr line)
         freeWaiters.pop_front();
         cb();
     }
+    KMU_MODEL_CHECK(allocs.value() - fills.value() == inUse(),
+                    "LFB in-flight count %u != allocated %llu - "
+                    "filled %llu", inUse(),
+                    (unsigned long long)allocs.value(),
+                    (unsigned long long)fills.value());
 }
 
 } // namespace kmu

@@ -49,7 +49,7 @@ class Lfb : public SimObject
         NoEntry    //!< all entries busy (prefetch: drop; load: wait)
     };
 
-    Lfb(std::string name, EventQueue &eq, std::uint32_t capacity,
+    Lfb(std::string name, EventQueue &queue, std::uint32_t capacity,
         StatGroup *stat_parent);
 
     std::uint32_t capacity() const { return cap; }

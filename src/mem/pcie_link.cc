@@ -1,13 +1,14 @@
 #include "mem/pcie_link.hh"
 
+#include "check/invariant.hh"
 #include "common/units.hh"
 
 namespace kmu
 {
 
-PcieLink::PcieLink(std::string name, EventQueue &eq,
+PcieLink::PcieLink(std::string name, EventQueue &queue,
                    PcieLinkParams params, StatGroup *stat_parent)
-    : SimObject(std::move(name), eq, stat_parent), cfg(params)
+    : SimObject(std::move(name), queue, stat_parent), cfg(params)
 {
     kmuAssert(cfg.bytesPerSec > 0, "link bandwidth must be positive");
 }
@@ -28,17 +29,26 @@ void
 PcieLink::send(LinkDir dir, std::uint32_t payload_bytes,
                std::uint32_t useful_bytes, DeliverCallback cb)
 {
-    kmuAssert(useful_bytes <= payload_bytes,
-              "useful bytes exceed payload");
+    KMU_INVARIANT(useful_bytes <= payload_bytes,
+                  "useful bytes exceed payload (%u > %u)",
+                  useful_bytes, payload_bytes);
     Direction &d = dirState(dir);
 
     const std::uint32_t wire_bytes = payload_bytes + cfg.tlpHeaderBytes;
     const Tick start = std::max(curTick(), d.wireFreeAt);
     const Tick done = start + transferTicks(wire_bytes, cfg.bytesPerSec);
+    KMU_INVARIANT(done >= start,
+                  "link transfer time went backwards (%llu < %llu)",
+                  (unsigned long long)done, (unsigned long long)start);
     d.wireFreeAt = done;
     d.wire += wire_bytes;
     d.useful += useful_bytes;
     d.tlps += 1;
+    // Goodput can never exceed raw wire traffic in either direction.
+    KMU_MODEL_CHECK(d.useful <= d.wire,
+                    "useful bytes %llu exceed wire bytes %llu",
+                    (unsigned long long)d.useful,
+                    (unsigned long long)d.wire);
 
     eventQueue().scheduleLambda(done + cfg.propagation, std::move(cb),
                                 EventPriority::DeviceResponse,

@@ -46,7 +46,7 @@ class PcieLink : public SimObject
   public:
     using DeliverCallback = std::function<void()>;
 
-    PcieLink(std::string name, EventQueue &eq, PcieLinkParams params,
+    PcieLink(std::string name, EventQueue &queue, PcieLinkParams params,
              StatGroup *stat_parent);
 
     const PcieLinkParams &params() const { return cfg; }

@@ -1,11 +1,13 @@
 #include "mem/uncore_queue.hh"
 
+#include "check/invariant.hh"
+
 namespace kmu
 {
 
-UncoreQueue::UncoreQueue(std::string name, EventQueue &eq,
+UncoreQueue::UncoreQueue(std::string name, EventQueue &queue,
                          std::uint32_t capacity, StatGroup *stat_parent)
-    : SimObject(std::move(name), eq, stat_parent),
+    : SimObject(std::move(name), queue, stat_parent),
       entries(stats(), "entries", "requests that acquired a slot"),
       fullStalls(stats(), "full_stalls",
                  "requests that had to wait for a free slot"),
@@ -19,9 +21,18 @@ void
 UncoreQueue::grant(EnterCallback cb)
 {
     used++;
+    KMU_INVARIANT(used <= cap,
+                  "uncore queue occupancy %u exceeds capacity %u",
+                  used, cap);
     peak = std::max(peak, used);
     ++entries;
     occupancy.sample(double(used));
+    // Conservation: every slot in use was granted and not released.
+    KMU_MODEL_CHECK(entries.value() - releasedCount == used,
+                    "uncore slots in use %u != granted %llu - "
+                    "released %llu", used,
+                    (unsigned long long)entries.value(),
+                    (unsigned long long)releasedCount);
     // Run off the current stack so release() inside the callback
     // cannot recurse into waiter admission mid-flight.
     eventQueue().scheduleLambda(curTick(), std::move(cb),
@@ -43,13 +54,18 @@ UncoreQueue::acquire(EnterCallback cb)
 void
 UncoreQueue::release()
 {
-    kmuAssert(used > 0, "release on an empty uncore queue");
+    KMU_INVARIANT(used > 0, "release on an empty uncore queue");
     used--;
+    releasedCount++;
     if (!waiters.empty()) {
         auto cb = std::move(waiters.front());
         waiters.pop_front();
         grant(std::move(cb));
     }
+    // Nobody may wait while a slot is free (would be a lost wakeup).
+    KMU_MODEL_CHECK(waiters.empty() || full(),
+                    "%zu waiters stalled on a non-full uncore queue "
+                    "(%u/%u in use)", waiters.size(), used, cap);
 }
 
 } // namespace kmu

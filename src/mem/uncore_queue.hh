@@ -30,7 +30,7 @@ class UncoreQueue : public SimObject
     /** Invoked once the request holds a slot and may proceed. */
     using EnterCallback = std::function<void()>;
 
-    UncoreQueue(std::string name, EventQueue &eq, std::uint32_t capacity,
+    UncoreQueue(std::string name, EventQueue &queue, std::uint32_t capacity,
                 StatGroup *stat_parent);
 
     std::uint32_t capacity() const { return cap; }
@@ -57,12 +57,16 @@ class UncoreQueue : public SimObject
     /** Highest simultaneous occupancy seen. */
     std::uint32_t peakOccupancy() const { return peak; }
 
+    /** Cumulative slots released; entries - released == inUse(). */
+    std::uint64_t totalReleases() const { return releasedCount; }
+
   private:
     void grant(EnterCallback cb);
 
     std::uint32_t cap;
     std::uint32_t used = 0;
     std::uint32_t peak = 0;
+    std::uint64_t releasedCount = 0;
     std::deque<EnterCallback> waiters;
 };
 

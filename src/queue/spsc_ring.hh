@@ -11,6 +11,33 @@
  *
  * Capacity must be a power of two. One slot is sacrificed to
  * distinguish full from empty.
+ *
+ * Memory-ordering audit (the two synchronization edges):
+ *
+ *  1. producer publishes a slot:   slots[h] = v;  head.store(release)
+ *     consumer observes it:        head.load(acquire);  read slots[t]
+ *     The release/acquire pair on `head` guarantees the slot write
+ *     is visible before the consumer can see the advanced head, so
+ *     the consumer never reads a half-written slot.
+ *
+ *  2. consumer retires a slot:     out = slots[t];  tail.store(release)
+ *     producer observes it:        tail.load(acquire);  write slots[h]
+ *     The release/acquire pair on `tail` guarantees the consumer has
+ *     fully read a slot before the producer can see the advanced tail
+ *     and overwrite it.
+ *
+ *  Each side loads its *own* index relaxed (single writer: the value
+ *  is always its own last store, so no synchronization is needed).
+ *  The cumulative push/pop counters piggyback on the same two edges:
+ *  each side bumps its counter *before* its index release-store, so
+ *  the opposite side's acquire load makes the counter value current
+ *  enough for the occupancy invariants below to be exact bounds
+ *  (a stale opposite counter only ever weakens the check toward
+ *  passing, never toward a false positive).
+ *
+ *  size() uses two acquire loads but still only yields a snapshot:
+ *  exact when single-threaded, approximate (bounded by capacity)
+ *  under concurrency.
  */
 
 #ifndef KMU_QUEUE_SPSC_RING_HH
@@ -20,6 +47,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "check/invariant.hh"
 #include "common/bitops.hh"
 #include "common/logging.hh"
 
@@ -46,11 +74,21 @@ class SpscRing
     tryPush(const T &value)
     {
         const std::size_t h = head.load(std::memory_order_relaxed);
+        KMU_INVARIANT(h < slots.size(),
+                      "ring head index %zu out of range", h);
         const std::size_t next = (h + 1) & mask;
         if (next == tail.load(std::memory_order_acquire))
             return false;
         slots[h] = value;
+        pushes.fetch_add(1, std::memory_order_relaxed);
         head.store(next, std::memory_order_release);
+        // pops lags at most to the tail value acquired above, so this
+        // bound can only be loose in the passing direction.
+        KMU_MODEL_CHECK(
+            pushes.load(std::memory_order_relaxed) -
+                    pops.load(std::memory_order_relaxed) <=
+                capacity(),
+            "ring occupancy exceeds capacity %zu", capacity());
         return true;
     }
 
@@ -59,10 +97,18 @@ class SpscRing
     tryPop(T &out)
     {
         const std::size_t t = tail.load(std::memory_order_relaxed);
+        KMU_INVARIANT(t < slots.size(),
+                      "ring tail index %zu out of range", t);
         if (t == head.load(std::memory_order_acquire))
             return false;
         out = slots[t];
+        pops.fetch_add(1, std::memory_order_relaxed);
         tail.store((t + 1) & mask, std::memory_order_release);
+        // pushes is at least the value acquired via head above, so a
+        // stale read only weakens the check toward passing.
+        KMU_MODEL_CHECK(pops.load(std::memory_order_relaxed) <=
+                            pushes.load(std::memory_order_relaxed),
+                        "ring popped more items than were pushed");
         return true;
     }
 
@@ -95,11 +141,31 @@ class SpscRing
 
     bool empty() const { return size() == 0; }
 
+    /** @{ Cumulative (never-wrapping) accounting, for invariants and
+     *  tests: pops <= pushes and pushes - pops <= capacity always. */
+    std::uint64_t
+    totalPushes() const
+    {
+        return pushes.load(std::memory_order_relaxed);
+    }
+    std::uint64_t
+    totalPops() const
+    {
+        return pops.load(std::memory_order_relaxed);
+    }
+    /** @} */
+
   private:
     std::vector<T> slots;
     std::size_t mask;
     alignas(64) std::atomic<std::size_t> head{0};
     alignas(64) std::atomic<std::size_t> tail{0};
+    // Cumulative counters mirror head/tail without the wrap, making
+    // conservation (pops <= pushes <= pops + capacity) checkable.
+    // Written only by their owning side, before that side's
+    // release-store (see the ordering audit above).
+    alignas(64) std::atomic<std::uint64_t> pushes{0};
+    alignas(64) std::atomic<std::uint64_t> pops{0};
 };
 
 } // namespace kmu

@@ -98,6 +98,19 @@ class SwQueuePair
     std::size_t pendingRequests() const { return requests.size(); }
     std::size_t pendingCompletions() const { return completions.size(); }
 
+    /** @{ Ring access for invariant sweeps and tests. */
+    const SpscRing<RequestDescriptor> &
+    requestRing() const
+    {
+        return requests;
+    }
+    const SpscRing<CompletionDescriptor> &
+    completionRing() const
+    {
+        return completions;
+    }
+    /** @} */
+
   private:
     SpscRing<RequestDescriptor> requests;
     SpscRing<CompletionDescriptor> completions;

@@ -1,5 +1,6 @@
 #include "sim/event.hh"
 
+#include "check/invariant.hh"
 #include "common/logging.hh"
 
 namespace kmu
@@ -22,43 +23,46 @@ EventQueue::EventQueue() = default;
 
 EventQueue::~EventQueue()
 {
-    // Free any one-shot lambdas that never ran.
+    // Disarm events still scheduled at teardown so their destructors
+    // (for owned lambdas: when ownedLambdas clears below) don't flag
+    // queue misuse. Cancelled entries may point at events that were
+    // since destroyed, so those are skipped by seq without ever
+    // touching the pointer.
     while (!heap.empty()) {
         HeapEntry entry = heap.top();
         heap.pop();
-        Event *ev = entry.event;
-        if (ev->isScheduled && ev->generation == entry.generation) {
-            ev->isScheduled = false;
-            if (ev->ownedByQueue)
-                delete ev;
-        }
+        if (!cancelledSeqs.erase(entry.seq))
+            entry.event->isScheduled = false;
     }
 }
 
 void
 EventQueue::schedule(Event *event, Tick when)
 {
-    kmuAssert(!event->isScheduled,
-              "event '%s' scheduled twice", event->name().c_str());
-    kmuAssert(when >= now,
-              "event '%s' scheduled in the past (%llu < %llu)",
-              event->name().c_str(), (unsigned long long)when,
-              (unsigned long long)now);
+    KMU_INVARIANT(!event->isScheduled,
+                  "event '%s' scheduled twice", event->name().c_str());
+    KMU_INVARIANT(when >= now,
+                  "event '%s' scheduled in the past (%llu < %llu)",
+                  event->name().c_str(), (unsigned long long)when,
+                  (unsigned long long)now);
     event->isScheduled = true;
     event->scheduledAt = when;
-    event->generation++;
+    event->heapSeq = nextSeq;
     heap.push(HeapEntry{when, std::int32_t(event->prio), nextSeq++,
-                        event, event->generation});
+                        event});
     liveEvents++;
 }
 
 void
 EventQueue::deschedule(Event *event)
 {
-    kmuAssert(event->isScheduled,
-              "descheduling idle event '%s'", event->name().c_str());
+    KMU_INVARIANT(event->isScheduled,
+                  "descheduling idle event '%s'", event->name().c_str());
+    KMU_INVARIANT(liveEvents > 0,
+                  "live event count underflow descheduling '%s'",
+                  event->name().c_str());
     event->isScheduled = false;
-    event->generation++; // invalidates the heap entry
+    cancelledSeqs.insert(event->heapSeq); // invalidates the heap entry
     liveEvents--;
 }
 
@@ -74,22 +78,19 @@ void
 EventQueue::scheduleLambda(Tick when, std::function<void()> fn,
                            EventPriority prio, std::string name)
 {
-    auto *ev = new CallbackEvent(std::move(name), std::move(fn), prio);
+    auto ev = std::make_unique<CallbackEvent>(std::move(name),
+                                              std::move(fn), prio);
     ev->ownedByQueue = true;
-    schedule(ev, when);
+    CallbackEvent *raw = ev.get();
+    ownedLambdas.emplace(raw, std::move(ev));
+    schedule(raw, when);
 }
 
 void
 EventQueue::skipDead()
 {
-    while (!heap.empty()) {
-        const HeapEntry &entry = heap.top();
-        if (entry.event->isScheduled &&
-            entry.event->generation == entry.generation) {
-            return;
-        }
+    while (!heap.empty() && cancelledSeqs.erase(heap.top().seq))
         heap.pop();
-    }
 }
 
 bool
@@ -99,11 +100,27 @@ EventQueue::serviceOne()
     if (heap.empty())
         return false;
 
+    // Every heap entry is exactly one of: live (its event scheduled,
+    // heapSeq matching) or cancelled (seq parked in cancelledSeqs).
+    KMU_MODEL_CHECK(heap.size() == liveEvents + cancelledSeqs.size(),
+                    "heap holds %zu entries but %llu live + %zu "
+                    "cancelled events are booked", heap.size(),
+                    (unsigned long long)liveEvents,
+                    cancelledSeqs.size());
+
     HeapEntry entry = heap.top();
     heap.pop();
     Event *ev = entry.event;
 
-    kmuAssert(entry.when >= now, "event queue time went backwards");
+    KMU_INVARIANT(entry.when >= now,
+                  "event queue time went backwards (%llu < %llu)",
+                  (unsigned long long)entry.when,
+                  (unsigned long long)now);
+    KMU_MODEL_CHECK(ev->scheduledAt == entry.when,
+                    "event '%s' services at %llu but was booked for "
+                    "%llu", ev->name().c_str(),
+                    (unsigned long long)entry.when,
+                    (unsigned long long)ev->scheduledAt);
     now = entry.when;
     ev->isScheduled = false;
     liveEvents--;
@@ -113,7 +130,7 @@ EventQueue::serviceOne()
     // One-shot lambdas are freed once they have run (unless they
     // rescheduled themselves, which CallbackEvent never does).
     if (ev->ownedByQueue && !ev->scheduled())
-        delete ev;
+        ownedLambdas.erase(ev);
     return true;
 }
 

@@ -14,8 +14,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <queue>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/types.hh"
@@ -69,7 +72,7 @@ class Event
     bool isScheduled = false;
     bool ownedByQueue = false; //!< queue frees it after it runs
     Tick scheduledAt = 0;
-    std::uint64_t generation = 0; //!< invalidates stale queue entries
+    std::uint64_t heapSeq = 0; //!< seq of the live heap entry
 };
 
 /** Event whose process() runs a bound callable. */
@@ -77,8 +80,8 @@ class CallbackEvent : public Event
 {
   public:
     CallbackEvent(std::string name, std::function<void()> fn,
-                  EventPriority prio = EventPriority::Default)
-        : Event(std::move(name), prio), callback(std::move(fn))
+                  EventPriority priority = EventPriority::Default)
+        : Event(std::move(name), priority), callback(std::move(fn))
     {}
 
     void process() override { callback(); }
@@ -90,8 +93,11 @@ class CallbackEvent : public Event
 /**
  * Deterministic time-ordered event queue.
  *
- * Descheduling is lazy: the heap entry is invalidated via the event's
- * generation counter and skipped when popped.
+ * Descheduling is lazy: the heap entry's unique sequence number is
+ * recorded as cancelled and the entry is skipped when popped. Dead
+ * entries are recognised by sequence number alone — the queue never
+ * dereferences an event through a cancelled entry, so an event may be
+ * destroyed any time after it is descheduled.
  */
 class EventQueue
 {
@@ -144,7 +150,6 @@ class EventQueue
         std::int32_t prio;
         std::uint64_t seq;
         Event *event;
-        std::uint64_t generation;
     };
 
     struct HeapCompare
@@ -169,6 +174,11 @@ class EventQueue
     std::uint64_t servicedCount = 0;
     std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapCompare>
         heap;
+    /** Seqs of descheduled heap entries not yet popped. */
+    std::unordered_set<std::uint64_t> cancelledSeqs;
+    /** One-shot lambdas the queue owns, keyed by their address. */
+    std::unordered_map<const Event *, std::unique_ptr<CallbackEvent>>
+        ownedLambdas;
 };
 
 } // namespace kmu

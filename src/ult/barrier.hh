@@ -22,8 +22,8 @@ namespace kmu
 class FiberBarrier
 {
   public:
-    FiberBarrier(Scheduler &scheduler, std::size_t parties)
-        : sched(scheduler), parties(parties)
+    FiberBarrier(Scheduler &scheduler, std::size_t party_count)
+        : sched(scheduler), parties(party_count)
     {
         kmuAssert(parties >= 1, "barrier needs at least one party");
         waiters.reserve(parties);

@@ -7,6 +7,7 @@
 
 #include "common/bitops.hh"
 #include "common/logging.hh"
+#include "common/sanitizer.hh"
 #include "ult/scheduler.hh"
 
 namespace kmu
@@ -39,17 +40,26 @@ Fiber::Fiber(std::function<void()> entry_fn, std::size_t stack_bytes)
         fatal("cannot protect the fiber stack guard page");
 
     stack = static_cast<std::uint8_t *>(mapping) + page;
+    // mmap may hand back an address range a dead fiber's stack once
+    // occupied; its ASan shadow still carries that fiber's redzones.
+    kmuSanUnpoisonStack(stack, stackSize);
     std::memset(stack, stackWatermark, stackSize);
     context = makeFiberContext(stack, stackSize,
                                &Fiber::entryThunk, this);
+
+    tsanFiber = kmuSanCreateFiber();
+    kmuSanSetFiberName(tsanFiber, "kmu::Fiber");
 }
 
 Fiber::~Fiber()
 {
     kmuAssert(fiberState != FiberState::Running,
               "fiber destroyed while running");
-    if (mapping)
+    kmuSanDestroyFiber(tsanFiber);
+    if (mapping) {
+        kmuSanUnpoisonStack(stack, stackSize);
         munmap(mapping, mappingSize);
+    }
 }
 
 std::size_t
@@ -67,6 +77,11 @@ void
 Fiber::entryThunk(void *self)
 {
     auto *fiber = static_cast<Fiber *>(self);
+    // First instructions on this stack: complete the sanitizer-level
+    // switch the dispatching scheduler started (records the host
+    // stack's bounds in the owner as a side effect).
+    kmuAssert(fiber->owner != nullptr, "fiber activated with no owner");
+    fiber->owner->sanFinishFirstActivation();
     fiber->entry();
     fiber->fiberState = FiberState::Finished;
     // Hand control back to the scheduler for good; the scheduler

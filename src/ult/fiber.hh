@@ -74,6 +74,13 @@ class Fiber
     FiberContext context;
     FiberState fiberState = FiberState::Ready;
     Scheduler *owner = nullptr;
+
+    // Sanitizer bookkeeping (both nullptr in unsanitized builds; see
+    // common/sanitizer.hh). tsanFiber is this fiber's TSan shadow
+    // context; fakeStack is the ASan fake-stack handle saved whenever
+    // this fiber's stack is switched away from.
+    void *tsanFiber = nullptr;
+    void *fakeStack = nullptr;
 };
 
 } // namespace kmu

@@ -1,6 +1,7 @@
 #include "ult/scheduler.hh"
 
 #include "common/logging.hh"
+#include "common/sanitizer.hh"
 
 namespace kmu
 {
@@ -45,7 +46,14 @@ Scheduler::dispatch(Fiber &fiber)
     fiber.fiberState = FiberState::Running;
     running = &fiber;
     switchCount++;
+    // Tell the sanitizers we are leaving the host stack for the
+    // fiber's; the matching finish runs on the fiber side (entryThunk
+    // on first activation, switchToScheduler's resume path after).
+    kmuSanSwitchToFiber(fiber.tsanFiber);
+    kmuSanStartSwitchFiber(&hostFakeStack, fiber.stack, fiber.stackSize);
     kmuCtxSwitch(&schedulerContext, &fiber.context);
+    kmuSanFinishSwitchFiber(hostFakeStack, &hostStackBottom,
+                            &hostStackSize);
     running = nullptr;
     if (fiber.fiberState == FiberState::Finished) {
         kmuAssert(live > 0, "live fiber count underflow");
@@ -57,7 +65,21 @@ void
 Scheduler::switchToScheduler()
 {
     Fiber *self = running;
+    // A Finished fiber never runs again: pass nullptr so ASan frees
+    // its fake stack instead of parking a handle that would leak.
+    const bool dying = self->fiberState == FiberState::Finished;
+    kmuSanSwitchToFiber(hostTsanFiber);
+    kmuSanStartSwitchFiber(dying ? nullptr : &self->fakeStack,
+                           hostStackBottom, hostStackSize);
     kmuCtxSwitch(&self->context, &schedulerContext);
+    kmuSanFinishSwitchFiber(self->fakeStack, &hostStackBottom,
+                            &hostStackSize);
+}
+
+void
+Scheduler::sanFinishFirstActivation()
+{
+    kmuSanFinishSwitchFiber(nullptr, &hostStackBottom, &hostStackSize);
 }
 
 void
@@ -103,6 +125,9 @@ Scheduler::run()
     inRun = true;
     Scheduler *previous = activeScheduler;
     activeScheduler = this;
+    // TSan context of the host stack; for a nested run() (a fiber
+    // driving another scheduler) this is the outer fiber's context.
+    hostTsanFiber = kmuSanCurrentFiber();
 
     while (live > 0) {
         if (readyQueue.empty()) {

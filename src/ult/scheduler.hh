@@ -79,11 +79,21 @@ class Scheduler
     static Scheduler *currentScheduler();
 
   private:
+    friend class Fiber;
+
     /** Resume @p fiber from the scheduler context. */
     void dispatch(Fiber &fiber);
 
     /** From a fiber: save into the fiber, resume scheduler context. */
     void switchToScheduler();
+
+    /**
+     * Complete the sanitizer-level stack switch on a fiber's very
+     * first activation; called by Fiber::entryThunk before any user
+     * code runs. Captures the host (dispatching) stack's bounds so
+     * later fiber-to-scheduler switches can announce them to ASan.
+     */
+    void sanFinishFirstActivation();
 
     std::vector<std::unique_ptr<Fiber>> fibers;
     std::deque<Fiber *> readyQueue;
@@ -93,6 +103,15 @@ class Scheduler
     std::size_t live = 0;
     std::uint64_t switchCount = 0;
     bool inRun = false;
+
+    // Sanitizer view of the host context (the stack run() was called
+    // on). The bounds are learned from the first fiber activation's
+    // finish-switch and refreshed on every return to the scheduler;
+    // all of this is inert in unsanitized builds.
+    const void *hostStackBottom = nullptr;
+    std::size_t hostStackSize = 0;
+    void *hostFakeStack = nullptr;
+    void *hostTsanFiber = nullptr;
 };
 
 /**

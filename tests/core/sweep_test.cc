@@ -76,8 +76,9 @@ TEST_P(MechanismLatencySweep, SanityBoundsHoldEverywhere)
                   0.98 * ticksToNs(cfg.device.latency));
 
         // Hardware occupancy never exceeds the configured caps.
-        if (sys.chipQueue())
+        if (sys.chipQueue()) {
             EXPECT_LE(res.chipQueuePeak, cfg.chipPcieQueue);
+        }
     }
 }
 

@@ -1,0 +1,41 @@
+# Determinism gate: run kmu_sim twice with the same configuration and
+# require byte-identical output (CSV row + full stats dump). Any
+# nondeterminism in the event kernel, the RNG seeding, or container
+# iteration order shows up here as a diff.
+#
+# Invoked by ctest as:
+#   cmake -DKMU_SIM=<path-to-kmu_sim> -DWORK_DIR=<dir>
+#         -P determinism_check.cmake
+
+if(NOT KMU_SIM)
+    message(FATAL_ERROR "pass -DKMU_SIM=<path to kmu_sim>")
+endif()
+if(NOT WORK_DIR)
+    set(WORK_DIR ${CMAKE_CURRENT_BINARY_DIR})
+endif()
+
+set(ARGS mechanism=swqueue cores=2 threads=8 latency_us=1
+         write_frac=0.3 measure_us=200 csv=1 stats=1)
+
+foreach(run a b)
+    execute_process(
+        COMMAND ${KMU_SIM} ${ARGS}
+        OUTPUT_FILE ${WORK_DIR}/determinism_${run}.txt
+        RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "kmu_sim run '${run}' failed (rc=${rc})")
+    endif()
+endforeach()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            ${WORK_DIR}/determinism_a.txt
+            ${WORK_DIR}/determinism_b.txt
+    RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+    message(FATAL_ERROR
+        "kmu_sim output differs between identical runs; the model "
+        "is nondeterministic (compare determinism_a.txt and "
+        "determinism_b.txt in ${WORK_DIR})")
+endif()
+message(STATUS "determinism check passed: outputs byte-identical")

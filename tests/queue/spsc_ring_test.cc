@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/random.hh"
 #include "queue/spsc_ring.hh"
 
 namespace kmu
@@ -105,6 +106,62 @@ TEST(SpscRingTest, ThreadedProducerConsumer)
     }
     producer.join();
     EXPECT_EQ(sum, total * (total - 1) / 2);
+}
+
+TEST(SpscRingTest, ThreadedStressMultiWordPayload)
+{
+    // Heavier cross-thread exercise of the release/acquire edges
+    // documented in spsc_ring.hh: a multi-word payload would tear if
+    // a slot were visible before fully written (edge 1) or recycled
+    // before fully read (edge 2). Bursty pacing (derived from mix64,
+    // so deterministic) forces frequent full/empty transitions, the
+    // regime where stale-index bugs surface. Run under
+    // KMU_SANITIZE=thread this doubles as the TSan proof for the
+    // ring.
+    struct Payload
+    {
+        std::uint64_t seq;
+        std::uint64_t a, b, c;
+    };
+    SpscRing<Payload> ring(8); // tiny: maximizes wraparound pressure
+    constexpr std::uint64_t total = 100000;
+
+    std::thread producer([&]() {
+        std::uint64_t i = 0;
+        while (i < total) {
+            // Bursts of 1..8 pushes, then give the consumer a window.
+            const std::uint64_t burst = 1 + (mix64(i) & 7);
+            for (std::uint64_t k = 0; k < burst && i < total;) {
+                const Payload p{i, mix64(i), mix64(i ^ 0xabcdef),
+                                ~i};
+                if (ring.tryPush(p)) {
+                    ++i;
+                    ++k;
+                }
+            }
+            std::this_thread::yield();
+        }
+    });
+
+    std::uint64_t expect = 0;
+    while (expect < total) {
+        Payload v;
+        if (!ring.tryPop(v)) {
+            std::this_thread::yield();
+            continue;
+        }
+        ASSERT_EQ(v.seq, expect);
+        ASSERT_EQ(v.a, mix64(expect));
+        ASSERT_EQ(v.b, mix64(expect ^ 0xabcdef));
+        ASSERT_EQ(v.c, ~expect);
+        ++expect;
+    }
+    producer.join();
+
+    // Cumulative accounting reconciles exactly once both sides quiesce.
+    EXPECT_EQ(ring.totalPushes(), total);
+    EXPECT_EQ(ring.totalPops(), total);
+    EXPECT_TRUE(ring.empty());
 }
 
 } // anonymous namespace

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "sim/event.hh"
@@ -80,6 +81,34 @@ TEST(EventQueueTest, DescheduleSkipsEvent)
     EXPECT_FALSE(a.scheduled());
     eq.run();
     EXPECT_EQ(log, (std::vector<std::string>{"b"}));
+}
+
+// Regression: a descheduled event may be destroyed while its stale
+// heap entry is still parked in the queue. The queue must recognise
+// the dead entry by sequence number alone — both while servicing and
+// in its own destructor — without dereferencing the freed event.
+// (Found by ASan: SimChecker deschedules its sweep event in its
+// destructor, which runs before ~EventQueue inside ~SimSystem.)
+TEST(EventQueueTest, DescheduledEventMayDieBeforeQueue)
+{
+    EventQueue eq;
+    std::vector<std::string> log;
+    RecordingEvent keep("keep", log);
+    eq.schedule(&keep, 30);
+    {
+        auto doomed = std::make_unique<RecordingEvent>("doomed", log);
+        eq.schedule(doomed.get(), 10);
+        eq.deschedule(doomed.get());
+    } // freed here; its heap entry still sits in front of "keep"
+    eq.run();
+    EXPECT_EQ(log, (std::vector<std::string>{"keep"}));
+
+    {
+        auto doomed = std::make_unique<RecordingEvent>("doomed2", log);
+        eq.schedule(doomed.get(), 50);
+        eq.deschedule(doomed.get());
+    } // stale entry survives until ~EventQueue — it must skip it
+    EXPECT_EQ(eq.size(), 0u);
 }
 
 TEST(EventQueueTest, RescheduleMovesEvent)

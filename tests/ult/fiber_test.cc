@@ -177,8 +177,53 @@ TEST(FiberTest, StackHeadroomDetectsUsage)
     EXPECT_GT(headroom, 1024u);      // but nowhere near exhausted
 }
 
+namespace
+{
+
+/** Burn ~1 KiB of stack per level until headroom drops below
+ *  @p stop_below; the frame is touched after the recursive call so
+ *  the compiler cannot turn this into a tail call. */
+std::size_t
+recurseUntilLow(Scheduler &sched, std::size_t stop_below, int &depth)
+{
+    volatile char frame[1024];
+    frame[0] = char(depth);
+    depth++;
+    const std::size_t headroom = sched.current()->stackHeadroom();
+    std::size_t result = headroom;
+    if (headroom >= stop_below)
+        result = recurseUntilLow(sched, stop_below, depth);
+    frame[1] = frame[0]; // keep the frame live across the call
+    return result;
+}
+
+} // anonymous namespace
+
+TEST(FiberTest, StackHeadroomTracksDeepRecursion)
+{
+    Scheduler sched;
+    int depth = 0;
+    std::size_t shallow = 0;
+    std::size_t deep = 0;
+    sched.spawn([&]() {
+        shallow = sched.current()->stackHeadroom();
+        deep = recurseUntilLow(sched, 16 * 1024, depth);
+    }, 256 * 1024);
+    sched.run();
+    // Recursion went meaningfully deep, headroom tracked it downward,
+    // and the fiber unwound cleanly well before the guard page.
+    EXPECT_GT(depth, 20);
+    EXPECT_LT(deep, 16 * 1024u);
+    EXPECT_LT(deep, shallow);
+    EXPECT_GT(shallow, 128 * 1024u);
+}
+
 TEST(FiberDeathTest, StackOverflowHitsGuardPage)
 {
+    // Re-exec rather than fork for this death test: under TSan a
+    // bare fork() can inherit a held runtime lock and deadlock the
+    // child before it ever reaches the guard page.
+    testing::FLAGS_gtest_death_test_style = "threadsafe";
     // A frame far larger than the stack must fault on the guard
     // page instead of silently corrupting neighbouring memory.
     EXPECT_DEATH(

@@ -45,7 +45,8 @@ usage()
         "  chipq=N            chip PCIe queue    (14)\n"
         "  ctx_ns=N           context switch     (50)\n"
         "  measure_us=N       measured window    (600)\n"
-        "  stats=0|1          dump component stats (0)\n");
+        "  stats=0|1          dump component stats (0)\n"
+        "  csv=0|1            machine-readable one-row CSV (0)\n");
     std::exit(1);
 }
 
@@ -67,6 +68,7 @@ main(int argc, char **argv)
 {
     SystemConfig cfg;
     bool dump_stats = false;
+    bool csv = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string key;
@@ -121,6 +123,8 @@ main(int argc, char **argv)
             cfg.measure = microseconds(std::stoul(value));
         } else if (key == "stats") {
             dump_stats = value != "0";
+        } else if (key == "csv") {
+            csv = value != "0";
         } else {
             usage();
         }
@@ -129,6 +133,37 @@ main(int argc, char **argv)
     SimSystem system(cfg);
     const RunResult res = system.run();
     const RunResult base = runSystem(baselineConfig(cfg));
+
+    if (csv) {
+        // Full-precision, locale-free output: byte-identical across
+        // runs of the same configuration (the determinism_kmu_sim
+        // ctest depends on this).
+        std::printf(
+            "mechanism,cores,threads,iterations,work_instrs,accesses,"
+            "writes,work_ipc,normalized_ipc,mean_read_latency_ns,"
+            "to_host_wire_gbs,to_host_useful_gbs,to_device_wire_gbs,"
+            "chip_queue_peak,prefetches_queued,replay_misses,"
+            "events_serviced\n");
+        std::printf(
+            "%s,%u,%u,%llu,%llu,%llu,%llu,%.17g,%.17g,%.17g,%.17g,"
+            "%.17g,%.17g,%u,%llu,%llu,%llu\n",
+            mechanismName(cfg.mechanism), cfg.numCores,
+            cfg.threadsPerCore, (unsigned long long)res.iterations,
+            (unsigned long long)res.workInstrs,
+            (unsigned long long)res.accesses,
+            (unsigned long long)res.writes, res.workIpc,
+            normalizedWorkIpc(res, base), res.meanReadLatencyNs,
+            res.toHostWireGBs, res.toHostUsefulGBs,
+            res.toDeviceWireGBs, res.chipQueuePeak,
+            (unsigned long long)res.prefetchesQueued,
+            (unsigned long long)res.replayMisses,
+            (unsigned long long)system.eventQueue().serviced());
+        if (dump_stats) {
+            std::printf("\n--- component statistics ---\n");
+            system.stats().dump(std::cout);
+        }
+        return 0;
+    }
 
     std::printf("mechanism          %s (%s-backed)\n",
                 mechanismName(cfg.mechanism),
