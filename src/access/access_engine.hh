@@ -89,9 +89,27 @@ class AccessEngine
     /** Total line writes issued through this engine. */
     std::uint64_t writes() const { return writeCount; }
 
+    /**
+     * Fault-survival bookkeeping, uniform across mechanisms so
+     * campaign drivers report all engines the same way. All zero
+     * unless a fault plan is active and faults actually landed.
+     */
+    struct RecoveryCounters
+    {
+        std::uint64_t retries = 0;           //!< accesses re-issued
+        std::uint64_t timeouts = 0;          //!< watchdog expirations
+        std::uint64_t crcFailures = 0;       //!< payload CRC mismatches
+        std::uint64_t staleCompletions = 0;  //!< filtered stale/dup
+        std::uint64_t degradedAccesses = 0;  //!< served degraded
+        std::uint64_t recoveryDoorbells = 0; //!< watchdog doorbells
+    };
+
+    const RecoveryCounters &recovery() const { return recoveryStats; }
+
   protected:
     std::uint64_t accessCount = 0;
     std::uint64_t writeCount = 0;
+    RecoveryCounters recoveryStats;
 };
 
 } // namespace kmu

@@ -3,15 +3,37 @@
 #include <cstring>
 
 #include "common/logging.hh"
+#include "fault/fault_plan.hh"
 
 namespace kmu
 {
 
 OnDemandEngine::OnDemandEngine(std::uint8_t *region_base,
-                               std::size_t region_bytes)
-    : base(region_base), bytes(region_bytes)
+                               std::size_t region_bytes,
+                               fault::DegradationGovernor *gov,
+                               fault::RetryPolicy policy)
+    : base(region_base), bytes(region_bytes), governor(gov),
+      retryPolicy(policy)
 {
     kmuAssert(base != nullptr, "on-demand engine needs a region");
+}
+
+std::uint32_t
+OnDemandEngine::surviveMappedRead()
+{
+    // MappedReadError models a hardware-detected bad MMIO read (the
+    // load completes poisoned and faults). Survival is a bounded
+    // re-issue of the load.
+    std::uint32_t attempts = 0;
+    while (fault::fire(fault::FaultSite::MappedReadError)) {
+        attempts++;
+        recoveryStats.retries++;
+        kmuAssert(attempts <= retryPolicy.maxRetries,
+                  "mapped read failed %u consecutive times", attempts);
+    }
+    if (governor)
+        governor->sample(attempts > 0);
+    return attempts;
 }
 
 std::uint64_t
@@ -20,6 +42,7 @@ OnDemandEngine::read64(Addr addr)
     kmuAssert(addr + 8 <= bytes, "read64 out of bounds: %#llx",
               (unsigned long long)addr);
     accessCount++;
+    surviveMappedRead();
     std::uint64_t value;
     std::memcpy(&value, base + addr, sizeof(value));
     return value;
@@ -45,6 +68,7 @@ OnDemandEngine::readLines(const Addr *addrs, std::size_t n, void *out)
         kmuAssert(addrs[i] + cacheLineSize <= bytes,
                   "readLines out of bounds");
         accessCount++;
+        surviveMappedRead();
         std::memcpy(dst + i * cacheLineSize, base + addrs[i],
                     cacheLineSize);
     }

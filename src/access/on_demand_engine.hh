@@ -13,6 +13,7 @@
 #define KMU_ACCESS_ON_DEMAND_ENGINE_HH
 
 #include "access/access_engine.hh"
+#include "fault/recovery.hh"
 
 namespace kmu
 {
@@ -21,10 +22,17 @@ class OnDemandEngine : public AccessEngine
 {
   public:
     /**
-     * @param base  start of the mapped device region.
-     * @param bytes size of the region (bounds-checked accesses).
+     * @param base   start of the mapped device region.
+     * @param bytes  size of the region (bounds-checked accesses).
+     * @param gov    shared degradation governor (optional; on-demand
+     *               has no cheaper mode to fall back to, but its
+     *               retry pressure still feeds the shared EWMA).
+     * @param policy bounded-retry parameters for detected read
+     *               errors (fault::FaultSite::MappedReadError).
      */
-    OnDemandEngine(std::uint8_t *base, std::size_t bytes);
+    OnDemandEngine(std::uint8_t *base, std::size_t bytes,
+                   fault::DegradationGovernor *gov = nullptr,
+                   fault::RetryPolicy policy = {});
 
     std::uint64_t read64(Addr addr) override;
     void readBatch(const Addr *addrs, std::size_t n,
@@ -36,8 +44,13 @@ class OnDemandEngine : public AccessEngine
     Mechanism mechanism() const override { return Mechanism::OnDemand; }
 
   private:
+    /** One bounded-retry mapped access; @return retry count. */
+    std::uint32_t surviveMappedRead();
+
     std::uint8_t *base;
     std::size_t bytes;
+    fault::DegradationGovernor *governor;
+    fault::RetryPolicy retryPolicy;
 };
 
 } // namespace kmu

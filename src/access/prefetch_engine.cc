@@ -3,16 +3,49 @@
 #include <cstring>
 
 #include "common/logging.hh"
+#include "fault/fault_plan.hh"
 
 namespace kmu
 {
 
 PrefetchEngine::PrefetchEngine(std::uint8_t *region_base,
                                std::size_t region_bytes,
-                               Scheduler &scheduler)
-    : base(region_base), bytes(region_bytes), sched(scheduler)
+                               Scheduler &scheduler,
+                               fault::DegradationGovernor *gov,
+                               fault::RetryPolicy policy)
+    : base(region_base), bytes(region_bytes), sched(scheduler),
+      governor(gov), retryPolicy(policy)
 {
     kmuAssert(base != nullptr, "prefetch engine needs a region");
+}
+
+bool
+PrefetchEngine::degradedNow() const
+{
+    return governor != nullptr && governor->degraded();
+}
+
+std::uint32_t
+PrefetchEngine::surviveMappedRead(Addr addr, bool degraded)
+{
+    // Detected bad mapped read: re-arm (prefetch + yield, unless the
+    // governor already dropped us to on-demand) and re-issue,
+    // bounded by the retry policy.
+    std::uint32_t attempts = 0;
+    while (fault::fire(fault::FaultSite::MappedReadError)) {
+        attempts++;
+        recoveryStats.retries++;
+        kmuAssert(attempts <= retryPolicy.maxRetries,
+                  "mapped read failed %u consecutive times", attempts);
+        if (!degraded) {
+            prefetch(addr);
+            yieldCount++;
+            sched.yield();
+        }
+    }
+    if (governor)
+        governor->sample(attempts > 0);
+    return attempts;
 }
 
 void
@@ -32,9 +65,15 @@ PrefetchEngine::read64(Addr addr)
     kmuAssert(addr + 8 <= bytes, "read64 out of bounds: %#llx",
               (unsigned long long)addr);
     accessCount++;
-    prefetch(addr);
-    yieldCount++;
-    sched.yield();
+    const bool degraded = degradedNow();
+    if (degraded) {
+        recoveryStats.degradedAccesses++;
+    } else {
+        prefetch(addr);
+        yieldCount++;
+        sched.yield();
+    }
+    surviveMappedRead(addr, degraded);
     std::uint64_t value;
     std::memcpy(&value, base + addr, sizeof(value));
     return value;
@@ -45,15 +84,23 @@ PrefetchEngine::readBatch(const Addr *addrs, std::size_t n,
                           std::uint64_t *out)
 {
     kmuAssert(n <= maxBatch, "batch of %zu exceeds maxBatch", n);
-    for (std::size_t i = 0; i < n; ++i) {
-        kmuAssert(addrs[i] + 8 <= bytes, "readBatch out of bounds");
-        prefetch(addrs[i]);
+    const bool degraded = degradedNow();
+    if (degraded) {
+        recoveryStats.degradedAccesses += n;
+    } else {
+        for (std::size_t i = 0; i < n; ++i) {
+            kmuAssert(addrs[i] + 8 <= bytes, "readBatch out of bounds");
+            prefetch(addrs[i]);
+        }
+        yieldCount++;
+        sched.yield();
     }
     accessCount += n;
-    yieldCount++;
-    sched.yield();
-    for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t i = 0; i < n; ++i) {
+        kmuAssert(addrs[i] + 8 <= bytes, "readBatch out of bounds");
+        surviveMappedRead(addrs[i], degraded);
         std::memcpy(&out[i], base + addrs[i], sizeof(out[0]));
+    }
 }
 
 void
@@ -61,17 +108,27 @@ PrefetchEngine::readLines(const Addr *addrs, std::size_t n, void *out)
 {
     kmuAssert(n <= maxBatch, "batch of %zu exceeds maxBatch", n);
     auto *dst = static_cast<std::uint8_t *>(out);
+    const bool degraded = degradedNow();
+    if (degraded) {
+        recoveryStats.degradedAccesses += n;
+    } else {
+        for (std::size_t i = 0; i < n; ++i) {
+            kmuAssert(isLineAligned(addrs[i]), "readLines needs "
+                      "aligned addresses");
+            kmuAssert(addrs[i] + cacheLineSize <= bytes,
+                      "readLines out of bounds");
+            prefetch(addrs[i]);
+        }
+        yieldCount++;
+        sched.yield();
+    }
+    accessCount += n;
     for (std::size_t i = 0; i < n; ++i) {
         kmuAssert(isLineAligned(addrs[i]), "readLines needs aligned "
                   "addresses");
         kmuAssert(addrs[i] + cacheLineSize <= bytes,
                   "readLines out of bounds");
-        prefetch(addrs[i]);
-    }
-    accessCount += n;
-    yieldCount++;
-    sched.yield();
-    for (std::size_t i = 0; i < n; ++i) {
+        surviveMappedRead(addrs[i], degraded);
         std::memcpy(dst + i * cacheLineSize, base + addrs[i],
                     cacheLineSize);
     }

@@ -14,6 +14,7 @@
 #define KMU_ACCESS_PREFETCH_ENGINE_HH
 
 #include "access/access_engine.hh"
+#include "fault/recovery.hh"
 #include "ult/scheduler.hh"
 
 namespace kmu
@@ -26,9 +27,19 @@ class PrefetchEngine : public AccessEngine
      * @param base      start of the mapped (cacheable) device region.
      * @param bytes     size of the region.
      * @param scheduler fiber scheduler to yield into.
+     * @param gov       shared degradation governor (optional). While
+     *                  it reports Degraded, reads skip the
+     *                  prefetch+yield pair and run on-demand — under
+     *                  sustained fault pressure the prefetched line
+     *                  rarely survives to the demand load, so the
+     *                  yield is pure overhead.
+     * @param policy    bounded-retry parameters for detected read
+     *                  errors (fault::FaultSite::MappedReadError).
      */
     PrefetchEngine(std::uint8_t *base, std::size_t bytes,
-                   Scheduler &scheduler);
+                   Scheduler &scheduler,
+                   fault::DegradationGovernor *gov = nullptr,
+                   fault::RetryPolicy policy = {});
 
     std::uint64_t read64(Addr addr) override;
     void readBatch(const Addr *addrs, std::size_t n,
@@ -49,9 +60,17 @@ class PrefetchEngine : public AccessEngine
     /** Issue the non-binding prefetch for one address. */
     void prefetch(Addr addr) const;
 
+    /** True while the governor has the engine in on-demand mode. */
+    bool degradedNow() const;
+
+    /** Bounded retry of a faulted mapped read; @return retries. */
+    std::uint32_t surviveMappedRead(Addr addr, bool degraded);
+
     std::uint8_t *base;
     std::size_t bytes;
     Scheduler &sched;
+    fault::DegradationGovernor *governor;
+    fault::RetryPolicy retryPolicy;
     std::uint64_t yieldCount = 0;
 };
 

@@ -9,7 +9,8 @@ namespace kmu
 {
 
 Runtime::Runtime(std::vector<std::uint8_t> device_image, Config config)
-    : cfg(config), imageBytes(device_image.size())
+    : cfg(config), imageBytes(device_image.size()),
+      governor(config.governor)
 {
     kmuAssert(imageBytes >= cacheLineSize,
               "device image must hold at least one line");
@@ -18,22 +19,24 @@ Runtime::Runtime(std::vector<std::uint8_t> device_image, Config config)
       case Mechanism::OnDemand:
         mappedRegion = std::move(device_image);
         accessEngine = std::make_unique<OnDemandEngine>(
-            mappedRegion.data(), imageBytes);
+            mappedRegion.data(), imageBytes, &governor, cfg.retry);
         break;
       case Mechanism::Prefetch:
         mappedRegion = std::move(device_image);
         accessEngine = std::make_unique<PrefetchEngine>(
-            mappedRegion.data(), imageBytes, sched);
+            mappedRegion.data(), imageBytes, sched, &governor,
+            cfg.retry);
         break;
       case Mechanism::SwQueue: {
         EmulatedDevice::Config dev_cfg;
         dev_cfg.latency = cfg.deviceLatency;
         dev_cfg.queueDepth = cfg.queueDepth;
+        dev_cfg.manual = cfg.deterministicDevice;
         device = std::make_unique<EmulatedDevice>(
             std::move(device_image), dev_cfg);
         pairIndex = device->addQueuePair();
-        accessEngine = std::make_unique<SwQueueEngine>(sched, *device,
-                                                       pairIndex);
+        accessEngine = std::make_unique<SwQueueEngine>(
+            sched, *device, pairIndex, &governor, cfg.retry);
         break;
       }
     }
@@ -62,7 +65,9 @@ Runtime::run()
     if (device && !device->running())
         device->start();
     sched.run();
-    if (device && device->running())
+    // Manual-mode devices are never "running" but still need their
+    // drain pass so late completions land before teardown.
+    if (device && (device->manualMode() || device->running()))
         device->stop();
 }
 

@@ -26,6 +26,7 @@
 
 #include "access/access_engine.hh"
 #include "device/emulated_device.hh"
+#include "fault/recovery.hh"
 #include "ult/scheduler.hh"
 
 namespace kmu
@@ -43,6 +44,21 @@ class Runtime
 
         /** Queue-pair ring depth (SwQueue mechanism only). */
         std::size_t queueDepth = 256;
+
+        /**
+         * SwQueue only: run the emulated device in manual-pump mode
+         * (no device thread; the engine pumps it from its wait
+         * loops). The whole runtime becomes single-threaded and —
+         * with a fixed seed and fault plan — bit-for-bit
+         * reproducible, which is what fault campaigns need.
+         */
+        bool deterministicDevice = false;
+
+        /** Watchdog / bounded-retry parameters for all engines. */
+        fault::RetryPolicy retry{};
+
+        /** Degradation governor parameters (shared EWMA). */
+        fault::DegradationGovernor::Config governor{};
     };
 
     /**
@@ -82,10 +98,17 @@ class Runtime
     /** Queue-pair index of this runtime's engine (SwQueue only). */
     std::size_t queuePairIndex() const { return pairIndex; }
 
+    /** Shared degradation governor (for campaign reporting). */
+    const fault::DegradationGovernor &degradation() const
+    {
+        return governor;
+    }
+
   private:
     Config cfg;
     Scheduler sched;
     std::size_t imageBytes;
+    fault::DegradationGovernor governor;
 
     /** OnDemand/Prefetch: the image lives here as the mapped BAR. */
     std::vector<std::uint8_t> mappedRegion;

@@ -3,15 +3,18 @@
 #include <cstring>
 #include <thread>
 
+#include "common/crc.hh"
 #include "common/logging.hh"
 
 namespace kmu
 {
 
 SwQueueEngine::SwQueueEngine(Scheduler &scheduler, EmulatedDevice &device,
-                             std::size_t pair)
+                             std::size_t pair,
+                             fault::DegradationGovernor *gov,
+                             fault::RetryPolicy policy)
     : sched(scheduler), dev(device), pairIndex(pair),
-      queues(device.queuePair(pair))
+      queues(device.queuePair(pair)), governor(gov), backoff(policy)
 {
     sched.setIdleHandler([this]() { return pollCompletions(); });
     staging.reserve(stagingSlots);
@@ -37,11 +40,35 @@ SwQueueEngine::ioState()
         for (std::size_t i = 0; i < maxBatch; ++i) {
             const Addr key = reinterpret_cast<std::uintptr_t>(
                 &io->buffers[i][0]);
+            // The generation tag lives in hostAddr bits 48..55, so
+            // buffer addresses must leave them clear.
+            kmuAssert(RequestDescriptor::hostPtr(key) == key,
+                      "response buffer address uses tag bits: %#llx",
+                      (unsigned long long)key);
             bufferOwner.emplace(key, io.get());
         }
+        ioList.push_back(io.get());
         it = ioStates.emplace(self, std::move(io)).first;
     }
     return *it->second;
+}
+
+void
+SwQueueEngine::deviceBackoff()
+{
+    if (dev.manualMode())
+        dev.pump();
+    else
+        std::this_thread::yield(); // let the device thread run
+}
+
+void
+SwQueueEngine::stalledWait()
+{
+    if (drainCompletions() == 0)
+        deviceBackoff();
+    pollTick++;
+    watchdogScan();
 }
 
 SwQueueEngine::FiberIo &
@@ -53,14 +80,23 @@ SwQueueEngine::submitAndWait(const Addr *addrs, std::size_t n)
 
     io.outstanding = std::uint32_t(n);
     for (std::size_t i = 0; i < n; ++i) {
+        // Fresh generation per logical read: a stale completion for
+        // this buffer — from a lost-then-recovered earlier op or a
+        // timed-out twin — no longer matches and gets filtered.
+        io.pending[i] = true;
+        io.gen[i] = std::uint8_t(io.gen[i] + 1u);
+        io.line[i] = lineAlign(addrs[i]);
+        io.attempts[i] = 0;
+        io.deadlineAt[i] = pollTick + backoff.deadlinePolls(1);
         RequestDescriptor desc = RequestDescriptor::read(
-            lineAlign(addrs[i]),
-            reinterpret_cast<std::uintptr_t>(&io.buffers[i][0]));
+            io.line[i],
+            RequestDescriptor::taggedHost(
+                reinterpret_cast<std::uintptr_t>(&io.buffers[i][0]),
+                io.gen[i]));
         while (!queues.submit(desc)) {
             // Request ring full: let other fibers and the device
             // make progress, then retry.
-            if (drainCompletions() == 0)
-                std::this_thread::yield();
+            stalledWait();
             sched.yield();
         }
         accessCount++;
@@ -118,6 +154,90 @@ SwQueueEngine::doorbellIfRequested()
     }
 }
 
+void
+SwQueueEngine::forceDoorbell()
+{
+    // Recovery path: the doorbell (or the completion that would have
+    // made one unnecessary) may have been lost, so ring regardless
+    // of the request flag. Consume the flag first so the protocol
+    // state stays consistent with a rung doorbell.
+    queues.consumeDoorbellRequest();
+    recoveryStats.recoveryDoorbells++;
+    doorbells++;
+    dev.doorbell(pairIndex);
+}
+
+void
+SwQueueEngine::reissueRead(FiberIo &io, std::size_t slot)
+{
+    recoveryStats.retries++;
+    io.attempts[slot]++;
+    kmuAssert(io.attempts[slot] <= backoff.policy().maxRetries,
+              "read of line %#llx exhausted its %u retries",
+              (unsigned long long)io.line[slot],
+              backoff.policy().maxRetries);
+    io.gen[slot] = std::uint8_t(io.gen[slot] + 1u);
+    RequestDescriptor desc = RequestDescriptor::read(
+        io.line[slot],
+        RequestDescriptor::taggedHost(
+            reinterpret_cast<std::uintptr_t>(&io.buffers[slot][0]),
+            io.gen[slot]));
+    // Push the deadline whether or not the submit lands: a full ring
+    // resolves by draining, and the watchdog will come back.
+    io.deadlineAt[slot] =
+        pollTick + backoff.deadlinePolls(io.attempts[slot] + 1);
+    if (queues.submit(desc))
+        forceDoorbell();
+}
+
+void
+SwQueueEngine::reissueWrite(std::size_t slot)
+{
+    WriteState &ws = writeState[slot];
+    recoveryStats.retries++;
+    ws.attempts++;
+    kmuAssert(ws.attempts <= backoff.policy().maxRetries,
+              "write of line %#llx exhausted its %u retries",
+              (unsigned long long)ws.line,
+              backoff.policy().maxRetries);
+    ws.gen = std::uint8_t(ws.gen + 1u);
+    RequestDescriptor desc = RequestDescriptor::write(
+        ws.line,
+        RequestDescriptor::taggedHost(
+            reinterpret_cast<std::uintptr_t>(&staging[slot]->line[0]),
+            ws.gen));
+    ws.deadlineAt = pollTick + backoff.deadlinePolls(ws.attempts + 1);
+    if (queues.submit(desc))
+        forceDoorbell();
+}
+
+void
+SwQueueEngine::watchdogScan()
+{
+    // Deterministic order: fibers in first-use order, then staging
+    // slots by index. Device writes are idempotent and reads are
+    // generation-tagged, so re-issuing is always safe — the cost of
+    // a spurious re-issue is one stale completion.
+    for (FiberIo *iop : ioList) {
+        FiberIo &io = *iop;
+        if (io.outstanding == 0)
+            continue;
+        for (std::size_t slot = 0; slot < maxBatch; ++slot) {
+            if (io.pending[slot] && pollTick >= io.deadlineAt[slot]) {
+                recoveryStats.timeouts++;
+                reissueRead(io, slot);
+            }
+        }
+    }
+    for (std::size_t slot = 0; slot < stagingSlots; ++slot) {
+        if (writeState[slot].pending &&
+            pollTick >= writeState[slot].deadlineAt) {
+            recoveryStats.timeouts++;
+            reissueWrite(slot);
+        }
+    }
+}
+
 std::size_t
 SwQueueEngine::drainCompletions()
 {
@@ -126,22 +246,61 @@ SwQueueEngine::drainCompletions()
     while (queues.reapCompletion(comp)) {
         count++;
         reaped++;
-        inFlight--;
+        const Addr buf = RequestDescriptor::hostPtr(comp.hostAddr);
+        const std::uint8_t tag = RequestDescriptor::hostTag(comp.hostAddr);
 
-        // Posted-write completion: just recycle the staging buffer.
-        auto write_it = stagingIndex.find(comp.hostAddr);
+        // Posted-write completion: recycle the staging buffer.
+        auto write_it = stagingIndex.find(buf);
         if (write_it != stagingIndex.end()) {
-            freeStaging.push_back(write_it->second);
+            const std::size_t slot = write_it->second;
+            WriteState &ws = writeState[slot];
+            if (!ws.pending || ws.gen != tag) {
+                // Twin of a write the watchdog already re-issued (or
+                // whose retry already completed).
+                recoveryStats.staleCompletions++;
+                continue;
+            }
+            ws.pending = false;
+            freeStaging.push_back(slot);
+            inFlight--;
+            if (governor)
+                governor->sample(ws.attempts > 0);
             continue;
         }
 
-        auto it = bufferOwner.find(comp.hostAddr);
+        auto it = bufferOwner.find(buf);
         kmuAssert(it != bufferOwner.end(),
                   "completion for unknown buffer %#llx",
                   (unsigned long long)comp.hostAddr);
         FiberIo &io = *it->second;
+        const std::size_t slot =
+            std::size_t(buf - reinterpret_cast<std::uintptr_t>(
+                                  &io.buffers[0][0])) /
+            cacheLineSize;
+        kmuAssert(slot < maxBatch, "completion buffer slot %zu", slot);
+        if (!io.pending[slot] || io.gen[slot] != tag) {
+            // Stale: a duplicate from a recovered loss, or the slow
+            // twin of a timed-out request. The buffer write it may
+            // have carried is harmless — either the same data, or
+            // about to be overwritten by the live generation.
+            recoveryStats.staleCompletions++;
+            continue;
+        }
+        // Exact-data contract: the completion's CRC covers the line
+        // the device meant to deliver. A mismatch means the payload
+        // was corrupted in flight; re-issue instead of handing the
+        // application bad data.
+        if (crc32c(&io.buffers[slot][0], cacheLineSize) != comp.crc) {
+            recoveryStats.crcFailures++;
+            reissueRead(io, slot);
+            continue;
+        }
+        io.pending[slot] = false;
         kmuAssert(io.outstanding > 0, "completion overflow for fiber");
         io.outstanding--;
+        inFlight--;
+        if (governor)
+            governor->sample(io.attempts[slot] > 0);
         if (io.outstanding == 0)
             sched.unblock(*io.fiber);
     }
@@ -157,20 +316,26 @@ SwQueueEngine::writeLine(Addr addr, const void *line)
     // write burst longer than the pool self-drains.
     while (freeStaging.empty()) {
         stagingStalls++;
-        if (drainCompletions() == 0)
-            std::this_thread::yield(); // let the device thread run
+        stalledWait();
     }
     const std::size_t slot = freeStaging.back();
     freeStaging.pop_back();
     std::memcpy(&staging[slot]->line[0], line, cacheLineSize);
 
+    WriteState &ws = writeState[slot];
+    ws.pending = true;
+    ws.gen = std::uint8_t(ws.gen + 1u);
+    ws.line = addr;
+    ws.attempts = 0;
+    ws.deadlineAt = pollTick + backoff.deadlinePolls(1);
+
     RequestDescriptor desc = RequestDescriptor::write(
-        addr, reinterpret_cast<std::uintptr_t>(
-                  &staging[slot]->line[0]));
-    while (!queues.submit(desc)) {
-        if (drainCompletions() == 0)
-            std::this_thread::yield();
-    }
+        addr, RequestDescriptor::taggedHost(
+                  reinterpret_cast<std::uintptr_t>(
+                      &staging[slot]->line[0]),
+                  ws.gen));
+    while (!queues.submit(desc))
+        stalledWait();
     writeCount++;
     inFlight++;
     doorbellIfRequested();
@@ -193,16 +358,18 @@ bool
 SwQueueEngine::pollCompletions()
 {
     polls++;
+    pollTick++;
     if (inFlight == 0)
         return false; // true deadlock: nothing will ever complete
 
     if (queues.pendingCompletions() == 0) {
         // Nothing has arrived yet: hand the CPU to the device
-        // service thread instead of spinning it off the core (the
-        // single-CPU analogue of the paper's dedicated device).
-        std::this_thread::yield();
+        // instead of spinning it off the core (the single-CPU
+        // analogue of the paper's dedicated device).
+        deviceBackoff();
     }
     drainCompletions();
+    watchdogScan();
 
     // Returning true keeps the scheduler polling while requests are
     // in flight at the device, even if this pass woke nobody.

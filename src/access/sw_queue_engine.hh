@@ -18,9 +18,11 @@
 
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "access/access_engine.hh"
 #include "device/emulated_device.hh"
+#include "fault/recovery.hh"
 #include "ult/scheduler.hh"
 
 namespace kmu
@@ -33,9 +35,15 @@ class SwQueueEngine : public AccessEngine
      * @param scheduler fiber scheduler (idle handler is installed).
      * @param device    running (or about-to-run) emulated device.
      * @param pair      index of this engine's queue pair.
+     * @param gov       shared degradation governor (optional): fed
+     *                  one sample per completed logical access so
+     *                  queue-path retry pressure shows in the EWMA.
+     * @param policy    watchdog timeout / bounded-retry parameters.
      */
     SwQueueEngine(Scheduler &scheduler, EmulatedDevice &device,
-                  std::size_t pair);
+                  std::size_t pair,
+                  fault::DegradationGovernor *gov = nullptr,
+                  fault::RetryPolicy policy = {});
 
     std::uint64_t read64(Addr addr) override;
     void readBatch(const Addr *addrs, std::size_t n,
@@ -65,13 +73,26 @@ class SwQueueEngine : public AccessEngine
     /** @} */
 
   private:
-    /** Per-fiber response buffers and outstanding-request count. */
+    /**
+     * Per-fiber response buffers and outstanding-request count, plus
+     * per-slot watchdog state: a read slot is `pending` from submit
+     * until a completion with the matching generation tag (and a
+     * valid payload CRC) arrives; the watchdog re-issues slots whose
+     * poll-tick deadline has passed with a bumped generation, so a
+     * late twin of the original request is recognizably stale.
+     */
     struct FiberIo
     {
         alignas(cacheLineSize)
             std::uint8_t buffers[maxBatch][cacheLineSize];
         std::uint32_t outstanding = 0;
         Fiber *fiber = nullptr;
+
+        bool pending[maxBatch] = {};
+        std::uint8_t gen[maxBatch] = {};
+        Addr line[maxBatch] = {}; //!< device line, for re-issue
+        std::uint64_t deadlineAt[maxBatch] = {}; //!< pollTick deadline
+        std::uint32_t attempts[maxBatch] = {};
     };
 
     /** Get (or lazily create and register) the caller's IO state. */
@@ -89,6 +110,28 @@ class SwQueueEngine : public AccessEngine
     /** Ring the doorbell if the device requested one. */
     void doorbellIfRequested();
 
+    /** Wait-loop backoff: pump a manual-mode device, else yield the
+     *  OS thread so the device service thread can run. */
+    void deviceBackoff();
+
+    /** One pass of a fiber-side wait loop (ring full / staging dry):
+     *  drain, back off, and keep the watchdog clock moving so lost
+     *  completions cannot stall the loop forever. */
+    void stalledWait();
+
+    /** Re-issue one read slot with a fresh generation tag. */
+    void reissueRead(FiberIo &io, std::size_t slot);
+
+    /** Re-issue one pending posted write from its staging slot. */
+    void reissueWrite(std::size_t slot);
+
+    /** Watchdog: re-issue every pending op past its deadline. */
+    void watchdogScan();
+
+    /** Recovery doorbell: ring even without a device request (the
+     *  original doorbell may itself have been lost). */
+    void forceDoorbell();
+
     /** Staging buffers backing posted writes. */
     static constexpr std::size_t stagingSlots = 32;
 
@@ -97,19 +140,36 @@ class SwQueueEngine : public AccessEngine
         alignas(cacheLineSize) std::uint8_t line[cacheLineSize];
     };
 
+    /** Watchdog state of one posted write (per staging slot). */
+    struct WriteState
+    {
+        bool pending = false;
+        std::uint8_t gen = 0;
+        Addr line = 0; //!< device line address, for re-issue
+        std::uint64_t deadlineAt = 0; //!< pollTick re-issue deadline
+        std::uint32_t attempts = 0;
+    };
+
     Scheduler &sched;
     EmulatedDevice &dev;
     std::size_t pairIndex;
     SwQueuePair &queues;
+    fault::DegradationGovernor *governor;
+    fault::RetryBackoff backoff;
 
     std::unordered_map<Fiber *, std::unique_ptr<FiberIo>> ioStates;
+    /** Creation-ordered view of ioStates: the watchdog iterates this
+     *  so its scan order (and RNG consumption) is deterministic. */
+    std::vector<FiberIo *> ioList;
     std::unordered_map<Addr, FiberIo *> bufferOwner;
 
     std::vector<std::unique_ptr<StagingBuffer>> staging;
     std::vector<std::size_t> freeStaging;
     std::unordered_map<Addr, std::size_t> stagingIndex;
+    WriteState writeState[stagingSlots];
 
-    std::uint64_t inFlight = 0;
+    std::uint64_t inFlight = 0; //!< logical ops awaiting completion
+    std::uint64_t pollTick = 0; //!< watchdog clock: poll passes
     std::uint64_t doorbells = 0;
     std::uint64_t reaped = 0;
     std::uint64_t polls = 0;

@@ -1,0 +1,40 @@
+#include "common/crc.hh"
+
+#include <array>
+
+namespace kmu
+{
+
+namespace
+{
+
+// Reflected CRC-32C table for the Castagnoli polynomial 0x1EDC6F41
+// (reflected form 0x82F63B78), built once at static-init time.
+std::array<std::uint32_t, 256>
+buildTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0x82F63B78u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+const std::array<std::uint32_t, 256> crcTable = buildTable();
+
+} // anonymous namespace
+
+std::uint32_t
+crc32c(const void *data, std::size_t len)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    std::uint32_t crc = 0xFFFFFFFFu;
+    for (std::size_t i = 0; i < len; ++i)
+        crc = crcTable[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+    return crc ^ 0xFFFFFFFFu;
+}
+
+} // namespace kmu

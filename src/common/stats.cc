@@ -20,6 +20,26 @@ Counter::render() const
     return csprintf("%llu", (unsigned long long)count);
 }
 
+Gauge::Gauge(StatGroup &parent, std::string name, std::string desc,
+             Source value_source)
+    : StatBase(parent, std::move(name), std::move(desc)),
+      source(std::move(value_source))
+{
+    kmuAssert(source != nullptr, "gauge needs a value source");
+}
+
+std::uint64_t
+Gauge::value() const
+{
+    return source() - baseline;
+}
+
+std::string
+Gauge::render() const
+{
+    return csprintf("%llu", (unsigned long long)value());
+}
+
 void
 Average::sample(double value)
 {

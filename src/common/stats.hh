@@ -4,17 +4,21 @@
  *
  * Components own a StatGroup and register named statistics with it.
  * At the end of a run the group can be dumped as aligned text or CSV.
- * Three stat kinds cover everything kmu needs:
+ * Four stat kinds cover everything kmu needs:
  *
  *  - Counter:   a monotonically increasing event count / byte count.
  *  - Average:   running mean of sampled values (also tracks min/max).
  *  - Histogram: fixed-width linear bins with underflow/overflow.
+ *  - Gauge:     pull-based value read from its owner at dump time
+ *               (bridges counters that live outside the stats
+ *               package, e.g. lock-free ring counters).
  */
 
 #ifndef KMU_COMMON_STATS_HH
 #define KMU_COMMON_STATS_HH
 
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <ostream>
 #include <string>
@@ -88,6 +92,32 @@ class Average : public StatBase
     double sum = 0.0;
     double minValue = std::numeric_limits<double>::infinity();
     double maxValue = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Pull-based statistic: the value is fetched from a callback at
+ * render time instead of being pushed sample by sample. Used to
+ * surface counters whose owner cannot depend on the stats package
+ * (the SPSC ring's push/pop/reject atomics, device-side totals).
+ * reset() latches the current value as a baseline so dumps after a
+ * resetAll() report deltas, matching Counter semantics.
+ */
+class Gauge : public StatBase
+{
+  public:
+    using Source = std::function<std::uint64_t()>;
+
+    Gauge(StatGroup &parent, std::string name, std::string desc,
+          Source source);
+
+    std::uint64_t value() const;
+
+    std::string render() const override;
+    void reset() override { baseline = source ? source() : 0; }
+
+  private:
+    Source source;
+    std::uint64_t baseline = 0;
 };
 
 /** Linear-bin histogram with underflow/overflow buckets. */

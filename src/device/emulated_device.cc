@@ -1,9 +1,12 @@
 #include "device/emulated_device.hh"
 
+#include <algorithm>
 #include <cstring>
 
+#include "common/crc.hh"
 #include "common/logging.hh"
 #include "common/types.hh"
+#include "fault/fault_plan.hh"
 
 namespace kmu
 {
@@ -60,12 +63,19 @@ void
 EmulatedDevice::doorbell(std::size_t index)
 {
     kmuAssert(index < pairs.size(), "bad queue pair index %zu", index);
+    // Doorbell loss: the MMIO write never reaches the fetcher. The
+    // host's watchdog recovery path rings again on timeout, so the
+    // queue pair cannot strand permanently.
+    if (fault::fire(fault::FaultSite::DoorbellLoss))
+        return;
     pairs[index]->parked.store(false, std::memory_order_release);
 }
 
 void
 EmulatedDevice::start()
 {
+    if (cfg.manual)
+        return; // host pumps; no service thread
     kmuAssert(!running(), "device already running");
     stopRequested.store(false, std::memory_order_relaxed);
     serviceThread = std::thread([this]() { serviceLoop(); });
@@ -74,9 +84,33 @@ EmulatedDevice::start()
 void
 EmulatedDevice::stop()
 {
+    if (cfg.manual) {
+        // Drain whatever is still pending so late completions land
+        // before the host tears down its buffers.
+        bool draining = true;
+        while (draining) {
+            pump();
+            draining = false;
+            for (auto &pair : pairs)
+                draining |= !pair->inFlight.empty();
+        }
+        return;
+    }
     kmuAssert(running(), "device not running");
     stopRequested.store(true, std::memory_order_release);
     serviceThread.join();
+}
+
+bool
+EmulatedDevice::pump()
+{
+    kmuAssert(cfg.manual, "pump() only drives manual-mode devices");
+    step++;
+    bool busy = false;
+    const auto now = Clock::now();
+    for (auto &pair : pairs)
+        busy |= servicePair(*pair, now);
+    return busy;
 }
 
 void
@@ -112,7 +146,13 @@ EmulatedDevice::servicePair(Pair &pair, Clock::time_point now)
     if (!pair.parked.load(std::memory_order_acquire)) {
         std::vector<RequestDescriptor> burst;
         burst.reserve(descriptorBurst);
-        pair.queues.fetchBurst(burst);
+        // Truncation fault: the burst DMA read is cut short. Unread
+        // descriptors stay in the ring for the next pass.
+        std::size_t slots = descriptorBurst;
+        if (fault::fire(fault::FaultSite::DescFetchTruncation))
+            slots = std::size_t(fault::draw(
+                fault::FaultSite::DescFetchTruncation, descriptorBurst));
+        pair.queues.fetchBurst(burst, slots);
         if (burst.empty()) {
             // Publish the doorbell-request flag FIRST, then re-check
             // the queue once: a request submitted between our empty
@@ -126,15 +166,39 @@ EmulatedDevice::servicePair(Pair &pair, Clock::time_point now)
         }
         if (!burst.empty()) {
             busy = true;
-            const auto deadline = now + cfg.latency;
+            auto deadline = now + cfg.latency;
+            std::uint64_t ready = step + cfg.manualLatencySteps;
             for (const RequestDescriptor &desc : burst) {
                 if (pair.replayCheck) {
+                    // Eviction storm: recorded entries are discarded
+                    // ahead of their requests, forcing on-demand
+                    // fallback (counted as spurious below).
+                    if (fault::fire(
+                            fault::FaultSite::ReplayEvictionStorm)) {
+                        const std::uint64_t n = fault::magnitude(
+                            fault::FaultSite::ReplayEvictionStorm, 16);
+                        pair.replayCheck->evictOldest(
+                            std::size_t(fault::draw(
+                                fault::FaultSite::ReplayEvictionStorm,
+                                std::max<std::uint64_t>(n, 1))));
+                    }
                     const auto result = pair.replayCheck->lookup(
                         lineAlign(desc.deviceAddr));
                     if (result == ReplayWindow::Result::Miss)
                         spurious.fetch_add(1, std::memory_order_relaxed);
                 }
-                pair.inFlight.push_back(Pending{desc, deadline});
+                // On-demand module stall: this access is served from
+                // the slow on-board path and takes extra time.
+                if (!desc.isWrite() &&
+                    fault::fire(fault::FaultSite::OnDemandStall)) {
+                    const std::uint64_t extra = fault::draw(
+                        fault::FaultSite::OnDemandStall,
+                        fault::magnitude(fault::FaultSite::OnDemandStall,
+                                         8));
+                    deadline += extra * cfg.latency;
+                    ready += extra * cfg.manualLatencySteps;
+                }
+                pair.inFlight.push_back(Pending{desc, deadline, ready});
             }
         }
     }
@@ -142,41 +206,99 @@ EmulatedDevice::servicePair(Pair &pair, Clock::time_point now)
     // Delay stage: complete requests whose deadline has passed.
     // Bursts are fetched in order, so the deque front is oldest —
     // which also gives same-queue read-after-write ordering.
-    while (!pair.inFlight.empty() &&
-           pair.inFlight.front().deadline <= now) {
+    const auto isReady = [&](const Pending &p) {
+        return cfg.manual ? p.readyStep <= step : p.deadline <= now;
+    };
+    while (!pair.inFlight.empty() && isReady(pair.inFlight.front())) {
         const Pending &pending = pair.inFlight.front();
-        const RequestDescriptor &desc = pending.desc;
-        const Addr line = desc.lineAddr();
-
-        kmuAssert(line + cacheLineSize <= data.size(),
-                  "device access beyond backing store: %#llx",
-                  (unsigned long long)line);
-
-        auto *host = reinterpret_cast<std::uint8_t *>(
-            static_cast<std::uintptr_t>(desc.hostAddr));
-        if (desc.isWrite()) {
-            // Store the host-provided line into the backing store.
-            std::memcpy(data.data() + line, host, cacheLineSize);
-        } else {
-            // Response data write. No explicit fence needed: the
-            // completion ring's release-store (postCompletion)
-            // orders it before the completion is visible, and TSan
-            // models that edge (it cannot model bare fences).
-            std::memcpy(host, data.data() + line, cacheLineSize);
-        }
-
-        // Both kinds complete: reads to wake the requester, writes
-        // so the host can recycle the staging buffer.
-        CompletionDescriptor comp{desc.hostAddr};
-        const bool ok = pair.queues.postCompletion(comp);
-        kmuAssert(ok, "completion queue overflow");
-
+        completeRequest(pair, pending.desc);
         serviced.fetch_add(1, std::memory_order_relaxed);
         pair.inFlight.pop_front();
         busy = true;
     }
 
+    // Nothing left that could carry a held-back completion out: a
+    // reorder fault must delay a completion, never strand it.
+    if (pair.inFlight.empty() && pair.holdValid) {
+        pair.holdValid = false;
+        const bool ok = pair.queues.postCompletion(pair.held);
+        kmuAssert(ok, "completion queue overflow");
+        busy = true;
+    }
+
     return busy;
+}
+
+void
+EmulatedDevice::completeRequest(Pair &pair, const RequestDescriptor &desc)
+{
+    const Addr line = desc.lineAddr();
+    kmuAssert(line + cacheLineSize <= data.size(),
+              "device access beyond backing store: %#llx",
+              (unsigned long long)line);
+
+    // The generation tag in the high hostAddr bits is host-side
+    // bookkeeping; strip it before dereferencing, echo it back
+    // verbatim in the completion.
+    auto *host = reinterpret_cast<std::uint8_t *>(
+        static_cast<std::uintptr_t>(
+            RequestDescriptor::hostPtr(desc.hostAddr)));
+
+    CompletionDescriptor comp{desc.hostAddr};
+    if (desc.isWrite()) {
+        // Store the host-provided line into the backing store.
+        std::memcpy(data.data() + line, host, cacheLineSize);
+    } else {
+        // Response data write. No explicit fence needed: the
+        // completion ring's release-store (postCompletion)
+        // orders it before the completion is visible, and TSan
+        // models that edge (it cannot model bare fences).
+        std::memcpy(host, data.data() + line, cacheLineSize);
+        // End-to-end contract: the CRC covers the data the device
+        // *meant* to deliver, so a bit flip injected below (or any
+        // corruption on the way) is detectable by the host.
+        comp.crc = crc32c(data.data() + line, cacheLineSize);
+        if (fault::fire(fault::FaultSite::ResponseBitFlip)) {
+            const std::uint64_t bit =
+                fault::draw(fault::FaultSite::ResponseBitFlip,
+                            cacheLineSize * 8) -
+                1;
+            host[bit / 8] ^= std::uint8_t(1u << (bit % 8));
+        }
+    }
+
+    // Both kinds complete: reads to wake the requester, writes
+    // so the host can recycle the staging buffer.
+    deliverCompletion(pair, comp);
+}
+
+void
+EmulatedDevice::deliverCompletion(Pair &pair,
+                                  const CompletionDescriptor &comp)
+{
+    // Completion loss: the data write landed but the completion
+    // never posts. The host watchdog re-issues the request; the
+    // duplicate is idempotent and its stale twin (if any) is
+    // filtered by the generation tag.
+    if (fault::fire(fault::FaultSite::CompletionLoss))
+        return;
+
+    // Completion reorder: hold this completion back and let the
+    // next one overtake it.
+    if (!pair.holdValid &&
+        fault::fire(fault::FaultSite::CompletionReorder)) {
+        pair.held = comp;
+        pair.holdValid = true;
+        return;
+    }
+
+    const bool ok = pair.queues.postCompletion(comp);
+    kmuAssert(ok, "completion queue overflow");
+    if (pair.holdValid) {
+        pair.holdValid = false;
+        const bool ok2 = pair.queues.postCompletion(pair.held);
+        kmuAssert(ok2, "completion queue overflow");
+    }
 }
 
 } // namespace kmu

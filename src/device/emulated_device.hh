@@ -46,6 +46,19 @@ class EmulatedDevice
 
         /** Ring depth of each queue pair. */
         std::size_t queueDepth = 256;
+
+        /**
+         * Manual-pump mode: no service thread is spawned; the host
+         * drives the device by calling pump() from its own wait
+         * loops. Latency becomes manualLatencySteps pump passes
+         * instead of wall-clock time, which makes runs with a fixed
+         * seed and fault plan bit-for-bit reproducible (no OS
+         * scheduler in the loop).
+         */
+        bool manual = false;
+
+        /** Service latency in pump() passes when manual is set. */
+        std::uint64_t manualLatencySteps = 4;
     };
 
     /**
@@ -82,13 +95,26 @@ class EmulatedDevice
     /** Host side: restart the parked fetcher of pair @p index. */
     void doorbell(std::size_t index);
 
-    /** Launch the device service thread. */
+    /** Launch the device service thread (no-op in manual mode). */
     void start();
 
-    /** Drain in-flight requests and stop the service thread. */
+    /** Drain in-flight requests and stop the service thread. In
+     *  manual mode: pump until every pending request completed. */
     void stop();
 
     bool running() const { return serviceThread.joinable(); }
+
+    /** True when configured for manual pumping. */
+    bool manualMode() const { return cfg.manual; }
+
+    /**
+     * Manual mode: run one service pass over every queue pair and
+     * advance the virtual step clock. Host wait loops call this
+     * instead of yielding to the (absent) device thread.
+     *
+     * @return true when the pass did any work.
+     */
+    bool pump();
 
     /** @{ Aggregate statistics (valid while running or after stop). */
     std::uint64_t requestsServiced() const { return serviced.load(); }
@@ -101,7 +127,8 @@ class EmulatedDevice
     struct Pending
     {
         RequestDescriptor desc;
-        Clock::time_point deadline;
+        Clock::time_point deadline;   //!< threaded mode
+        std::uint64_t readyStep = 0;  //!< manual mode
     };
 
     struct Pair
@@ -114,6 +141,9 @@ class EmulatedDevice
         std::unique_ptr<ReplayWindow> replayCheck;
         std::vector<Addr> recordedSequence;
         std::size_t replayCursor = 0;
+        /** Holdback slot for the completion-reorder fault. */
+        CompletionDescriptor held;
+        bool holdValid = false;
     };
 
     /** Device thread main loop. */
@@ -122,6 +152,12 @@ class EmulatedDevice
     /** One scheduling pass over a pair; returns true if it did work. */
     bool servicePair(Pair &pair, Clock::time_point now);
 
+    /** Complete one request: data write, CRC, completion post. */
+    void completeRequest(Pair &pair, const RequestDescriptor &desc);
+
+    /** Post a completion, applying loss/reorder faults. */
+    void deliverCompletion(Pair &pair, const CompletionDescriptor &comp);
+
     std::vector<std::uint8_t> data;
     Config cfg;
     std::vector<std::unique_ptr<Pair>> pairs;
@@ -129,6 +165,7 @@ class EmulatedDevice
     std::atomic<bool> stopRequested{false};
     std::atomic<std::uint64_t> serviced{0};
     std::atomic<std::uint64_t> spurious{0};
+    std::uint64_t step = 0; //!< manual-mode virtual clock
 };
 
 } // namespace kmu

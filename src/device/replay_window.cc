@@ -29,6 +29,20 @@ ReplayWindow::refill()
                     window.size(), windowSize);
 }
 
+std::size_t
+ReplayWindow::evictOldest(std::size_t n)
+{
+    std::size_t evicted = 0;
+    while (evicted < n && !window.empty()) {
+        agedOutHigh = window.front().seq + 1;
+        window.pop_front();
+        agedOutCount++;
+        evicted++;
+    }
+    refill();
+    return evicted;
+}
+
 ReplayWindow::Result
 ReplayWindow::lookup(Addr addr, std::uint64_t *seq_out)
 {

@@ -71,6 +71,19 @@ class ReplayWindow
     /** Entries currently buffered. */
     std::size_t buffered() const { return window.size(); }
 
+    /**
+     * Forcibly age out the @p n oldest buffered entries (fault
+     * injection: an eviction storm drops recorded entries before
+     * their requests arrive). Evicted entries advance the aged-out
+     * frontier exactly as natural sliding does, and the window is
+     * refilled from the source, so all window invariants keep
+     * holding; requests for evicted entries simply miss and fall
+     * back to the on-demand path.
+     *
+     * @return entries actually evicted (bounded by occupancy).
+     */
+    std::size_t evictOldest(std::size_t n);
+
     /** @{ Counters for tests and stats bridging. */
     std::uint64_t matches() const { return matchCount; }
     std::uint64_t misses() const { return missCount; }

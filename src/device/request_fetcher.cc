@@ -1,5 +1,7 @@
 #include "device/request_fetcher.hh"
 
+#include "fault/fault_plan.hh"
+
 namespace kmu
 {
 
@@ -17,6 +19,15 @@ RequestFetcher::RequestFetcher(std::string name, EventQueue &queue,
       emptyBursts(stats(), "empty_bursts",
                   "bursts that retrieved no new descriptor"),
       responses(stats(), "responses", "data+completion write pairs sent"),
+      requestPushes(stats(), "request_pushes",
+                    "descriptors accepted by the request ring",
+                    [&qp]() { return qp.requestRing().totalPushes(); }),
+      requestRejects(stats(), "request_rejects",
+                     "submissions rejected by a full request ring",
+                     [&qp]() { return qp.requestRing().totalRejects(); }),
+      completionPops(stats(), "completion_pops",
+                     "completion records reaped by the host",
+                     [&qp]() { return qp.completionRing().totalPops(); }),
       core(core_id), cfg(params), queues(qp), link(pcie),
       hostMemLatency(host_mem_latency), notify(std::move(notify_cb))
 {
@@ -54,7 +65,16 @@ RequestFetcher::issueBurst()
             [this]() {
                 std::vector<RequestDescriptor> burst;
                 burst.reserve(cfg.burstSize);
-                queues.fetchBurst(burst, cfg.burstSize);
+                // Truncation fault: the DMA burst is cut short after
+                // k < burstSize slots. Unread descriptors stay in the
+                // ring, so a later burst (or the park-path sweep)
+                // retrieves them — delayed, never lost.
+                std::uint32_t slots = cfg.burstSize;
+                if (fault::fire(fault::FaultSite::DescFetchTruncation))
+                    slots = std::uint32_t(fault::draw(
+                        fault::FaultSite::DescFetchTruncation,
+                        cfg.burstSize));
+                queues.fetchBurst(burst, slots);
                 // The device always over-reads a full burst worth of
                 // descriptor slots regardless of how many are new.
                 const std::uint32_t payload =
@@ -90,6 +110,17 @@ RequestFetcher::processBurst(std::vector<RequestDescriptor> burst)
             sweep.reserve(cfg.burstSize);
             queues.fetchBurst(sweep, cfg.burstSize);
             if (sweep.empty()) {
+                // Doorbell-clear race closure: parking is only legal
+                // with the request flag published, otherwise a host
+                // submitter that observed the flag clear would skip
+                // its doorbell and the descriptor would strand with
+                // the fetcher asleep. The flag write and this sweep
+                // run in one event, so nothing may have consumed the
+                // flag in between.
+                KMU_INVARIANT(queues.doorbellRequested(),
+                              "%s parking without the doorbell-request "
+                              "flag set: a raced submission would be "
+                              "stranded", name().c_str());
                 active = false;
                 return;
             }
@@ -140,14 +171,34 @@ RequestFetcher::serviceDescriptor(const RequestDescriptor &desc)
     }
 
     Tick service = cfg.holdTime();
+    bool on_demand = !replay;
     if (replay) {
+        // Eviction storm: the device discards a run of buffered
+        // replay entries, so upcoming requests fall through to the
+        // on-demand module (extra latency, same data).
+        if (fault::fire(fault::FaultSite::ReplayEvictionStorm)) {
+            const std::uint64_t burst = fault::magnitude(
+                fault::FaultSite::ReplayEvictionStorm,
+                cfg.replayWindowSize / 4);
+            replay->evictOldest(std::size_t(fault::draw(
+                fault::FaultSite::ReplayEvictionStorm,
+                std::max<std::uint64_t>(burst, 1))));
+        }
         // Software-generated requests are never missing or spurious,
         // but we still route them through the replay module for
         // functional fidelity with the hardware design.
         if (replay->lookup(lineAlign(desc.lineAddr())) ==
             ReplayWindow::Result::Miss) {
             service += cfg.onDemandLatency;
+            on_demand = true;
         }
+    }
+    // On-demand module stall: the slow on-board DRAM path hiccups.
+    if (on_demand && fault::fire(fault::FaultSite::OnDemandStall)) {
+        service += fault::draw(
+            fault::FaultSite::OnDemandStall,
+            fault::magnitude(fault::FaultSite::OnDemandStall,
+                             4 * cfg.onDemandLatency));
     }
 
     eventQueue().scheduleLambda(
@@ -166,7 +217,7 @@ RequestFetcher::serviceDescriptor(const RequestDescriptor &desc)
 void
 RequestFetcher::sendCompletion(const RequestDescriptor &desc)
 {
-    link.send(LinkDir::ToHost, sizeof(CompletionDescriptor), 0,
+    link.send(LinkDir::ToHost, completionWireBytes, 0,
               [this, desc]() {
                   CompletionDescriptor comp{desc.hostAddr};
                   const bool ok = queues.postCompletion(comp);

@@ -62,6 +62,12 @@ class RequestFetcher : public SimObject
     Counter descriptorsFetched;
     Counter emptyBursts;
     Counter responses;
+    /** Pull-through views of the queue pair's lock-free ring
+     *  counters, so ring backpressure (reject rate) shows up in the
+     *  same stats dump as the fetcher's protocol counters. */
+    Gauge requestPushes;
+    Gauge requestRejects;
+    Gauge completionPops;
     /** @} */
 
   private:

@@ -1,0 +1,187 @@
+#include "fault/fault_plan.hh"
+
+#include "common/logging.hh"
+
+namespace kmu
+{
+namespace fault
+{
+
+namespace
+{
+
+FaultPlan *activePlan = nullptr;
+
+} // anonymous namespace
+
+const char *
+faultSiteName(FaultSite site)
+{
+    switch (site) {
+      case FaultSite::PcieTlpDrop:         return "pcie_tlp_drop";
+      case FaultSite::PcieTlpDuplicate:    return "pcie_tlp_dup";
+      case FaultSite::PcieTlpBitFlip:      return "pcie_tlp_bitflip";
+      case FaultSite::PcieLatencySpike:    return "pcie_latency_spike";
+      case FaultSite::UncoreEntryStall:    return "uncore_entry_stall";
+      case FaultSite::UncoreTransientFull: return "uncore_transient_full";
+      case FaultSite::LfbTransientFull:    return "lfb_transient_full";
+      case FaultSite::LfbFillStall:        return "lfb_fill_stall";
+      case FaultSite::DoorbellLoss:        return "doorbell_loss";
+      case FaultSite::DescFetchTruncation: return "desc_fetch_truncation";
+      case FaultSite::ReplayEvictionStorm: return "replay_eviction_storm";
+      case FaultSite::OnDemandStall:       return "on_demand_stall";
+      case FaultSite::CompletionLoss:      return "completion_loss";
+      case FaultSite::CompletionReorder:   return "completion_reorder";
+      case FaultSite::ResponseBitFlip:     return "response_bitflip";
+      case FaultSite::MappedReadError:     return "mapped_read_error";
+      case FaultSite::NumSites:            break;
+    }
+    panic("bad fault site %u", unsigned(site));
+}
+
+FaultPlan::FaultPlan(std::uint64_t seed) : planSeed(seed)
+{
+    // Decorrelate the site streams: each gets its own generator
+    // seeded from the plan seed and the site index, so one site's
+    // draw count never influences another site's schedule.
+    for (std::size_t i = 0; i < numFaultSites; ++i)
+        sites[i].rng.seed(mix64(seed ^ mix64(0xfa17u + i)));
+}
+
+FaultPlan::SiteState &
+FaultPlan::state(FaultSite site)
+{
+    const auto index = static_cast<std::size_t>(site);
+    kmuAssert(index < numFaultSites, "bad fault site %zu", index);
+    return sites[index];
+}
+
+const FaultPlan::SiteState &
+FaultPlan::state(FaultSite site) const
+{
+    const auto index = static_cast<std::size_t>(site);
+    kmuAssert(index < numFaultSites, "bad fault site %zu", index);
+    return sites[index];
+}
+
+void
+FaultPlan::set(FaultSite site, FaultSpec spec)
+{
+    kmuAssert(spec.rate >= 0.0 && spec.rate <= 1.0,
+              "fault rate %f out of [0,1]", spec.rate);
+    kmuAssert(spec.burstPeriod == 0 ||
+                  spec.burstLen <= spec.burstPeriod,
+              "burst length %llu exceeds period %llu",
+              (unsigned long long)spec.burstLen,
+              (unsigned long long)spec.burstPeriod);
+    state(site).spec = spec;
+}
+
+const FaultSpec &
+FaultPlan::spec(FaultSite site) const
+{
+    return state(site).spec;
+}
+
+FaultPlan
+FaultPlan::composite(std::uint64_t seed, double rate)
+{
+    FaultPlan plan(seed);
+    if (rate <= 0.0)
+        return plan;
+
+    for (std::size_t i = 0; i < numFaultSites; ++i)
+        plan.set(static_cast<FaultSite>(i), FaultSpec{rate, 0, 0, 0});
+
+    // The mapped-read and device-stall sites run bursty: windows of
+    // concentrated pressure (amplified rate) followed by quiet
+    // stretches. Sustained pressure is what pushes the retry-rate
+    // EWMA over the governor's enter threshold; the quiet stretch is
+    // what lets it recover — both within one campaign step.
+    const double burst_rate = rate * 40.0 > 0.9 ? 0.9 : rate * 40.0;
+    plan.set(FaultSite::MappedReadError,
+             FaultSpec{burst_rate, 0, 2048, 512});
+    plan.set(FaultSite::OnDemandStall,
+             FaultSpec{burst_rate, 0, 2048, 512});
+    return plan;
+}
+
+bool
+FaultPlan::shouldInject(FaultSite site)
+{
+    SiteState &s = state(site);
+    const std::uint64_t encounter = s.encounterCount++;
+    if (s.spec.rate <= 0.0)
+        return false;
+    if (s.spec.burstPeriod != 0 &&
+        (encounter % s.spec.burstPeriod) >= s.spec.burstLen)
+        return false;
+    if (!s.rng.nextBool(s.spec.rate))
+        return false;
+    s.injectedCount++;
+    return true;
+}
+
+std::uint64_t
+FaultPlan::drawBounded(FaultSite site, std::uint64_t bound)
+{
+    kmuAssert(bound > 0, "drawBounded needs a positive bound");
+    return 1 + state(site).rng.nextBounded(bound);
+}
+
+std::uint64_t
+FaultPlan::magnitudeOr(FaultSite site, std::uint64_t fallback) const
+{
+    const std::uint64_t m = state(site).spec.magnitude;
+    return m != 0 ? m : fallback;
+}
+
+std::uint64_t
+FaultPlan::encounters(FaultSite site) const
+{
+    return state(site).encounterCount;
+}
+
+std::uint64_t
+FaultPlan::injected(FaultSite site) const
+{
+    return state(site).injectedCount;
+}
+
+std::uint64_t
+FaultPlan::totalInjected() const
+{
+    std::uint64_t total = 0;
+    for (const SiteState &s : sites)
+        total += s.injectedCount;
+    return total;
+}
+
+void
+install(FaultPlan *plan_to_install)
+{
+    activePlan = plan_to_install;
+}
+
+FaultPlan *
+plan()
+{
+    return activePlan;
+}
+
+std::uint64_t
+magnitude(FaultSite site, std::uint64_t fallback)
+{
+    FaultPlan *p = plan();
+    return p != nullptr ? p->magnitudeOr(site, fallback) : fallback;
+}
+
+std::uint64_t
+draw(FaultSite site, std::uint64_t bound)
+{
+    FaultPlan *p = plan();
+    return p != nullptr ? p->drawBounded(site, bound) : 1;
+}
+
+} // namespace fault
+} // namespace kmu

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Deterministic fault-injection plans.
+ *
+ * The paper's protocol (Section IV) is defined by the corner cases it
+ * must absorb — skipped, reordered, and spurious accesses — yet a
+ * reproduction that only ever runs the happy path proves nothing
+ * about them. A FaultPlan provokes those corner cases *on purpose and
+ * reproducibly*: every injection site draws from its own xoshiro
+ * stream seeded from (plan seed, site id), never from wall clock, so
+ * the same seed and plan produce the same fault schedule bit-for-bit
+ * — which is what lets tools/kmu_faultstorm emit byte-identical CSVs
+ * and lets a test replay the exact campaign that broke something.
+ *
+ * Per-site streams also isolate sites from each other: adding a draw
+ * at one site cannot perturb the schedule of any other site, and in
+ * the real-time runtime (host thread + device thread) each site is
+ * only ever exercised from one thread, so per-site state needs no
+ * locking.
+ *
+ * Injection is opt-in and zero-cost when off: components consult the
+ * process-wide plan through fault::fire(), which is a null-pointer
+ * check when no plan is installed. With no plan the model's behaviour
+ * — and therefore every figure and ablation CSV — is bit-identical
+ * to a build without this subsystem.
+ */
+
+#ifndef KMU_FAULT_FAULT_PLAN_HH
+#define KMU_FAULT_FAULT_PLAN_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/random.hh"
+
+namespace kmu
+{
+namespace fault
+{
+
+/**
+ * Every place a fault can be provoked. Sites mirror the layers of
+ * the stack: the PCIe link, the uncore/LFB hardware queues, the
+ * device emulator, and the software-queue protocol.
+ */
+enum class FaultSite : std::uint32_t
+{
+    // --- PCIe link (transaction layer protected by link-level CRC:
+    //     drops and bit flips become NAK + retransmission, costing
+    //     wire bandwidth and latency but never losing TLPs) ---
+    PcieTlpDrop,        //!< lost TLP: replay after the retry timeout
+    PcieTlpDuplicate,   //!< dup TLP: extra wire traffic, one delivery
+    PcieTlpBitFlip,     //!< LCRC failure: NAK + retransmission
+    PcieLatencySpike,   //!< tail-latency blowup on one delivery
+
+    // --- uncore queue and LFB ---
+    UncoreEntryStall,   //!< arbitration stall before slot grant
+    UncoreTransientFull,//!< slot briefly unavailable despite headroom
+    LfbTransientFull,   //!< allocation conflict: behave as full once
+    LfbFillStall,       //!< fill delivery delayed
+
+    // --- device emulator ---
+    DoorbellLoss,       //!< doorbell MMIO write never lands
+    DescFetchTruncation,//!< DMA burst truncated mid-burst-of-8
+    ReplayEvictionStorm,//!< replay window evicts a run of entries
+    OnDemandStall,      //!< on-demand module (slow DRAM) stalls
+
+    // --- software-queue completion path ---
+    CompletionLoss,     //!< completion record never posted
+    CompletionReorder,  //!< completion delivered out of order
+    ResponseBitFlip,    //!< response payload corrupted in flight
+
+    // --- memory-mapped (on-demand / prefetch) read path ---
+    MappedReadError,    //!< detected MMIO read error: must re-issue
+
+    NumSites
+};
+
+constexpr std::size_t numFaultSites =
+    static_cast<std::size_t>(FaultSite::NumSites);
+
+/** Stable short name (CSV columns, logs). */
+const char *faultSiteName(FaultSite site);
+
+/**
+ * Per-site fault schedule.
+ *
+ * `rate` is the Bernoulli probability of injecting at each encounter
+ * of the site. When `burstPeriod` is nonzero, injection is eligible
+ * only during the first `burstLen` encounters of every
+ * `burstPeriod`-encounter window — modelling the sustained fault
+ * pressure (then relief) that the degradation governor must detect
+ * and recover from, while staying a pure function of the encounter
+ * counter.
+ *
+ * `magnitude` parameterizes sites that need a size: stall ticks for
+ * *Stall sites, extra propagation ticks for PcieLatencySpike,
+ * entries evicted for ReplayEvictionStorm, extra service steps for
+ * the real-time device. Zero selects a site-specific default.
+ */
+struct FaultSpec
+{
+    double rate = 0.0;
+    std::uint64_t magnitude = 0;
+    std::uint64_t burstPeriod = 0;
+    std::uint64_t burstLen = 0;
+};
+
+class FaultPlan
+{
+  public:
+    explicit FaultPlan(std::uint64_t seed);
+
+    std::uint64_t seed() const { return planSeed; }
+
+    /** Install one site's schedule (overwrites any previous spec). */
+    void set(FaultSite site, FaultSpec spec);
+
+    const FaultSpec &spec(FaultSite site) const;
+
+    /**
+     * Composite schedule: the same base rate at every injection
+     * site, with a bursty MappedReadError/OnDemandStall phase so a
+     * campaign exercises the degradation governor's enter *and* exit
+     * transitions. This is the schedule kmu_faultstorm escalates.
+     */
+    static FaultPlan composite(std::uint64_t seed, double rate);
+
+    /**
+     * One encounter of @p site: advances the site's encounter
+     * counter and draws whether to inject. Deterministic given the
+     * plan seed and the site's encounter history.
+     */
+    bool shouldInject(FaultSite site);
+
+    /**
+     * Deterministic magnitude draw in [1, bound] from the site's
+     * stream (for sites that need a parameter after firing).
+     */
+    std::uint64_t drawBounded(FaultSite site, std::uint64_t bound);
+
+    /** Site magnitude, or @p fallback when the spec leaves it 0. */
+    std::uint64_t magnitudeOr(FaultSite site,
+                              std::uint64_t fallback) const;
+
+    /** @{ Per-site accounting (for CSVs and tests). */
+    std::uint64_t encounters(FaultSite site) const;
+    std::uint64_t injected(FaultSite site) const;
+    /** @} */
+
+    /** Total injections across all sites. */
+    std::uint64_t totalInjected() const;
+
+  private:
+    struct SiteState
+    {
+        FaultSpec spec;
+        Rng rng;
+        std::uint64_t encounterCount = 0;
+        std::uint64_t injectedCount = 0;
+    };
+
+    SiteState &state(FaultSite site);
+    const SiteState &state(FaultSite site) const;
+
+    std::uint64_t planSeed;
+    std::array<SiteState, numFaultSites> sites;
+};
+
+/**
+ * Install @p plan as the process-wide active plan (nullptr to
+ * disable). The caller keeps ownership and must keep the plan alive
+ * while installed. Not thread-safe: install before starting the
+ * device thread / fiber scheduler, uninstall after they stop.
+ */
+void install(FaultPlan *plan);
+
+/** The active plan, or nullptr when injection is off. */
+FaultPlan *plan();
+
+/** RAII installer for tests and tools. */
+class ScopedPlan
+{
+  public:
+    explicit ScopedPlan(FaultPlan &p) { install(&p); }
+    ~ScopedPlan() { install(nullptr); }
+
+    ScopedPlan(const ScopedPlan &) = delete;
+    ScopedPlan &operator=(const ScopedPlan &) = delete;
+};
+
+/** Fast-path encounter: false (one branch) when no plan is active. */
+inline bool
+fire(FaultSite site)
+{
+    FaultPlan *p = plan();
+    return p != nullptr && p->shouldInject(site);
+}
+
+/** Magnitude of @p site under the active plan, else @p fallback.
+ *  Call only after fire() returned true (a plan is active). */
+std::uint64_t magnitude(FaultSite site, std::uint64_t fallback);
+
+/** Bounded draw from the active plan's site stream (1 when no plan
+ *  is active, so callers need no separate guard). */
+std::uint64_t draw(FaultSite site, std::uint64_t bound);
+
+} // namespace fault
+} // namespace kmu
+
+#endif // KMU_FAULT_FAULT_PLAN_HH

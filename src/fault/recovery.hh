@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Recovery policies: bounded retry with backoff, and the
+ * prefetch→on-demand degradation governor.
+ *
+ * The survival half of the fault subsystem. Injection (fault_plan.hh)
+ * provokes losses and stalls; these classes define how the host
+ * runtime absorbs them:
+ *
+ *  - RetryPolicy/RetryBackoff: a timed-out or corrupted access is
+ *    re-issued, at most maxRetries times, with exponential backoff
+ *    plus deterministic jitter (drawn from a seeded Rng, never wall
+ *    clock). Timeouts are counted in *poll ticks* — completion-queue
+ *    poll passes — rather than nanoseconds, which makes the watchdog
+ *    deterministic under the manually-pumped device and still
+ *    bounded under the free-running device thread.
+ *
+ *  - DegradationGovernor: tracks a retry-rate EWMA across accesses.
+ *    Sustained fault pressure (EWMA over the enter threshold)
+ *    switches the runtime into Degraded mode, where prefetch-mode
+ *    fibers stop issuing prefetch+yield pairs and fall back to plain
+ *    on-demand loads — under a stalling device the prefetched line
+ *    never arrives in time, so the yield is pure overhead. When the
+ *    EWMA decays below the exit threshold the governor recovers to
+ *    Normal. Both transitions are counted for campaign CSVs.
+ */
+
+#ifndef KMU_FAULT_RECOVERY_HH
+#define KMU_FAULT_RECOVERY_HH
+
+#include <cstdint>
+
+#include "common/random.hh"
+
+namespace kmu
+{
+namespace fault
+{
+
+/** Bounded-retry parameters shared by all engines of one runtime. */
+struct RetryPolicy
+{
+    /** Re-issues allowed per logical access before giving up. */
+    std::uint32_t maxRetries = 16;
+
+    /** Poll ticks without progress before the first re-issue. */
+    std::uint64_t timeoutPolls = 256;
+
+    /** Backoff added after attempt k: base << (k-1), plus jitter. */
+    std::uint64_t backoffBasePolls = 32;
+
+    /** Backoff growth cap (shift amount), keeps 1 << k bounded. */
+    std::uint32_t backoffMaxShift = 6;
+
+    /** Jitter fraction of the computed backoff, in [0, 1]. */
+    double jitter = 0.5;
+
+    /** Seed of the jitter stream (deterministic, never wall clock). */
+    std::uint64_t seed = 0x5eedfau;
+};
+
+/**
+ * Deadline calculator for one runtime's watchdog. Owns the jitter
+ * stream; single-threaded (everything runs on the host thread).
+ */
+class RetryBackoff
+{
+  public:
+    explicit RetryBackoff(const RetryPolicy &policy)
+        : cfg(policy), rng(policy.seed)
+    {
+    }
+
+    const RetryPolicy &policy() const { return cfg; }
+
+    /**
+     * Poll ticks to wait before re-issue number @p attempt
+     * (1-based): timeout + exponential backoff + jitter.
+     */
+    std::uint64_t
+    deadlinePolls(std::uint32_t attempt)
+    {
+        const std::uint32_t shift =
+            attempt > cfg.backoffMaxShift ? cfg.backoffMaxShift
+                                          : attempt;
+        const std::uint64_t backoff = cfg.backoffBasePolls
+                                      << (shift > 0 ? shift - 1 : 0);
+        std::uint64_t wait = cfg.timeoutPolls + backoff;
+        if (cfg.jitter > 0.0 && backoff > 0) {
+            const auto span =
+                std::uint64_t(double(backoff) * cfg.jitter);
+            if (span > 0)
+                wait += rng.nextBounded(span + 1);
+        }
+        return wait;
+    }
+
+  private:
+    RetryPolicy cfg;
+    Rng rng;
+};
+
+/**
+ * Retry-pressure EWMA and the Normal↔Degraded state machine.
+ */
+class DegradationGovernor
+{
+  public:
+    struct Config
+    {
+        /** EWMA smoothing factor per access sample. */
+        double alpha = 0.05;
+
+        /** Enter Degraded when the EWMA exceeds this. */
+        double enterThreshold = 0.20;
+
+        /** Recover to Normal when the EWMA falls below this. */
+        double exitThreshold = 0.02;
+
+        /** Samples required before the first transition (keeps a
+         *  lucky early burst from flapping the governor). */
+        std::uint64_t minSamples = 64;
+    };
+
+    DegradationGovernor() = default;
+    explicit DegradationGovernor(Config config) : cfg(config) {}
+
+    /** Record one access outcome; may transition the state. */
+    void
+    sample(bool retried)
+    {
+        samples_++;
+        ewma_ += cfg.alpha * ((retried ? 1.0 : 0.0) - ewma_);
+        if (samples_ < cfg.minSamples)
+            return;
+        if (!degraded_ && ewma_ > cfg.enterThreshold) {
+            degraded_ = true;
+            degradations_++;
+        } else if (degraded_ && ewma_ < cfg.exitThreshold) {
+            degraded_ = false;
+            recoveries_++;
+        }
+    }
+
+    bool degraded() const { return degraded_; }
+    double ewma() const { return ewma_; }
+    std::uint64_t samples() const { return samples_; }
+    std::uint64_t degradations() const { return degradations_; }
+    std::uint64_t recoveries() const { return recoveries_; }
+
+  private:
+    Config cfg;
+    double ewma_ = 0.0;
+    std::uint64_t samples_ = 0;
+    bool degraded_ = false;
+    std::uint64_t degradations_ = 0;
+    std::uint64_t recoveries_ = 0;
+};
+
+} // namespace fault
+} // namespace kmu
+
+#endif // KMU_FAULT_RECOVERY_HH

@@ -1,6 +1,8 @@
 #include "mem/lfb.hh"
 
 #include "check/invariant.hh"
+#include "common/units.hh"
+#include "fault/fault_plan.hh"
 
 namespace kmu
 {
@@ -38,6 +40,14 @@ Lfb::request(Addr line, FillCallback cb)
         ++rejections;
         return AllocResult::NoEntry;
     }
+    // Transient full: report NoEntry although a slot is free. Only
+    // injected while at least one entry is live so callers that park
+    // on waitForFree() are guaranteed a future fill() to admit them.
+    if (inUse() > 0 &&
+        fault::fire(fault::FaultSite::LfbTransientFull)) {
+        ++rejections;
+        return AllocResult::NoEntry;
+    }
     occupancyAtAlloc.sample(double(inUse()));
     Entry entry;
     entry.waiters.push_back(std::move(cb));
@@ -71,6 +81,20 @@ Lfb::waitForFree(FreeCallback cb)
 void
 Lfb::fill(Addr line)
 {
+    // Fill stall: the fill data is held back for a while. The entry
+    // stays live, so new requests for the line keep merging into it;
+    // the deferred call performs the one real fill.
+    if (fault::fire(fault::FaultSite::LfbFillStall)) {
+        const Tick stall = fault::magnitude(
+            fault::FaultSite::LfbFillStall, 200 * tickPerNs);
+        eventQueue().scheduleLambda(
+            curTick() + fault::draw(fault::FaultSite::LfbFillStall,
+                                    stall),
+            [this, line] { fill(line); },
+            EventPriority::Default, name() + ".stalledFill");
+        return;
+    }
+
     auto it = entries.find(line);
     KMU_INVARIANT(it != entries.end(),
                   "fill for line %#llx with no LFB entry",

@@ -2,6 +2,7 @@
 
 #include "check/invariant.hh"
 #include "common/units.hh"
+#include "fault/fault_plan.hh"
 
 namespace kmu
 {
@@ -36,10 +37,41 @@ PcieLink::send(LinkDir dir, std::uint32_t payload_bytes,
 
     const std::uint32_t wire_bytes = payload_bytes + cfg.tlpHeaderBytes;
     const Tick start = std::max(curTick(), d.wireFreeAt);
-    const Tick done = start + transferTicks(wire_bytes, cfg.bytesPerSec);
+    Tick done = start + transferTicks(wire_bytes, cfg.bytesPerSec);
     KMU_INVARIANT(done >= start,
                   "link transfer time went backwards (%llu < %llu)",
                   (unsigned long long)done, (unsigned long long)start);
+
+    // Injected link faults. The PCIe data-link layer protects TLPs
+    // with an LCRC and a replay buffer, so a dropped or corrupted
+    // TLP is never lost at the transaction layer: the receiver NAKs
+    // and the sender retransmits. Both therefore cost an extra wire
+    // serialization plus the replay-timer delay, and a duplicated
+    // TLP (spurious replay) costs wire bandwidth but delivers once —
+    // faults degrade timing and bandwidth, never the protocol.
+    Tick deliver_extra = 0;
+    const bool retransmit =
+        fault::fire(fault::FaultSite::PcieTlpDrop) ||
+        fault::fire(fault::FaultSite::PcieTlpBitFlip);
+    if (retransmit) {
+        done += transferTicks(wire_bytes, cfg.bytesPerSec);
+        d.wire += wire_bytes;
+        d.tlps += 1;
+        deliver_extra += fault::magnitude(
+            fault::FaultSite::PcieTlpDrop, cfg.propagation);
+    }
+    if (fault::fire(fault::FaultSite::PcieTlpDuplicate)) {
+        done += transferTicks(wire_bytes, cfg.bytesPerSec);
+        d.wire += wire_bytes;
+        d.tlps += 1;
+    }
+    if (fault::fire(fault::FaultSite::PcieLatencySpike)) {
+        const Tick spike = fault::magnitude(
+            fault::FaultSite::PcieLatencySpike, 4 * cfg.propagation);
+        deliver_extra +=
+            fault::draw(fault::FaultSite::PcieLatencySpike, spike);
+    }
+
     d.wireFreeAt = done;
     d.wire += wire_bytes;
     d.useful += useful_bytes;
@@ -50,7 +82,8 @@ PcieLink::send(LinkDir dir, std::uint32_t payload_bytes,
                     (unsigned long long)d.useful,
                     (unsigned long long)d.wire);
 
-    eventQueue().scheduleLambda(done + cfg.propagation, std::move(cb),
+    eventQueue().scheduleLambda(done + cfg.propagation + deliver_extra,
+                                std::move(cb),
                                 EventPriority::DeviceResponse,
                                 name() + ".deliver");
 }

@@ -1,6 +1,8 @@
 #include "mem/uncore_queue.hh"
 
 #include "check/invariant.hh"
+#include "common/units.hh"
+#include "fault/fault_plan.hh"
 
 namespace kmu
 {
@@ -43,6 +45,24 @@ UncoreQueue::grant(EnterCallback cb)
 void
 UncoreQueue::acquire(EnterCallback cb)
 {
+    // Injected faults retry the acquire later instead of parking on
+    // the waiter list: the waiter list is only drained by release(),
+    // so a fault-queued waiter could strand (or trip the lost-wakeup
+    // model check) if the queue was not actually full.
+    if (fault::fire(fault::FaultSite::UncoreEntryStall) ||
+        fault::fire(fault::FaultSite::UncoreTransientFull)) {
+        const Tick stall = fault::magnitude(
+            fault::FaultSite::UncoreEntryStall, 50 * tickPerNs);
+        ++fullStalls;
+        eventQueue().scheduleLambda(
+            curTick() + fault::draw(fault::FaultSite::UncoreEntryStall,
+                                    stall),
+            [this, cb = std::move(cb)]() mutable {
+                acquire(std::move(cb));
+            },
+            EventPriority::Default, name() + ".faultRetry");
+        return;
+    }
     if (!full()) {
         grant(std::move(cb));
         return;

@@ -59,16 +59,58 @@ struct RequestDescriptor
 
     /** Device line address with the opcode bit stripped. */
     Addr lineAddr() const { return deviceAddr & ~Addr(1); }
+
+    /** @{
+     * Generation tagging for retried requests.
+     *
+     * Host virtual addresses on x86-64 fit in 48 bits, so bits
+     * 48..55 of hostAddr are free to carry an 8-bit generation tag.
+     * The device echoes hostAddr verbatim into the completion, so
+     * the host runtime can tell a fresh completion from a stale one
+     * that raced with a watchdog re-issue of the same buffer. The
+     * 16-byte wire layout is untouched.
+     */
+    static constexpr unsigned hostTagShift = 48;
+    static constexpr Addr hostTagMask = Addr(0xff) << hostTagShift;
+
+    static Addr
+    taggedHost(Addr host, std::uint8_t gen)
+    {
+        return (host & ~hostTagMask) | (Addr(gen) << hostTagShift);
+    }
+
+    /** Host buffer address with the generation tag stripped. */
+    static Addr hostPtr(Addr tagged) { return tagged & ~hostTagMask; }
+
+    /** Generation tag carried in a (possibly tagged) host address. */
+    static std::uint8_t
+    hostTag(Addr tagged)
+    {
+        return std::uint8_t((tagged & hostTagMask) >> hostTagShift);
+    }
+    /** @} */
 };
 
 static_assert(sizeof(RequestDescriptor) == 16,
               "descriptor layout must match the 16-byte wire format");
 
-/** One completion record (8 bytes of payload): echo of hostAddr. */
+/**
+ * One completion record: echo of hostAddr plus an end-to-end CRC-32C
+ * of the 64 response bytes (exact-data contract check; zero for
+ * writes, which carry no response data). Only the first
+ * completionWireBytes travel on the modeled wire — the CRC models
+ * metadata the real device folds into its data TLP digest, so the
+ * timing model's byte accounting is unchanged.
+ */
 struct CompletionDescriptor
 {
     Addr hostAddr = 0;
+    std::uint32_t crc = 0;
+    std::uint32_t reserved = 0;
 };
+
+/** Bytes of a completion record on the modeled wire (hostAddr echo). */
+constexpr std::uint32_t completionWireBytes = 8;
 
 /** Descriptors fetched per DMA burst read (paper Section IV-A). */
 constexpr std::uint32_t descriptorBurst = 8;

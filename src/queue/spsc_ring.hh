@@ -77,8 +77,10 @@ class SpscRing
         KMU_INVARIANT(h < slots.size(),
                       "ring head index %zu out of range", h);
         const std::size_t next = (h + 1) & mask;
-        if (next == tail.load(std::memory_order_acquire))
+        if (next == tail.load(std::memory_order_acquire)) {
+            rejects.fetch_add(1, std::memory_order_relaxed);
             return false;
+        }
         slots[h] = value;
         pushes.fetch_add(1, std::memory_order_relaxed);
         head.store(next, std::memory_order_release);
@@ -153,6 +155,14 @@ class SpscRing
     {
         return pops.load(std::memory_order_relaxed);
     }
+    /** Full-ring push rejections (producer-side backpressure). With
+     *  totalPushes this conserves attempts: every tryPush either
+     *  pushed or rejected. */
+    std::uint64_t
+    totalRejects() const
+    {
+        return rejects.load(std::memory_order_relaxed);
+    }
     /** @} */
 
   private:
@@ -166,6 +176,9 @@ class SpscRing
     // release-store (see the ordering audit above).
     alignas(64) std::atomic<std::uint64_t> pushes{0};
     alignas(64) std::atomic<std::uint64_t> pops{0};
+    // Producer-owned like pushes; relaxed is enough (observers only
+    // read it at quiesce or as a monotonic statistic).
+    alignas(64) std::atomic<std::uint64_t> rejects{0};
 };
 
 } // namespace kmu

@@ -64,6 +64,37 @@ EventQueue::deschedule(Event *event)
     event->isScheduled = false;
     cancelledSeqs.insert(event->heapSeq); // invalidates the heap entry
     liveEvents--;
+
+    // Keep the dead fraction of the heap bounded. Without this, a
+    // workload that schedules far-future events and cancels them
+    // before they pop (timeout guards, speculative wakeups) grows the
+    // heap and cancelledSeqs without bound even though liveEvents
+    // stays flat. The floor of 64 keeps small churny queues on the
+    // cheap lazy path.
+    if (cancelledSeqs.size() > 64 && cancelledSeqs.size() > liveEvents)
+        compact();
+}
+
+void
+EventQueue::compact()
+{
+    std::vector<HeapEntry> survivors;
+    survivors.reserve(liveEvents);
+    while (!heap.empty()) {
+        const HeapEntry &entry = heap.top();
+        if (!cancelledSeqs.erase(entry.seq))
+            survivors.push_back(entry);
+        heap.pop();
+    }
+    KMU_MODEL_CHECK(cancelledSeqs.empty(),
+                    "%zu cancelled seqs match no heap entry",
+                    cancelledSeqs.size());
+    KMU_MODEL_CHECK(survivors.size() == liveEvents,
+                    "compaction kept %zu entries for %llu live events",
+                    survivors.size(), (unsigned long long)liveEvents);
+    // Swap in a fresh set: clear() keeps the grown bucket array.
+    std::unordered_set<std::uint64_t>().swap(cancelledSeqs);
+    heap = decltype(heap)(HeapCompare{}, std::move(survivors));
 }
 
 void

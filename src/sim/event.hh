@@ -143,7 +143,22 @@ class EventQueue
     /** Total events serviced since construction. */
     std::uint64_t serviced() const { return servicedCount; }
 
+    /** Cancelled heap entries not yet popped or compacted (bounded:
+     *  see deschedule()'s compaction trigger). */
+    std::size_t deadEntries() const { return cancelledSeqs.size(); }
+
   private:
+    /**
+     * Rebuild the heap without its cancelled entries. Lazy
+     * descheduling alone lets dead entries accumulate without bound
+     * when a workload schedules and cancels far-future events (e.g.
+     * timeout guards that almost never fire) faster than the heap
+     * pops them. deschedule() triggers this once the dead entries
+     * outnumber the live ones (and exceed a floor), which amortizes
+     * the O(n) rebuild to O(1) per deschedule and keeps heap memory
+     * proportional to live events.
+     */
+    void compact();
     struct HeapEntry
     {
         Tick when;

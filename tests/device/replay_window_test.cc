@@ -129,6 +129,99 @@ TEST(ReplayWindowTest, SkippedEntriesAgeOut)
     EXPECT_EQ(window.lookup(seq[0]), ReplayWindow::Result::Miss);
 }
 
+// ---- Directed corner tests: the three protocol deviations at the
+// ---- window's boundary states (empty, single-entry, full under
+// ---- eviction pressure), where off-by-one bugs in the aged-out
+// ---- frontier or the refill path would hide from the bulk tests.
+
+TEST(ReplayWindowCornerTest, EmptyWindowMissesEverything)
+{
+    // Empty from birth: the source never produces an entry.
+    ReplayWindow window(vectorSource({}), 8);
+    EXPECT_EQ(window.buffered(), 0u);
+    EXPECT_EQ(window.lookup(0), ReplayWindow::Result::Miss);
+    EXPECT_EQ(window.lookup(64), ReplayWindow::Result::Miss);
+    EXPECT_EQ(window.misses(), 2u);
+    // Eviction on an empty window is a no-op, not a crash.
+    EXPECT_EQ(window.evictOldest(4), 0u);
+    EXPECT_EQ(window.agedOut(), 0u);
+}
+
+TEST(ReplayWindowCornerTest, SingleEntryWindowAllDeviations)
+{
+    // A window of capacity 1 holds exactly the next recorded entry:
+    // the degenerate case where "oldest" and "newest" coincide.
+    auto seq = linearSequence(6);
+    ReplayWindow window(vectorSource(seq), 1);
+    EXPECT_EQ(window.buffered(), 1u);
+
+    // Spurious request: misses without disturbing the single entry.
+    EXPECT_EQ(window.lookup(0xdead0000), ReplayWindow::Result::Miss);
+    EXPECT_EQ(window.buffered(), 1u);
+
+    // In-order request: matches and the window refills by one.
+    std::uint64_t idx = ~0ull;
+    EXPECT_EQ(window.lookup(seq[0], &idx),
+              ReplayWindow::Result::Matched);
+    EXPECT_EQ(idx, 0u);
+    EXPECT_EQ(window.buffered(), 1u);
+
+    // Reordered request: entry 2 while entry 1 fronts the window. A
+    // 1-entry window cannot hold both, so this must miss (fall back
+    // on-demand), never match a stale epoch.
+    EXPECT_EQ(window.lookup(seq[2]), ReplayWindow::Result::Miss);
+
+    // Skipped entry: requesting entry 1 still works — it is the one
+    // buffered entry; nothing aged out yet.
+    EXPECT_EQ(window.lookup(seq[1]), ReplayWindow::Result::Matched);
+}
+
+TEST(ReplayWindowCornerTest, FullWindowEvictionAdvancesFrontier)
+{
+    auto seq = linearSequence(64);
+    const std::size_t w = 8;
+    ReplayWindow window(vectorSource(seq), w);
+    EXPECT_EQ(window.buffered(), w);
+
+    // Evict half of a full window: the frontier advances exactly
+    // that far and the window refills back to capacity.
+    EXPECT_EQ(window.evictOldest(w / 2), w / 2);
+    EXPECT_EQ(window.agedOut(), w / 2);
+    EXPECT_EQ(window.buffered(), w);
+
+    // Requests for evicted entries are now indistinguishable from
+    // spurious ones: they miss and fall back to the on-demand path.
+    for (std::size_t i = 0; i < w / 2; ++i) {
+        EXPECT_EQ(window.lookup(seq[i]), ReplayWindow::Result::Miss)
+            << "evicted entry " << i << " matched a stale epoch";
+    }
+
+    // Survivors and refilled entries still match in order, including
+    // a reordered pair straddling the eviction boundary.
+    EXPECT_EQ(window.lookup(seq[w / 2 + 1]),
+              ReplayWindow::Result::Matched);
+    EXPECT_EQ(window.lookup(seq[w / 2]),
+              ReplayWindow::Result::Matched);
+    EXPECT_GT(window.outOfOrderMatches(), 0u);
+    for (std::size_t i = w / 2 + 2; i < 32; ++i) {
+        EXPECT_EQ(window.lookup(seq[i]), ReplayWindow::Result::Matched)
+            << "post-eviction entry " << i;
+    }
+}
+
+TEST(ReplayWindowCornerTest, EvictionBeyondOccupancyIsBounded)
+{
+    auto seq = linearSequence(4); // source shorter than the window
+    ReplayWindow window(vectorSource(seq), 8);
+    EXPECT_EQ(window.buffered(), 4u);
+    // Ask for more than is buffered: only what exists is evicted,
+    // and the drained source cannot refill.
+    EXPECT_EQ(window.evictOldest(100), 4u);
+    EXPECT_EQ(window.buffered(), 0u);
+    EXPECT_EQ(window.agedOut(), 4u);
+    EXPECT_EQ(window.lookup(seq[0]), ReplayWindow::Result::Miss);
+}
+
 /**
  * Property: any request stream derived from the recorded sequence by
  * (a) dropping arbitrary entries and (b) reordering within a

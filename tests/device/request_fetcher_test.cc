@@ -7,8 +7,10 @@
 
 #include <vector>
 
+#include "check/invariant.hh"
 #include "common/units.hh"
 #include "device/request_fetcher.hh"
+#include "fault/fault_plan.hh"
 
 namespace kmu
 {
@@ -130,6 +132,69 @@ TEST_F(FetcherFixture, RacedSubmissionSweptAfterFlagWrite)
     eq.scheduleLambda(nanoseconds(50), poll);
     eq.run();
     EXPECT_EQ(completions.size(), 2u);
+}
+
+// Regression for the doorbell-clear race: the fetcher may park ONLY
+// with the doorbell-request flag published (now a KMU_INVARIANT in
+// the park path — parking with the flag clear strands any descriptor
+// whose submitter saw the clear flag and skipped its doorbell). Here
+// truncation faults force many extra empty bursts and park/sweep
+// rounds; every one of them must leave the protocol in the legal
+// parked state, with nothing stranded and no invariant tripped.
+TEST_F(FetcherFixture, ParkingAlwaysPublishesDoorbellFlag)
+{
+    fault::FaultPlan plan(0xdb01);
+    plan.set(fault::FaultSite::DescFetchTruncation, {.rate = 0.5});
+    fault::ScopedPlan active(plan);
+    const std::uint64_t violationsBefore = check::violationCount();
+
+    for (int round = 0; round < 8; ++round) {
+        for (std::uint64_t i = 0; i < 4; ++i)
+            ASSERT_TRUE(qp.submit({i * 64, round * 100ull + i}));
+        ASSERT_TRUE(qp.consumeDoorbellRequest());
+        fetcher->ringDoorbell();
+        eq.run();
+        // Parked, flag republished, nothing left in the ring.
+        EXPECT_FALSE(fetcher->fetching());
+        EXPECT_TRUE(qp.doorbellRequested());
+        std::vector<RequestDescriptor> leftover;
+        qp.fetchBurst(leftover, 8);
+        EXPECT_TRUE(leftover.empty()) << "stranded descriptors";
+    }
+    EXPECT_EQ(completions.size(), 32u);
+    EXPECT_EQ(check::violationCount(), violationsBefore);
+    EXPECT_GT(plan.injected(fault::FaultSite::DescFetchTruncation), 0u);
+}
+
+// The ring-counter gauges surface the SPSC rings' push/reject/pop
+// atomics through the fetcher's stat group.
+TEST_F(FetcherFixture, RingGaugesTrackQueueCounters)
+{
+    for (std::uint64_t i = 0; i < 8; ++i)
+        ASSERT_TRUE(qp.submit({i * 64, i}));
+    qp.consumeDoorbellRequest();
+    fetcher->ringDoorbell();
+    eq.run();
+    EXPECT_EQ(fetcher->requestPushes.value(), 8u);
+    EXPECT_EQ(fetcher->completionPops.value(), 0u); // nothing reaped
+    CompletionDescriptor c;
+    while (qp.reapCompletion(c))
+        ;
+    EXPECT_EQ(fetcher->completionPops.value(), 8u);
+
+    // Overfill the request ring (capacity 64): the 65th submission
+    // is rejected and the reject gauge sees it.
+    std::uint64_t rejects = 0;
+    for (std::uint64_t i = 0; i < 70; ++i) {
+        if (!qp.submit({i * 64, i}))
+            ++rejects;
+    }
+    EXPECT_GT(rejects, 0u);
+    EXPECT_EQ(fetcher->requestRejects.value(), rejects);
+
+    // reset latches a baseline: the next dump reports deltas.
+    fetcher->requestPushes.reset();
+    EXPECT_EQ(fetcher->requestPushes.value(), 0u);
 }
 
 TEST_F(FetcherFixture, DataWritePrecedesCompletionOnTheWire)

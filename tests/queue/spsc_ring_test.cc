@@ -126,6 +126,7 @@ TEST(SpscRingTest, ThreadedStressMultiWordPayload)
     SpscRing<Payload> ring(8); // tiny: maximizes wraparound pressure
     constexpr std::uint64_t total = 100000;
 
+    std::uint64_t attempts = 0; // producer-side push-call count
     std::thread producer([&]() {
         std::uint64_t i = 0;
         while (i < total) {
@@ -134,6 +135,7 @@ TEST(SpscRingTest, ThreadedStressMultiWordPayload)
             for (std::uint64_t k = 0; k < burst && i < total;) {
                 const Payload p{i, mix64(i), mix64(i ^ 0xabcdef),
                                 ~i};
+                ++attempts;
                 if (ring.tryPush(p)) {
                     ++i;
                     ++k;
@@ -158,10 +160,37 @@ TEST(SpscRingTest, ThreadedStressMultiWordPayload)
     }
     producer.join();
 
-    // Cumulative accounting reconciles exactly once both sides quiesce.
+    // Cumulative accounting reconciles exactly once both sides
+    // quiesce. Conservation laws: every push call either entered the
+    // ring or was rejected (attempts = pushes + rejects), and with
+    // the ring drained every accepted element left it (pops = pushes).
     EXPECT_EQ(ring.totalPushes(), total);
     EXPECT_EQ(ring.totalPops(), total);
+    EXPECT_EQ(ring.totalPushes() + ring.totalRejects(), attempts);
+    EXPECT_EQ(ring.totalPops(), ring.totalPushes());
+    // Tiny ring + bursty producer: backpressure must actually have
+    // been exercised, otherwise this test proves nothing about the
+    // full path.
+    EXPECT_GT(ring.totalRejects(), 0u);
     EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRingTest, RejectCounterCountsFullPushes)
+{
+    SpscRing<int> ring(4); // capacity 3
+    for (int i = 0; i < 3; ++i)
+        ASSERT_TRUE(ring.tryPush(i));
+    EXPECT_EQ(ring.totalRejects(), 0u);
+    EXPECT_FALSE(ring.tryPush(3));
+    EXPECT_FALSE(ring.tryPush(4));
+    EXPECT_EQ(ring.totalRejects(), 2u);
+    // A rejected push leaves the ring contents untouched.
+    int out;
+    ASSERT_TRUE(ring.tryPop(out));
+    EXPECT_EQ(out, 0);
+    EXPECT_TRUE(ring.tryPush(3)); // room again: accepted, no reject
+    EXPECT_EQ(ring.totalRejects(), 2u);
+    EXPECT_EQ(ring.totalPushes(), 4u);
 }
 
 } // anonymous namespace

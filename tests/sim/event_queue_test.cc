@@ -191,6 +191,66 @@ TEST(EventQueueTest, SizeTracksLiveEvents)
     EXPECT_TRUE(eq.empty());
 }
 
+// Regression: lazy descheduling used to let cancelled heap entries
+// accumulate without bound when far-future events are scheduled and
+// cancelled faster than the heap pops them (the timeout-guard
+// pattern). The queue now compacts once dead entries outnumber live
+// ones, so the dead set stays bounded by max(64, liveEvents).
+TEST(EventQueueTest, CancelledEntriesStayBounded)
+{
+    EventQueue eq;
+    std::vector<std::string> log;
+    RecordingEvent guard("guard", log);
+    RecordingEvent keep("keep", log);
+    eq.schedule(&keep, 1'000'000'000);
+
+    std::size_t peak = 0;
+    for (int i = 0; i < 200'000; ++i) {
+        // Arm a far-future timeout guard, then cancel it before it
+        // ever services — the pure churn case.
+        eq.schedule(&guard, Tick(2'000'000'000) + Tick(i));
+        eq.deschedule(&guard);
+        peak = std::max(peak, eq.deadEntries());
+    }
+    // One live event, so the trigger fires at 65 dead entries.
+    EXPECT_LE(peak, 65u);
+    EXPECT_LE(eq.deadEntries(), 65u);
+    EXPECT_EQ(eq.size(), 1u);
+
+    // Compaction must not disturb ordering or survivors.
+    eq.schedule(&guard, 999'999'999);
+    eq.run();
+    EXPECT_EQ(log, (std::vector<std::string>{"guard", "keep"}));
+}
+
+// Compaction rebuilds the heap; the surviving entries must keep their
+// (tick, priority, insertion-sequence) service order exactly.
+TEST(EventQueueTest, CompactionPreservesOrdering)
+{
+    EventQueue eq;
+    std::vector<std::string> log;
+
+    std::vector<std::unique_ptr<RecordingEvent>> live;
+    std::vector<std::unique_ptr<RecordingEvent>> dead;
+    std::vector<std::string> expect;
+    for (int i = 0; i < 64; ++i) {
+        live.push_back(std::make_unique<RecordingEvent>(
+            "live" + std::to_string(i), log));
+        // Same tick for pairs exercises the seq tie-break.
+        eq.schedule(live.back().get(), Tick(10 + i / 2));
+        expect.push_back(live.back()->name());
+    }
+    for (int i = 0; i < 200; ++i) {
+        dead.push_back(std::make_unique<RecordingEvent>("dead", log));
+        eq.schedule(dead.back().get(), Tick(5)); // ahead of the live set
+        eq.deschedule(dead.back().get());
+    }
+    EXPECT_LE(eq.deadEntries(), 65u); // compaction must have run
+    eq.run();
+    EXPECT_EQ(log, expect);
+    EXPECT_TRUE(eq.empty());
+}
+
 TEST(EventQueueDeathTest, PastSchedulingPanics)
 {
     EventQueue eq;
