@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Engine-side trace helpers shared by the three access mechanisms.
+ *
+ * Every engine read becomes one AccessRead span on the calling
+ * fiber's lane — issue to data-in-hand, covering any yields, blocks,
+ * retries, and watchdog re-issues in between — and every posted
+ * write an AccessWrite instant. A fiber has at most one read in
+ * flight (engines are synchronous per fiber), so the lane doubles as
+ * the span id. The lane lookup itself is gated on trace::active() to
+ * keep the disabled path at a single branch.
+ */
+
+#ifndef KMU_ACCESS_ACCESS_TRACE_HH
+#define KMU_ACCESS_ACCESS_TRACE_HH
+
+#include "trace/trace.hh"
+#include "ult/scheduler.hh"
+
+namespace kmu
+{
+namespace access_trace
+{
+
+/** Open the calling fiber's read span (@p lines in the batch). */
+inline void
+readBegin(std::uint32_t lines)
+{
+    if (trace::active()) {
+        const std::uint16_t lane = thisFiber::traceLane();
+        trace::begin(trace::Kind::AccessRead, lane, lane, lines);
+    }
+}
+
+/** Close the calling fiber's read span. */
+inline void
+readEnd()
+{
+    if (trace::active()) {
+        const std::uint16_t lane = thisFiber::traceLane();
+        trace::end(trace::Kind::AccessRead, lane, lane);
+    }
+}
+
+/** Mark a posted write of @p line leaving the engine. */
+inline void
+writeMark(Addr line)
+{
+    if (trace::active()) {
+        trace::instant(trace::Kind::AccessWrite, line,
+                       thisFiber::traceLane());
+    }
+}
+
+} // namespace access_trace
+} // namespace kmu
+
+#endif // KMU_ACCESS_ACCESS_TRACE_HH

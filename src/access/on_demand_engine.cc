@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "access/access_trace.hh"
 #include "common/logging.hh"
 #include "fault/fault_plan.hh"
 
@@ -42,9 +43,11 @@ OnDemandEngine::read64(Addr addr)
     kmuAssert(addr + 8 <= bytes, "read64 out of bounds: %#llx",
               (unsigned long long)addr);
     accessCount++;
+    access_trace::readBegin(1);
     surviveMappedRead();
     std::uint64_t value;
     std::memcpy(&value, base + addr, sizeof(value));
+    access_trace::readEnd();
     return value;
 }
 
@@ -61,6 +64,7 @@ void
 OnDemandEngine::readLines(const Addr *addrs, std::size_t n, void *out)
 {
     kmuAssert(n <= maxBatch, "batch of %zu exceeds maxBatch", n);
+    access_trace::readBegin(std::uint32_t(n));
     auto *dst = static_cast<std::uint8_t *>(out);
     for (std::size_t i = 0; i < n; ++i) {
         kmuAssert(isLineAligned(addrs[i]), "readLines needs aligned "
@@ -72,6 +76,7 @@ OnDemandEngine::readLines(const Addr *addrs, std::size_t n, void *out)
         std::memcpy(dst + i * cacheLineSize, base + addrs[i],
                     cacheLineSize);
     }
+    access_trace::readEnd();
 }
 
 void
@@ -80,6 +85,7 @@ OnDemandEngine::writeLine(Addr addr, const void *line)
     kmuAssert(isLineAligned(addr), "writeLine needs alignment");
     kmuAssert(addr + cacheLineSize <= bytes, "writeLine out of bounds");
     writeCount++;
+    access_trace::writeMark(addr);
     std::memcpy(base + addr, line, cacheLineSize);
 }
 

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "access/access_trace.hh"
 #include "common/logging.hh"
 #include "fault/fault_plan.hh"
 
@@ -65,6 +66,7 @@ PrefetchEngine::read64(Addr addr)
     kmuAssert(addr + 8 <= bytes, "read64 out of bounds: %#llx",
               (unsigned long long)addr);
     accessCount++;
+    access_trace::readBegin(1);
     const bool degraded = degradedNow();
     if (degraded) {
         recoveryStats.degradedAccesses++;
@@ -76,6 +78,7 @@ PrefetchEngine::read64(Addr addr)
     surviveMappedRead(addr, degraded);
     std::uint64_t value;
     std::memcpy(&value, base + addr, sizeof(value));
+    access_trace::readEnd();
     return value;
 }
 
@@ -84,6 +87,7 @@ PrefetchEngine::readBatch(const Addr *addrs, std::size_t n,
                           std::uint64_t *out)
 {
     kmuAssert(n <= maxBatch, "batch of %zu exceeds maxBatch", n);
+    access_trace::readBegin(std::uint32_t(n));
     const bool degraded = degradedNow();
     if (degraded) {
         recoveryStats.degradedAccesses += n;
@@ -101,12 +105,14 @@ PrefetchEngine::readBatch(const Addr *addrs, std::size_t n,
         surviveMappedRead(addrs[i], degraded);
         std::memcpy(&out[i], base + addrs[i], sizeof(out[0]));
     }
+    access_trace::readEnd();
 }
 
 void
 PrefetchEngine::readLines(const Addr *addrs, std::size_t n, void *out)
 {
     kmuAssert(n <= maxBatch, "batch of %zu exceeds maxBatch", n);
+    access_trace::readBegin(std::uint32_t(n));
     auto *dst = static_cast<std::uint8_t *>(out);
     const bool degraded = degradedNow();
     if (degraded) {
@@ -132,6 +138,7 @@ PrefetchEngine::readLines(const Addr *addrs, std::size_t n, void *out)
         std::memcpy(dst + i * cacheLineSize, base + addrs[i],
                     cacheLineSize);
     }
+    access_trace::readEnd();
 }
 
 void
@@ -140,6 +147,7 @@ PrefetchEngine::writeLine(Addr addr, const void *line)
     kmuAssert(isLineAligned(addr), "writeLine needs alignment");
     kmuAssert(addr + cacheLineSize <= bytes, "writeLine out of bounds");
     writeCount++;
+    access_trace::writeMark(addr);
     std::memcpy(base + addr, line, cacheLineSize);
 }
 

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <thread>
 
+#include "access/access_trace.hh"
 #include "common/crc.hh"
 #include "common/logging.hh"
 
@@ -78,6 +79,7 @@ SwQueueEngine::submitAndWait(const Addr *addrs, std::size_t n)
     FiberIo &io = ioState();
     kmuAssert(io.outstanding == 0, "fiber re-entered submitAndWait");
 
+    access_trace::readBegin(std::uint32_t(n));
     io.outstanding = std::uint32_t(n);
     for (std::size_t i = 0; i < n; ++i) {
         // Fresh generation per logical read: a stale completion for
@@ -105,6 +107,7 @@ SwQueueEngine::submitAndWait(const Addr *addrs, std::size_t n)
     doorbellIfRequested();
     sched.block();
     kmuAssert(io.outstanding == 0, "fiber woken with requests pending");
+    access_trace::readEnd();
     return io;
 }
 
@@ -150,6 +153,8 @@ SwQueueEngine::doorbellIfRequested()
     // Doorbell-request protocol: only ring when the device asked.
     if (queues.consumeDoorbellRequest()) {
         doorbells++;
+        trace::instant(trace::Kind::Doorbell, doorbells,
+                       std::uint16_t(pairIndex));
         dev.doorbell(pairIndex);
     }
 }
@@ -164,6 +169,8 @@ SwQueueEngine::forceDoorbell()
     queues.consumeDoorbellRequest();
     recoveryStats.recoveryDoorbells++;
     doorbells++;
+    trace::instant(trace::Kind::Doorbell, doorbells,
+                   std::uint16_t(pairIndex), 1 /* recovery */);
     dev.doorbell(pairIndex);
 }
 
@@ -337,6 +344,7 @@ SwQueueEngine::writeLine(Addr addr, const void *line)
     while (!queues.submit(desc))
         stalledWait();
     writeCount++;
+    access_trace::writeMark(addr);
     inFlight++;
     doorbellIfRequested();
     // Posted: return without blocking the fiber.

@@ -118,7 +118,107 @@ Histogram::render() const
 }
 
 void
+Histogram::merge(const Histogram &other)
+{
+    kmuAssert(other.lowBound == lowBound &&
+              other.binWidth == binWidth &&
+              other.counts.size() == counts.size(),
+              "cannot merge histograms of different shape");
+    for (std::size_t i = 0; i < counts.size(); ++i)
+        counts[i] += other.counts[i];
+    below += other.below;
+    above += other.above;
+    sampleCount += other.sampleCount;
+    sum += other.sum;
+}
+
+void
 Histogram::reset()
+{
+    std::fill(counts.begin(), counts.end(), 0);
+    below = above = sampleCount = 0;
+    sum = 0.0;
+}
+
+LogHistogram::LogHistogram(StatGroup &parent, std::string name,
+                           std::string desc, double lo,
+                           std::size_t buckets)
+    : StatBase(parent, std::move(name), std::move(desc)),
+      lowBound(lo), counts(buckets, 0)
+{
+    kmuAssert(lo > 0.0, "log histogram needs a positive lower bound");
+    kmuAssert(buckets > 0, "log histogram needs at least one bucket");
+}
+
+double
+LogHistogram::bucketLow(std::size_t i) const
+{
+    double edge = lowBound;
+    for (std::size_t k = 0; k < i; ++k)
+        edge *= 2.0;
+    return edge;
+}
+
+void
+LogHistogram::sample(double value)
+{
+    sampleCount++;
+    sum += value;
+    if (value < lowBound) {
+        below++;
+        return;
+    }
+    // Walk the doubling boundaries instead of taking log2(): the
+    // comparison then uses the exact same doubles bucketLow()
+    // produces, so edge values can't mis-bucket to FP rounding.
+    double edge = lowBound;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        edge *= 2.0;
+        if (value < edge) {
+            counts[i]++;
+            return;
+        }
+    }
+    above++;
+}
+
+void
+LogHistogram::merge(const LogHistogram &other)
+{
+    kmuAssert(other.lowBound == lowBound &&
+              other.counts.size() == counts.size(),
+              "cannot merge log histograms of different shape");
+    for (std::size_t i = 0; i < counts.size(); ++i)
+        counts[i] += other.counts[i];
+    below += other.below;
+    above += other.above;
+    sampleCount += other.sampleCount;
+    sum += other.sum;
+}
+
+double
+LogHistogram::mean() const
+{
+    return sampleCount ? sum / double(sampleCount) : 0.0;
+}
+
+std::string
+LogHistogram::render() const
+{
+    std::string out = csprintf("n=%llu mean=%.3f [",
+                               (unsigned long long)sampleCount, mean());
+    out += csprintf("<%llu|", (unsigned long long)below);
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        out += csprintf("%llu", (unsigned long long)counts[i]);
+        if (i + 1 != counts.size())
+            out += " ";
+    }
+    out += csprintf("|>%llu]", (unsigned long long)above);
+    return out;
+}
+
+void
+LogHistogram::reset()
 {
     std::fill(counts.begin(), counts.end(), 0);
     below = above = sampleCount = 0;

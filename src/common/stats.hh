@@ -134,6 +134,9 @@ class Histogram : public StatBase
 
     void sample(double value);
 
+    /** Fold another histogram's counts in; shapes must match. */
+    void merge(const Histogram &other);
+
     std::uint64_t samples() const { return sampleCount; }
     std::uint64_t binCount(std::size_t i) const { return counts.at(i); }
     std::uint64_t underflow() const { return below; }
@@ -146,6 +149,55 @@ class Histogram : public StatBase
   private:
     double lowBound;
     double binWidth;
+    std::vector<std::uint64_t> counts;
+    std::uint64_t below = 0;
+    std::uint64_t above = 0;
+    std::uint64_t sampleCount = 0;
+    double sum = 0.0;
+};
+
+/**
+ * Logarithmically bucketed histogram: bucket i spans
+ * [lo*2^i, lo*2^(i+1)), with underflow below lo and overflow at or
+ * above lo*2^buckets. The geometric spacing makes one histogram span
+ * nanosecond cache hits and multi-microsecond device misses — the
+ * paper's killer-microsecond range — without thousands of linear
+ * bins. Bucket search walks the boundaries with the same doubling
+ * arithmetic bucketLow() exposes, so boundary values land exactly in
+ * the bucket whose lower edge they equal on every compiler.
+ */
+class LogHistogram : public StatBase
+{
+  public:
+    /**
+     * @param lo       lower bound of bucket 0 (must be > 0).
+     * @param buckets  number of log2 buckets before overflow.
+     */
+    LogHistogram(StatGroup &parent, std::string name,
+                 std::string desc, double lo, std::size_t buckets);
+
+    void sample(double value);
+
+    /** Fold another log-histogram's counts in; shapes must match. */
+    void merge(const LogHistogram &other);
+
+    std::uint64_t samples() const { return sampleCount; }
+    std::size_t buckets() const { return counts.size(); }
+    std::uint64_t bucketCount(std::size_t i) const
+    {
+        return counts.at(i);
+    }
+    /** Inclusive lower edge of bucket @p i (= lo * 2^i). */
+    double bucketLow(std::size_t i) const;
+    std::uint64_t underflow() const { return below; }
+    std::uint64_t overflow() const { return above; }
+    double mean() const;
+
+    std::string render() const override;
+    void reset() override;
+
+  private:
+    double lowBound;
     std::vector<std::uint64_t> counts;
     std::uint64_t below = 0;
     std::uint64_t above = 0;

@@ -1,6 +1,7 @@
 #include "common/table.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 
 #include "common/logging.hh"
@@ -32,6 +33,14 @@ Table::addRow(std::vector<std::string> cells)
 std::string
 Table::num(double value, int precision)
 {
+    kmuAssert(precision >= 0, "negative precision %d", precision);
+    // Canonicalize non-finite values: printf renders the sign of a
+    // NaN ("nan" vs "-nan") differently across libcs, which would
+    // break byte-identical CSV comparisons.
+    if (std::isnan(value))
+        return "nan";
+    if (std::isinf(value))
+        return value < 0 ? "-inf" : "inf";
     return csprintf("%.*f", precision, value);
 }
 
@@ -88,7 +97,7 @@ namespace
 std::string
 csvEscape(const std::string &cell)
 {
-    if (cell.find_first_of(",\"\n") == std::string::npos)
+    if (cell.find_first_of(",\"\n\r") == std::string::npos)
         return cell;
     std::string out = "\"";
     for (char ch : cell) {
@@ -124,6 +133,9 @@ Table::writeCsvFile(const std::string &path) const
     if (!out)
         fatal("cannot open '%s' for writing", path.c_str());
     printCsv(out);
+    out.flush();
+    if (!out)
+        fatal("write to '%s' failed", path.c_str());
 }
 
 } // namespace kmu

@@ -3,6 +3,8 @@
 #include "core/on_demand_core.hh"
 #include "core/prefetch_core.hh"
 #include "core/sw_queue_core.hh"
+#include "trace/occupancy_sampler.hh"
+#include "trace/trace.hh"
 
 namespace kmu
 {
@@ -27,6 +29,9 @@ SimSystem::SimSystem(SystemConfig config)
     dram = std::make_unique<DramModel>("dram", eq, cfg.dram, &root);
     readLatency = std::make_unique<Average>(
         root, "read_latency_ns", "issue-to-fill read latency");
+    readLatencyLog = std::make_unique<LogHistogram>(
+        root, "read_latency_log_ns",
+        "issue-to-fill read latency, log2 ns buckets", 1.0, 24);
 
     if (cfg.mechanism == Mechanism::SwQueue) {
         kmuAssert(cfg.backing == Backing::Device,
@@ -79,7 +84,7 @@ SimSystem::buildMemoryMapped()
                         eq.curTick() + cfg.device.latency,
                         [this, issued, fill = std::move(fill)]() {
                             chipPcie->release();
-                            readLatency->sample(
+                            sampleReadLatency(
                                 ticksToNs(eq.curTick() - issued));
                             fill();
                         },
@@ -98,7 +103,7 @@ SimSystem::buildMemoryMapped()
                             [this, issued,
                              fill = std::move(fill)]() {
                                 chipPcie->release();
-                                readLatency->sample(
+                                sampleReadLatency(
                                     ticksToNs(eq.curTick() - issued));
                                 fill();
                             });
@@ -110,7 +115,7 @@ SimSystem::buildMemoryMapped()
                 dram->access(
                     line,
                     [this, issued, fill = std::move(fill)]() {
-                        readLatency->sample(
+                        sampleReadLatency(
                             ticksToNs(eq.curTick() - issued));
                         fill();
                     });
@@ -231,6 +236,81 @@ SimSystem::buildChecker()
     });
 }
 
+void
+SimSystem::sampleReadLatency(double ns)
+{
+    readLatency->sample(ns);
+    readLatencyLog->sample(ns);
+}
+
+void
+SimSystem::enableTracing(trace::TraceBuffer &buf, Tick samplePeriod)
+{
+    kmuAssert(!ran, "enable tracing before run()");
+    buf.setClock([this] { return eq.curTick(); });
+
+    // Trace-lane layout: one lane per core (LFB, fetcher, and the
+    // device's per-core service engine all share it), then dedicated
+    // lanes for the shared components behind the cores.
+    const std::uint16_t n = std::uint16_t(cores.size());
+    const std::uint16_t dramLane = n;
+    const std::uint16_t chipLane = std::uint16_t(n + 1);
+    const std::uint16_t linkLane = std::uint16_t(n + 2);
+
+    for (std::uint16_t c = 0; c < n; ++c) {
+        cores[c]->setTraceTrack(c);
+        cores[c]->lfb().setTraceTrack(c);
+        buf.registerName(trace::trackNameKey(c),
+                         csprintf("core%u", unsigned(c)));
+    }
+    for (std::size_t c = 0; c < fetchers.size(); ++c)
+        fetchers[c]->setTraceTrack(std::uint16_t(c));
+
+    dram->setTraceTrack(dramLane);
+    buf.registerName(trace::trackNameKey(dramLane), "dram");
+    if (chipPcie) {
+        chipPcie->setTraceTrack(chipLane);
+        buf.registerName(trace::trackNameKey(chipLane),
+                         chipPcie->name());
+    }
+    if (link) {
+        link->setTraceTrack(linkLane);
+        buf.registerName(trace::trackNameKey(linkLane),
+                         "pcie.to_device");
+        buf.registerName(trace::trackNameKey(std::uint16_t(linkLane
+                                                           + 1)),
+                         "pcie.to_host");
+    }
+
+    // Periodic occupancy timeline: per-core LFB and software rings,
+    // plus the shared chip-level queue.
+    sampler = std::make_unique<trace::OccupancySampler>(eq,
+                                                        samplePeriod);
+    for (std::uint16_t c = 0; c < n; ++c) {
+        Lfb &lfb = cores[c]->lfb();
+        sampler->addProbe(csprintf("lfb%u.in_use", unsigned(c)), c,
+                          [&lfb] { return lfb.inUse(); });
+    }
+    for (std::size_t c = 0; c < queuePairs.size(); ++c) {
+        SwQueuePair *pair = queuePairs[c].get();
+        sampler->addProbe(csprintf("swq%u.requests", unsigned(c)),
+                          std::uint16_t(c), [pair] {
+                              return std::uint32_t(
+                                  pair->pendingRequests());
+                          });
+        sampler->addProbe(csprintf("swq%u.completions", unsigned(c)),
+                          std::uint16_t(c), [pair] {
+                              return std::uint32_t(
+                                  pair->pendingCompletions());
+                          });
+    }
+    if (chipPcie) {
+        sampler->addProbe(chipPcie->name() + ".in_use", chipLane,
+                          [this] { return chipPcie->inUse(); });
+    }
+    sampler->start();
+}
+
 RunResult
 SimSystem::run()
 {
@@ -240,7 +320,7 @@ SimSystem::run()
     checker->start();
     for (auto &core : cores) {
         core->setLatencySampler(
-            [this](double ns) { readLatency->sample(ns); });
+            [this](double ns) { sampleReadLatency(ns); });
         core->start();
     }
 

@@ -33,6 +33,12 @@
 namespace kmu
 {
 
+namespace trace
+{
+class OccupancySampler;
+class TraceBuffer;
+} // namespace trace
+
 /** Aggregate metrics of one measured window. */
 struct RunResult
 {
@@ -69,6 +75,17 @@ class SimSystem
     /** Execute warmup + measurement; callable once per SimSystem. */
     RunResult run();
 
+    /**
+     * Route this system's trace records into @p buf: binds the
+     * buffer's clock to this system's event queue, labels every
+     * component's trace lane, and starts a periodic queue-occupancy
+     * sampler (per-core LFB, chip queue, software rings) emitting
+     * every @p samplePeriod ticks. Call before run(); the caller
+     * keeps @p buf alive past the run and owns sink installation
+     * via trace::setSink().
+     */
+    void enableTracing(trace::TraceBuffer &buf, Tick samplePeriod);
+
     /** @{ Component access for tests. */
     EventQueue &eventQueue() { return eq; }
     const SystemConfig &config() const { return cfg; }
@@ -99,8 +116,13 @@ class SimSystem
     std::vector<std::unique_ptr<RequestFetcher>> fetchers;
     std::vector<std::unique_ptr<CoreBase>> cores;
     std::unique_ptr<Average> readLatency; //!< ns, issue to fill
+    std::unique_ptr<LogHistogram> readLatencyLog; //!< ns, log2 buckets
     std::unique_ptr<SimChecker> checker; //!< periodic invariant sweeps
+    std::unique_ptr<trace::OccupancySampler> sampler;
     bool ran = false;
+
+    /** Record one issue-to-fill latency in both latency stats. */
+    void sampleReadLatency(double ns);
 };
 
 /** Build and run one system; convenience for benches and tests. */

@@ -1,5 +1,7 @@
 #include "device/device_emulator.hh"
 
+#include "trace/trace.hh"
+
 namespace kmu
 {
 
@@ -45,11 +47,13 @@ DeviceEmulator::hostRead(CoreId core, Addr addr, ResponseCallback cb)
 void
 DeviceEmulator::hostWrite(CoreId core, Addr addr)
 {
-    (void)core;
     (void)addr;
     // Posted write: 64-byte payload TLP, absorbed at the device.
-    link.send(LinkDir::ToDevice, cacheLineSize, 0,
-              [this]() { ++writesReceived; });
+    link.send(LinkDir::ToDevice, cacheLineSize, 0, [this, core]() {
+        ++writesReceived;
+        trace::instant(trace::Kind::DevWrite, writesReceived.value(),
+                       std::uint16_t(core));
+    });
 }
 
 void
@@ -58,6 +62,9 @@ DeviceEmulator::deviceReceive(CoreId core, Addr addr, ResponseCallback cb)
     kmuAssert(core < replayModules.size(),
               "request from unknown core %u", core);
     ++requests;
+    const std::uint64_t span = requests.value();
+    const std::uint16_t lane = std::uint16_t(core);
+    trace::begin(trace::Kind::DevService, span, lane);
 
     // Replay lookup; spurious requests pay the on-demand path.
     Tick service = cfg.holdTime();
@@ -65,20 +72,31 @@ DeviceEmulator::deviceReceive(CoreId core, Addr addr, ResponseCallback cb)
     if (replay) {
         if (replay->lookup(lineAlign(addr)) == ReplayWindow::Result::Miss) {
             ++replayMisses;
+            trace::instant(trace::Kind::DevReplayMiss, span, lane);
             service += cfg.onDemandLatency;
         } else {
             ++replayMatches;
+            trace::instant(trace::Kind::DevReplayMatch, span, lane);
         }
     } else {
         ++replayMatches; // live mode: stream always pre-loaded
+        trace::instant(trace::Kind::DevReplayMatch, span, lane);
     }
 
     // Delay module: the request was timestamped on arrival (curTick);
     // the response completion leaves after the residual hold time.
     eventQueue().scheduleLambda(
         curTick() + service,
-        [this, cb = std::move(cb)]() mutable {
+        [this, span, lane, cb = std::move(cb)]() mutable {
             ++responsesSent;
+            trace::end(trace::Kind::DevService, span, lane);
+            if (trace::active()) {
+                cb = [span, lane, inner = std::move(cb)] {
+                    trace::instant(trace::Kind::Completion, span,
+                                   lane);
+                    inner();
+                };
+            }
             link.send(LinkDir::ToHost, cacheLineSize, cacheLineSize,
                       std::move(cb));
         },

@@ -7,6 +7,7 @@
 #include "common/logging.hh"
 #include "common/types.hh"
 #include "fault/fault_plan.hh"
+#include "trace/trace.hh"
 
 namespace kmu
 {
@@ -27,7 +28,8 @@ std::size_t
 EmulatedDevice::addQueuePair()
 {
     kmuAssert(!running(), "add queue pairs before start()");
-    pairs.push_back(std::make_unique<Pair>(cfg.queueDepth));
+    pairs.push_back(std::make_unique<Pair>(
+        cfg.queueDepth, std::uint16_t(pairs.size())));
     return pairs.size() - 1;
 }
 
@@ -166,6 +168,9 @@ EmulatedDevice::servicePair(Pair &pair, Clock::time_point now)
         }
         if (!burst.empty()) {
             busy = true;
+            for (const RequestDescriptor &desc : burst)
+                trace::begin(trace::Kind::DescService, desc.hostAddr,
+                             pair.traceLane, desc.isWrite() ? 1 : 0);
             auto deadline = now + cfg.latency;
             std::uint64_t ready = step + cfg.manualLatencySteps;
             for (const RequestDescriptor &desc : burst) {
@@ -267,6 +272,8 @@ EmulatedDevice::completeRequest(Pair &pair, const RequestDescriptor &desc)
         }
     }
 
+    trace::end(trace::Kind::DescService, desc.hostAddr,
+               pair.traceLane, desc.isWrite() ? 1 : 0);
     // Both kinds complete: reads to wake the requester, writes
     // so the host can recycle the staging buffer.
     deliverCompletion(pair, comp);
@@ -294,10 +301,14 @@ EmulatedDevice::deliverCompletion(Pair &pair,
 
     const bool ok = pair.queues.postCompletion(comp);
     kmuAssert(ok, "completion queue overflow");
+    trace::instant(trace::Kind::Completion, comp.hostAddr,
+                   pair.traceLane);
     if (pair.holdValid) {
         pair.holdValid = false;
         const bool ok2 = pair.queues.postCompletion(pair.held);
         kmuAssert(ok2, "completion queue overflow");
+        trace::instant(trace::Kind::Completion, pair.held.hostAddr,
+                       pair.traceLane);
     }
 }
 

@@ -133,9 +133,11 @@ class EmulatedDevice
 
     struct Pair
     {
-        explicit Pair(std::size_t depth) : queues(depth) {}
+        Pair(std::size_t depth, std::uint16_t lane)
+            : queues(depth), traceLane(lane) {}
 
         SwQueuePair queues;
+        std::uint16_t traceLane; //!< trace track (= pair index)
         std::deque<Pending> inFlight;
         std::atomic<bool> parked{true};
         std::unique_ptr<ReplayWindow> replayCheck;

@@ -1,6 +1,7 @@
 #include "device/request_fetcher.hh"
 
 #include "fault/fault_plan.hh"
+#include "trace/trace.hh"
 
 namespace kmu
 {
@@ -46,6 +47,8 @@ RequestFetcher::ringDoorbell()
     // MMIO doorbell write: small posted write toward the device.
     link.send(LinkDir::ToDevice, 4, 0, [this]() {
         ++doorbells;
+        trace::instant(trace::Kind::Doorbell, doorbells.value(),
+                       traceTrack());
         if (active)
             return; // already fetching; doorbell is redundant
         active = true;
@@ -57,6 +60,8 @@ void
 RequestFetcher::issueBurst()
 {
     ++burstReads;
+    trace::begin(trace::Kind::DescBurst, burstReads.value(),
+                 traceTrack());
     // Upstream read-request TLP for the descriptor region...
     link.send(LinkDir::ToHost, 0, 0, [this]() {
         // ...host memory access to gather the burst...
@@ -91,6 +96,8 @@ RequestFetcher::issueBurst()
 void
 RequestFetcher::processBurst(std::vector<RequestDescriptor> burst)
 {
+    trace::end(trace::Kind::DescBurst, burstReads.value(),
+               traceTrack(), std::uint32_t(burst.size()));
     if (burst.empty()) {
         ++emptyBursts;
         if (!cfg.doorbellFlag) {
@@ -144,6 +151,10 @@ RequestFetcher::processBurst(std::vector<RequestDescriptor> burst)
 void
 RequestFetcher::serviceDescriptor(const RequestDescriptor &desc)
 {
+    // hostAddr is unique among in-flight descriptors (it names the
+    // completion slot), so it doubles as the span id.
+    trace::begin(trace::Kind::DescService, desc.hostAddr,
+                 traceTrack(), desc.isWrite() ? 1 : 0);
     if (desc.isWrite()) {
         // Write path: DMA-read the 64-byte payload from the host
         // staging buffer, apply it after the hold time, then post
@@ -219,6 +230,10 @@ RequestFetcher::sendCompletion(const RequestDescriptor &desc)
 {
     link.send(LinkDir::ToHost, completionWireBytes, 0,
               [this, desc]() {
+                  trace::end(trace::Kind::DescService, desc.hostAddr,
+                             traceTrack());
+                  trace::instant(trace::Kind::Completion,
+                                 desc.hostAddr, traceTrack());
                   CompletionDescriptor comp{desc.hostAddr};
                   const bool ok = queues.postCompletion(comp);
                   kmuAssert(ok, "completion queue overflow");

@@ -1,5 +1,7 @@
 #include "mem/dram_model.hh"
 
+#include "trace/trace.hh"
+
 namespace kmu
 {
 
@@ -17,11 +19,14 @@ DramModel::access(Addr line, FillCallback cb)
 {
     (void)line;
     ++reads;
-    pathQueue.acquire([this, cb = std::move(cb)]() mutable {
+    const std::uint64_t span = reads.value();
+    trace::begin(trace::Kind::DramRead, span, traceTrack());
+    pathQueue.acquire([this, span, cb = std::move(cb)]() mutable {
         eventQueue().scheduleLambda(
             curTick() + cfg.latency,
-            [this, cb = std::move(cb)]() {
+            [this, span, cb = std::move(cb)]() {
                 pathQueue.release();
+                trace::end(trace::Kind::DramRead, span, traceTrack());
                 cb();
             },
             EventPriority::DeviceResponse, name() + ".fill");

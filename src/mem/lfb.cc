@@ -3,6 +3,7 @@
 #include "check/invariant.hh"
 #include "common/units.hh"
 #include "fault/fault_plan.hh"
+#include "trace/trace.hh"
 
 namespace kmu
 {
@@ -34,10 +35,13 @@ Lfb::request(Addr line, FillCallback cb)
     if (it != entries.end()) {
         it->second.waiters.push_back(std::move(cb));
         ++merges;
+        trace::instant(trace::Kind::LfbMerge, line, traceTrack());
         return AllocResult::Merged;
     }
     if (full()) {
         ++rejections;
+        trace::instant(trace::Kind::LfbReject, line, traceTrack(),
+                       inUse());
         return AllocResult::NoEntry;
     }
     // Transient full: report NoEntry although a slot is free. Only
@@ -46,9 +50,13 @@ Lfb::request(Addr line, FillCallback cb)
     if (inUse() > 0 &&
         fault::fire(fault::FaultSite::LfbTransientFull)) {
         ++rejections;
+        trace::instant(trace::Kind::LfbReject, line, traceTrack(),
+                       inUse());
         return AllocResult::NoEntry;
     }
     occupancyAtAlloc.sample(double(inUse()));
+    trace::begin(trace::Kind::LfbResident, line, traceTrack(),
+                 inUse());
     Entry entry;
     entry.waiters.push_back(std::move(cb));
     entries.emplace(line, std::move(entry));
@@ -104,6 +112,8 @@ Lfb::fill(Addr line)
     auto waiters = std::move(it->second.waiters);
     entries.erase(it);
     ++fills;
+    trace::end(trace::Kind::LfbResident, line, traceTrack(),
+               std::uint32_t(waiters.size()));
 
     for (auto &cb : waiters)
         cb();

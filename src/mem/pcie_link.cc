@@ -3,6 +3,7 @@
 #include "check/invariant.hh"
 #include "common/units.hh"
 #include "fault/fault_plan.hh"
+#include "trace/trace.hh"
 
 namespace kmu
 {
@@ -81,6 +82,22 @@ PcieLink::send(LinkDir dir, std::uint32_t payload_bytes,
                     "useful bytes %llu exceed wire bytes %llu",
                     (unsigned long long)d.useful,
                     (unsigned long long)d.wire);
+
+    // The TLP's time on the link is a span: begin at send, end at
+    // delivery. Lanes traceTrack()+0/+1 = toDevice/toHost so the two
+    // directions render separately. Only wrap the callback when a
+    // trace sink is live — the wrap allocates, the disabled path
+    // must not.
+    if (trace::active()) {
+        const std::uint16_t lane = std::uint16_t(
+            traceTrack() + (dir == LinkDir::ToDevice ? 0 : 1));
+        const std::uint64_t span = d.traceSeq++;
+        trace::begin(trace::Kind::PcieTlp, span, lane, wire_bytes);
+        cb = [span, lane, inner = std::move(cb)] {
+            trace::end(trace::Kind::PcieTlp, span, lane);
+            inner();
+        };
+    }
 
     eventQueue().scheduleLambda(done + cfg.propagation + deliver_extra,
                                 std::move(cb),

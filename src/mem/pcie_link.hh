@@ -85,6 +85,8 @@ class PcieLink : public SimObject
         std::uint64_t wire = 0;
         std::uint64_t useful = 0;
         std::uint64_t tlps = 0;
+        /** Trace span id; monotonic, survives resetCounters(). */
+        std::uint64_t traceSeq = 0;
     };
 
     Direction &dirState(LinkDir dir);

@@ -3,6 +3,7 @@
 #include "check/invariant.hh"
 #include "common/units.hh"
 #include "fault/fault_plan.hh"
+#include "trace/trace.hh"
 
 namespace kmu
 {
@@ -29,6 +30,11 @@ UncoreQueue::grant(EnterCallback cb)
     peak = std::max(peak, used);
     ++entries;
     occupancy.sample(double(used));
+    // Grants and releases are not FIFO-matched per request, so the
+    // trace carries instants with the depth as payload rather than
+    // per-request spans.
+    trace::instant(trace::Kind::UncoreEnter, entries.value(),
+                   traceTrack(), used);
     // Conservation: every slot in use was granted and not released.
     KMU_MODEL_CHECK(entries.value() - releasedCount == used,
                     "uncore slots in use %u != granted %llu - "
@@ -68,6 +74,8 @@ UncoreQueue::acquire(EnterCallback cb)
         return;
     }
     ++fullStalls;
+    trace::instant(trace::Kind::UncoreStall, fullStalls.value(),
+                   traceTrack(), used);
     waiters.push_back(std::move(cb));
 }
 

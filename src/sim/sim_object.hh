@@ -62,6 +62,14 @@ class SimObject
     Tick curTick() const { return eq.curTick(); }
     StatGroup &stats() { return statGroup; }
 
+    /**
+     * Trace lane this component's records land on (usually the core
+     * id it serves; 0 by default). Set once at system construction —
+     * it only labels trace records, never affects timing.
+     */
+    std::uint16_t traceTrack() const { return track; }
+    void setTraceTrack(std::uint16_t t) { track = t; }
+
   protected:
     /** Schedule @p event @p delay ticks from now. */
     void
@@ -74,6 +82,7 @@ class SimObject
     std::string objName;
     EventQueue &eq;
     StatGroup statGroup;
+    std::uint16_t track = 0;
 };
 
 } // namespace kmu

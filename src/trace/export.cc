@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Chrome trace_event JSON and CSV-summary exporters.
+ */
+
+#include "trace/export.hh"
+
+#include <map>
+#include <tuple>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace kmu
+{
+namespace trace
+{
+
+namespace
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (std::uint8_t(c) < 0x20)
+                out += csprintf("\\u%04x", unsigned(std::uint8_t(c)));
+            else
+                out.push_back(c);
+        }
+    }
+    return out;
+}
+
+/**
+ * Render a tick (ps) as a microsecond timestamp with full ps
+ * resolution, using integer math only so the text is deterministic
+ * across compilers.
+ */
+std::string
+tsMicros(Tick tick)
+{
+    return csprintf("%llu.%06llu",
+                    static_cast<unsigned long long>(tick / tickPerUs),
+                    static_cast<unsigned long long>(tick % tickPerUs));
+}
+
+std::string
+lookupName(const TraceBuffer::FileData &data, std::uint64_t id)
+{
+    for (const auto &entry : data.names) {
+        if (entry.first == id)
+            return entry.second;
+    }
+    return std::string();
+}
+
+} // namespace
+
+std::string
+toChromeJson(const TraceBuffer::FileData &data)
+{
+    std::string out;
+    out.reserve(data.records.size() * 96 + 1024);
+    out += "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+
+    // Thread-name metadata first, one per track seen, so the
+    // chrome://tracing rows carry component labels.
+    std::map<std::uint16_t, bool> tracks;
+    for (const Record &r : data.records)
+        tracks[r.track] = true;
+    bool first = true;
+    for (const auto &t : tracks) {
+        std::string name = lookupName(data, trackNameKey(t.first));
+        if (name.empty())
+            name = csprintf("track %u", unsigned(t.first));
+        if (!first)
+            out += ",\n";
+        first = false;
+        out += csprintf(
+            "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
+            "\"tid\":%u,\"args\":{\"name\":\"%s\"}}",
+            unsigned(t.first), jsonEscape(name).c_str());
+    }
+
+    for (const Record &r : data.records) {
+        if (!first)
+            out += ",\n";
+        first = false;
+        const char *kind = kindName(r.kind);
+        std::string ts = tsMicros(r.tick);
+        switch (r.phase) {
+          case Phase::Begin:
+          case Phase::End:
+            // Async events: spans of one kind overlap (many TLPs in
+            // flight), so B/E stack nesting would be violated. The id
+            // string scopes matching to (kind via cat, track, id).
+            out += csprintf(
+                "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\","
+                "\"pid\":0,\"tid\":%u,\"ts\":%s,"
+                "\"id\":\"t%u.%llx\",\"args\":{\"arg\":%u}}",
+                kind, kind, r.phase == Phase::Begin ? "b" : "e",
+                unsigned(r.track), ts.c_str(), unsigned(r.track),
+                static_cast<unsigned long long>(r.id),
+                unsigned(r.arg));
+            break;
+          case Phase::Instant:
+            out += csprintf(
+                "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\","
+                "\"s\":\"t\",\"pid\":0,\"tid\":%u,\"ts\":%s,"
+                "\"args\":{\"id\":\"%llx\",\"arg\":%u}}",
+                kind, kind, unsigned(r.track), ts.c_str(),
+                static_cast<unsigned long long>(r.id),
+                unsigned(r.arg));
+            break;
+          case Phase::Counter: {
+            std::string series = lookupName(data, r.id);
+            if (series.empty())
+                series = csprintf(
+                    "%s.%llx", kind,
+                    static_cast<unsigned long long>(r.id));
+            out += csprintf(
+                "{\"name\":\"%s\",\"ph\":\"C\",\"pid\":0,"
+                "\"tid\":%u,\"ts\":%s,\"args\":{\"value\":%u}}",
+                jsonEscape(series).c_str(), unsigned(r.track),
+                ts.c_str(), unsigned(r.arg));
+            break;
+          }
+        }
+    }
+    out += "\n]}\n";
+    return out;
+}
+
+std::vector<KindSummary>
+summarize(const TraceBuffer::FileData &data)
+{
+    std::vector<KindSummary> table(kindCount);
+    std::vector<bool> seen(kindCount, false);
+    for (std::size_t k = 0; k < kindCount; ++k)
+        table[k].kind = Kind(k);
+
+    // Live-span stacks keyed (kind, id, track); reentrant spans with
+    // one key nest LIFO, which matches how the hooks emit them.
+    std::map<std::tuple<std::uint8_t, std::uint64_t, std::uint16_t>,
+             std::vector<Tick>> live;
+
+    for (const Record &r : data.records) {
+        KindSummary &s = table[std::size_t(r.kind)];
+        seen[std::size_t(r.kind)] = true;
+        switch (r.phase) {
+          case Phase::Begin:
+            ++s.begins;
+            live[{std::uint8_t(r.kind), r.id, r.track}]
+                .push_back(r.tick);
+            break;
+          case Phase::End: {
+            ++s.ends;
+            auto it =
+                live.find({std::uint8_t(r.kind), r.id, r.track});
+            if (it == live.end() || it->second.empty()) {
+                ++s.unmatched; // begin fell off the ring
+                break;
+            }
+            Tick beginTick = it->second.back();
+            it->second.pop_back();
+            if (it->second.empty())
+                live.erase(it);
+            double ns =
+                double(r.tick - beginTick) / double(tickPerNs);
+            if (s.spans == 0 || ns < s.minNs)
+                s.minNs = ns;
+            if (s.spans == 0 || ns > s.maxNs)
+                s.maxNs = ns;
+            s.totalNs += ns;
+            ++s.spans;
+            break;
+          }
+          case Phase::Instant:
+            ++s.instants;
+            break;
+          case Phase::Counter:
+            ++s.counters;
+            break;
+        }
+    }
+    // Spans still open at the end of the trace are unmatched.
+    for (const auto &entry : live)
+        table[std::get<0>(entry.first)].unmatched +=
+            entry.second.size();
+
+    std::vector<KindSummary> out;
+    for (std::size_t k = 0; k < kindCount; ++k) {
+        if (seen[k])
+            out.push_back(table[k]);
+    }
+    return out;
+}
+
+std::string
+toSummaryCsv(const TraceBuffer::FileData &data)
+{
+    std::string out =
+        "kind,begins,ends,instants,counters,spans,unmatched,"
+        "total_ns,mean_ns,min_ns,max_ns\n";
+    for (const KindSummary &s : summarize(data)) {
+        out += csprintf(
+            "%s,%llu,%llu,%llu,%llu,%llu,%llu,%.3f,%.3f,%.3f,%.3f\n",
+            kindName(s.kind),
+            static_cast<unsigned long long>(s.begins),
+            static_cast<unsigned long long>(s.ends),
+            static_cast<unsigned long long>(s.instants),
+            static_cast<unsigned long long>(s.counters),
+            static_cast<unsigned long long>(s.spans),
+            static_cast<unsigned long long>(s.unmatched),
+            s.totalNs, s.meanNs(), s.minNs, s.maxNs);
+    }
+    return out;
+}
+
+} // namespace trace
+} // namespace kmu

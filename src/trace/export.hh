@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Exporters that turn a binary kmu trace into human-consumable forms:
+ *
+ *  - Chrome trace_event JSON for chrome://tracing / Perfetto. Spans
+ *    become async "b"/"e" pairs (async, not B/E, because spans of the
+ *    same kind overlap freely — e.g. many in-flight TLPs), instants
+ *    become "i" events and Counter records become "C" series.
+ *  - A compact CSV summary: one row per record kind with counts and,
+ *    for span kinds, matched-span latency statistics in nanoseconds.
+ *
+ * Both exporters are deterministic functions of the trace file, so
+ * byte-identical traces yield byte-identical exports.
+ */
+
+#ifndef KMU_TRACE_EXPORT_HH
+#define KMU_TRACE_EXPORT_HH
+
+#include <string>
+
+#include "trace/trace.hh"
+
+namespace kmu
+{
+namespace trace
+{
+
+/** Render @p data as Chrome trace_event JSON (returns the document). */
+std::string toChromeJson(const TraceBuffer::FileData &data);
+
+/**
+ * Per-kind aggregate of one trace.
+ *
+ * Spans are matched begin-to-end on (kind, id, track); an End with no
+ * live Begin or a Begin never closed counts as unmatched (a wrapped
+ * ring truncates the oldest spans, so unmatched != bug).
+ */
+struct KindSummary
+{
+    Kind kind = Kind::AccessRead;
+    std::uint64_t begins = 0;
+    std::uint64_t ends = 0;
+    std::uint64_t instants = 0;
+    std::uint64_t counters = 0;
+    std::uint64_t spans = 0;     //!< matched begin/end pairs
+    std::uint64_t unmatched = 0; //!< orphan begins + orphan ends
+    double totalNs = 0;          //!< sum of matched span durations
+    double minNs = 0;            //!< over matched spans (0 if none)
+    double maxNs = 0;
+    /** Mean matched-span duration in ns (0 when no spans matched). */
+    double meanNs() const
+    {
+        return spans ? totalNs / double(spans) : 0.0;
+    }
+};
+
+/** Aggregate @p data per kind; kinds with no records are omitted. */
+std::vector<KindSummary> summarize(const TraceBuffer::FileData &data);
+
+/** Render summarize() as a CSV document (header + one row/kind). */
+std::string toSummaryCsv(const TraceBuffer::FileData &data);
+
+} // namespace trace
+} // namespace kmu
+
+#endif // KMU_TRACE_EXPORT_HH

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Periodic queue-occupancy sampling for the timing model.
+ *
+ * An OccupancySampler owns a set of probes — (series-name, closure
+ * returning current depth) pairs — and a self-rescheduling event that
+ * fires every `period` ticks at EventPriority::Stats (after all same-
+ * tick deliveries and core progress), emitting one QueueDepth counter
+ * record per probe. Sampling stops by itself when tracing is turned
+ * off, and the sampler only exists when the user asked for a trace,
+ * so the figure benches never schedule it at all.
+ *
+ * Header-only and included from the system layer, so the kmu_trace
+ * library itself stays dependent on kmu_common only.
+ */
+
+#ifndef KMU_TRACE_OCCUPANCY_SAMPLER_HH
+#define KMU_TRACE_OCCUPANCY_SAMPLER_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+#include "sim/event.hh"
+#include "trace/trace.hh"
+
+namespace kmu
+{
+namespace trace
+{
+
+class OccupancySampler
+{
+  public:
+    /** Returns the instantaneous depth of the probed queue. */
+    using Probe = std::function<std::uint32_t()>;
+
+    OccupancySampler(EventQueue &queue, Tick sample_period)
+        : eq(queue), period(sample_period)
+    {
+        kmuAssert(period > 0, "sampler period must be positive");
+    }
+
+    /**
+     * Register a probe; @p series labels the counter track in the
+     * exported trace and @p track groups it with its component.
+     */
+    void
+    addProbe(const std::string &series, std::uint16_t track,
+             Probe probe)
+    {
+        probes.push_back({nameId(series), track, std::move(probe)});
+    }
+
+    /** Schedule the first sample one period from now. */
+    void
+    start()
+    {
+        scheduleNext();
+    }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t series;
+        std::uint16_t track;
+        Probe probe;
+    };
+
+    void
+    scheduleNext()
+    {
+        eq.scheduleLambda(
+            eq.curTick() + period,
+            [this] {
+                if (!active())
+                    return; // sink removed: stop rescheduling
+                for (const Entry &p : probes)
+                    counter(Kind::QueueDepth, p.series, p.probe(),
+                            p.track);
+                scheduleNext();
+            },
+            EventPriority::Stats, "occupancy_sample");
+    }
+
+    EventQueue &eq;
+    Tick period;
+    std::vector<Entry> probes;
+};
+
+} // namespace trace
+} // namespace kmu
+
+#endif // KMU_TRACE_OCCUPANCY_SAMPLER_HH

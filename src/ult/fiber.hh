@@ -60,6 +60,10 @@ class Fiber
 
     std::size_t stackBytes() const { return stackSize; }
 
+    /** Spawn-order index within the owning scheduler; stable for the
+     *  fiber's whole life, used as its trace lane. */
+    std::uint32_t index() const { return spawnIndex; }
+
   private:
     friend class Scheduler;
 
@@ -74,6 +78,7 @@ class Fiber
     FiberContext context;
     FiberState fiberState = FiberState::Ready;
     Scheduler *owner = nullptr;
+    std::uint32_t spawnIndex = 0;
 
     // Sanitizer bookkeeping (both nullptr in unsanitized builds; see
     // common/sanitizer.hh). tsanFiber is this fiber's TSan shadow

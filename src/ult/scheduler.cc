@@ -2,6 +2,7 @@
 
 #include "common/logging.hh"
 #include "common/sanitizer.hh"
+#include "trace/trace.hh"
 
 namespace kmu
 {
@@ -31,6 +32,7 @@ Scheduler::spawn(std::function<void()> entry, std::size_t stack_bytes)
 {
     auto fiber = std::make_unique<Fiber>(std::move(entry), stack_bytes);
     fiber->owner = this;
+    fiber->spawnIndex = nextSpawnIndex++;
     Fiber &ref = *fiber;
     fibers.push_back(std::move(fiber));
     readyQueue.push_back(&ref);
@@ -46,6 +48,8 @@ Scheduler::dispatch(Fiber &fiber)
     fiber.fiberState = FiberState::Running;
     running = &fiber;
     switchCount++;
+    trace::begin(trace::Kind::FiberRun, fiber.spawnIndex,
+                 std::uint16_t(fiber.spawnIndex));
     // Tell the sanitizers we are leaving the host stack for the
     // fiber's; the matching finish runs on the fiber side (entryThunk
     // on first activation, switchToScheduler's resume path after).
@@ -54,6 +58,9 @@ Scheduler::dispatch(Fiber &fiber)
     kmuCtxSwitch(&schedulerContext, &fiber.context);
     kmuSanFinishSwitchFiber(hostFakeStack, &hostStackBottom,
                             &hostStackSize);
+    trace::end(trace::Kind::FiberRun, fiber.spawnIndex,
+               std::uint16_t(fiber.spawnIndex),
+               fiber.fiberState == FiberState::Finished ? 1 : 0);
     running = nullptr;
     if (fiber.fiberState == FiberState::Finished) {
         kmuAssert(live > 0, "live fiber count underflow");
@@ -99,6 +106,8 @@ Scheduler::block()
 {
     kmuAssert(running != nullptr, "block outside a fiber");
     running->fiberState = FiberState::Blocked;
+    trace::instant(trace::Kind::FiberBlock, running->spawnIndex,
+                   std::uint16_t(running->spawnIndex));
     switchToScheduler();
 }
 
@@ -109,6 +118,8 @@ Scheduler::unblock(Fiber &fiber)
     kmuAssert(fiber.fiberState == FiberState::Blocked,
               "unblock of a non-blocked fiber");
     fiber.fiberState = FiberState::Ready;
+    trace::instant(trace::Kind::FiberUnblock, fiber.spawnIndex,
+                   std::uint16_t(fiber.spawnIndex));
     readyQueue.push_back(&fiber);
 }
 
@@ -168,6 +179,15 @@ block()
     Scheduler *sched = Scheduler::currentScheduler();
     kmuAssert(sched != nullptr, "thisFiber::block with no scheduler");
     sched->block();
+}
+
+std::uint16_t
+traceLane()
+{
+    Scheduler *sched = Scheduler::currentScheduler();
+    if (!sched || !sched->current())
+        return 0;
+    return std::uint16_t(sched->current()->index());
 }
 
 } // namespace thisFiber

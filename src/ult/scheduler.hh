@@ -96,6 +96,7 @@ class Scheduler
     void sanFinishFirstActivation();
 
     std::vector<std::unique_ptr<Fiber>> fibers;
+    std::uint32_t nextSpawnIndex = 0;
     std::deque<Fiber *> readyQueue;
     Fiber *running = nullptr;
     FiberContext schedulerContext;
@@ -126,6 +127,10 @@ void yield();
 
 /** Block the current fiber until unblocked. */
 void block();
+
+/** Trace lane of the calling fiber (its spawn index), or 0 when
+ *  called outside any fiber. */
+std::uint16_t traceLane();
 
 } // namespace thisFiber
 

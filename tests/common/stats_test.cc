@@ -104,6 +104,105 @@ TEST(StatsTest, ResetAllRecurses)
     EXPECT_EQ(b.value(), 0u);
 }
 
+TEST(StatsTest, GaugeTracksSourceAndLatchesBaseline)
+{
+    StatGroup root("sys");
+    std::uint64_t raw = 40;
+    Gauge g(root, "g", "live value", [&raw] { return raw; });
+    EXPECT_EQ(g.value(), 40u);
+    EXPECT_EQ(g.render(), "40");
+
+    // reset() latches the current raw value: dumps after resetAll()
+    // report deltas, exactly like Counter.
+    g.reset();
+    EXPECT_EQ(g.value(), 0u);
+    raw = 47;
+    EXPECT_EQ(g.value(), 7u);
+    EXPECT_EQ(g.render(), "7");
+}
+
+TEST(StatsTest, HistogramMergeFoldsCounts)
+{
+    StatGroup group("g");
+    Histogram a(group, "a", "", 0.0, 10.0, 4);
+    Histogram b(group, "b", "", 0.0, 10.0, 4);
+    a.sample(5.0);   // bin 0
+    a.sample(-1.0);  // underflow
+    b.sample(15.0);  // bin 1
+    b.sample(100.0); // overflow
+    a.merge(b);
+    EXPECT_EQ(a.samples(), 4u);
+    EXPECT_EQ(a.binCount(0), 1u);
+    EXPECT_EQ(a.binCount(1), 1u);
+    EXPECT_EQ(a.underflow(), 1u);
+    EXPECT_EQ(a.overflow(), 1u);
+    EXPECT_DOUBLE_EQ(a.mean(), (5.0 - 1.0 + 15.0 + 100.0) / 4.0);
+    // The merged-from histogram is untouched.
+    EXPECT_EQ(b.samples(), 2u);
+}
+
+TEST(StatsTest, LogHistogramBucketBoundaries)
+{
+    StatGroup group("g");
+    LogHistogram h(group, "lat", "", 1.0, 8); // [1, 256) + outliers
+    EXPECT_EQ(h.buckets(), 8u);
+    EXPECT_DOUBLE_EQ(h.bucketLow(0), 1.0);
+    EXPECT_DOUBLE_EQ(h.bucketLow(3), 8.0);
+    EXPECT_DOUBLE_EQ(h.bucketLow(7), 128.0);
+
+    // A bucket's inclusive lower edge lands in that bucket; one ulp
+    // under it lands one bucket down.
+    h.sample(1.0);    // bucket 0
+    h.sample(1.99);   // bucket 0
+    h.sample(2.0);    // bucket 1
+    h.sample(8.0);    // bucket 3
+    h.sample(255.0);  // bucket 7
+    h.sample(0.5);    // underflow
+    h.sample(256.0);  // overflow (= lo * 2^buckets)
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(3), 1u);
+    EXPECT_EQ(h.bucketCount(7), 1u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.samples(), 7u);
+
+    std::ostringstream os;
+    os << h.render();
+    EXPECT_NE(os.str().find("[<1|2 1 0 1 0 0 0 1|>1]"),
+              std::string::npos);
+
+    h.reset();
+    EXPECT_EQ(h.samples(), 0u);
+    EXPECT_EQ(h.bucketCount(0), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(StatsTest, LogHistogramMergeRequiresSameShape)
+{
+    StatGroup group("g");
+    LogHistogram a(group, "a", "", 1.0, 4);
+    LogHistogram b(group, "b", "", 1.0, 4);
+    a.sample(1.5);
+    b.sample(3.0);
+    b.sample(100.0); // overflow for 4 buckets ([1,16))
+    a.merge(b);
+    EXPECT_EQ(a.samples(), 3u);
+    EXPECT_EQ(a.bucketCount(0), 1u);
+    EXPECT_EQ(a.bucketCount(1), 1u);
+    EXPECT_EQ(a.overflow(), 1u);
+}
+
+TEST(StatsDeathTest, LogHistogramMergeShapeMismatchPanics)
+{
+    StatGroup group("g");
+    LogHistogram a(group, "a", "", 1.0, 4);
+    LogHistogram c(group, "c", "", 2.0, 4);
+    LogHistogram d(group, "d", "", 1.0, 5);
+    EXPECT_DEATH(a.merge(c), "shape");
+    EXPECT_DEATH(a.merge(d), "shape");
+}
+
 TEST(StatsTest, ChildUnregistersOnDestruction)
 {
     StatGroup root("sys");

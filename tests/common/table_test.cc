@@ -7,6 +7,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "common/table.hh"
@@ -80,6 +81,55 @@ TEST(TableTest, WriteCsvFile)
     std::getline(in, header);
     EXPECT_EQ(header, "threads,1us,4us");
     std::remove(path.c_str());
+}
+
+TEST(TableTest, NumCanonicalizesNonFinite)
+{
+    // printf would emit "nan"/"-nan"/"inf" with libc-specific sign
+    // handling; the emitter canonicalizes so CSVs stay byte-stable
+    // across toolchains.
+    EXPECT_EQ(Table::num(std::numeric_limits<double>::quiet_NaN()),
+              "nan");
+    EXPECT_EQ(Table::num(-std::numeric_limits<double>::quiet_NaN()),
+              "nan");
+    EXPECT_EQ(Table::num(std::numeric_limits<double>::infinity()),
+              "inf");
+    EXPECT_EQ(Table::num(-std::numeric_limits<double>::infinity()),
+              "-inf");
+}
+
+TEST(TableTest, NumPrecisionAndHugeIntegers)
+{
+    EXPECT_EQ(Table::num(2.0 / 3.0, 4), "0.6667");
+    EXPECT_EQ(Table::num(1.0, 0), "1");
+    EXPECT_EQ(Table::num(-0.125, 2), "-0.12"); // round-to-even
+    // Tick counts use the full u64 range (ps ticks overflow u32 in
+    // milliseconds); the integer overload must not round-trip
+    // through double.
+    EXPECT_EQ(Table::num(std::uint64_t(18446744073709551615ull)),
+              "18446744073709551615");
+    EXPECT_EQ(Table::num(std::uint64_t(0)), "0");
+}
+
+TEST(TableTest, CsvQuotesCarriageReturn)
+{
+    Table t("cr");
+    t.setHeader({"a", "b"});
+    t.addRow({"x\ry", "plain"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n\"x\ry\",plain\n");
+}
+
+TEST(TableTest, NonFiniteCellsReachCsvCanonically)
+{
+    Table t("nf");
+    t.setHeader({"v"});
+    t.addRow({Table::num(std::numeric_limits<double>::quiet_NaN())});
+    t.addRow({Table::num(std::numeric_limits<double>::infinity())});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "v\nnan\ninf\n");
 }
 
 TEST(TableDeathTest, RowArityMismatchPanics)

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Golden-figure regression suite.
+ *
+ * Downsampled points from the paper's key curves (Fig. 2 on-demand,
+ * Fig. 3 prefetch vs. threads, Fig. 7 queues vs. prefetch — each
+ * with 1-core and, where the mechanism scales, 4-core points) are
+ * pinned to reference values under tests/golden/. The timing model
+ * is a deterministic discrete-event simulation, so any drift beyond
+ * floating-point noise in these normalized-IPC values means a real
+ * change to modelled behaviour — the tolerance is tight on purpose.
+ *
+ * Regenerating after an intentional model change:
+ *
+ *   KMU_GOLDEN_REGEN=1 ./kmu_tests --gtest_filter='Golden*'
+ *
+ * then review the diff of the golden CSVs like any other code.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/sim_system.hh"
+
+#ifndef KMU_GOLDEN_DIR
+#error "KMU_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace
+{
+
+using namespace kmu;
+
+struct GoldenPoint
+{
+    Mechanism mech;
+    std::uint32_t cores;
+    std::uint32_t threads;
+    std::uint32_t work;
+    unsigned latencyUs;
+};
+
+SystemConfig
+makeConfig(const GoldenPoint &p)
+{
+    SystemConfig cfg;
+    cfg.mechanism = p.mech;
+    cfg.backing = Backing::Device;
+    cfg.numCores = p.cores;
+    cfg.threadsPerCore = p.threads;
+    cfg.workCount = p.work;
+    cfg.device.latency = microseconds(p.latencyUs);
+    return cfg;
+}
+
+std::string
+pointKey(const GoldenPoint &p)
+{
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "%s,%u,%u,%u,%u",
+                  mechanismName(p.mech), p.cores, p.threads, p.work,
+                  p.latencyUs);
+    return buf;
+}
+
+/** Baselines depend only on the workload shape; share them. */
+double
+normalizedPoint(const GoldenPoint &p)
+{
+    static std::map<std::uint32_t, RunResult> baselines;
+    const SystemConfig cfg = makeConfig(p);
+    auto it = baselines.find(p.work);
+    if (it == baselines.end()) {
+        it = baselines
+                 .emplace(p.work, runSystem(baselineConfig(cfg)))
+                 .first;
+    }
+    return normalizedWorkIpc(runSystem(cfg), it->second);
+}
+
+/**
+ * Compare every point against the reference file — or, with
+ * KMU_GOLDEN_REGEN=1 in the environment, rewrite the reference file
+ * from the current model instead.
+ */
+void
+checkGolden(const std::string &file,
+            const std::vector<GoldenPoint> &points)
+{
+    const std::string path = std::string(KMU_GOLDEN_DIR) + "/" + file;
+    const char *regen = std::getenv("KMU_GOLDEN_REGEN");
+
+    if (regen && std::string(regen) != "0") {
+        std::ofstream out(path);
+        ASSERT_TRUE(out.good()) << "cannot write " << path;
+        out << "mechanism,cores,threads,work,latency_us,"
+               "normalized_ipc\n";
+        for (const GoldenPoint &p : points) {
+            char val[64];
+            std::snprintf(val, sizeof(val), "%.17g",
+                          normalizedPoint(p));
+            out << pointKey(p) << "," << val << "\n";
+        }
+        ASSERT_TRUE(out.good()) << "write to " << path << " failed";
+        return;
+    }
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good())
+        << path << " missing — run with KMU_GOLDEN_REGEN=1 once";
+    std::map<std::string, double> expected;
+    std::string line;
+    std::getline(in, line); // header
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        const std::size_t comma = line.rfind(',');
+        ASSERT_NE(comma, std::string::npos) << "bad row: " << line;
+        expected[line.substr(0, comma)] =
+            std::stod(line.substr(comma + 1));
+    }
+    ASSERT_EQ(expected.size(), points.size())
+        << path << " row count drifted from the point list";
+
+    for (const GoldenPoint &p : points) {
+        const std::string key = pointKey(p);
+        auto it = expected.find(key);
+        ASSERT_NE(it, expected.end()) << "no golden row for " << key;
+        const double want = it->second;
+        const double got = normalizedPoint(p);
+        // Relative 1e-6: generous against cross-compiler FP noise,
+        // far below any behavioural change worth making.
+        EXPECT_NEAR(got, want, 1e-9 + 1e-6 * std::abs(want))
+            << "golden drift at " << key;
+    }
+}
+
+TEST(GoldenFigures, Fig02OnDemand)
+{
+    std::vector<GoldenPoint> points;
+    for (unsigned us : {1u, 4u}) {
+        for (std::uint32_t work : {50u, 250u, 1000u, 5000u})
+            points.push_back({Mechanism::OnDemand, 1, 1, work, us});
+    }
+    checkGolden("fig02.csv", points);
+}
+
+TEST(GoldenFigures, Fig03PrefetchThreads)
+{
+    std::vector<GoldenPoint> points;
+    for (std::uint32_t threads : {1u, 5u, 10u, 20u})
+        points.push_back({Mechanism::Prefetch, 1, threads, 250, 1});
+    // Multi-core scaling point (Fig. 5 companion of the same curve).
+    points.push_back({Mechanism::Prefetch, 4, 10, 250, 1});
+    checkGolden("fig03.csv", points);
+}
+
+TEST(GoldenFigures, Fig07QueueVsPrefetch)
+{
+    std::vector<GoldenPoint> points;
+    for (Mechanism mech : {Mechanism::Prefetch, Mechanism::SwQueue}) {
+        for (std::uint32_t threads : {1u, 10u, 40u})
+            points.push_back({mech, 1, threads, 250, 1});
+        // 4-core points (Fig. 8 companion): queues keep scaling.
+        points.push_back({mech, 4, 10, 250, 1});
+    }
+    checkGolden("fig07.csv", points);
+}
+
+} // anonymous namespace

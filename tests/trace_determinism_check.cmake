@@ -1,0 +1,59 @@
+# Trace determinism gate: run kmu_sim twice with tracing enabled on
+# the same configuration and require (a) byte-identical binary trace
+# files and (b) byte-identical kmu_trace JSON + summary-CSV exports.
+# Trace records are stamped with sim ticks, never wall clock, so any
+# diff here means a nondeterministic instrumentation site.
+#
+# Invoked by ctest as:
+#   cmake -DKMU_SIM=<path> -DKMU_TRACE=<path> -DWORK_DIR=<dir>
+#         -P trace_determinism_check.cmake
+
+if(NOT KMU_SIM)
+    message(FATAL_ERROR "pass -DKMU_SIM=<path to kmu_sim>")
+endif()
+if(NOT KMU_TRACE)
+    message(FATAL_ERROR "pass -DKMU_TRACE=<path to kmu_trace>")
+endif()
+if(NOT WORK_DIR)
+    set(WORK_DIR ${CMAKE_CURRENT_BINARY_DIR})
+endif()
+
+# A fig07-style point that exercises the software-queue path end to
+# end: doorbells, descriptor bursts, PCIe TLPs, completions.
+set(ARGS mechanism=swqueue cores=2 threads=10 latency_us=1
+         measure_us=200 csv=1)
+
+foreach(run a b)
+    set(kmt ${WORK_DIR}/trace_det_${run}.kmt)
+    execute_process(
+        COMMAND ${KMU_SIM} ${ARGS} trace=${kmt}
+        OUTPUT_FILE ${WORK_DIR}/trace_det_${run}.txt
+        RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "kmu_sim run '${run}' failed (rc=${rc})")
+    endif()
+    execute_process(
+        COMMAND ${KMU_TRACE} ${kmt} quiet=1
+                json=${WORK_DIR}/trace_det_${run}.json
+                csv=${WORK_DIR}/trace_det_${run}.csv
+        RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "kmu_trace run '${run}' failed (rc=${rc})")
+    endif()
+endforeach()
+
+foreach(ext kmt json csv txt)
+    execute_process(
+        COMMAND ${CMAKE_COMMAND} -E compare_files
+                ${WORK_DIR}/trace_det_a.${ext}
+                ${WORK_DIR}/trace_det_b.${ext}
+        RESULT_VARIABLE diff)
+    if(NOT diff EQUAL 0)
+        message(FATAL_ERROR
+            "trace output (.${ext}) differs between identical runs; "
+            "compare trace_det_a.${ext} and trace_det_b.${ext} in "
+            "${WORK_DIR}")
+    endif()
+endforeach()
+message(STATUS "trace determinism check passed: traces and exports "
+               "byte-identical")

@@ -20,6 +20,7 @@
 #include <string>
 
 #include "core/sim_system.hh"
+#include "trace/trace.hh"
 
 using namespace kmu;
 
@@ -46,7 +47,9 @@ usage()
         "  ctx_ns=N           context switch     (50)\n"
         "  measure_us=N       measured window    (600)\n"
         "  stats=0|1          dump component stats (0)\n"
-        "  csv=0|1            machine-readable one-row CSV (0)\n");
+        "  csv=0|1            machine-readable one-row CSV (0)\n"
+        "  trace=FILE         write a binary trace (see kmu_trace)\n"
+        "  trace_period_us=F  occupancy sample period (1)\n");
     std::exit(1);
 }
 
@@ -69,6 +72,8 @@ main(int argc, char **argv)
     SystemConfig cfg;
     bool dump_stats = false;
     bool csv = false;
+    std::string trace_path;
+    Tick trace_period = tickPerUs;
 
     for (int i = 1; i < argc; ++i) {
         std::string key;
@@ -125,13 +130,31 @@ main(int argc, char **argv)
             dump_stats = value != "0";
         } else if (key == "csv") {
             csv = value != "0";
+        } else if (key == "trace") {
+            trace_path = value;
+        } else if (key == "trace_period_us") {
+            trace_period = Tick(std::stod(value) * tickPerUs);
         } else {
             usage();
         }
     }
 
     SimSystem system(cfg);
+
+    // The sink is live only across the traced system's run: the
+    // DRAM-baseline run below owns a second EventQueue whose records
+    // must not leak into the trace.
+    std::unique_ptr<trace::TraceBuffer> trace_buf;
+    if (!trace_path.empty()) {
+        trace_buf = std::make_unique<trace::TraceBuffer>();
+        system.enableTracing(*trace_buf, trace_period);
+        trace::setSink(trace_buf.get());
+    }
     const RunResult res = system.run();
+    trace::setSink(nullptr);
+    if (trace_buf)
+        trace_buf->writeFile(trace_path);
+
     const RunResult base = runSystem(baselineConfig(cfg));
 
     if (csv) {

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * kmu_trace — inspect and export binary traces written by kmu_sim.
+ *
+ *   kmu_trace run.kmt                     # per-kind summary table
+ *   kmu_trace run.kmt json=run.json       # chrome://tracing JSON
+ *   kmu_trace run.kmt csv=summary.csv     # compact CSV summary
+ *   kmu_trace run.kmt quiet=1 json=...    # export only, no table
+ *
+ * The JSON loads directly into chrome://tracing or Perfetto; the CSV
+ * is one row per record kind with span counts and latency stats.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "common/units.hh"
+#include "trace/export.hh"
+#include "trace/trace.hh"
+
+using namespace kmu;
+
+namespace
+{
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(stderr,
+        "usage: kmu_trace <trace.kmt> [key=value ...]\n"
+        "  json=FILE   write Chrome trace_event JSON\n"
+        "  csv=FILE    write per-kind summary CSV\n"
+        "  quiet=0|1   suppress the summary table (0)\n");
+    std::exit(1);
+}
+
+bool
+parseKv(const char *arg, std::string &key, std::string &value)
+{
+    const char *eq = std::strchr(arg, '=');
+    if (!eq || eq == arg)
+        return false;
+    key.assign(arg, eq);
+    value.assign(eq + 1);
+    return true;
+}
+
+void
+writeText(const std::string &path, const std::string &text)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        fatal("cannot open '%s' for writing", path.c_str());
+    if (text.size() &&
+        std::fwrite(text.data(), 1, text.size(), f) != text.size()) {
+        std::fclose(f);
+        fatal("write to '%s' failed", path.c_str());
+    }
+    if (std::fclose(f) != 0)
+        fatal("write to '%s' failed", path.c_str());
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        usage();
+    const std::string trace_path = argv[1];
+    std::string json_path;
+    std::string csv_path;
+    bool quiet = false;
+
+    for (int i = 2; i < argc; ++i) {
+        std::string key;
+        std::string value;
+        if (!parseKv(argv[i], key, value))
+            usage();
+        if (key == "json")
+            json_path = value;
+        else if (key == "csv")
+            csv_path = value;
+        else if (key == "quiet")
+            quiet = value != "0";
+        else
+            usage();
+    }
+
+    const trace::TraceBuffer::FileData data =
+        trace::TraceBuffer::readFile(trace_path);
+
+    if (!json_path.empty())
+        writeText(json_path, trace::toChromeJson(data));
+    if (!csv_path.empty())
+        writeText(csv_path, trace::toSummaryCsv(data));
+
+    if (quiet)
+        return 0;
+
+    Table table(csprintf("%s: %llu records (%llu recorded)",
+                         trace_path.c_str(),
+                         (unsigned long long)data.records.size(),
+                         (unsigned long long)data.recorded));
+    table.setHeader({"kind", "spans", "instants", "counters",
+                     "unmatched", "mean_ns", "min_ns", "max_ns"});
+    for (const trace::KindSummary &s : trace::summarize(data)) {
+        table.addRow({trace::kindName(s.kind), Table::num(s.spans),
+                      Table::num(s.instants), Table::num(s.counters),
+                      Table::num(s.unmatched), Table::num(s.meanNs()),
+                      Table::num(s.minNs), Table::num(s.maxNs)});
+    }
+    table.printAscii(std::cout);
+    if (data.recorded > data.records.size()) {
+        std::printf("note: ring dropped %llu oldest records\n",
+                    (unsigned long long)(data.recorded -
+                                         data.records.size()));
+    }
+    return 0;
+}
