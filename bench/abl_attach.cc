@@ -16,52 +16,52 @@
 using namespace kmu;
 
 int
-main()
+main(int argc, char **argv)
 {
-    FigureRunner runner;
-    for (unsigned us : {1u, 4u}) {
-        Table table(csprintf("Extension — attach point, multicore "
-                             "prefetch, %u us, 16 threads/core", us));
-        table.setHeader({"cores", "PCIe (LFB 10)",
-                         "mem-bus (LFB 10)", "mem-bus (LFB 80)",
-                         "peak queue (mem-bus)"});
+    return figureMain(argc, argv, "abl_attach",
+                      [](FigureRunner &runner) {
+        for (unsigned us : {1u, 4u}) {
+            Table table(csprintf("Extension — attach point, "
+                                 "multicore prefetch, %u us, 16 "
+                                 "threads/core", us));
+            table.setHeader({"cores", "PCIe (LFB 10)",
+                             "mem-bus (LFB 10)", "mem-bus (LFB 80)",
+                             "peak queue (mem-bus)"});
 
-        for (unsigned cores : {1u, 2u, 4u, 8u}) {
-            std::vector<std::string> row;
-            row.push_back(Table::num(std::uint64_t(cores)));
+            for (unsigned cores : {1u, 2u, 4u, 8u}) {
+                std::vector<std::string> row;
+                row.push_back(Table::num(std::uint64_t(cores)));
 
-            SystemConfig pcie;
-            pcie.mechanism = Mechanism::Prefetch;
-            pcie.numCores = cores;
-            pcie.threadsPerCore = 16;
-            pcie.device.latency = microseconds(us);
-            row.push_back(Table::num(runner.normalized(pcie), 4));
+                SystemConfig pcie;
+                pcie.mechanism = Mechanism::Prefetch;
+                pcie.numCores = cores;
+                pcie.threadsPerCore = 16;
+                pcie.device.latency = microseconds(us);
+                row.push_back(Table::num(runner.normalized(pcie),
+                                         4));
 
-            SystemConfig bus = pcie;
-            bus.attach = DeviceAttach::MemoryBus;
-            row.push_back(Table::num(runner.normalized(bus), 4));
+                SystemConfig bus = pcie;
+                bus.attach = DeviceAttach::MemoryBus;
+                row.push_back(Table::num(runner.normalized(bus), 4));
 
-            SystemConfig bus_big = bus;
-            bus_big.lfbPerCore = 80;
-            std::uint32_t peak = 0;
-            {
-                SimSystem sys(bus_big);
-                const auto res = sys.run();
-                peak = res.chipQueuePeak;
+                SystemConfig bus_big = bus;
+                bus_big.lfbPerCore = 80;
+                const auto res = runner.run(bus_big);
                 row.push_back(Table::num(
                     normalizedWorkIpc(res, runner.baseline(bus_big)),
                     4));
+                row.push_back(Table::num(
+                    std::uint64_t(res.chipQueuePeak)));
+                table.addRow(std::move(row));
             }
-            row.push_back(Table::num(std::uint64_t(peak)));
-            table.addRow(std::move(row));
+            runner.emit(table, csprintf("abl_attach_%uus.csv", us));
         }
-        emit(table, csprintf("abl_attach_%uus.csv", us));
-    }
 
-    std::cout << "The memory-bus attach lifts the 14-entry PCIe cap "
-                 "to the 48-entry DRAM-path queue; with enlarged "
-                 "LFBs the 48-entry queue becomes the next "
-                 "bottleneck — queue sizing follows the access "
-                 "path, as the paper's sizing rule predicts.\n";
-    return 0;
+        std::cout << "The memory-bus attach lifts the 14-entry PCIe "
+                     "cap to the 48-entry DRAM-path queue; with "
+                     "enlarged LFBs the 48-entry queue becomes the "
+                     "next bottleneck — queue sizing follows the "
+                     "access path, as the paper's sizing rule "
+                     "predicts.\n";
+    });
 }

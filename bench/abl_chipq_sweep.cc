@@ -13,38 +13,41 @@
 using namespace kmu;
 
 int
-main()
+main(int argc, char **argv)
 {
-    FigureRunner runner;
-    Table table("Ablation — chip-queue size, 8 cores, 20 threads/"
-                "core, LFB=80");
-    table.setHeader({"chip_queue", "1us", "4us", "peak_occupancy_4us"});
+    return figureMain(argc, argv, "abl_chipq_sweep",
+                      [](FigureRunner &runner) {
+        Table table("Ablation — chip-queue size, 8 cores, 20 "
+                    "threads/core, LFB=80");
+        table.setHeader({"chip_queue", "1us", "4us",
+                         "peak_occupancy_4us"});
 
-    for (unsigned entries :
-         {8u, 14u, 28u, 56u, 112u, 160u, 320u, 640u, 1024u}) {
-        std::vector<std::string> row;
-        row.push_back(Table::num(std::uint64_t(entries)));
-        std::uint32_t peak = 0;
-        for (unsigned us : {1u, 4u}) {
-            SystemConfig cfg;
-            cfg.mechanism = Mechanism::Prefetch;
-            cfg.numCores = 8;
-            cfg.threadsPerCore = 20;
-            cfg.lfbPerCore = 80;
-            cfg.chipPcieQueue = entries;
-            cfg.device.latency = microseconds(us);
-            const auto res = runner.run(cfg);
-            if (us == 4)
-                peak = res.chipQueuePeak;
-            row.push_back(Table::num(
-                normalizedWorkIpc(res, runner.baseline(cfg)), 4));
+        for (unsigned entries :
+             {8u, 14u, 28u, 56u, 112u, 160u, 320u, 640u, 1024u}) {
+            std::vector<std::string> row;
+            row.push_back(Table::num(std::uint64_t(entries)));
+            std::uint32_t peak = 0;
+            for (unsigned us : {1u, 4u}) {
+                SystemConfig cfg;
+                cfg.mechanism = Mechanism::Prefetch;
+                cfg.numCores = 8;
+                cfg.threadsPerCore = 20;
+                cfg.lfbPerCore = 80;
+                cfg.chipPcieQueue = entries;
+                cfg.device.latency = microseconds(us);
+                const auto res = runner.run(cfg);
+                if (us == 4)
+                    peak = res.chipQueuePeak;
+                row.push_back(Table::num(
+                    normalizedWorkIpc(res, runner.baseline(cfg)),
+                    4));
+            }
+            row.push_back(Table::num(std::uint64_t(peak)));
+            table.addRow(std::move(row));
         }
-        row.push_back(Table::num(std::uint64_t(peak)));
-        table.addRow(std::move(row));
-    }
-    emit(table, "abl_chipq_sweep.csv");
+        runner.emit(table, "abl_chipq_sweep.csv");
 
-    std::cout << "Paper rule of thumb: 20 x latency-us x cores "
-                 "(= 640 for 4 us x 8 cores).\n";
-    return 0;
+        std::cout << "Paper rule of thumb: 20 x latency-us x cores "
+                     "(= 640 for 4 us x 8 cores).\n";
+    });
 }

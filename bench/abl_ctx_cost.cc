@@ -13,30 +13,31 @@
 using namespace kmu;
 
 int
-main()
+main(int argc, char **argv)
 {
-    FigureRunner runner;
-    Table table("Ablation — user-level context-switch cost, "
-                "prefetch, 1 us device");
-    table.setHeader({"ctx_switch_ns", "10 threads", "20 threads",
-                     "40 threads"});
+    return figureMain(argc, argv, "abl_ctx_cost",
+                      [](FigureRunner &runner) {
+        Table table("Ablation — user-level context-switch cost, "
+                    "prefetch, 1 us device");
+        table.setHeader({"ctx_switch_ns", "10 threads", "20 threads",
+                         "40 threads"});
 
-    for (unsigned ns : {10u, 20u, 30u, 50u, 100u, 200u, 500u, 1000u,
-                        2000u}) {
-        std::vector<std::string> row;
-        row.push_back(Table::num(std::uint64_t(ns)));
-        for (unsigned threads : {10u, 20u, 40u}) {
-            SystemConfig cfg;
-            cfg.mechanism = Mechanism::Prefetch;
-            cfg.threadsPerCore = threads;
-            cfg.ctxSwitchCost = nanoseconds(ns);
-            row.push_back(Table::num(runner.normalized(cfg), 4));
+        for (unsigned ns : {10u, 20u, 30u, 50u, 100u, 200u, 500u,
+                            1000u, 2000u}) {
+            std::vector<std::string> row;
+            row.push_back(Table::num(std::uint64_t(ns)));
+            for (unsigned threads : {10u, 20u, 40u}) {
+                SystemConfig cfg;
+                cfg.mechanism = Mechanism::Prefetch;
+                cfg.threadsPerCore = threads;
+                cfg.ctxSwitchCost = nanoseconds(ns);
+                row.push_back(Table::num(runner.normalized(cfg), 4));
+            }
+            table.addRow(std::move(row));
         }
-        table.addRow(std::move(row));
-    }
-    emit(table, "abl_ctx_cost.csv");
+        runner.emit(table, "abl_ctx_cost.csv");
 
-    std::cout << "Original Pth: ~2000 ns. Paper's optimized "
-                 "library: 20-50 ns.\n";
-    return 0;
+        std::cout << "Original Pth: ~2000 ns. Paper's optimized "
+                     "library: 20-50 ns.\n";
+    });
 }

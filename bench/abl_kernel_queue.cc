@@ -39,45 +39,46 @@ kernelCosts(SystemConfig cfg)
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    FigureRunner runner;
-    Table table("Extension — kernel-managed vs. application-managed "
-                "queues vs. prefetch (1 core)");
-    table.setHeader({"threads", "kernel 1us", "kernel 4us",
-                     "app-managed 1us", "prefetch 1us"});
+    return figureMain(argc, argv, "abl_kernel_queue",
+                      [](FigureRunner &runner) {
+        Table table("Extension — kernel-managed vs. application-"
+                    "managed queues vs. prefetch (1 core)");
+        table.setHeader({"threads", "kernel 1us", "kernel 4us",
+                         "app-managed 1us", "prefetch 1us"});
 
-    for (unsigned threads : {1u, 4u, 8u, 16u, 32u, 64u}) {
-        std::vector<std::string> row;
-        row.push_back(Table::num(std::uint64_t(threads)));
+        for (unsigned threads : {1u, 4u, 8u, 16u, 32u, 64u}) {
+            std::vector<std::string> row;
+            row.push_back(Table::num(std::uint64_t(threads)));
 
-        for (unsigned us : {1u, 4u}) {
-            SystemConfig kq;
-            kq.mechanism = Mechanism::SwQueue;
-            kq.threadsPerCore = threads;
-            kq.device.latency = microseconds(us);
-            row.push_back(
-                Table::num(runner.normalized(kernelCosts(kq)), 4));
+            for (unsigned us : {1u, 4u}) {
+                SystemConfig kq;
+                kq.mechanism = Mechanism::SwQueue;
+                kq.threadsPerCore = threads;
+                kq.device.latency = microseconds(us);
+                row.push_back(Table::num(
+                    runner.normalized(kernelCosts(kq)), 4));
+            }
+
+            SystemConfig app;
+            app.mechanism = Mechanism::SwQueue;
+            app.threadsPerCore = threads;
+            row.push_back(Table::num(runner.normalized(app), 4));
+
+            SystemConfig pf;
+            pf.mechanism = Mechanism::Prefetch;
+            pf.threadsPerCore = threads;
+            row.push_back(Table::num(runner.normalized(pf), 4));
+
+            table.addRow(std::move(row));
         }
+        runner.emit(table, "abl_kernel_queue.csv");
 
-        SystemConfig app;
-        app.mechanism = Mechanism::SwQueue;
-        app.threadsPerCore = threads;
-        row.push_back(Table::num(runner.normalized(app), 4));
-
-        SystemConfig pf;
-        pf.mechanism = Mechanism::Prefetch;
-        pf.threadsPerCore = threads;
-        row.push_back(Table::num(runner.normalized(pf), 4));
-
-        table.addRow(std::move(row));
-    }
-    emit(table, "abl_kernel_queue.csv");
-
-    std::cout << "Kernel-managed queues cannot exceed a small "
-                 "fraction of the DRAM baseline at any thread count "
-                 "— the overheads dwarf the microsecond access, as "
-                 "the paper argues when omitting them from its "
-                 "evaluation.\n";
-    return 0;
+        std::cout << "Kernel-managed queues cannot exceed a small "
+                     "fraction of the DRAM baseline at any thread "
+                     "count — the overheads dwarf the microsecond "
+                     "access, as the paper argues when omitting them "
+                     "from its evaluation.\n";
+    });
 }

@@ -14,31 +14,32 @@
 using namespace kmu;
 
 int
-main()
+main(int argc, char **argv)
 {
-    FigureRunner runner;
-    Table table("Ablation — LFB size vs. normalized work IPC "
-                "(single core, 120 threads, chip queue unbound)");
-    table.setHeader({"lfb_entries", "1us", "2us", "4us"});
+    return figureMain(argc, argv, "abl_lfb_sweep",
+                      [](FigureRunner &runner) {
+        Table table("Ablation — LFB size vs. normalized work IPC "
+                    "(single core, 120 threads, chip queue unbound)");
+        table.setHeader({"lfb_entries", "1us", "2us", "4us"});
 
-    for (unsigned lfb : {4u, 8u, 10u, 14u, 20u, 30u, 40u, 60u, 80u,
-                         120u}) {
-        std::vector<std::string> row;
-        row.push_back(Table::num(std::uint64_t(lfb)));
-        for (unsigned us : {1u, 2u, 4u}) {
-            SystemConfig cfg;
-            cfg.mechanism = Mechanism::Prefetch;
-            cfg.threadsPerCore = 120;
-            cfg.lfbPerCore = lfb;
-            cfg.chipPcieQueue = 1024; // isolate the LFB effect
-            cfg.device.latency = microseconds(us);
-            row.push_back(Table::num(runner.normalized(cfg), 4));
+        for (unsigned lfb : {4u, 8u, 10u, 14u, 20u, 30u, 40u, 60u,
+                             80u, 120u}) {
+            std::vector<std::string> row;
+            row.push_back(Table::num(std::uint64_t(lfb)));
+            for (unsigned us : {1u, 2u, 4u}) {
+                SystemConfig cfg;
+                cfg.mechanism = Mechanism::Prefetch;
+                cfg.threadsPerCore = 120;
+                cfg.lfbPerCore = lfb;
+                cfg.chipPcieQueue = 1024; // isolate the LFB effect
+                cfg.device.latency = microseconds(us);
+                row.push_back(Table::num(runner.normalized(cfg), 4));
+            }
+            table.addRow(std::move(row));
         }
-        table.addRow(std::move(row));
-    }
-    emit(table, "abl_lfb_sweep.csv");
+        runner.emit(table, "abl_lfb_sweep.csv");
 
-    std::cout << "Paper rule of thumb: ~20 entries per microsecond "
-                 "of device latency.\n";
-    return 0;
+        std::cout << "Paper rule of thumb: ~20 entries per "
+                     "microsecond of device latency.\n";
+    });
 }

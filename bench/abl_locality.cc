@@ -34,55 +34,51 @@ workingSetPlan(std::uint64_t lines)
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    FigureRunner runner;
-    Table table("Extension — working-set size vs. performance "
-                "(prefetch, 1 us, 32 KiB L1 modelled)");
-    table.setHeader({"working_set_KiB", "1 thread", "10 threads",
-                     "hit_rate_10thr"});
+    return figureMain(argc, argv, "abl_locality",
+                      [](FigureRunner &runner) {
+        Table table("Extension — working-set size vs. performance "
+                    "(prefetch, 1 us, 32 KiB L1 modelled)");
+        table.setHeader({"working_set_KiB", "1 thread", "10 threads",
+                         "hit_rate_10thr"});
 
-    for (std::uint64_t lines :
-         {64ull, 256ull, 512ull, 1024ull, 4096ull, 65536ull,
-          1ull << 22}) {
-        SystemConfig cfg;
-        cfg.mechanism = Mechanism::Prefetch;
-        cfg.backing = Backing::Device;
-        cfg.l1Enabled = true;
-        cfg.addressPlan = workingSetPlan(lines);
+        for (std::uint64_t lines :
+             {64ull, 256ull, 512ull, 1024ull, 4096ull, 65536ull,
+              1ull << 22}) {
+            SystemConfig cfg;
+            cfg.mechanism = Mechanism::Prefetch;
+            cfg.backing = Backing::Device;
+            cfg.l1Enabled = true;
+            cfg.addressPlan = workingSetPlan(lines);
 
-        std::vector<std::string> row;
-        row.push_back(Table::num(lines * cacheLineSize / 1024));
+            std::vector<std::string> row;
+            row.push_back(Table::num(lines * cacheLineSize / 1024));
 
-        // Address plans differ per row, so the FigureRunner's
-        // shape-keyed baseline cache does not apply: compute the
-        // plan-matched baseline here.
-        const auto base = runner.run(baselineConfig(cfg));
+            // Address plans differ per row, so the FigureRunner's
+            // shape-keyed baseline cache does not apply: compute the
+            // plan-matched baseline here.
+            const auto base = runner.run(baselineConfig(cfg));
 
-        cfg.threadsPerCore = 1;
-        row.push_back(Table::num(
-            normalizedWorkIpc(runner.run(cfg), base), 4));
+            cfg.threadsPerCore = 1;
+            row.push_back(Table::num(
+                normalizedWorkIpc(runner.run(cfg), base), 4));
 
-        cfg.threadsPerCore = 10;
-        double hit_rate = 0.0;
-        {
-            SimSystem sys(cfg);
-            const auto res = sys.run();
-            auto &l1 = sys.core(0).l1();
-            const auto total =
-                l1.hits.value() + l1.misses.value();
-            hit_rate = total ? double(l1.hits.value()) / total : 0.0;
+            cfg.threadsPerCore = 10;
+            const auto res = runner.run(cfg);
+            const auto total = res.l1Hits + res.l1Misses;
+            const double hit_rate =
+                total ? double(res.l1Hits) / double(total) : 0.0;
             row.push_back(Table::num(normalizedWorkIpc(res, base),
                                      4));
+            row.push_back(Table::num(hit_rate, 3));
+            table.addRow(std::move(row));
         }
-        row.push_back(Table::num(hit_rate, 3));
-        table.addRow(std::move(row));
-    }
-    emit(table, "abl_locality.csv");
+        runner.emit(table, "abl_locality.csv");
 
-    std::cout << "Inside the L1 the device is irrelevant; past it, "
-                 "performance falls to the latency-/LFB-bound levels "
-                 "of the cache-less figures — caching and "
-                 "interleaving compose.\n";
-    return 0;
+        std::cout << "Inside the L1 the device is irrelevant; past "
+                     "it, performance falls to the latency-/LFB-"
+                     "bound levels of the cache-less figures — "
+                     "caching and interleaving compose.\n";
+    });
 }

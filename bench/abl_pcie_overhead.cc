@@ -12,57 +12,62 @@
 
 #include "bench/fig_common.hh"
 
+#include <algorithm>
+
 using namespace kmu;
 
 int
-main()
+main(int argc, char **argv)
 {
-    FigureRunner runner;
+    return figureMain(argc, argv, "abl_pcie_overhead",
+                      [](FigureRunner &runner) {
+        Table header_table("Ablation — TLP header bytes (8 cores, "
+                           "24 threads/core, SW queues, 1 us)");
+        header_table.setHeader({"header_bytes", "normalized",
+                                "useful_GBs", "wire_GBs",
+                                "useful_fraction"});
+        for (unsigned header : {0u, 8u, 16u, 24u, 32u, 48u}) {
+            SystemConfig cfg;
+            cfg.mechanism = Mechanism::SwQueue;
+            cfg.numCores = 8;
+            cfg.threadsPerCore = 24;
+            cfg.pcie.tlpHeaderBytes = header;
+            const auto res = runner.run(cfg);
+            header_table.addRow(
+                {Table::num(std::uint64_t(header)),
+                 Table::num(normalizedWorkIpc(res,
+                                              runner.baseline(cfg)),
+                            4),
+                 Table::num(res.toHostUsefulGBs, 2),
+                 Table::num(res.toHostWireGBs, 2),
+                 Table::num(res.toHostUsefulGBs /
+                                std::max(res.toHostWireGBs, 1e-9),
+                            3)});
+        }
+        runner.emit(header_table, "abl_pcie_header.csv");
 
-    Table header_table("Ablation — TLP header bytes (8 cores, 24 "
+        Table bw_table("Ablation — link bandwidth (8 cores, 24 "
                        "threads/core, SW queues, 1 us)");
-    header_table.setHeader({"header_bytes", "normalized",
-                            "useful_GBs", "wire_GBs",
-                            "useful_fraction"});
-    for (unsigned header : {0u, 8u, 16u, 24u, 32u, 48u}) {
-        SystemConfig cfg;
-        cfg.mechanism = Mechanism::SwQueue;
-        cfg.numCores = 8;
-        cfg.threadsPerCore = 24;
-        cfg.pcie.tlpHeaderBytes = header;
-        const auto res = runner.run(cfg);
-        header_table.addRow(
-            {Table::num(std::uint64_t(header)),
-             Table::num(normalizedWorkIpc(res, runner.baseline(cfg)),
-                        4),
-             Table::num(res.toHostUsefulGBs, 2),
-             Table::num(res.toHostWireGBs, 2),
-             Table::num(res.toHostUsefulGBs /
-                            std::max(res.toHostWireGBs, 1e-9),
-                        3)});
-    }
-    emit(header_table, "abl_pcie_header.csv");
+        bw_table.setHeader({"GBs_per_dir", "normalized",
+                            "useful_GBs"});
+        for (double gbs : {2.0, 4.0, 8.0, 16.0, 32.0, 64.0}) {
+            SystemConfig cfg;
+            cfg.mechanism = Mechanism::SwQueue;
+            cfg.numCores = 8;
+            cfg.threadsPerCore = 24;
+            cfg.pcie.bytesPerSec = gbPerSec(gbs);
+            const auto res = runner.run(cfg);
+            bw_table.addRow(
+                {Table::num(gbs, 1),
+                 Table::num(normalizedWorkIpc(res,
+                                              runner.baseline(cfg)),
+                            4),
+                 Table::num(res.toHostUsefulGBs, 2)});
+        }
+        runner.emit(bw_table, "abl_pcie_bandwidth.csv");
 
-    Table bw_table("Ablation — link bandwidth (8 cores, 24 threads/"
-                   "core, SW queues, 1 us)");
-    bw_table.setHeader({"GBs_per_dir", "normalized", "useful_GBs"});
-    for (double gbs : {2.0, 4.0, 8.0, 16.0, 32.0, 64.0}) {
-        SystemConfig cfg;
-        cfg.mechanism = Mechanism::SwQueue;
-        cfg.numCores = 8;
-        cfg.threadsPerCore = 24;
-        cfg.pcie.bytesPerSec = gbPerSec(gbs);
-        const auto res = runner.run(cfg);
-        bw_table.addRow(
-            {Table::num(gbs, 1),
-             Table::num(normalizedWorkIpc(res, runner.baseline(cfg)),
-                        4),
-             Table::num(res.toHostUsefulGBs, 2)});
-    }
-    emit(bw_table, "abl_pcie_bandwidth.csv");
-
-    std::cout << "Once the link stops binding (>= 4 GB/s at this "
-                 "thread count) the queues are software-overhead-"
-                 "bound, as the paper predicts.\n";
-    return 0;
+        std::cout << "Once the link stops binding (>= 4 GB/s at "
+                     "this thread count) the queues are software-"
+                     "overhead-bound, as the paper predicts.\n";
+    });
 }

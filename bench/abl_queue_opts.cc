@@ -14,38 +14,39 @@
 using namespace kmu;
 
 int
-main()
+main(int argc, char **argv)
 {
-    FigureRunner runner;
-    Table table("Ablation — software-queue optimizations "
-                "(1 us, 1 core)");
-    table.setHeader({"threads", "flag+burst8", "flag+burst1",
-                     "noflag+burst8", "noflag+burst1"});
+    return figureMain(argc, argv, "abl_queue_opts",
+                      [](FigureRunner &runner) {
+        Table table("Ablation — software-queue optimizations "
+                    "(1 us, 1 core)");
+        table.setHeader({"threads", "flag+burst8", "flag+burst1",
+                         "noflag+burst8", "noflag+burst1"});
 
-    struct Variant
-    {
-        bool flag;
-        std::uint32_t burst;
-    };
-    const Variant variants[] = {
-        {true, 8}, {true, 1}, {false, 8}, {false, 1}};
+        struct Variant
+        {
+            bool flag;
+            std::uint32_t burst;
+        };
+        const Variant variants[] = {
+            {true, 8}, {true, 1}, {false, 8}, {false, 1}};
 
-    for (unsigned threads : {4u, 8u, 16u, 24u, 32u, 48u}) {
-        std::vector<std::string> row;
-        row.push_back(Table::num(std::uint64_t(threads)));
-        for (const Variant &v : variants) {
-            SystemConfig cfg;
-            cfg.mechanism = Mechanism::SwQueue;
-            cfg.threadsPerCore = threads;
-            cfg.device.doorbellFlag = v.flag;
-            cfg.device.burstSize = v.burst;
-            row.push_back(Table::num(runner.normalized(cfg), 4));
+        for (unsigned threads : {4u, 8u, 16u, 24u, 32u, 48u}) {
+            std::vector<std::string> row;
+            row.push_back(Table::num(std::uint64_t(threads)));
+            for (const Variant &v : variants) {
+                SystemConfig cfg;
+                cfg.mechanism = Mechanism::SwQueue;
+                cfg.threadsPerCore = threads;
+                cfg.device.doorbellFlag = v.flag;
+                cfg.device.burstSize = v.burst;
+                row.push_back(Table::num(runner.normalized(cfg), 4));
+            }
+            table.addRow(std::move(row));
         }
-        table.addRow(std::move(row));
-    }
-    emit(table, "abl_queue_opts.csv");
+        runner.emit(table, "abl_queue_opts.csv");
 
-    std::cout << "The paper's chosen design (flag + burst 8) should "
-                 "dominate at every thread count.\n";
-    return 0;
+        std::cout << "The paper's chosen design (flag + burst 8) "
+                     "should dominate at every thread count.\n";
+    });
 }

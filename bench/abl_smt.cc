@@ -22,38 +22,39 @@
 using namespace kmu;
 
 int
-main()
+main(int argc, char **argv)
 {
-    FigureRunner runner;
-    Table table("Extension — SMT contexts, on-demand access, "
-                "normalized work IPC");
-    table.setHeader({"contexts", "1us", "2us", "4us",
-                     "prefetch@10thr 1us (ref)"});
+    return figureMain(argc, argv, "abl_smt",
+                      [](FigureRunner &runner) {
+        Table table("Extension — SMT contexts, on-demand access, "
+                    "normalized work IPC");
+        table.setHeader({"contexts", "1us", "2us", "4us",
+                         "prefetch@10thr 1us (ref)"});
 
-    SystemConfig pf_ref;
-    pf_ref.mechanism = Mechanism::Prefetch;
-    pf_ref.threadsPerCore = 10;
-    const double pf_norm = runner.normalized(pf_ref);
+        SystemConfig pf_ref;
+        pf_ref.mechanism = Mechanism::Prefetch;
+        pf_ref.threadsPerCore = 10;
+        const double pf_norm = runner.normalized(pf_ref);
 
-    for (unsigned contexts : {1u, 2u, 4u, 8u, 16u, 32u}) {
-        std::vector<std::string> row;
-        row.push_back(Table::num(std::uint64_t(contexts)));
-        for (unsigned us : {1u, 2u, 4u}) {
-            SystemConfig cfg;
-            cfg.mechanism = Mechanism::OnDemand;
-            cfg.backing = Backing::Device;
-            cfg.smtContexts = contexts;
-            cfg.device.latency = microseconds(us);
-            row.push_back(Table::num(runner.normalized(cfg), 4));
+        for (unsigned contexts : {1u, 2u, 4u, 8u, 16u, 32u}) {
+            std::vector<std::string> row;
+            row.push_back(Table::num(std::uint64_t(contexts)));
+            for (unsigned us : {1u, 2u, 4u}) {
+                SystemConfig cfg;
+                cfg.mechanism = Mechanism::OnDemand;
+                cfg.backing = Backing::Device;
+                cfg.smtContexts = contexts;
+                cfg.device.latency = microseconds(us);
+                row.push_back(Table::num(runner.normalized(cfg), 4));
+            }
+            row.push_back(Table::num(pf_norm, 4));
+            table.addRow(std::move(row));
         }
-        row.push_back(Table::num(pf_norm, 4));
-        table.addRow(std::move(row));
-    }
-    emit(table, "abl_smt.csv");
+        runner.emit(table, "abl_smt.csv");
 
-    std::cout << "Two contexts (commodity SMT) merely double an "
-                 "abysmal baseline; the prefetch mechanism reaches "
-                 "the same hiding with one context and ten cheap "
-                 "fibers.\n";
-    return 0;
+        std::cout << "Two contexts (commodity SMT) merely double an "
+                     "abysmal baseline; the prefetch mechanism "
+                     "reaches the same hiding with one context and "
+                     "ten cheap fibers.\n";
+    });
 }

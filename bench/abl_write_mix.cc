@@ -22,41 +22,44 @@
 using namespace kmu;
 
 int
-main()
+main(int argc, char **argv)
 {
-    FigureRunner runner;
-    Table table("Extension — posted-write mix at 1 us "
-                "(10 threads prefetch / 24 threads queues, "
-                "MLP 2)");
-    table.setHeader({"write_fraction", "prefetch", "sw-queue",
-                     "writes/us (pf)"});
+    return figureMain(argc, argv, "abl_write_mix",
+                      [](FigureRunner &runner) {
+        Table table("Extension — posted-write mix at 1 us "
+                    "(10 threads prefetch / 24 threads queues, "
+                    "MLP 2)");
+        table.setHeader({"write_fraction", "prefetch", "sw-queue",
+                         "writes/us (pf)"});
 
-    for (double frac : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9}) {
-        SystemConfig pf;
-        pf.mechanism = Mechanism::Prefetch;
-        pf.threadsPerCore = 10;
-        pf.batch = 2;
-        pf.writeFraction = frac;
+        for (double frac : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9}) {
+            SystemConfig pf;
+            pf.mechanism = Mechanism::Prefetch;
+            pf.threadsPerCore = 10;
+            pf.batch = 2;
+            pf.writeFraction = frac;
 
-        SystemConfig swq = pf;
-        swq.mechanism = Mechanism::SwQueue;
-        swq.threadsPerCore = 24;
+            SystemConfig swq = pf;
+            swq.mechanism = Mechanism::SwQueue;
+            swq.threadsPerCore = 24;
 
-        const auto pf_res = runner.run(pf);
-        table.addRow(
-            {Table::num(frac, 2),
-             Table::num(normalizedWorkIpc(pf_res,
-                                          runner.baseline(pf)), 4),
-             Table::num(runner.normalized(swq), 4),
-             Table::num(double(pf_res.writes) /
-                            ticksToUs(pf_res.elapsed),
-                        2)});
-    }
-    emit(table, "abl_write_mix.csv");
+            const auto pf_res = runner.run(pf);
+            table.addRow(
+                {Table::num(frac, 2),
+                 Table::num(normalizedWorkIpc(pf_res,
+                                              runner.baseline(pf)),
+                            4),
+                 Table::num(runner.normalized(swq), 4),
+                 Table::num(double(pf_res.writes) /
+                                ticksToUs(pf_res.elapsed),
+                            2)});
+        }
+        runner.emit(table, "abl_write_mix.csv");
 
-    std::cout << "Prefetch holds DRAM parity at every mix (posted "
-                 "stores hide behind same-thread instructions; "
-                 "write-only iterations skip the scheduler) while "
-                 "the software queues stay overhead-bound.\n";
-    return 0;
+        std::cout << "Prefetch holds DRAM parity at every mix "
+                     "(posted stores hide behind same-thread "
+                     "instructions; write-only iterations skip the "
+                     "scheduler) while the software queues stay "
+                     "overhead-bound.\n";
+    });
 }

@@ -13,30 +13,32 @@
 using namespace kmu;
 
 int
-main()
+main(int argc, char **argv)
 {
-    FigureRunner runner;
-    Table table("Fig. 2 — on-demand access, normalized work IPC "
-                "(single thread)");
-    table.setHeader({"work_count", "1us", "2us", "4us",
-                     "baseline_ipc"});
+    return figureMain(argc, argv, "fig02_on_demand",
+                      [](FigureRunner &runner) {
+        Table table("Fig. 2 — on-demand access, normalized work IPC "
+                    "(single thread)");
+        table.setHeader({"work_count", "1us", "2us", "4us",
+                         "baseline_ipc"});
 
-    const unsigned latencies[] = {1, 2, 4};
-    for (unsigned work : {50u, 100u, 250u, 500u, 1000u, 2000u,
-                          5000u}) {
-        std::vector<std::string> row;
-        row.push_back(Table::num(std::uint64_t(work)));
-        SystemConfig cfg;
-        cfg.mechanism = Mechanism::OnDemand;
-        cfg.backing = Backing::Device;
-        cfg.workCount = work;
-        for (unsigned us : latencies) {
-            cfg.device.latency = microseconds(us);
-            row.push_back(Table::num(runner.normalized(cfg), 4));
+        const unsigned latencies[] = {1, 2, 4};
+        for (unsigned work : {50u, 100u, 250u, 500u, 1000u, 2000u,
+                              5000u}) {
+            std::vector<std::string> row;
+            row.push_back(Table::num(std::uint64_t(work)));
+            SystemConfig cfg;
+            cfg.mechanism = Mechanism::OnDemand;
+            cfg.backing = Backing::Device;
+            cfg.workCount = work;
+            for (unsigned us : latencies) {
+                cfg.device.latency = microseconds(us);
+                row.push_back(Table::num(runner.normalized(cfg), 4));
+            }
+            row.push_back(Table::num(runner.baseline(cfg).workIpc,
+                                     4));
+            table.addRow(std::move(row));
         }
-        row.push_back(Table::num(runner.baseline(cfg).workIpc, 4));
-        table.addRow(std::move(row));
-    }
-    emit(table, "fig02_on_demand.csv");
-    return 0;
+        runner.emit(table, "fig02_on_demand.csv");
+    });
 }

@@ -12,27 +12,28 @@
 using namespace kmu;
 
 int
-main()
+main(int argc, char **argv)
 {
-    FigureRunner runner;
-    Table table("Fig. 3 — prefetch-based access, normalized work "
-                "IPC vs. threads");
-    table.setHeader({"threads", "1us", "2us", "4us"});
+    return figureMain(argc, argv, "fig03_prefetch_latency",
+                      [](FigureRunner &runner) {
+        Table table("Fig. 3 — prefetch-based access, normalized work "
+                    "IPC vs. threads");
+        table.setHeader({"threads", "1us", "2us", "4us"});
 
-    for (unsigned threads :
-         {1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u, 9u, 10u, 12u, 14u, 16u,
-          20u, 24u, 32u}) {
-        std::vector<std::string> row;
-        row.push_back(Table::num(std::uint64_t(threads)));
-        for (unsigned us : {1u, 2u, 4u}) {
-            SystemConfig cfg;
-            cfg.mechanism = Mechanism::Prefetch;
-            cfg.threadsPerCore = threads;
-            cfg.device.latency = microseconds(us);
-            row.push_back(Table::num(runner.normalized(cfg), 4));
+        for (unsigned threads :
+             {1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u, 9u, 10u, 12u, 14u, 16u,
+              20u, 24u, 32u}) {
+            std::vector<std::string> row;
+            row.push_back(Table::num(std::uint64_t(threads)));
+            for (unsigned us : {1u, 2u, 4u}) {
+                SystemConfig cfg;
+                cfg.mechanism = Mechanism::Prefetch;
+                cfg.threadsPerCore = threads;
+                cfg.device.latency = microseconds(us);
+                row.push_back(Table::num(runner.normalized(cfg), 4));
+            }
+            table.addRow(std::move(row));
         }
-        table.addRow(std::move(row));
-    }
-    emit(table, "fig03_prefetch_latency.csv");
-    return 0;
+        runner.emit(table, "fig03_prefetch_latency.csv");
+    });
 }

@@ -11,27 +11,28 @@
 using namespace kmu;
 
 int
-main()
+main(int argc, char **argv)
 {
-    FigureRunner runner;
-    Table table("Fig. 4 — 1 us prefetch-based access, various work "
-                "counts");
-    table.setHeader({"threads", "work=100", "work=250", "work=500",
-                     "work=1000"});
+    return figureMain(argc, argv, "fig04_prefetch_workcount",
+                      [](FigureRunner &runner) {
+        Table table("Fig. 4 — 1 us prefetch-based access, various "
+                    "work counts");
+        table.setHeader({"threads", "work=100", "work=250",
+                         "work=500", "work=1000"});
 
-    for (unsigned threads :
-         {1u, 2u, 3u, 4u, 5u, 6u, 8u, 10u, 12u, 16u}) {
-        std::vector<std::string> row;
-        row.push_back(Table::num(std::uint64_t(threads)));
-        for (unsigned work : {100u, 250u, 500u, 1000u}) {
-            SystemConfig cfg;
-            cfg.mechanism = Mechanism::Prefetch;
-            cfg.threadsPerCore = threads;
-            cfg.workCount = work;
-            row.push_back(Table::num(runner.normalized(cfg), 4));
+        for (unsigned threads :
+             {1u, 2u, 3u, 4u, 5u, 6u, 8u, 10u, 12u, 16u}) {
+            std::vector<std::string> row;
+            row.push_back(Table::num(std::uint64_t(threads)));
+            for (unsigned work : {100u, 250u, 500u, 1000u}) {
+                SystemConfig cfg;
+                cfg.mechanism = Mechanism::Prefetch;
+                cfg.threadsPerCore = threads;
+                cfg.workCount = work;
+                row.push_back(Table::num(runner.normalized(cfg), 4));
+            }
+            table.addRow(std::move(row));
         }
-        table.addRow(std::move(row));
-    }
-    emit(table, "fig04_prefetch_workcount.csv");
-    return 0;
+        runner.emit(table, "fig04_prefetch_workcount.csv");
+    });
 }

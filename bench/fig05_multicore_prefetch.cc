@@ -14,33 +14,39 @@
 using namespace kmu;
 
 int
-main()
+main(int argc, char **argv)
 {
-    FigureRunner runner;
-    for (unsigned us : {1u, 4u}) {
-        Table table(csprintf("Fig. 5 — multicore prefetch-based "
-                             "access, %u us device", us));
-        table.setHeader({"threads/core", "1 core", "2 cores",
-                         "4 cores", "8 cores", "peak_chip_queue"});
-        for (unsigned threads : {1u, 2u, 4u, 6u, 8u, 10u, 12u, 16u}) {
-            std::vector<std::string> row;
-            row.push_back(Table::num(std::uint64_t(threads)));
-            std::uint32_t peak = 0;
-            for (unsigned cores : {1u, 2u, 4u, 8u}) {
-                SystemConfig cfg;
-                cfg.mechanism = Mechanism::Prefetch;
-                cfg.numCores = cores;
-                cfg.threadsPerCore = threads;
-                cfg.device.latency = microseconds(us);
-                const auto res = runner.run(cfg);
-                peak = std::max(peak, res.chipQueuePeak);
-                row.push_back(Table::num(
-                    normalizedWorkIpc(res, runner.baseline(cfg)), 4));
+    return figureMain(argc, argv, "fig05_multicore_prefetch",
+                      [](FigureRunner &runner) {
+        for (unsigned us : {1u, 4u}) {
+            Table table(csprintf("Fig. 5 — multicore prefetch-based "
+                                 "access, %u us device", us));
+            table.setHeader({"threads/core", "1 core", "2 cores",
+                             "4 cores", "8 cores",
+                             "peak_chip_queue"});
+            for (unsigned threads :
+                 {1u, 2u, 4u, 6u, 8u, 10u, 12u, 16u}) {
+                std::vector<std::string> row;
+                row.push_back(Table::num(std::uint64_t(threads)));
+                std::uint32_t peak = 0;
+                for (unsigned cores : {1u, 2u, 4u, 8u}) {
+                    SystemConfig cfg;
+                    cfg.mechanism = Mechanism::Prefetch;
+                    cfg.numCores = cores;
+                    cfg.threadsPerCore = threads;
+                    cfg.device.latency = microseconds(us);
+                    const auto res = runner.run(cfg);
+                    peak = std::max(peak, res.chipQueuePeak);
+                    row.push_back(Table::num(
+                        normalizedWorkIpc(res, runner.baseline(cfg)),
+                        4));
+                }
+                row.push_back(Table::num(std::uint64_t(peak)));
+                table.addRow(std::move(row));
             }
-            row.push_back(Table::num(std::uint64_t(peak)));
-            table.addRow(std::move(row));
+            runner.emit(table,
+                        csprintf("fig05_multicore_prefetch_%uus.csv",
+                                 us));
         }
-        emit(table, csprintf("fig05_multicore_prefetch_%uus.csv", us));
-    }
-    return 0;
+    });
 }

@@ -14,26 +14,27 @@
 using namespace kmu;
 
 int
-main()
+main(int argc, char **argv)
 {
-    FigureRunner runner;
-    Table table("Fig. 6 — 1 us prefetch-based access at MLP 1/2/4 "
-                "(each vs. its own DRAM baseline)");
-    table.setHeader({"threads", "1-read", "2-read", "4-read"});
+    return figureMain(argc, argv, "fig06_prefetch_mlp",
+                      [](FigureRunner &runner) {
+        Table table("Fig. 6 — 1 us prefetch-based access at MLP "
+                    "1/2/4 (each vs. its own DRAM baseline)");
+        table.setHeader({"threads", "1-read", "2-read", "4-read"});
 
-    for (unsigned threads :
-         {1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u, 10u, 12u, 16u}) {
-        std::vector<std::string> row;
-        row.push_back(Table::num(std::uint64_t(threads)));
-        for (unsigned batch : {1u, 2u, 4u}) {
-            SystemConfig cfg;
-            cfg.mechanism = Mechanism::Prefetch;
-            cfg.threadsPerCore = threads;
-            cfg.batch = batch;
-            row.push_back(Table::num(runner.normalized(cfg), 4));
+        for (unsigned threads :
+             {1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u, 10u, 12u, 16u}) {
+            std::vector<std::string> row;
+            row.push_back(Table::num(std::uint64_t(threads)));
+            for (unsigned batch : {1u, 2u, 4u}) {
+                SystemConfig cfg;
+                cfg.mechanism = Mechanism::Prefetch;
+                cfg.threadsPerCore = threads;
+                cfg.batch = batch;
+                row.push_back(Table::num(runner.normalized(cfg), 4));
+            }
+            table.addRow(std::move(row));
         }
-        table.addRow(std::move(row));
-    }
-    emit(table, "fig06_prefetch_mlp.csv");
-    return 0;
+        runner.emit(table, "fig06_prefetch_mlp.csv");
+    });
 }

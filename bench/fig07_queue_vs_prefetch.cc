@@ -14,29 +14,32 @@
 using namespace kmu;
 
 int
-main()
+main(int argc, char **argv)
 {
-    FigureRunner runner;
-    Table table("Fig. 7 — software queues vs. prefetch, 1 core");
-    table.setHeader({"threads", "prefetch 1us", "queue 1us",
-                     "prefetch 4us", "queue 4us"});
+    return figureMain(argc, argv, "fig07_queue_vs_prefetch",
+                      [](FigureRunner &runner) {
+        Table table("Fig. 7 — software queues vs. prefetch, 1 core");
+        table.setHeader({"threads", "prefetch 1us", "queue 1us",
+                         "prefetch 4us", "queue 4us"});
 
-    for (unsigned threads :
-         {1u, 2u, 4u, 6u, 8u, 10u, 12u, 16u, 20u, 24u, 32u, 40u}) {
-        std::vector<std::string> row;
-        row.push_back(Table::num(std::uint64_t(threads)));
-        for (unsigned us : {1u, 4u}) {
-            for (Mechanism mech :
-                 {Mechanism::Prefetch, Mechanism::SwQueue}) {
-                SystemConfig cfg;
-                cfg.mechanism = mech;
-                cfg.threadsPerCore = threads;
-                cfg.device.latency = microseconds(us);
-                row.push_back(Table::num(runner.normalized(cfg), 4));
+        for (unsigned threads :
+             {1u, 2u, 4u, 6u, 8u, 10u, 12u, 16u, 20u, 24u, 32u,
+              40u}) {
+            std::vector<std::string> row;
+            row.push_back(Table::num(std::uint64_t(threads)));
+            for (unsigned us : {1u, 4u}) {
+                for (Mechanism mech :
+                     {Mechanism::Prefetch, Mechanism::SwQueue}) {
+                    SystemConfig cfg;
+                    cfg.mechanism = mech;
+                    cfg.threadsPerCore = threads;
+                    cfg.device.latency = microseconds(us);
+                    row.push_back(
+                        Table::num(runner.normalized(cfg), 4));
+                }
             }
+            table.addRow(std::move(row));
         }
-        table.addRow(std::move(row));
-    }
-    emit(table, "fig07_queue_vs_prefetch.csv");
-    return 0;
+        runner.emit(table, "fig07_queue_vs_prefetch.csv");
+    });
 }

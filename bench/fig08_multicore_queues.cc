@@ -13,39 +13,43 @@
 using namespace kmu;
 
 int
-main()
+main(int argc, char **argv)
 {
-    FigureRunner runner;
-    for (unsigned us : {1u, 4u}) {
-        Table table(csprintf("Fig. 8 — multicore software queues, "
-                             "%u us device", us));
-        table.setHeader({"threads/core", "1 core", "2 cores",
-                         "4 cores", "8 cores", "useful_GBs@8c",
-                         "wire_GBs@8c"});
-        for (unsigned threads : {4u, 8u, 12u, 16u, 24u, 32u}) {
-            std::vector<std::string> row;
-            row.push_back(Table::num(std::uint64_t(threads)));
-            double useful = 0.0;
-            double wire = 0.0;
-            for (unsigned cores : {1u, 2u, 4u, 8u}) {
-                SystemConfig cfg;
-                cfg.mechanism = Mechanism::SwQueue;
-                cfg.numCores = cores;
-                cfg.threadsPerCore = threads;
-                cfg.device.latency = microseconds(us);
-                const auto res = runner.run(cfg);
-                if (cores == 8) {
-                    useful = res.toHostUsefulGBs;
-                    wire = res.toHostWireGBs;
+    return figureMain(argc, argv, "fig08_multicore_queues",
+                      [](FigureRunner &runner) {
+        for (unsigned us : {1u, 4u}) {
+            Table table(csprintf("Fig. 8 — multicore software "
+                                 "queues, %u us device", us));
+            table.setHeader({"threads/core", "1 core", "2 cores",
+                             "4 cores", "8 cores", "useful_GBs@8c",
+                             "wire_GBs@8c"});
+            for (unsigned threads : {4u, 8u, 12u, 16u, 24u, 32u}) {
+                std::vector<std::string> row;
+                row.push_back(Table::num(std::uint64_t(threads)));
+                double useful = 0.0;
+                double wire = 0.0;
+                for (unsigned cores : {1u, 2u, 4u, 8u}) {
+                    SystemConfig cfg;
+                    cfg.mechanism = Mechanism::SwQueue;
+                    cfg.numCores = cores;
+                    cfg.threadsPerCore = threads;
+                    cfg.device.latency = microseconds(us);
+                    const auto res = runner.run(cfg);
+                    if (cores == 8) {
+                        useful = res.toHostUsefulGBs;
+                        wire = res.toHostWireGBs;
+                    }
+                    row.push_back(Table::num(
+                        normalizedWorkIpc(res, runner.baseline(cfg)),
+                        4));
                 }
-                row.push_back(Table::num(
-                    normalizedWorkIpc(res, runner.baseline(cfg)), 4));
+                row.push_back(Table::num(useful, 2));
+                row.push_back(Table::num(wire, 2));
+                table.addRow(std::move(row));
             }
-            row.push_back(Table::num(useful, 2));
-            row.push_back(Table::num(wire, 2));
-            table.addRow(std::move(row));
+            runner.emit(table,
+                        csprintf("fig08_multicore_queues_%uus.csv",
+                                 us));
         }
-        emit(table, csprintf("fig08_multicore_queues_%uus.csv", us));
-    }
-    return 0;
+    });
 }

@@ -15,27 +15,32 @@
 using namespace kmu;
 
 int
-main()
+main(int argc, char **argv)
 {
-    FigureRunner runner;
-    for (unsigned cores : {1u, 4u}) {
-        Table table(csprintf("Fig. 9 — software queues with MLP, "
-                             "%u core(s)", cores));
-        table.setHeader({"threads", "1-read", "2-read", "4-read"});
-        for (unsigned threads : {4u, 8u, 12u, 16u, 24u, 32u, 48u}) {
-            std::vector<std::string> row;
-            row.push_back(Table::num(std::uint64_t(threads)));
-            for (unsigned batch : {1u, 2u, 4u}) {
-                SystemConfig cfg;
-                cfg.mechanism = Mechanism::SwQueue;
-                cfg.numCores = cores;
-                cfg.threadsPerCore = threads;
-                cfg.batch = batch;
-                row.push_back(Table::num(runner.normalized(cfg), 4));
+    return figureMain(argc, argv, "fig09_queue_mlp",
+                      [](FigureRunner &runner) {
+        for (unsigned cores : {1u, 4u}) {
+            Table table(csprintf("Fig. 9 — software queues with "
+                                 "MLP, %u core(s)", cores));
+            table.setHeader({"threads", "1-read", "2-read",
+                             "4-read"});
+            for (unsigned threads :
+                 {4u, 8u, 12u, 16u, 24u, 32u, 48u}) {
+                std::vector<std::string> row;
+                row.push_back(Table::num(std::uint64_t(threads)));
+                for (unsigned batch : {1u, 2u, 4u}) {
+                    SystemConfig cfg;
+                    cfg.mechanism = Mechanism::SwQueue;
+                    cfg.numCores = cores;
+                    cfg.threadsPerCore = threads;
+                    cfg.batch = batch;
+                    row.push_back(
+                        Table::num(runner.normalized(cfg), 4));
+                }
+                table.addRow(std::move(row));
             }
-            table.addRow(std::move(row));
+            runner.emit(table, csprintf("fig09_queue_mlp_%ucore.csv",
+                                        cores));
         }
-        emit(table, csprintf("fig09_queue_mlp_%ucore.csv", cores));
-    }
-    return 0;
+    });
 }

@@ -35,9 +35,11 @@ struct AppSeries
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    // Capture the application access traces (functional runs).
+    // Capture the application access traces (functional runs). This
+    // happens once, before the two-pass figure body, so the capture
+    // printouts are not swallowed by the collect pass.
     AppWorkloadParams params;
     params.bfsScale = 13;
     params.bloomKeys = 30000;
@@ -69,45 +71,51 @@ main()
         },
         4.0});
 
-    // One DRAM baseline per application plan (shared by every
-    // mechanism/core/thread point of that series).
-    std::vector<RunResult> baselines;
-    for (const AppSeries &app : series) {
-        SystemConfig cfg;
-        cfg.plan = app.plan;
-        baselines.push_back(runSystem(baselineConfig(cfg)));
-    }
-
-    for (unsigned cores : {1u, 8u}) {
-        for (Mechanism mech :
-             {Mechanism::Prefetch, Mechanism::SwQueue}) {
-            Table table(csprintf(
-                "Fig. 10 — applications, %s, %u core(s), 1 us",
-                mechanismName(mech), cores));
-            table.setHeader({"threads/core", series[0].name,
-                             series[1].name, series[2].name,
-                             series[3].name});
-            for (unsigned threads : {1u, 2u, 4u, 8u, 16u, 32u}) {
-                std::vector<std::string> row;
-                row.push_back(Table::num(std::uint64_t(threads)));
-                for (std::size_t s = 0; s < series.size(); ++s) {
-                    SystemConfig cfg;
-                    cfg.mechanism = mech;
-                    cfg.numCores = cores;
-                    cfg.threadsPerCore = threads;
-                    cfg.plan = series[s].plan;
-                    const auto res = runSystem(cfg);
-                    row.push_back(Table::num(
-                        normalizedWorkIpc(res, baselines[s]), 4));
-                }
-                table.addRow(std::move(row));
-            }
-            emit(table, csprintf("fig10_%s_%ucores.csv",
-                                 mech == Mechanism::Prefetch
-                                     ? "prefetch"
-                                     : "queue",
-                                 cores));
+    return figureMain(argc, argv, "fig10_applications",
+                      [&series](FigureRunner &runner) {
+        // One DRAM baseline per application plan (shared by every
+        // mechanism/core/thread point of that series). Plans carry
+        // closures, so these go through the sequenced per-call path
+        // rather than the shape-keyed baseline cache.
+        std::vector<RunResult> baselines;
+        for (const AppSeries &app : series) {
+            SystemConfig cfg;
+            cfg.plan = app.plan;
+            baselines.push_back(runner.run(baselineConfig(cfg)));
         }
-    }
-    return 0;
+
+        for (unsigned cores : {1u, 8u}) {
+            for (Mechanism mech :
+                 {Mechanism::Prefetch, Mechanism::SwQueue}) {
+                Table table(csprintf(
+                    "Fig. 10 — applications, %s, %u core(s), 1 us",
+                    mechanismName(mech), cores));
+                table.setHeader({"threads/core", series[0].name,
+                                 series[1].name, series[2].name,
+                                 series[3].name});
+                for (unsigned threads : {1u, 2u, 4u, 8u, 16u, 32u}) {
+                    std::vector<std::string> row;
+                    row.push_back(Table::num(std::uint64_t(threads)));
+                    for (std::size_t s = 0; s < series.size(); ++s) {
+                        SystemConfig cfg;
+                        cfg.mechanism = mech;
+                        cfg.numCores = cores;
+                        cfg.threadsPerCore = threads;
+                        cfg.plan = series[s].plan;
+                        const auto res = runner.run(cfg);
+                        row.push_back(Table::num(
+                            normalizedWorkIpc(res, baselines[s]),
+                            4));
+                    }
+                    table.addRow(std::move(row));
+                }
+                runner.emit(table,
+                            csprintf("fig10_%s_%ucores.csv",
+                                     mech == Mechanism::Prefetch
+                                         ? "prefetch"
+                                         : "queue",
+                                     cores));
+            }
+        }
+    });
 }

@@ -2,79 +2,27 @@
  * @file
  * Shared scaffolding for the figure-reproduction benches.
  *
- * Each bench binary regenerates one table/figure of the paper: it
- * sweeps the relevant parameters on the timing model, normalizes
- * against the plan-matched single-core DRAM baseline (exactly as the
- * paper does), prints the series as an ASCII table, and writes a CSV
- * next to the binary for replotting.
+ * Each bench binary regenerates one table/figure of the paper by
+ * handing a figure body to kmu::figureMain (sweep/figure_runner.hh):
+ * the body runs once to collect every (SystemConfig -> RunResult)
+ * point, the points execute on a SweepRunner worker-process pool
+ * (jobs=N argv knob or KMU_JOBS), and the body runs again to format
+ * the ASCII table and CSV from the merged results — byte-identical
+ * to a serial run at any job count.
+ *
+ * Baselines normalize exactly as the paper does (plan-matched
+ * single-core DRAM run); FigureRunner computes each distinct
+ * baseline shape once and broadcasts it to every cell.
  */
 
 #ifndef KMU_BENCH_FIG_COMMON_HH
 #define KMU_BENCH_FIG_COMMON_HH
 
 #include <iostream>
-#include <map>
 #include <string>
-#include <tuple>
 
 #include "common/table.hh"
 #include "core/sim_system.hh"
-
-namespace kmu
-{
-
-/**
- * Memoizing runner: figure sweeps share baselines across points
- * (same workload shape => same baseline), so cache them.
- */
-class FigureRunner
-{
-  public:
-    /** Run one configuration. */
-    RunResult
-    run(const SystemConfig &cfg)
-    {
-        return runSystem(cfg);
-    }
-
-    /** Normalized work IPC with a cached, plan-matched baseline. */
-    double
-    normalized(const SystemConfig &cfg)
-    {
-        return normalizedWorkIpc(run(cfg), baseline(cfg));
-    }
-
-    /** The cached baseline result for cfg's workload shape. */
-    const RunResult &
-    baseline(const SystemConfig &cfg)
-    {
-        const auto key = std::make_tuple(
-            cfg.workCount, cfg.batch, bool(cfg.plan),
-            int(cfg.writeFraction * 1000));
-        auto it = baselines.find(key);
-        if (it == baselines.end()) {
-            it = baselines
-                     .emplace(key, runSystem(baselineConfig(cfg)))
-                     .first;
-        }
-        return it->second;
-    }
-
-  private:
-    std::map<std::tuple<std::uint32_t, std::uint32_t, bool, int>,
-             RunResult>
-        baselines;
-};
-
-/** Print the table and drop a CSV alongside for replotting. */
-inline void
-emit(const Table &table, const std::string &csv_name)
-{
-    table.printAscii(std::cout);
-    table.writeCsvFile(csv_name);
-    std::cout << "(csv written to " << csv_name << ")\n\n";
-}
-
-} // namespace kmu
+#include "sweep/figure_runner.hh"
 
 #endif // KMU_BENCH_FIG_COMMON_HH

@@ -379,6 +379,12 @@ SimSystem::run()
         if (auto *pf = dynamic_cast<PrefetchCore *>(core.get()))
             res.prefetchesQueued += pf->prefetchesQueued.value();
     }
+    if (cfg.l1Enabled) {
+        for (auto &core : cores) {
+            res.l1Hits += core->l1().hits.value();
+            res.l1Misses += core->l1().misses.value();
+        }
+    }
     return res;
 }
 

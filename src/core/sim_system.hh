@@ -61,6 +61,11 @@ struct RunResult
     std::uint64_t prefetchesQueued = 0; //!< prefetches that waited for
                                         //!< a free LFB entry
     std::uint64_t replayMisses = 0;     //!< spurious device requests
+
+    /** @{ L1 totals across cores, warmup included (l1Enabled only). */
+    std::uint64_t l1Hits = 0;
+    std::uint64_t l1Misses = 0;
+    /** @} */
 };
 
 class SimSystem

@@ -1,0 +1,69 @@
+#include "sweep/bench_log.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace kmu::sweep
+{
+
+std::string
+benchRecordJson(const std::string &figure,
+                const SweepRunner::Stats &st)
+{
+    const double pointsPerSec =
+        st.wallSeconds > 0.0 ? double(st.points) / st.wallSeconds
+                             : 0.0;
+    const double speedup = st.wallSeconds > 0.0
+                               ? st.serialSeconds / st.wallSeconds
+                               : 1.0;
+    return csprintf(
+        "{\"figure\": \"%s\", \"jobs\": %u, \"points\": %zu, "
+        "\"wall_s\": %.6g, \"serial_est_s\": %.6g, "
+        "\"points_per_s\": %.6g, \"speedup_vs_serial\": %.6g, "
+        "\"workers_died\": %u, \"points_recovered\": %zu}",
+        figure.c_str(), st.jobs, st.points, st.wallSeconds,
+        st.serialSeconds, pointsPerSec, speedup, st.workersDied,
+        st.pointsRecovered);
+}
+
+bool
+appendBenchRecord(const std::string &path, const std::string &figure,
+                  const SweepRunner::Stats &stats)
+{
+    // Load whatever is there; a missing or non-array file restarts
+    // the log rather than failing the figure run.
+    std::string existing;
+    if (std::FILE *f = std::fopen(path.c_str(), "rb")) {
+        char buf[4096];
+        std::size_t n;
+        while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+            existing.append(buf, n);
+        std::fclose(f);
+    }
+
+    const std::string record = benchRecordJson(figure, stats);
+    std::string out;
+    const std::size_t close = existing.rfind(']');
+    if (!existing.empty() && existing[0] == '[' &&
+        close != std::string::npos) {
+        // Splice before the closing bracket; "[]" gets no comma.
+        std::string head = existing.substr(0, close);
+        while (!head.empty() &&
+               (head.back() == '\n' || head.back() == ' ' ||
+                head.back() == ','))
+            head.pop_back();
+        out = head + (head == "[" ? "\n" : ",\n") + record + "\n]\n";
+    } else {
+        out = "[\n" + record + "\n]\n";
+    }
+
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return false;
+    const bool ok =
+        std::fwrite(out.data(), 1, out.size(), f) == out.size();
+    return std::fclose(f) == 0 && ok;
+}
+
+} // namespace kmu::sweep

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * BENCH_sweep.json — the harness's own perf trajectory.
+ *
+ * Every figure regeneration appends one record (figure, jobs,
+ * points, wall seconds, points/sec, serial estimate, speedup) to a
+ * JSON array on disk, so harness performance is tracked the same way
+ * the modelled system's figures are.
+ */
+
+#ifndef KMU_SWEEP_BENCH_LOG_HH
+#define KMU_SWEEP_BENCH_LOG_HH
+
+#include <string>
+
+#include "sweep/sweep_runner.hh"
+
+namespace kmu::sweep
+{
+
+/**
+ * Append one self-measurement record for @p figure to the JSON
+ * array at @p path (created if absent, recovered if unparseable).
+ * Returns false if the file could not be written.
+ */
+bool appendBenchRecord(const std::string &path,
+                       const std::string &figure,
+                       const SweepRunner::Stats &stats);
+
+/** The record JSON object, without trailing newline (for tests). */
+std::string benchRecordJson(const std::string &figure,
+                            const SweepRunner::Stats &stats);
+
+} // namespace kmu::sweep
+
+#endif // KMU_SWEEP_BENCH_LOG_HH

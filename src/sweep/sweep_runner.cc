@@ -1,0 +1,309 @@
+#include "sweep/sweep_runner.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define KMU_SWEEP_HAVE_FORK 1
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#else
+#define KMU_SWEEP_HAVE_FORK 0
+#endif
+
+#include "common/logging.hh"
+#include "core/run_result_wire.hh"
+
+namespace kmu::sweep
+{
+
+namespace
+{
+
+bool inWorkerFlag = false;
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/** One result frame on a worker pipe. */
+constexpr std::size_t frameHeaderBytes = 4 + 8; // index + durationNs
+constexpr std::size_t frameBytes =
+    frameHeaderBytes + runResultWireBytes;
+
+/** Run @p index in-process, recording its wall time. */
+RunResult
+runTimed(const SweepRunner::PointFn &fn, std::size_t index,
+         double &serialSeconds)
+{
+    const auto t0 = Clock::now();
+    RunResult res = fn(index);
+    serialSeconds += secondsSince(t0);
+    return res;
+}
+
+#if KMU_SWEEP_HAVE_FORK
+
+bool
+writeAll(int fd, const std::uint8_t *data, std::size_t size)
+{
+    std::size_t done = 0;
+    while (done < size) {
+        const ssize_t n = ::write(fd, data + done, size - done);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        done += std::size_t(n);
+    }
+    return true;
+}
+
+/** Child body: run indices w, w+jobs, ..., frame each result out. */
+[[noreturn]] void
+workerMain(int fd, std::size_t worker, std::size_t jobs,
+           std::size_t count, const SweepRunner::PointFn &fn)
+{
+    inWorkerFlag = true;
+    for (std::size_t i = worker; i < count; i += jobs) {
+        const auto t0 = Clock::now();
+        const RunResult res = fn(i);
+        const std::uint64_t durNs = std::uint64_t(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Clock::now() - t0)
+                .count());
+
+        std::uint8_t frame[frameBytes];
+        const std::uint32_t idx32 = std::uint32_t(i);
+        std::memcpy(frame, &idx32, 4);
+        std::memcpy(frame + 4, &durNs, 8);
+        const std::vector<std::uint8_t> wire =
+            serializeRunResult(res);
+        std::memcpy(frame + frameHeaderBytes, wire.data(),
+                    runResultWireBytes);
+        if (!writeAll(fd, frame, frameBytes))
+            ::_exit(2); // parent vanished; nothing useful left
+    }
+    ::close(fd);
+    ::_exit(0);
+}
+
+struct Worker
+{
+    pid_t pid = -1;
+    int fd = -1;
+    std::vector<std::uint8_t> buf; //!< unparsed pipe bytes
+    bool eof = false;
+};
+
+#endif // KMU_SWEEP_HAVE_FORK
+
+} // anonymous namespace
+
+bool
+SweepRunner::forkSupported()
+{
+    return KMU_SWEEP_HAVE_FORK != 0;
+}
+
+bool
+SweepRunner::inWorker()
+{
+    return inWorkerFlag;
+}
+
+unsigned
+SweepRunner::envJobs()
+{
+    const char *env = std::getenv("KMU_JOBS");
+    if (!env || !*env)
+        return 1;
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (errno != 0 || end == env || *end != '\0')
+        return 1;
+    return unsigned(v);
+}
+
+std::vector<RunResult>
+SweepRunner::run(std::size_t count, const PointFn &fn, unsigned jobs,
+                 Stats *stats)
+{
+    const auto wall0 = Clock::now();
+    Stats st;
+    st.points = count;
+
+    std::vector<RunResult> results(count);
+    std::vector<bool> have(count, false);
+
+#if KMU_SWEEP_HAVE_FORK
+    if (jobs == 0) {
+        const long online = ::sysconf(_SC_NPROCESSORS_ONLN);
+        jobs = online > 0 ? unsigned(online) : 1u;
+    }
+#else
+    if (jobs == 0)
+        jobs = 1;
+#endif
+    if (jobs > count)
+        jobs = unsigned(count);
+    const bool parallel = forkSupported() && jobs > 1 && count > 1;
+    st.jobs = parallel ? jobs : 1;
+
+    if (!parallel) {
+        for (std::size_t i = 0; i < count; ++i) {
+            results[i] = runTimed(fn, i, st.serialSeconds);
+            have[i] = true;
+        }
+        st.wallSeconds = secondsSince(wall0);
+        if (stats)
+            *stats = st;
+        return results;
+    }
+
+#if KMU_SWEEP_HAVE_FORK
+    // Inherited stdio buffers would be flushed once per worker on a
+    // library _exit path; make them empty before forking.
+    std::fflush(nullptr);
+
+    std::vector<Worker> workers(jobs);
+    std::vector<int> readFds;
+    readFds.reserve(jobs);
+    for (unsigned w = 0; w < jobs; ++w) {
+        int fds[2];
+        if (::pipe(fds) != 0)
+            fatal("sweep: pipe failed: %s", std::strerror(errno));
+        const pid_t pid = ::fork();
+        if (pid < 0) {
+            // Can't grow the pool: close this pipe and run what this
+            // worker would have owned in the parent, below.
+            ::close(fds[0]);
+            ::close(fds[1]);
+            st.workersDied++;
+            continue;
+        }
+        if (pid == 0) {
+            ::close(fds[0]);
+            for (int fd : readFds)
+                ::close(fd);
+            workerMain(fds[1], w, jobs, count, fn);
+        }
+        ::close(fds[1]);
+        workers[w].pid = pid;
+        workers[w].fd = fds[0];
+        readFds.push_back(fds[0]);
+    }
+
+    // Drain every worker pipe until EOF, parsing complete frames as
+    // they arrive (workers block on a full pipe otherwise).
+    std::size_t open = 0;
+    for (const Worker &w : workers)
+        open += w.pid >= 0 ? 1 : 0;
+    while (open > 0) {
+        std::vector<struct pollfd> pfds;
+        std::vector<std::size_t> owner;
+        for (std::size_t w = 0; w < workers.size(); ++w) {
+            if (workers[w].pid >= 0 && !workers[w].eof) {
+                struct pollfd pf;
+                pf.fd = workers[w].fd;
+                pf.events = POLLIN;
+                pf.revents = 0;
+                pfds.push_back(pf);
+                owner.push_back(w);
+            }
+        }
+        int ready = ::poll(pfds.data(), nfds_t(pfds.size()), -1);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            fatal("sweep: poll failed: %s", std::strerror(errno));
+        }
+        for (std::size_t p = 0; p < pfds.size(); ++p) {
+            if (!(pfds[p].revents & (POLLIN | POLLHUP | POLLERR)))
+                continue;
+            Worker &w = workers[owner[p]];
+            std::uint8_t chunk[4096];
+            const ssize_t n = ::read(w.fd, chunk, sizeof(chunk));
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                fatal("sweep: read failed: %s",
+                      std::strerror(errno));
+            }
+            if (n == 0) {
+                w.eof = true;
+                ::close(w.fd);
+                --open;
+                continue;
+            }
+            w.buf.insert(w.buf.end(), chunk, chunk + n);
+            while (w.buf.size() >= frameBytes) {
+                std::uint32_t idx32;
+                std::uint64_t durNs;
+                std::memcpy(&idx32, w.buf.data(), 4);
+                std::memcpy(&durNs, w.buf.data() + 4, 8);
+                RunResult res;
+                if (idx32 >= count ||
+                    !deserializeRunResult(
+                        w.buf.data() + frameHeaderBytes,
+                        runResultWireBytes, res)) {
+                    // Corrupt stream: stop trusting this worker; its
+                    // unreported points are re-run below.
+                    w.buf.clear();
+                    w.eof = true;
+                    ::close(w.fd);
+                    --open;
+                    st.workersDied++;
+                    break;
+                }
+                results[idx32] = res;
+                have[idx32] = true;
+                st.serialSeconds += double(durNs) * 1e-9;
+                w.buf.erase(w.buf.begin(),
+                            w.buf.begin() +
+                                std::ptrdiff_t(frameBytes));
+            }
+        }
+    }
+
+    for (Worker &w : workers) {
+        if (w.pid < 0)
+            continue;
+        int status = 0;
+        pid_t r;
+        do {
+            r = ::waitpid(w.pid, &status, 0);
+        } while (r < 0 && errno == EINTR);
+        if (r == w.pid &&
+            !(WIFEXITED(status) && WEXITSTATUS(status) == 0))
+            st.workersDied++;
+    }
+
+    // Whatever a dead (or never-forked) worker failed to report is
+    // recomputed here, serially: identical results, just slower.
+    for (std::size_t i = 0; i < count; ++i) {
+        if (!have[i]) {
+            results[i] = runTimed(fn, i, st.serialSeconds);
+            have[i] = true;
+            st.pointsRecovered++;
+        }
+    }
+#endif // KMU_SWEEP_HAVE_FORK
+
+    st.wallSeconds = secondsSince(wall0);
+    if (stats)
+        *stats = st;
+    return results;
+}
+
+} // namespace kmu::sweep

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Process-pool executor for independent timing-model points.
+ *
+ * A figure sweep is a list of fully independent SimSystem runs — no
+ * point reads another's state. SweepRunner fans a list of
+ * (index -> RunResult) closures across `jobs` forked worker
+ * processes and merges the results back **in submission order**, so
+ * a parallel sweep is byte-identical to the serial one:
+ *
+ *  - fork(2) workers inherit the parent's memory, so closures over
+ *    SystemConfig (including its std::function plan members) need no
+ *    serialization; only the fixed-size RunResult crosses back, as
+ *    its bit-exact versioned wire format (core/run_result_wire.hh);
+ *  - worker w statically owns indices w, w+jobs, w+2*jobs, ... —
+ *    assignment is a pure function of (index, jobs), never of
+ *    completion timing;
+ *  - a worker that dies (crash, OOM-kill) is detected by pipe EOF +
+ *    wait status; its unreported points are re-run serially in the
+ *    parent, so results are complete whenever the points themselves
+ *    are runnable;
+ *  - jobs=1, a single point, or a platform without fork() takes the
+ *    plain in-process serial path.
+ *
+ * Per-point wall time is measured in the worker and shipped with
+ * each result, so the parent can report an honest serial-time
+ * estimate (and thus speedup) without a second, serial run.
+ */
+
+#ifndef KMU_SWEEP_SWEEP_RUNNER_HH
+#define KMU_SWEEP_SWEEP_RUNNER_HH
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "core/sim_system.hh"
+
+namespace kmu::sweep
+{
+
+class SweepRunner
+{
+  public:
+    /** Compute point @p index; must not depend on other points. */
+    using PointFn = std::function<RunResult(std::size_t index)>;
+
+    /** Self-measurement of one run() call. */
+    struct Stats
+    {
+        double wallSeconds = 0.0;   //!< whole run(), parent clock
+        double serialSeconds = 0.0; //!< sum of per-point wall times
+        std::size_t points = 0;
+        unsigned jobs = 1;          //!< workers actually used
+        unsigned workersDied = 0;   //!< abnormal worker exits
+        std::size_t pointsRecovered = 0; //!< re-run in the parent
+    };
+
+    /**
+     * Execute points 0..count-1 and return their results in index
+     * order. @p jobs == 0 means "one per online CPU"; the effective
+     * worker count is clamped to @p count.
+     */
+    std::vector<RunResult> run(std::size_t count, const PointFn &fn,
+                               unsigned jobs,
+                               Stats *stats = nullptr);
+
+    /** Whether this platform can fork worker processes at all. */
+    static bool forkSupported();
+
+    /** True while executing inside a forked worker (for tests). */
+    static bool inWorker();
+
+    /** Jobs requested via KMU_JOBS (malformed/absent -> 1). */
+    static unsigned envJobs();
+};
+
+} // namespace kmu::sweep
+
+#endif // KMU_SWEEP_SWEEP_RUNNER_HH

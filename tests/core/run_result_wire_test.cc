@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The RunResult wire format must round-trip every field bit-exactly
+ * and reject anything that is not a well-formed current-version
+ * frame — the parallel sweep's determinism rests on both.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/run_result_wire.hh"
+
+using namespace kmu;
+
+namespace
+{
+
+RunResult
+sampleResult()
+{
+    RunResult r;
+    r.elapsed = 123456789;
+    r.iterations = 0xdeadbeefcafe;
+    r.workInstrs = 987654321;
+    r.accesses = 424242;
+    r.writes = 1717;
+    // Doubles with no short decimal representation: a text-based
+    // format would lose bits here.
+    r.workIpc = 1.0 / 3.0;
+    r.accessesPerUs = 2.0 / 7.0;
+    r.meanReadLatencyNs = 1e3 + 1e-9;
+    r.toHostWireGBs = 3.9999999999999996;
+    r.toHostUsefulGBs = 0.1;
+    r.toDeviceWireGBs = 5e-324; // smallest subnormal
+    r.chipQueuePeak = 14;
+    r.prefetchesQueued = 31337;
+    r.replayMisses = 3;
+    r.l1Hits = 1u << 20;
+    r.l1Misses = 255;
+    return r;
+}
+
+} // anonymous namespace
+
+TEST(RunResultWire, RoundTripIsBitExact)
+{
+    const RunResult in = sampleResult();
+    const std::vector<std::uint8_t> wire = serializeRunResult(in);
+    ASSERT_EQ(wire.size(), runResultWireBytes);
+
+    RunResult out;
+    ASSERT_TRUE(deserializeRunResult(wire.data(), wire.size(), out));
+
+    // Serializing the decoded struct must reproduce the exact bytes:
+    // this compares every field, doubles by bit pattern.
+    EXPECT_EQ(serializeRunResult(out), wire);
+
+    EXPECT_EQ(out.elapsed, in.elapsed);
+    EXPECT_EQ(out.iterations, in.iterations);
+    EXPECT_EQ(out.workInstrs, in.workInstrs);
+    EXPECT_EQ(out.accesses, in.accesses);
+    EXPECT_EQ(out.writes, in.writes);
+    EXPECT_EQ(out.workIpc, in.workIpc);
+    EXPECT_EQ(out.accessesPerUs, in.accessesPerUs);
+    EXPECT_EQ(out.meanReadLatencyNs, in.meanReadLatencyNs);
+    EXPECT_EQ(out.toHostWireGBs, in.toHostWireGBs);
+    EXPECT_EQ(out.toHostUsefulGBs, in.toHostUsefulGBs);
+    EXPECT_EQ(out.toDeviceWireGBs, in.toDeviceWireGBs);
+    EXPECT_EQ(out.chipQueuePeak, in.chipQueuePeak);
+    EXPECT_EQ(out.prefetchesQueued, in.prefetchesQueued);
+    EXPECT_EQ(out.replayMisses, in.replayMisses);
+    EXPECT_EQ(out.l1Hits, in.l1Hits);
+    EXPECT_EQ(out.l1Misses, in.l1Misses);
+}
+
+TEST(RunResultWire, DefaultConstructedRoundTrips)
+{
+    const RunResult in;
+    const auto wire = serializeRunResult(in);
+    RunResult out = sampleResult();
+    ASSERT_TRUE(deserializeRunResult(wire.data(), wire.size(), out));
+    EXPECT_EQ(serializeRunResult(out), wire);
+}
+
+TEST(RunResultWire, RejectsBadMagic)
+{
+    auto wire = serializeRunResult(sampleResult());
+    wire[0] ^= 0xff;
+    RunResult out;
+    out.iterations = 7;
+    EXPECT_FALSE(deserializeRunResult(wire.data(), wire.size(), out));
+    EXPECT_EQ(out.iterations, 7u); // untouched on failure
+}
+
+TEST(RunResultWire, RejectsVersionMismatch)
+{
+    auto wire = serializeRunResult(sampleResult());
+    wire[4] = std::uint8_t(runResultWireVersion + 1);
+    RunResult out;
+    EXPECT_FALSE(deserializeRunResult(wire.data(), wire.size(), out));
+}
+
+TEST(RunResultWire, RejectsWrongSize)
+{
+    const auto wire = serializeRunResult(sampleResult());
+    RunResult out;
+    EXPECT_FALSE(
+        deserializeRunResult(wire.data(), wire.size() - 1, out));
+    EXPECT_FALSE(deserializeRunResult(wire.data(), 0, out));
+
+    std::vector<std::uint8_t> longer = wire;
+    longer.push_back(0);
+    EXPECT_FALSE(
+        deserializeRunResult(longer.data(), longer.size(), out));
+}

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * FigureRunner: the two-pass collect/execute/render protocol must
+ * reproduce direct serial execution exactly, and the baseline memo
+ * must key on the full workload shape — the shipped bug truncated
+ * writeFraction via int(wf * 1000), silently sharing one baseline
+ * between distinct write mixes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/run_result_wire.hh"
+#include "sweep/figure_runner.hh"
+
+using namespace kmu;
+
+namespace
+{
+
+SystemConfig
+tiny(unsigned threads)
+{
+    SystemConfig cfg;
+    cfg.mechanism = Mechanism::Prefetch;
+    cfg.threadsPerCore = threads;
+    cfg.warmup = microseconds(5);
+    cfg.measure = microseconds(25);
+    return cfg;
+}
+
+} // anonymous namespace
+
+TEST(FigureRunnerBaseline, AdjacentWriteFractionsKeyDistinctly)
+{
+    // Regression: int(0.1004 * 1000) == int(0.1009 * 1000) == 100,
+    // so the old memo handed the 0.1009 row the 0.1004 baseline.
+    SystemConfig a = tiny(1);
+    SystemConfig b = tiny(1);
+    a.writeFraction = 0.1004;
+    b.writeFraction = 0.1009;
+    EXPECT_NE(FigureRunner::baselineKey(a),
+              FigureRunner::baselineKey(b));
+
+    FigureRunner runner;
+    runner.beginCollect();
+    runner.baseline(a);
+    runner.baseline(b);
+    runner.baseline(a); // exact repeat must share its memo slot
+    EXPECT_EQ(runner.baselineCount(), 2u);
+    EXPECT_EQ(runner.pointCount(), 2u);
+}
+
+TEST(FigureRunnerBaseline, KeyCoversBaselineShapingFields)
+{
+    const SystemConfig ref = tiny(1);
+    const std::string refKey = FigureRunner::baselineKey(ref);
+
+    SystemConfig m = ref;
+    m.workCount = ref.workCount + 1;
+    EXPECT_NE(FigureRunner::baselineKey(m), refKey);
+
+    m = ref;
+    m.batch = ref.batch + 1;
+    EXPECT_NE(FigureRunner::baselineKey(m), refKey);
+
+    m = ref;
+    m.ctxSwitchCost = ref.ctxSwitchCost + 1;
+    EXPECT_NE(FigureRunner::baselineKey(m), refKey);
+
+    m = ref;
+    m.measure = ref.measure + 1;
+    EXPECT_NE(FigureRunner::baselineKey(m), refKey);
+
+    // Fields the baseline cannot observe must NOT shred sharing:
+    // every thread count of a sweep column shares one DRAM baseline.
+    m = ref;
+    m.threadsPerCore = 32;
+    m.numCores = 8;
+    m.device.latency = microseconds(4);
+    m.chipPcieQueue = 1024;
+    EXPECT_EQ(FigureRunner::baselineKey(m), refKey);
+}
+
+TEST(FigureRunner, TwoPassMatchesDirectExecution)
+{
+    const unsigned threadList[] = {1u, 2u, 3u};
+
+    std::vector<double> normals;
+    std::vector<RunResult> runs;
+    const auto body = [&](FigureRunner &r) {
+        normals.clear();
+        runs.clear();
+        for (unsigned threads : threadList) {
+            SystemConfig cfg = tiny(threads);
+            normals.push_back(r.normalized(cfg));
+            runs.push_back(r.run(cfg));
+        }
+    };
+
+    FigureRunner runner;
+    runner.beginCollect();
+    body(runner);
+    // Three normalized() points + three run() points + one shared
+    // baseline (threadsPerCore is not a baseline-shaping field).
+    EXPECT_EQ(runner.pointCount(), 7u);
+    EXPECT_EQ(runner.baselineCount(), 1u);
+
+    const auto stats = runner.execute(2);
+    EXPECT_EQ(stats.points, 7u);
+
+    runner.beginRender();
+    body(runner);
+
+    for (std::size_t i = 0; i < 3; ++i) {
+        SystemConfig cfg = tiny(threadList[i]);
+        const RunResult direct = runSystem(cfg);
+        const RunResult base = runSystem(baselineConfig(cfg));
+        EXPECT_EQ(serializeRunResult(runs[i]),
+                  serializeRunResult(direct))
+            << "run() result " << i << " differs from direct";
+        EXPECT_EQ(normals[i], normalizedWorkIpc(direct, base))
+            << "normalized() result " << i << " differs from direct";
+    }
+}
+
+TEST(FigureRunner, CollectPassIsInert)
+{
+    FigureRunner runner;
+    runner.beginCollect();
+    const SystemConfig cfg = tiny(2);
+
+    // Dummies keep any body-side normalizedWorkIpc() call finite.
+    const RunResult dummy = runner.run(cfg);
+    EXPECT_GT(dummy.workIpc, 0.0);
+    EXPECT_EQ(runner.normalized(cfg), 0.0);
+
+    // emit() must not write anything during collect.
+    Table table("inert");
+    table.setHeader({"a"});
+    table.addRow({"1"});
+    runner.emit(table, "figure_runner_test_inert.csv");
+    std::FILE *f = std::fopen("figure_runner_test_inert.csv", "rb");
+    EXPECT_EQ(f, nullptr);
+    if (f)
+        std::fclose(f);
+}

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * SweepRunner contract: parallel execution returns exactly the
+ * serial results in submission order, whatever the worker count, and
+ * a dying worker costs recovery work, never results.
+ */
+
+#include <gtest/gtest.h>
+
+#ifdef __unix__
+#include <unistd.h>
+#endif
+
+#include "core/run_result_wire.hh"
+#include "sweep/sweep_runner.hh"
+
+using namespace kmu;
+using sweep::SweepRunner;
+
+namespace
+{
+
+/** A deterministic fake point: every field derived from the index. */
+RunResult
+makePoint(std::size_t i)
+{
+    RunResult r;
+    r.elapsed = Tick(1000 + i);
+    r.iterations = 10 * i + 1;
+    r.workInstrs = i * i;
+    r.accesses = i + 7;
+    r.writes = i / 2;
+    r.workIpc = 1.0 + double(i) / 3.0;
+    r.accessesPerUs = double(i) / 7.0;
+    r.meanReadLatencyNs = 1000.0 / double(i + 1);
+    r.toHostWireGBs = double(i) * 0.3;
+    r.toHostUsefulGBs = double(i) * 0.2;
+    r.toDeviceWireGBs = double(i) * 0.1;
+    r.chipQueuePeak = std::uint32_t(i % 48);
+    r.prefetchesQueued = i * 3;
+    r.replayMisses = i % 5;
+    r.l1Hits = i * 11;
+    r.l1Misses = i * 13;
+    return r;
+}
+
+/** Field-complete, bit-exact equality via the wire encoding. */
+void
+expectSame(const std::vector<RunResult> &got, std::size_t count)
+{
+    ASSERT_EQ(got.size(), count);
+    for (std::size_t i = 0; i < count; ++i) {
+        EXPECT_EQ(serializeRunResult(got[i]),
+                  serializeRunResult(makePoint(i)))
+            << "result " << i << " not merged in submission order";
+    }
+}
+
+} // anonymous namespace
+
+TEST(SweepRunner, SerialPathReturnsSubmissionOrder)
+{
+    SweepRunner pool;
+    SweepRunner::Stats stats;
+    const auto got = pool.run(9, makePoint, 1, &stats);
+    expectSame(got, 9);
+    EXPECT_EQ(stats.points, 9u);
+    EXPECT_EQ(stats.jobs, 1u);
+    EXPECT_EQ(stats.workersDied, 0u);
+    EXPECT_EQ(stats.pointsRecovered, 0u);
+}
+
+TEST(SweepRunner, ParallelMatchesSerialBitExactly)
+{
+    if (!SweepRunner::forkSupported())
+        GTEST_SKIP() << "no fork() on this platform";
+    SweepRunner pool;
+    SweepRunner::Stats stats;
+    const auto got = pool.run(23, makePoint, 4, &stats);
+    expectSame(got, 23);
+    EXPECT_EQ(stats.jobs, 4u);
+    EXPECT_EQ(stats.workersDied, 0u);
+    EXPECT_GT(stats.serialSeconds, 0.0);
+}
+
+TEST(SweepRunner, MoreJobsThanPointsClampsCleanly)
+{
+    if (!SweepRunner::forkSupported())
+        GTEST_SKIP() << "no fork() on this platform";
+    SweepRunner pool;
+    SweepRunner::Stats stats;
+    const auto got = pool.run(3, makePoint, 16, &stats);
+    expectSame(got, 3);
+    EXPECT_LE(stats.jobs, 3u);
+}
+
+TEST(SweepRunner, ZeroPointsIsEmpty)
+{
+    SweepRunner pool;
+    EXPECT_TRUE(pool.run(0, makePoint, 4).empty());
+}
+
+#ifdef __unix__
+TEST(SweepRunner, WorkerDeathRecoversMissingPoints)
+{
+    if (!SweepRunner::forkSupported())
+        GTEST_SKIP() << "no fork() on this platform";
+    SweepRunner pool;
+    SweepRunner::Stats stats;
+    // Worker 1 (owner of indices 1, 3, 5, 7) dies on its first
+    // point. The parent must detect the death and recompute every
+    // unreported point in-process, where inWorker() is false.
+    const auto got = pool.run(
+        8,
+        [](std::size_t i) {
+            if (i == 1 && SweepRunner::inWorker())
+                ::_exit(3);
+            return makePoint(i);
+        },
+        2, &stats);
+    expectSame(got, 8);
+    EXPECT_EQ(stats.workersDied, 1u);
+    EXPECT_EQ(stats.pointsRecovered, 4u);
+}
+#endif
+
+TEST(SweepRunner, EnvJobsParsesStrictly)
+{
+    ::setenv("KMU_JOBS", "6", 1);
+    EXPECT_EQ(SweepRunner::envJobs(), 6u);
+    ::setenv("KMU_JOBS", "abc", 1);
+    EXPECT_EQ(SweepRunner::envJobs(), 1u);
+    ::setenv("KMU_JOBS", "4x", 1);
+    EXPECT_EQ(SweepRunner::envJobs(), 1u);
+    ::unsetenv("KMU_JOBS");
+    EXPECT_EQ(SweepRunner::envJobs(), 1u);
+}

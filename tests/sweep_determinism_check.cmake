@@ -1,0 +1,57 @@
+# Parallel-sweep determinism gate: a figure bench run with jobs=4
+# must produce byte-identical stdout and CSVs to the jobs=1 serial
+# run. Any divergence in the submission-order merge, the RunResult
+# wire round trip, or the two-pass body replay shows up here.
+#
+# Invoked by ctest as:
+#   cmake -DFIG02=<path> -DFIG07=<path> -DWORK_DIR=<dir>
+#         -P sweep_determinism_check.cmake
+
+if(NOT FIG02 OR NOT FIG07)
+    message(FATAL_ERROR "pass -DFIG02=/-DFIG07=<paths to benches>")
+endif()
+if(NOT WORK_DIR)
+    set(WORK_DIR ${CMAKE_CURRENT_BINARY_DIR})
+endif()
+
+foreach(jobs 1 4)
+    set(dir ${WORK_DIR}/sweep_det_jobs${jobs})
+    file(REMOVE_RECURSE ${dir})
+    file(MAKE_DIRECTORY ${dir})
+    foreach(bench ${FIG02} ${FIG07})
+        get_filename_component(name ${bench} NAME)
+        execute_process(
+            COMMAND ${bench} jobs=${jobs} bench_json=
+            WORKING_DIRECTORY ${dir}
+            OUTPUT_FILE ${dir}/${name}.out
+            ERROR_VARIABLE err
+            RESULT_VARIABLE rc)
+        if(NOT rc EQUAL 0)
+            message(FATAL_ERROR
+                "${name} jobs=${jobs} failed (rc=${rc}): ${err}")
+        endif()
+    endforeach()
+endforeach()
+
+file(GLOB serial_files
+     ${WORK_DIR}/sweep_det_jobs1/*.csv
+     ${WORK_DIR}/sweep_det_jobs1/*.out)
+if(NOT serial_files)
+    message(FATAL_ERROR "serial run produced no CSVs to compare")
+endif()
+
+foreach(serial ${serial_files})
+    get_filename_component(name ${serial} NAME)
+    execute_process(
+        COMMAND ${CMAKE_COMMAND} -E compare_files
+                ${serial} ${WORK_DIR}/sweep_det_jobs4/${name}
+        RESULT_VARIABLE diff)
+    if(NOT diff EQUAL 0)
+        message(FATAL_ERROR
+            "'${name}' differs between jobs=1 and jobs=4; the "
+            "parallel sweep is not output-neutral (compare "
+            "sweep_det_jobs1/ and sweep_det_jobs4/ in ${WORK_DIR})")
+    endif()
+endforeach()
+message(STATUS
+    "sweep determinism check passed: jobs=4 byte-identical to serial")

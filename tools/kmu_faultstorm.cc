@@ -33,6 +33,7 @@
 #include "check/invariant.hh"
 #include "common/random.hh"
 #include "fault/fault_plan.hh"
+#include "tool_args.hh"
 
 using namespace kmu;
 using fault::FaultPlan;
@@ -54,15 +55,11 @@ usage()
     std::exit(1);
 }
 
-bool
-parseKv(const char *arg, std::string &key, std::string &value)
+[[noreturn]] void
+badValue(const std::string &key, const std::string &value)
 {
-    const char *eq = std::strchr(arg, '=');
-    if (!eq || eq == arg)
-        return false;
-    key.assign(arg, eq);
-    value.assign(eq + 1);
-    return true;
+    toolargs::reportBadValue("kmu_faultstorm", key, value);
+    usage();
 }
 
 std::vector<std::string>
@@ -193,24 +190,33 @@ main(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         std::string key;
         std::string value;
-        if (!parseKv(argv[i], key, value))
+        if (!toolargs::parseKv(argv[i], key, value)) {
+            toolargs::reportBadArg("kmu_faultstorm", argv[i]);
             usage();
+        }
         if (key == "seed") {
-            seed = std::strtoull(value.c_str(), nullptr, 0);
+            if (!toolargs::parseU64(value, seed))
+                badValue(key, value);
         } else if (key == "ops") {
-            ops = std::strtoull(value.c_str(), nullptr, 0);
+            if (!toolargs::parseU64(value, ops) || ops == 0)
+                badValue(key, value);
         } else if (key == "fibers") {
-            fibers = std::strtoull(value.c_str(), nullptr, 0);
-            if (fibers == 0)
-                usage();
+            if (!toolargs::parseU64(value, fibers) || fibers == 0)
+                badValue(key, value);
         } else if (key == "require_recovery") {
-            require_recovery = value != "0";
+            if (!toolargs::parseFlag(value, require_recovery))
+                badValue(key, value);
         } else if (key == "rates") {
             rates.clear();
-            for (const std::string &r : splitList(value))
-                rates.push_back(std::strtod(r.c_str(), nullptr));
+            for (const std::string &r : splitList(value)) {
+                double rate = 0.0;
+                if (!toolargs::parseF64(r, rate) || rate < 0.0 ||
+                    rate > 1.0)
+                    badValue(key, value);
+                rates.push_back(rate);
+            }
             if (rates.empty())
-                usage();
+                badValue(key, value);
         } else if (key == "mechanisms") {
             mechanisms.clear();
             for (const std::string &m : splitList(value)) {
@@ -221,9 +227,12 @@ main(int argc, char **argv)
                 else if (m == "swqueue")
                     mechanisms.push_back(Mechanism::SwQueue);
                 else
-                    usage();
+                    badValue(key, value);
             }
+            if (mechanisms.empty())
+                badValue(key, value);
         } else {
+            toolargs::reportUnknownKey("kmu_faultstorm", key);
             usage();
         }
     }

@@ -15,11 +15,11 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <iostream>
 #include <string>
 
 #include "core/sim_system.hh"
+#include "tool_args.hh"
 #include "trace/trace.hh"
 
 using namespace kmu;
@@ -53,15 +53,11 @@ usage()
     std::exit(1);
 }
 
-bool
-parseKv(const char *arg, std::string &key, std::string &value)
+[[noreturn]] void
+badValue(const std::string &key, const std::string &value)
 {
-    const char *eq = std::strchr(arg, '=');
-    if (!eq || eq == arg)
-        return false;
-    key.assign(arg, eq);
-    value.assign(eq + 1);
-    return true;
+    toolargs::reportBadValue("kmu_sim", key, value);
+    usage();
 }
 
 } // anonymous namespace
@@ -78,9 +74,13 @@ main(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         std::string key;
         std::string value;
-        if (!parseKv(argv[i], key, value))
+        if (!toolargs::parseKv(argv[i], key, value)) {
+            toolargs::reportBadArg("kmu_sim", argv[i]);
             usage();
+        }
 
+        std::uint64_t u64 = 0;
+        double f64 = 0.0;
         if (key == "mechanism") {
             if (value == "ondemand")
                 cfg.mechanism = Mechanism::OnDemand;
@@ -89,52 +89,79 @@ main(int argc, char **argv)
             else if (value == "swqueue")
                 cfg.mechanism = Mechanism::SwQueue;
             else
-                usage();
+                badValue(key, value);
         } else if (key == "backing") {
             if (value == "dram")
                 cfg.backing = Backing::Dram;
             else if (value == "device")
                 cfg.backing = Backing::Device;
             else
-                usage();
+                badValue(key, value);
         } else if (key == "attach") {
             if (value == "pcie")
                 cfg.attach = DeviceAttach::Pcie;
             else if (value == "membus")
                 cfg.attach = DeviceAttach::MemoryBus;
             else
-                usage();
+                badValue(key, value);
         } else if (key == "cores") {
-            cfg.numCores = std::uint32_t(std::stoul(value));
+            if (!toolargs::parseU32(value, cfg.numCores) ||
+                cfg.numCores == 0)
+                badValue(key, value);
         } else if (key == "threads") {
-            cfg.threadsPerCore = std::uint32_t(std::stoul(value));
+            if (!toolargs::parseU32(value, cfg.threadsPerCore) ||
+                cfg.threadsPerCore == 0)
+                badValue(key, value);
         } else if (key == "smt") {
-            cfg.smtContexts = std::uint32_t(std::stoul(value));
+            if (!toolargs::parseU32(value, cfg.smtContexts) ||
+                cfg.smtContexts == 0)
+                badValue(key, value);
         } else if (key == "latency_us") {
-            cfg.device.latency = Tick(std::stod(value) * tickPerUs);
+            if (!toolargs::parseF64(value, f64) || f64 < 0.0)
+                badValue(key, value);
+            cfg.device.latency = Tick(f64 * tickPerUs);
         } else if (key == "work") {
-            cfg.workCount = std::uint32_t(std::stoul(value));
+            if (!toolargs::parseU32(value, cfg.workCount))
+                badValue(key, value);
         } else if (key == "batch") {
-            cfg.batch = std::uint32_t(std::stoul(value));
+            if (!toolargs::parseU32(value, cfg.batch) ||
+                cfg.batch == 0)
+                badValue(key, value);
         } else if (key == "write_frac") {
-            cfg.writeFraction = std::stod(value);
+            if (!toolargs::parseF64(value, f64) || f64 < 0.0 ||
+                f64 > 1.0)
+                badValue(key, value);
+            cfg.writeFraction = f64;
         } else if (key == "lfb") {
-            cfg.lfbPerCore = std::uint32_t(std::stoul(value));
+            if (!toolargs::parseU32(value, cfg.lfbPerCore) ||
+                cfg.lfbPerCore == 0)
+                badValue(key, value);
         } else if (key == "chipq") {
-            cfg.chipPcieQueue = std::uint32_t(std::stoul(value));
+            if (!toolargs::parseU32(value, cfg.chipPcieQueue) ||
+                cfg.chipPcieQueue == 0)
+                badValue(key, value);
         } else if (key == "ctx_ns") {
-            cfg.ctxSwitchCost = nanoseconds(std::stoul(value));
+            if (!toolargs::parseU64(value, u64))
+                badValue(key, value);
+            cfg.ctxSwitchCost = nanoseconds(u64);
         } else if (key == "measure_us") {
-            cfg.measure = microseconds(std::stoul(value));
+            if (!toolargs::parseU64(value, u64) || u64 == 0)
+                badValue(key, value);
+            cfg.measure = microseconds(u64);
         } else if (key == "stats") {
-            dump_stats = value != "0";
+            if (!toolargs::parseFlag(value, dump_stats))
+                badValue(key, value);
         } else if (key == "csv") {
-            csv = value != "0";
+            if (!toolargs::parseFlag(value, csv))
+                badValue(key, value);
         } else if (key == "trace") {
             trace_path = value;
         } else if (key == "trace_period_us") {
-            trace_period = Tick(std::stod(value) * tickPerUs);
+            if (!toolargs::parseF64(value, f64) || f64 <= 0.0)
+                badValue(key, value);
+            trace_period = Tick(f64 * tickPerUs);
         } else {
+            toolargs::reportUnknownKey("kmu_sim", key);
             usage();
         }
     }

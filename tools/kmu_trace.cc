@@ -19,6 +19,7 @@
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "common/units.hh"
+#include "tool_args.hh"
 #include "trace/export.hh"
 #include "trace/trace.hh"
 
@@ -36,17 +37,6 @@ usage()
         "  csv=FILE    write per-kind summary CSV\n"
         "  quiet=0|1   suppress the summary table (0)\n");
     std::exit(1);
-}
-
-bool
-parseKv(const char *arg, std::string &key, std::string &value)
-{
-    const char *eq = std::strchr(arg, '=');
-    if (!eq || eq == arg)
-        return false;
-    key.assign(arg, eq);
-    value.assign(eq + 1);
-    return true;
 }
 
 void
@@ -79,16 +69,23 @@ main(int argc, char **argv)
     for (int i = 2; i < argc; ++i) {
         std::string key;
         std::string value;
-        if (!parseKv(argv[i], key, value))
+        if (!toolargs::parseKv(argv[i], key, value)) {
+            toolargs::reportBadArg("kmu_trace", argv[i]);
             usage();
-        if (key == "json")
+        }
+        if (key == "json") {
             json_path = value;
-        else if (key == "csv")
+        } else if (key == "csv") {
             csv_path = value;
-        else if (key == "quiet")
-            quiet = value != "0";
-        else
+        } else if (key == "quiet") {
+            if (!toolargs::parseFlag(value, quiet)) {
+                toolargs::reportBadValue("kmu_trace", key, value);
+                usage();
+            }
+        } else {
+            toolargs::reportUnknownKey("kmu_trace", key);
             usage();
+        }
     }
 
     const trace::TraceBuffer::FileData data =

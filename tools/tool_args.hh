@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Shared strict key=value argument parsing for the CLI tools.
+ *
+ * The tools accept gem5-style `key=value` argument lists. The parse
+ * helpers here are strict so a typo never turns into an uncaught
+ * std::invalid_argument abort or a silently-wrapped number: the
+ * whole value must parse, out-of-range values are rejected, and the
+ * caller reports the offending `key=value` pair before printing its
+ * usage text and exiting non-zero.
+ */
+
+#ifndef KMU_TOOLS_TOOL_ARGS_HH
+#define KMU_TOOLS_TOOL_ARGS_HH
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <string>
+
+namespace kmu::toolargs
+{
+
+/** Split "key=value" (value may be empty; key may not). */
+inline bool
+parseKv(const char *arg, std::string &key, std::string &value)
+{
+    const char *eq = std::strchr(arg, '=');
+    if (!eq || eq == arg)
+        return false;
+    key.assign(arg, eq);
+    value.assign(eq + 1);
+    return true;
+}
+
+/**
+ * Strict unsigned parse: the entire string must be a non-negative
+ * integer (decimal, or 0x/0 prefixed) that fits the target type.
+ */
+inline bool
+parseU64(const std::string &s, std::uint64_t &out)
+{
+    if (s.empty() || s[0] == '-' || s[0] == '+')
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(s.c_str(), &end, 0);
+    if (errno != 0 || end != s.c_str() + s.size())
+        return false;
+    out = v;
+    return true;
+}
+
+inline bool
+parseU32(const std::string &s, std::uint32_t &out)
+{
+    std::uint64_t v = 0;
+    if (!parseU64(s, v) ||
+        v > std::numeric_limits<std::uint32_t>::max())
+        return false;
+    out = std::uint32_t(v);
+    return true;
+}
+
+/**
+ * Strict double parse: the entire string must be a finite number
+ * (no inf/nan, no range overflow).
+ */
+inline bool
+parseF64(const std::string &s, double &out)
+{
+    if (s.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(s.c_str(), &end);
+    if (errno != 0 || end != s.c_str() + s.size())
+        return false;
+    if (!(v == v) || v > std::numeric_limits<double>::max() ||
+        v < -std::numeric_limits<double>::max())
+        return false;
+    out = v;
+    return true;
+}
+
+/** Strict boolean flag: exactly "0" or "1". */
+inline bool
+parseFlag(const std::string &s, bool &out)
+{
+    if (s == "0") {
+        out = false;
+        return true;
+    }
+    if (s == "1") {
+        out = true;
+        return true;
+    }
+    return false;
+}
+
+/**
+ * Report a malformed or out-of-range value. The caller's usage()
+ * follows, so this only names the offending pair.
+ */
+inline void
+reportBadValue(const char *tool, const std::string &key,
+               const std::string &value)
+{
+    std::fprintf(stderr, "%s: bad value in '%s=%s'\n", tool,
+                 key.c_str(), value.c_str());
+}
+
+/** Report an argument that is not a key=value pair at all. */
+inline void
+reportBadArg(const char *tool, const char *arg)
+{
+    std::fprintf(stderr, "%s: expected key=value, got '%s'\n", tool,
+                 arg);
+}
+
+/** Report an unrecognized key. */
+inline void
+reportUnknownKey(const char *tool, const std::string &key)
+{
+    std::fprintf(stderr, "%s: unknown option '%s'\n", tool,
+                 key.c_str());
+}
+
+} // namespace kmu::toolargs
+
+#endif // KMU_TOOLS_TOOL_ARGS_HH
