@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Extension: sharded multi-device backend.
+ *
+ * The paper evaluates one device behind one PCIe link. This bench
+ * asks what changes when the backend is N device shards, each with
+ * its own link and chip-queue slice, with host lines interleaved
+ * across them (src/topo). Two sweeps per latency point:
+ *
+ *  - fixed *aggregate* wire bandwidth (4 GB/s split N ways): does
+ *    slicing one link into N thinner ones help or hurt? Both
+ *    chip-queue policies (partitioned slices vs. a replicated
+ *    full-size queue per shard) bound the answer.
+ *
+ *  - fixed *per-shard* bandwidth (1 GB/s each): aggregate throughput
+ *    should scale with shard count until a queue ahead of the links
+ *    saturates; the reported peak chip-queue occupancy names the
+ *    bottleneck.
+ */
+
+#include "bench/fig_common.hh"
+
+using namespace kmu;
+
+int
+main(int argc, char **argv)
+{
+    return figureMain(argc, argv, "abl_sharding",
+                      [](FigureRunner &runner) {
+        for (unsigned us : {1u, 4u}) {
+            Table table(csprintf("Extension — sharded device "
+                                 "backend, 8 cores x 16 threads, "
+                                 "%u us", us));
+            table.setHeader({"shards", "agg 4 GB/s (part.)",
+                             "agg 4 GB/s (repl.)", "per-link 1 GB/s",
+                             "useful GB/s", "peak chipq",
+                             "swq per-link 1 GB/s"});
+
+            for (unsigned shards : {1u, 2u, 4u, 8u}) {
+                std::vector<std::string> row;
+                row.push_back(Table::num(std::uint64_t(shards)));
+
+                // Fixed aggregate bandwidth: one 4 GB/s link split
+                // into N slices, chip queue partitioned with it.
+                // Page interleave: the microbenchmark's unique-line
+                // stream strides 16 lines per thread iteration, so
+                // cache-line interleave would alias every access of
+                // a batch-1 run onto shard 0.
+                SystemConfig split;
+                split.mechanism = Mechanism::Prefetch;
+                split.numCores = 8;
+                split.threadsPerCore = 16;
+                split.device.latency = microseconds(us);
+                split.topo.shards = shards;
+                split.topo.interleave = topo::Interleave::Page;
+                split.topo.chipQueuePolicy =
+                    topo::ChipQueuePolicy::Partitioned;
+                split.pcie.bytesPerSec = 4'000'000'000ull / shards;
+                row.push_back(Table::num(runner.normalized(split),
+                                         4));
+
+                // Same split links, but each shard keeps a
+                // full-size chip queue.
+                SystemConfig repl = split;
+                repl.topo.chipQueuePolicy =
+                    topo::ChipQueuePolicy::Replicated;
+                row.push_back(Table::num(runner.normalized(repl), 4));
+
+                // Fixed per-shard bandwidth: every shard brings its
+                // own 1 GB/s link, so aggregate wire bandwidth grows
+                // with the shard count.
+                SystemConfig per_link = repl;
+                per_link.pcie.bytesPerSec = 1'000'000'000ull;
+                const auto res = runner.run(per_link);
+                row.push_back(Table::num(
+                    normalizedWorkIpc(res,
+                                      runner.baseline(per_link)),
+                    4));
+                row.push_back(Table::num(res.toHostUsefulGBs, 3));
+                row.push_back(Table::num(
+                    std::uint64_t(res.chipQueuePeak)));
+
+                // Software queues over the same per-shard links:
+                // per-shard rings and doorbells, completions
+                // demuxed by the shard tag.
+                SystemConfig swq = per_link;
+                swq.mechanism = Mechanism::SwQueue;
+                row.push_back(Table::num(runner.normalized(swq), 4));
+                table.addRow(std::move(row));
+            }
+            runner.emit(table,
+                        csprintf("abl_sharding_%uus.csv", us));
+        }
+
+        std::cout << "Adding whole links scales aggregate useful "
+                     "bandwidth: at 1 us each thin 1 GB/s link "
+                     "saturates on the wire, so extra links add "
+                     "throughput until core-side limits flatten "
+                     "the curve. At 4 us the bottleneck is the "
+                     "14-entry chip queue — peak occupancy pins "
+                     "at its cap, and Little's law (14 in-flight "
+                     "per 4 us, 64 B lines) reproduces the "
+                     "~0.22 GB/s single-shard plateau. Splitting "
+                     "one 4 GB/s link N ways is neutral-to-"
+                     "harmful: partitioned queue slices drop "
+                     "below the entries needed to cover the "
+                     "latency, exactly the paper's queue-sizing "
+                     "rule in reverse.\n";
+    });
+}

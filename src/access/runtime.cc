@@ -28,15 +28,25 @@ Runtime::Runtime(std::vector<std::uint8_t> device_image, Config config)
             cfg.retry);
         break;
       case Mechanism::SwQueue: {
+        kmuAssert(cfg.shards >= 1 && cfg.shards <= topo::maxShards,
+                  "shard count %u out of [1, %u]", cfg.shards,
+                  topo::maxShards);
         EmulatedDevice::Config dev_cfg;
         dev_cfg.latency = cfg.deviceLatency;
         dev_cfg.queueDepth = cfg.queueDepth;
         dev_cfg.manual = cfg.deterministicDevice;
         device = std::make_unique<EmulatedDevice>(
             std::move(device_image), dev_cfg);
-        pairIndex = device->addQueuePair();
+        // One queue pair per shard; contiguous indices starting at
+        // pairIndex (shard s = pairIndex + s).
+        std::vector<std::size_t> pair_list;
+        pair_list.reserve(cfg.shards);
+        for (std::uint32_t s = 0; s < cfg.shards; ++s)
+            pair_list.push_back(device->addQueuePair());
+        pairIndex = pair_list.front();
         accessEngine = std::make_unique<SwQueueEngine>(
-            sched, *device, pairIndex, &governor, cfg.retry);
+            sched, *device, std::move(pair_list), cfg.interleave,
+            &governor, cfg.retry);
         break;
       }
     }

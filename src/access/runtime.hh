@@ -27,6 +27,7 @@
 #include "access/access_engine.hh"
 #include "device/emulated_device.hh"
 #include "fault/recovery.hh"
+#include "topo/topology.hh"
 #include "ult/scheduler.hh"
 
 namespace kmu
@@ -44,6 +45,15 @@ class Runtime
 
         /** Queue-pair ring depth (SwQueue mechanism only). */
         std::size_t queueDepth = 256;
+
+        /**
+         * Device shards (SwQueue mechanism only): the engine gets
+         * one queue pair per shard and routes each line address to
+         * its shard by @p interleave (src/topo). 1 = the paper's
+         * single-device platform.
+         */
+        std::uint32_t shards = 1;
+        topo::Interleave interleave = topo::Interleave::CacheLine;
 
         /**
          * SwQueue only: run the emulated device in manual-pump mode
@@ -95,7 +105,8 @@ class Runtime
      *  exposed so callers can enable replay checking before run(). */
     EmulatedDevice *emulatedDevice() { return device.get(); }
 
-    /** Queue-pair index of this runtime's engine (SwQueue only). */
+    /** First queue-pair index of this runtime's engine (SwQueue
+     *  only; shard s of a sharded runtime owns index pairIndex + s). */
     std::size_t queuePairIndex() const { return pairIndex; }
 
     /** Shared degradation governor (for campaign reporting). */

@@ -14,9 +14,28 @@ SwQueueEngine::SwQueueEngine(Scheduler &scheduler, EmulatedDevice &device,
                              std::size_t pair,
                              fault::DegradationGovernor *gov,
                              fault::RetryPolicy policy)
-    : sched(scheduler), dev(device), pairIndex(pair),
-      queues(device.queuePair(pair)), governor(gov), backoff(policy)
+    : SwQueueEngine(scheduler, device, std::vector<std::size_t>{pair},
+                    topo::Interleave::CacheLine, gov, policy)
 {
+}
+
+SwQueueEngine::SwQueueEngine(Scheduler &scheduler, EmulatedDevice &device,
+                             std::vector<std::size_t> pair_list,
+                             topo::Interleave interleave,
+                             fault::DegradationGovernor *gov,
+                             fault::RetryPolicy policy)
+    : sched(scheduler), dev(device), pairIndices(std::move(pair_list)),
+      governor(gov), backoff(policy)
+{
+    kmuAssert(!pairIndices.empty() &&
+                  pairIndices.size() <= topo::maxShards,
+              "need 1..%u queue pairs", topo::maxShards);
+    topoCfg.shards = std::uint32_t(pairIndices.size());
+    topoCfg.interleave = interleave;
+    pairs.reserve(pairIndices.size());
+    for (std::size_t idx : pairIndices)
+        pairs.push_back(&device.queuePair(idx));
+
     sched.setIdleHandler([this]() { return pollCompletions(); });
     staging.reserve(stagingSlots);
     for (std::size_t i = 0; i < stagingSlots; ++i) {
@@ -90,12 +109,16 @@ SwQueueEngine::submitAndWait(const Addr *addrs, std::size_t n)
         io.line[i] = lineAlign(addrs[i]);
         io.attempts[i] = 0;
         io.deadlineAt[i] = pollTick + backoff.deadlinePolls(1);
+        const std::uint32_t shard = shardFor(io.line[i]);
         RequestDescriptor desc = RequestDescriptor::read(
             io.line[i],
-            RequestDescriptor::taggedHost(
-                reinterpret_cast<std::uintptr_t>(&io.buffers[i][0]),
-                io.gen[i]));
-        while (!queues.submit(desc)) {
+            topo::taggedShard(
+                RequestDescriptor::taggedHost(
+                    reinterpret_cast<std::uintptr_t>(
+                        &io.buffers[i][0]),
+                    io.gen[i]),
+                shard));
+        while (!pairs[shard]->submit(desc)) {
             // Request ring full: let other fibers and the device
             // make progress, then retry.
             stalledWait();
@@ -150,28 +173,31 @@ SwQueueEngine::readLines(const Addr *addrs, std::size_t n, void *out)
 void
 SwQueueEngine::doorbellIfRequested()
 {
-    // Doorbell-request protocol: only ring when the device asked.
-    if (queues.consumeDoorbellRequest()) {
-        doorbells++;
-        trace::instant(trace::Kind::Doorbell, doorbells,
-                       std::uint16_t(pairIndex));
-        dev.doorbell(pairIndex);
+    // Doorbell-request protocol: only ring the shards whose device
+    // side asked for one.
+    for (std::uint32_t s = 0; s < pairs.size(); ++s) {
+        if (pairs[s]->consumeDoorbellRequest()) {
+            doorbells++;
+            trace::instant(trace::Kind::Doorbell, doorbells,
+                           std::uint16_t(pairIndices[s]));
+            dev.doorbell(pairIndices[s]);
+        }
     }
 }
 
 void
-SwQueueEngine::forceDoorbell()
+SwQueueEngine::forceDoorbell(std::uint32_t shard)
 {
     // Recovery path: the doorbell (or the completion that would have
     // made one unnecessary) may have been lost, so ring regardless
     // of the request flag. Consume the flag first so the protocol
     // state stays consistent with a rung doorbell.
-    queues.consumeDoorbellRequest();
+    pairs[shard]->consumeDoorbellRequest();
     recoveryStats.recoveryDoorbells++;
     doorbells++;
     trace::instant(trace::Kind::Doorbell, doorbells,
-                   std::uint16_t(pairIndex), 1 /* recovery */);
-    dev.doorbell(pairIndex);
+                   std::uint16_t(pairIndices[shard]), 1 /* recovery */);
+    dev.doorbell(pairIndices[shard]);
 }
 
 void
@@ -184,17 +210,21 @@ SwQueueEngine::reissueRead(FiberIo &io, std::size_t slot)
               (unsigned long long)io.line[slot],
               backoff.policy().maxRetries);
     io.gen[slot] = std::uint8_t(io.gen[slot] + 1u);
+    const std::uint32_t shard = shardFor(io.line[slot]);
     RequestDescriptor desc = RequestDescriptor::read(
         io.line[slot],
-        RequestDescriptor::taggedHost(
-            reinterpret_cast<std::uintptr_t>(&io.buffers[slot][0]),
-            io.gen[slot]));
+        topo::taggedShard(
+            RequestDescriptor::taggedHost(
+                reinterpret_cast<std::uintptr_t>(
+                    &io.buffers[slot][0]),
+                io.gen[slot]),
+            shard));
     // Push the deadline whether or not the submit lands: a full ring
     // resolves by draining, and the watchdog will come back.
     io.deadlineAt[slot] =
         pollTick + backoff.deadlinePolls(io.attempts[slot] + 1);
-    if (queues.submit(desc))
-        forceDoorbell();
+    if (pairs[shard]->submit(desc))
+        forceDoorbell(shard);
 }
 
 void
@@ -208,14 +238,18 @@ SwQueueEngine::reissueWrite(std::size_t slot)
               (unsigned long long)ws.line,
               backoff.policy().maxRetries);
     ws.gen = std::uint8_t(ws.gen + 1u);
+    const std::uint32_t shard = shardFor(ws.line);
     RequestDescriptor desc = RequestDescriptor::write(
         ws.line,
-        RequestDescriptor::taggedHost(
-            reinterpret_cast<std::uintptr_t>(&staging[slot]->line[0]),
-            ws.gen));
+        topo::taggedShard(
+            RequestDescriptor::taggedHost(
+                reinterpret_cast<std::uintptr_t>(
+                    &staging[slot]->line[0]),
+                ws.gen),
+            shard));
     ws.deadlineAt = pollTick + backoff.deadlinePolls(ws.attempts + 1);
-    if (queues.submit(desc))
-        forceDoorbell();
+    if (pairs[shard]->submit(desc))
+        forceDoorbell(shard);
 }
 
 void
@@ -248,12 +282,25 @@ SwQueueEngine::watchdogScan()
 std::size_t
 SwQueueEngine::drainCompletions()
 {
+    std::size_t count = 0;
+    for (std::uint32_t s = 0; s < pairs.size(); ++s)
+        count += drainPair(s);
+    return count;
+}
+
+std::size_t
+SwQueueEngine::drainPair(std::uint32_t s)
+{
     CompletionDescriptor comp;
     std::size_t count = 0;
-    while (queues.reapCompletion(comp)) {
+    while (pairs[s]->reapCompletion(comp)) {
         count++;
         reaped++;
-        const Addr buf = RequestDescriptor::hostPtr(comp.hostAddr);
+        kmuAssert(topo::shardTag(comp.hostAddr) == s,
+                  "shard-%u completion reaped from shard %u's queue",
+                  topo::shardTag(comp.hostAddr), s);
+        const Addr buf = RequestDescriptor::hostPtr(
+            topo::stripShard(comp.hostAddr));
         const std::uint8_t tag = RequestDescriptor::hostTag(comp.hostAddr);
 
         // Posted-write completion: recycle the staging buffer.
@@ -336,12 +383,15 @@ SwQueueEngine::writeLine(Addr addr, const void *line)
     ws.attempts = 0;
     ws.deadlineAt = pollTick + backoff.deadlinePolls(1);
 
+    const std::uint32_t shard = shardFor(addr);
     RequestDescriptor desc = RequestDescriptor::write(
-        addr, RequestDescriptor::taggedHost(
-                  reinterpret_cast<std::uintptr_t>(
-                      &staging[slot]->line[0]),
-                  ws.gen));
-    while (!queues.submit(desc))
+        addr, topo::taggedShard(
+                  RequestDescriptor::taggedHost(
+                      reinterpret_cast<std::uintptr_t>(
+                          &staging[slot]->line[0]),
+                      ws.gen),
+                  shard));
+    while (!pairs[shard]->submit(desc))
         stalledWait();
     writeCount++;
     access_trace::writeMark(addr);
@@ -370,7 +420,10 @@ SwQueueEngine::pollCompletions()
     if (inFlight == 0)
         return false; // true deadlock: nothing will ever complete
 
-    if (queues.pendingCompletions() == 0) {
+    std::size_t pending = 0;
+    for (SwQueuePair *pair : pairs)
+        pending += pair->pendingCompletions();
+    if (pending == 0) {
         // Nothing has arrived yet: hand the CPU to the device
         // instead of spinning it off the core (the single-CPU
         // analogue of the paper's dedicated device).

@@ -23,6 +23,7 @@
 #include "access/access_engine.hh"
 #include "device/emulated_device.hh"
 #include "fault/recovery.hh"
+#include "topo/topology.hh"
 #include "ult/scheduler.hh"
 
 namespace kmu
@@ -42,6 +43,19 @@ class SwQueueEngine : public AccessEngine
      */
     SwQueueEngine(Scheduler &scheduler, EmulatedDevice &device,
                   std::size_t pair,
+                  fault::DegradationGovernor *gov = nullptr,
+                  fault::RetryPolicy policy = {});
+
+    /**
+     * Sharded variant: one queue pair per device shard, with line
+     * addresses routed by @p interleave (topo::shardOf). Every
+     * descriptor carries its shard id in hostAddr bits 56..61, so
+     * completions demux shard-safely. A one-element @p pairs list is
+     * exactly the single-pair engine.
+     */
+    SwQueueEngine(Scheduler &scheduler, EmulatedDevice &device,
+                  std::vector<std::size_t> pairs,
+                  topo::Interleave interleave,
                   fault::DegradationGovernor *gov = nullptr,
                   fault::RetryPolicy policy = {});
 
@@ -104,11 +118,21 @@ class SwQueueEngine : public AccessEngine
     /** Scheduler idle handler: reap completions, wake fibers. */
     bool pollCompletions();
 
-    /** Reap every available completion; @return how many. */
+    /** Reap every available completion on every pair; @return how
+     *  many. */
     std::size_t drainCompletions();
 
-    /** Ring the doorbell if the device requested one. */
+    /** Reap every available completion of shard @p s's pair. */
+    std::size_t drainPair(std::uint32_t s);
+
+    /** Ring each shard's doorbell if its device requested one. */
     void doorbellIfRequested();
+
+    /** Shard owning device line @p line under this topology. */
+    std::uint32_t shardFor(Addr line) const
+    {
+        return topo::shardOf(line, topoCfg);
+    }
 
     /** Wait-loop backoff: pump a manual-mode device, else yield the
      *  OS thread so the device service thread can run. */
@@ -128,9 +152,9 @@ class SwQueueEngine : public AccessEngine
     /** Watchdog: re-issue every pending op past its deadline. */
     void watchdogScan();
 
-    /** Recovery doorbell: ring even without a device request (the
-     *  original doorbell may itself have been lost). */
-    void forceDoorbell();
+    /** Recovery doorbell on @p shard: ring even without a device
+     *  request (the original doorbell may itself have been lost). */
+    void forceDoorbell(std::uint32_t shard);
 
     /** Staging buffers backing posted writes. */
     static constexpr std::size_t stagingSlots = 32;
@@ -152,8 +176,11 @@ class SwQueueEngine : public AccessEngine
 
     Scheduler &sched;
     EmulatedDevice &dev;
-    std::size_t pairIndex;
-    SwQueuePair &queues;
+    /** One device queue-pair index + pair per shard; element s is
+     *  shard s. Single-device engines hold one element. */
+    std::vector<std::size_t> pairIndices;
+    std::vector<SwQueuePair *> pairs;
+    topo::TopologyConfig topoCfg;
     fault::DegradationGovernor *governor;
     fault::RetryBackoff backoff;
 

@@ -74,6 +74,9 @@ serializeRunResult(const RunResult &res)
     putU64(out, res.replayMisses);
     putU64(out, res.l1Hits);
     putU64(out, res.l1Misses);
+    putU64(out, res.shardCount);
+    putU64(out, res.shardRequestsMin);
+    putU64(out, res.shardRequestsMax);
     return out;
 }
 
@@ -104,7 +107,10 @@ deserializeRunResult(const std::uint8_t *data, std::size_t size,
     r.prefetchesQueued = getU64(p); p += 8;
     r.replayMisses = getU64(p); p += 8;
     r.l1Hits = getU64(p); p += 8;
-    r.l1Misses = getU64(p);
+    r.l1Misses = getU64(p); p += 8;
+    r.shardCount = std::uint32_t(getU64(p)); p += 8;
+    r.shardRequestsMin = getU64(p); p += 8;
+    r.shardRequestsMax = getU64(p);
     out = r;
     return true;
 }

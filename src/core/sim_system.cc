@@ -1,5 +1,7 @@
 #include "core/sim_system.hh"
 
+#include <algorithm>
+
 #include "core/on_demand_core.hh"
 #include "core/prefetch_core.hh"
 #include "core/sw_queue_core.hh"
@@ -25,6 +27,10 @@ SimSystem::SimSystem(SystemConfig config)
     kmuAssert(cfg.threadsPerCore >= 1, "need at least one thread");
     kmuAssert(cfg.batch >= 1 && cfg.batch <= AccessEngine::maxBatch,
               "batch out of range");
+    kmuAssert(cfg.topo.shards >= 1 &&
+                  cfg.topo.shards <= topo::maxShards,
+              "shard count %u out of [1, %u]", cfg.topo.shards,
+              topo::maxShards);
 
     dram = std::make_unique<DramModel>("dram", eq, cfg.dram, &root);
     readLatency = std::make_unique<Average>(
@@ -45,6 +51,24 @@ SimSystem::SimSystem(SystemConfig config)
 
 SimSystem::~SimSystem() = default;
 
+PcieLink *
+SimSystem::pcieLink(std::size_t s)
+{
+    return s < links.size() ? links[s].get() : nullptr;
+}
+
+UncoreQueue *
+SimSystem::chipQueue(std::size_t s)
+{
+    return s < chipQueues.size() ? chipQueues[s].get() : nullptr;
+}
+
+DeviceEmulator *
+SimSystem::deviceEmulator(std::size_t s)
+{
+    return s < devices.size() ? devices[s].get() : nullptr;
+}
+
 RequestFetcher *
 SimSystem::fetcher(std::size_t i)
 {
@@ -57,19 +81,36 @@ SimSystem::buildMemoryMapped()
     const bool to_device = cfg.backing == Backing::Device;
     const bool membus =
         to_device && cfg.attach == DeviceAttach::MemoryBus;
+    const std::uint32_t shards = cfg.topo.shards;
     if (to_device && !membus) {
-        link = std::make_unique<PcieLink>("pcie", eq, cfg.pcie, &root);
-        chipPcie = std::make_unique<UncoreQueue>(
-            "chip_pcie_queue", eq, cfg.chipPcieQueue, &root);
-        device = std::make_unique<DeviceEmulator>(
-            "device", eq, cfg.device, *link, cfg.numCores, &root);
+        // One link + chip queue + device emulator per shard, built
+        // in the single-device order so a shards=1 system registers
+        // the exact pre-sharding stat tree.
+        for (std::uint32_t s = 0; s < shards; ++s) {
+            links.push_back(std::make_unique<PcieLink>(
+                topo::shardName("pcie", s, shards), eq, cfg.pcie,
+                &root));
+            links.back()->setFaultShard(s);
+            chipQueues.push_back(std::make_unique<UncoreQueue>(
+                topo::shardName("chip_pcie_queue", s, shards), eq,
+                topo::chipQueueSlice(cfg.chipPcieQueue, cfg.topo),
+                &root));
+            chipQueues.back()->setFaultShard(s);
+            devices.push_back(std::make_unique<DeviceEmulator>(
+                topo::shardName("device", s, shards), eq, cfg.device,
+                *links.back(), cfg.numCores, &root));
+        }
     }
     if (membus) {
         // Memory-bus attach: the device answers like a slow DIMM
         // behind the chip's deep DRAM-path queue; the configured
-        // latency already covers the on-bus round trip.
-        chipPcie = std::make_unique<UncoreQueue>(
-            "chip_membus_queue", eq, cfg.chipDramQueue, &root);
+        // latency already covers the on-bus round trip. The memory
+        // interconnect has no per-slot links to multiply, so the
+        // attach stays single-shard.
+        kmuAssert(shards == 1,
+                  "memory-bus attach models a single device");
+        chipQueues.push_back(std::make_unique<UncoreQueue>(
+            "chip_membus_queue", eq, cfg.chipDramQueue, &root));
     }
 
     for (CoreId c = 0; c < cfg.numCores; ++c) {
@@ -78,12 +119,12 @@ SimSystem::buildMemoryMapped()
             issue = [this](Addr line, std::function<void()> fill) {
                 (void)line;
                 const Tick issued = eq.curTick();
-                chipPcie->acquire([this, issued,
-                                   fill = std::move(fill)]() mutable {
+                chipQueues[0]->acquire(
+                    [this, issued, fill = std::move(fill)]() mutable {
                     eq.scheduleLambda(
                         eq.curTick() + cfg.device.latency,
                         [this, issued, fill = std::move(fill)]() {
-                            chipPcie->release();
+                            chipQueues[0]->release();
                             sampleReadLatency(
                                 ticksToNs(eq.curTick() - issued));
                             fill();
@@ -95,14 +136,15 @@ SimSystem::buildMemoryMapped()
         } else if (to_device) {
             issue = [this, c](Addr line, std::function<void()> fill) {
                 const Tick issued = eq.curTick();
-                chipPcie->acquire(
-                    [this, c, line, issued,
+                const std::uint32_t s = topo::shardOf(line, cfg.topo);
+                chipQueues[s]->acquire(
+                    [this, c, s, line, issued,
                      fill = std::move(fill)]() mutable {
-                        device->hostRead(
+                        devices[s]->hostRead(
                             c, line,
-                            [this, issued,
+                            [this, s, issued,
                              fill = std::move(fill)]() {
-                                chipPcie->release();
+                                chipQueues[s]->release();
                                 sampleReadLatency(
                                     ticksToNs(eq.curTick() - issued));
                                 fill();
@@ -133,7 +175,8 @@ SimSystem::buildMemoryMapped()
 
         if (to_device && !membus) {
             cores.back()->setWriteHook([this, c](Addr line) {
-                device->hostWrite(c, line);
+                devices[topo::shardOf(line, cfg.topo)]->hostWrite(
+                    c, line);
             });
         }
         // Memory-bus-attached and DRAM-backed writes are absorbed by
@@ -144,26 +187,44 @@ SimSystem::buildMemoryMapped()
 void
 SimSystem::buildSwQueue()
 {
-    link = std::make_unique<PcieLink>("pcie", eq, cfg.pcie, &root);
+    const std::uint32_t shards = cfg.topo.shards;
+    for (std::uint32_t s = 0; s < shards; ++s) {
+        links.push_back(std::make_unique<PcieLink>(
+            topo::shardName("pcie", s, shards), eq, cfg.pcie, &root));
+        links.back()->setFaultShard(s);
+    }
 
+    // Each core keeps one queue pair + request fetcher per shard
+    // (core-major layout), so a shard's descriptor traffic rides its
+    // own link and doorbell register.
     for (CoreId c = 0; c < cfg.numCores; ++c) {
-        queuePairs.push_back(
-            std::make_unique<SwQueuePair>(swQueueDepth));
-        fetchers.push_back(std::make_unique<RequestFetcher>(
-            csprintf("fetcher%u", c), eq, c, cfg.device,
-            *queuePairs.back(), *link, cfg.dram.latency,
-            [this, c](const CompletionDescriptor &) {
-                static_cast<SwQueueCore &>(*cores[c])
-                    .onCompletionPosted();
-            },
-            &root));
+        for (std::uint32_t s = 0; s < shards; ++s) {
+            queuePairs.push_back(
+                std::make_unique<SwQueuePair>(swQueueDepth));
+            fetchers.push_back(std::make_unique<RequestFetcher>(
+                topo::shardName(csprintf("fetcher%u", c), s, shards),
+                eq, c, cfg.device, *queuePairs.back(), *links[s],
+                cfg.dram.latency,
+                [this, c](const CompletionDescriptor &) {
+                    static_cast<SwQueueCore &>(*cores[c])
+                        .onCompletionPosted();
+                },
+                &root));
+            fetchers.back()->setFaultShard(s);
+        }
     }
 
     for (CoreId c = 0; c < cfg.numCores; ++c) {
-        RequestFetcher *fetch = fetchers[c].get();
+        std::vector<SwQueuePair *> pairs;
+        std::vector<SwQueueCore::RingDoorbell> rings;
+        for (std::uint32_t s = 0; s < shards; ++s) {
+            pairs.push_back(queuePairs[c * shards + s].get());
+            RequestFetcher *fetch = fetchers[c * shards + s].get();
+            rings.push_back([fetch]() { fetch->ringDoorbell(); });
+        }
         cores.push_back(std::make_unique<SwQueueCore>(
-            csprintf("core%u", c), eq, c, cfg, *queuePairs[c],
-            [fetch]() { fetch->ringDoorbell(); }, &root));
+            csprintf("core%u", c), eq, c, cfg, std::move(pairs),
+            std::move(rings), &root));
     }
 }
 
@@ -192,34 +253,33 @@ SimSystem::buildChecker()
         }
     });
     checker->addCheck("chip_queue_conservation", [this]() {
-        if (!chipPcie)
-            return;
-        KMU_INVARIANT(chipPcie->inUse() <= chipPcie->capacity(),
-                      "%s holds %u slots, capacity %u",
-                      chipPcie->name().c_str(), chipPcie->inUse(),
-                      chipPcie->capacity());
-        KMU_MODEL_CHECK(
-            chipPcie->entries.value() - chipPcie->totalReleases() ==
-                chipPcie->inUse(),
-            "%s slots in use %u != granted %llu - released %llu",
-            chipPcie->name().c_str(), chipPcie->inUse(),
-            (unsigned long long)chipPcie->entries.value(),
-            (unsigned long long)chipPcie->totalReleases());
-        KMU_MODEL_CHECK(chipPcie->waiting() == 0 || chipPcie->full(),
-                        "%zu waiters stalled on a non-full %s",
-                        chipPcie->waiting(),
-                        chipPcie->name().c_str());
+        for (auto &chip : chipQueues) {
+            KMU_INVARIANT(chip->inUse() <= chip->capacity(),
+                          "%s holds %u slots, capacity %u",
+                          chip->name().c_str(), chip->inUse(),
+                          chip->capacity());
+            KMU_MODEL_CHECK(
+                chip->entries.value() - chip->totalReleases() ==
+                    chip->inUse(),
+                "%s slots in use %u != granted %llu - released %llu",
+                chip->name().c_str(), chip->inUse(),
+                (unsigned long long)chip->entries.value(),
+                (unsigned long long)chip->totalReleases());
+            KMU_MODEL_CHECK(chip->waiting() == 0 || chip->full(),
+                            "%zu waiters stalled on a non-full %s",
+                            chip->waiting(), chip->name().c_str());
+        }
     });
     checker->addCheck("link_goodput", [this]() {
-        if (!link)
-            return;
-        for (LinkDir dir : {LinkDir::ToDevice, LinkDir::ToHost}) {
-            KMU_MODEL_CHECK(
-                link->usefulBytes(dir) <= link->wireBytes(dir),
-                "%s useful bytes %llu exceed wire bytes %llu",
-                link->name().c_str(),
-                (unsigned long long)link->usefulBytes(dir),
-                (unsigned long long)link->wireBytes(dir));
+        for (auto &lnk : links) {
+            for (LinkDir dir : {LinkDir::ToDevice, LinkDir::ToHost}) {
+                KMU_MODEL_CHECK(
+                    lnk->usefulBytes(dir) <= lnk->wireBytes(dir),
+                    "%s useful bytes %llu exceed wire bytes %llu",
+                    lnk->name().c_str(),
+                    (unsigned long long)lnk->usefulBytes(dir),
+                    (unsigned long long)lnk->wireBytes(dir));
+            }
         }
     });
     checker->addCheck("sw_queue_conservation", [this]() {
@@ -249,13 +309,27 @@ SimSystem::enableTracing(trace::TraceBuffer &buf, Tick samplePeriod)
     kmuAssert(!ran, "enable tracing before run()");
     buf.setClock([this] { return eq.curTick(); });
 
-    // Trace-lane layout: one lane per core (LFB, fetcher, and the
-    // device's per-core service engine all share it), then dedicated
-    // lanes for the shared components behind the cores.
+    // Trace-lane layout: one lane per core (LFB, shard-0 fetcher,
+    // and shard 0's per-core device service engine share it), then a
+    // block of three lanes per shard for the shared components (chip
+    // queue, link to-device, link to-host). With one shard this is
+    // the exact pre-sharding layout; extra shards append their lane
+    // blocks after shard 0's, and their per-core device/fetcher
+    // spans move to dedicated lane blocks after the link lanes so
+    // span ids never collide on a lane.
     const std::uint16_t n = std::uint16_t(cores.size());
+    const std::uint32_t shards = cfg.topo.shards;
     const std::uint16_t dramLane = n;
-    const std::uint16_t chipLane = std::uint16_t(n + 1);
-    const std::uint16_t linkLane = std::uint16_t(n + 2);
+    const auto chipLaneOf = [n](std::uint32_t s) {
+        return std::uint16_t(n + 1 + 3 * s);
+    };
+    const auto linkLaneOf = [n](std::uint32_t s) {
+        return std::uint16_t(n + 2 + 3 * s);
+    };
+    // First lane of shard s's per-core block (shards > 1 only).
+    const auto deviceLaneOf = [n, shards](std::uint32_t s) {
+        return std::uint16_t(n + 1 + 3 * shards + s * n);
+    };
 
     for (std::uint16_t c = 0; c < n; ++c) {
         cores[c]->setTraceTrack(c);
@@ -263,27 +337,52 @@ SimSystem::enableTracing(trace::TraceBuffer &buf, Tick samplePeriod)
         buf.registerName(trace::trackNameKey(c),
                          csprintf("core%u", unsigned(c)));
     }
-    for (std::size_t c = 0; c < fetchers.size(); ++c)
-        fetchers[c]->setTraceTrack(std::uint16_t(c));
+    for (std::size_t i = 0; i < fetchers.size(); ++i) {
+        const auto c = std::uint32_t(i / shards);
+        const auto s = std::uint32_t(i % shards);
+        const std::uint16_t lane =
+            shards <= 1 ? std::uint16_t(c)
+                        : std::uint16_t(deviceLaneOf(s) + c);
+        fetchers[i]->setTraceTrack(lane);
+        if (shards > 1)
+            buf.registerName(trace::trackNameKey(lane),
+                             fetchers[i]->name());
+    }
+    for (std::size_t s = 0; s < devices.size(); ++s) {
+        if (shards <= 1)
+            break; // device spans share the core lanes
+        devices[s]->setTraceLaneBase(deviceLaneOf(std::uint32_t(s)));
+        for (std::uint16_t c = 0; c < n; ++c) {
+            const auto lane = std::uint16_t(
+                deviceLaneOf(std::uint32_t(s)) + c);
+            buf.registerName(trace::trackNameKey(lane),
+                             csprintf("%s.core%u",
+                                      devices[s]->name().c_str(),
+                                      unsigned(c)));
+        }
+    }
 
     dram->setTraceTrack(dramLane);
     buf.registerName(trace::trackNameKey(dramLane), "dram");
-    if (chipPcie) {
-        chipPcie->setTraceTrack(chipLane);
-        buf.registerName(trace::trackNameKey(chipLane),
-                         chipPcie->name());
+    for (std::size_t s = 0; s < chipQueues.size(); ++s) {
+        const std::uint16_t lane = chipLaneOf(std::uint32_t(s));
+        chipQueues[s]->setTraceTrack(lane);
+        buf.registerName(trace::trackNameKey(lane),
+                         chipQueues[s]->name());
     }
-    if (link) {
-        link->setTraceTrack(linkLane);
-        buf.registerName(trace::trackNameKey(linkLane),
-                         "pcie.to_device");
-        buf.registerName(trace::trackNameKey(std::uint16_t(linkLane
-                                                           + 1)),
-                         "pcie.to_host");
+    for (std::size_t s = 0; s < links.size(); ++s) {
+        const std::uint16_t lane = linkLaneOf(std::uint32_t(s));
+        links[s]->setTraceTrack(lane);
+        const std::string base =
+            topo::shardName("pcie", std::uint32_t(s), shards);
+        buf.registerName(trace::trackNameKey(lane),
+                         base + ".to_device");
+        buf.registerName(trace::trackNameKey(std::uint16_t(lane + 1)),
+                         base + ".to_host");
     }
 
     // Periodic occupancy timeline: per-core LFB and software rings,
-    // plus the shared chip-level queue.
+    // plus each shard's chip-level queue.
     sampler = std::make_unique<trace::OccupancySampler>(eq,
                                                         samplePeriod);
     for (std::uint16_t c = 0; c < n; ++c) {
@@ -291,22 +390,28 @@ SimSystem::enableTracing(trace::TraceBuffer &buf, Tick samplePeriod)
         sampler->addProbe(csprintf("lfb%u.in_use", unsigned(c)), c,
                           [&lfb] { return lfb.inUse(); });
     }
-    for (std::size_t c = 0; c < queuePairs.size(); ++c) {
-        SwQueuePair *pair = queuePairs[c].get();
-        sampler->addProbe(csprintf("swq%u.requests", unsigned(c)),
-                          std::uint16_t(c), [pair] {
+    for (std::size_t i = 0; i < queuePairs.size(); ++i) {
+        const auto c = std::uint32_t(i / shards);
+        const auto s = std::uint32_t(i % shards);
+        const std::string base = topo::shardName(
+            csprintf("swq%u", c), s, shards);
+        SwQueuePair *pair = queuePairs[i].get();
+        sampler->addProbe(base + ".requests", std::uint16_t(c),
+                          [pair] {
                               return std::uint32_t(
                                   pair->pendingRequests());
                           });
-        sampler->addProbe(csprintf("swq%u.completions", unsigned(c)),
-                          std::uint16_t(c), [pair] {
+        sampler->addProbe(base + ".completions", std::uint16_t(c),
+                          [pair] {
                               return std::uint32_t(
                                   pair->pendingCompletions());
                           });
     }
-    if (chipPcie) {
-        sampler->addProbe(chipPcie->name() + ".in_use", chipLane,
-                          [this] { return chipPcie->inUse(); });
+    for (std::size_t s = 0; s < chipQueues.size(); ++s) {
+        UncoreQueue *chip = chipQueues[s].get();
+        sampler->addProbe(chip->name() + ".in_use",
+                          chipLaneOf(std::uint32_t(s)),
+                          [chip] { return chip->inUse(); });
     }
     sampler->start();
 }
@@ -338,8 +443,8 @@ SimSystem::run()
                                  core->accessesDone(),
                                  core->writesDone()});
     }
-    if (link)
-        link->resetCounters();
+    for (auto &lnk : links)
+        lnk->resetCounters();
 
     // Measurement window.
     const Tick end = cfg.warmup + cfg.measure;
@@ -360,20 +465,46 @@ SimSystem::run()
     res.accessesPerUs =
         double(res.accesses) / ticksToUs(res.elapsed);
 
-    if (link) {
+    if (!links.empty()) {
         const double secs = ticksToSec(res.elapsed);
-        res.toHostWireGBs =
-            double(link->wireBytes(LinkDir::ToHost)) / secs / 1e9;
-        res.toHostUsefulGBs =
-            double(link->usefulBytes(LinkDir::ToHost)) / secs / 1e9;
-        res.toDeviceWireGBs =
-            double(link->wireBytes(LinkDir::ToDevice)) / secs / 1e9;
+        std::uint64_t to_host_wire = 0, to_host_useful = 0,
+                      to_device_wire = 0;
+        for (auto &lnk : links) {
+            to_host_wire += lnk->wireBytes(LinkDir::ToHost);
+            to_host_useful += lnk->usefulBytes(LinkDir::ToHost);
+            to_device_wire += lnk->wireBytes(LinkDir::ToDevice);
+        }
+        res.toHostWireGBs = double(to_host_wire) / secs / 1e9;
+        res.toHostUsefulGBs = double(to_host_useful) / secs / 1e9;
+        res.toDeviceWireGBs = double(to_device_wire) / secs / 1e9;
     }
     res.meanReadLatencyNs = readLatency->mean();
-    if (chipPcie)
-        res.chipQueuePeak = chipPcie->peakOccupancy();
-    if (device)
-        res.replayMisses = device->replayMisses.value();
+    for (auto &chip : chipQueues)
+        res.chipQueuePeak =
+            std::max(res.chipQueuePeak, chip->peakOccupancy());
+    for (auto &dev : devices)
+        res.replayMisses += dev->replayMisses.value();
+
+    // Per-shard request extremes (device side, warmup included):
+    // equal min/max means the interleave balanced the traffic.
+    res.shardCount = cfg.topo.shards;
+    if (!devices.empty() || !fetchers.empty()) {
+        const std::uint32_t shards = cfg.topo.shards;
+        for (std::uint32_t s = 0; s < shards; ++s) {
+            std::uint64_t reqs = 0;
+            if (!devices.empty()) {
+                reqs = devices[s]->requests.value();
+            } else {
+                for (CoreId c = 0; c < cfg.numCores; ++c)
+                    reqs += fetchers[c * shards + s]
+                                ->responses.value();
+            }
+            res.shardRequestsMin =
+                s == 0 ? reqs : std::min(res.shardRequestsMin, reqs);
+            res.shardRequestsMax =
+                std::max(res.shardRequestsMax, reqs);
+        }
+    }
 
     for (auto &core : cores) {
         if (auto *pf = dynamic_cast<PrefetchCore *>(core.get()))
@@ -404,6 +535,7 @@ baselineConfig(const SystemConfig &cfg)
     base.numCores = 1;
     base.threadsPerCore = 1;
     base.smtContexts = 1; // the paper's hyperthreading-off baseline
+    base.topo = topo::TopologyConfig{}; // no device, no shards
     return base;
 }
 

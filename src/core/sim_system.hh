@@ -66,6 +66,18 @@ struct RunResult
     std::uint64_t l1Hits = 0;
     std::uint64_t l1Misses = 0;
     /** @} */
+
+    /** @{
+     * Shard topology of the run (src/topo). shardCount is 1 for the
+     * paper's single-device platform; the request extremes expose
+     * interleave imbalance (warmup included, device side: emulator
+     * requests on the memory-mapped paths, fetcher response pairs on
+     * the software-queue path; zero when no device is present).
+     */
+    std::uint32_t shardCount = 1;
+    std::uint64_t shardRequestsMin = 0;
+    std::uint64_t shardRequestsMax = 0;
+    /** @} */
 };
 
 class SimSystem
@@ -91,14 +103,20 @@ class SimSystem
      */
     void enableTracing(trace::TraceBuffer &buf, Tick samplePeriod);
 
-    /** @{ Component access for tests. */
+    /** @{ Component access for tests.
+     * The zero-arg accessors return shard 0's component (the only
+     * one in a single-device system); the indexed overloads address
+     * one shard of a sharded topology. Software-queue fetchers and
+     * queue pairs are laid out core-major: index core * shards +
+     * shard. */
     EventQueue &eventQueue() { return eq; }
     const SystemConfig &config() const { return cfg; }
     CoreBase &core(std::size_t i) { return *cores.at(i); }
     std::size_t coreCount() const { return cores.size(); }
-    PcieLink *pcieLink() { return link.get(); }
-    UncoreQueue *chipQueue() { return chipPcie.get(); }
-    DeviceEmulator *deviceEmulator() { return device.get(); }
+    std::uint32_t shardCount() const { return cfg.topo.shards; }
+    PcieLink *pcieLink(std::size_t s = 0);
+    UncoreQueue *chipQueue(std::size_t s = 0);
+    DeviceEmulator *deviceEmulator(std::size_t s = 0);
     RequestFetcher *fetcher(std::size_t i);
     StatGroup &stats() { return root; }
     SimChecker &invariantChecker() { return *checker; }
@@ -114,9 +132,12 @@ class SimSystem
     StatGroup root;
 
     std::unique_ptr<DramModel> dram;
-    std::unique_ptr<PcieLink> link;
-    std::unique_ptr<UncoreQueue> chipPcie;
-    std::unique_ptr<DeviceEmulator> device;
+    /** One link / chip queue / device emulator per shard (shard 0 is
+     *  the whole system when cfg.topo.shards == 1). */
+    std::vector<std::unique_ptr<PcieLink>> links;
+    std::vector<std::unique_ptr<UncoreQueue>> chipQueues;
+    std::vector<std::unique_ptr<DeviceEmulator>> devices;
+    /** Core-major: element core * shards + shard. */
     std::vector<std::unique_ptr<SwQueuePair>> queuePairs;
     std::vector<std::unique_ptr<RequestFetcher>> fetchers;
     std::vector<std::unique_ptr<CoreBase>> cores;

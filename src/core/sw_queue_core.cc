@@ -1,11 +1,15 @@
 #include "core/sw_queue_core.hh"
 
+#include "check/invariant.hh"
+
 namespace kmu
 {
 
 SwQueueCore::SwQueueCore(std::string name, EventQueue &queue, CoreId id,
-                         const SystemConfig &config, SwQueuePair &qp,
-                         RingDoorbell ring, StatGroup *stat_parent)
+                         const SystemConfig &config,
+                         std::vector<SwQueuePair *> queue_pairs,
+                         std::vector<RingDoorbell> rings,
+                         StatGroup *stat_parent)
     : CoreBase(std::move(name), queue, id, config,
                IssueLine{}, // software queues bypass the LFB path
                stat_parent),
@@ -19,8 +23,11 @@ SwQueueCore::SwQueueCore(std::string name, EventQueue &queue, CoreId id,
       idleWaits(stats(), "idle_waits",
                 "times the scheduler ran out of ready threads and "
                 "completions alike"),
-      queues(qp), ringDoorbell(std::move(ring))
+      queues(std::move(queue_pairs)), doorbells(std::move(rings))
 {
+    kmuAssert(!queues.empty() && queues.size() == doorbells.size(),
+              "need one queue pair and one doorbell per shard");
+    kmuAssert(queues.size() <= 64, "shard count exceeds ring mask");
     threads.resize(cfg.threadsPerCore);
 }
 
@@ -80,25 +87,30 @@ SwQueueCore::submitPhase(ThreadId tid)
         UThread &t = threads[tid];
         std::uint32_t reads = 0;
         Tick staging_cost = 0;
+        std::uint64_t touched = 0; //!< shards that got a descriptor
         for (std::uint32_t slot = 0; slot < t.plan.batch; ++slot) {
             const Addr line = lineAlign(addrFor(tid, t.iter, slot));
+            const std::uint32_t shard = topo::shardOf(line, cfg.topo);
             RequestDescriptor desc;
             if (isWriteSlot(tid, t.iter, slot)) {
                 // Posted write: stage the line, submit, don't wait.
                 desc = RequestDescriptor::write(
-                    line, encodeTag(tid, slot) | 1);
+                    line, topo::taggedShard(encodeTag(tid, slot) | 1,
+                                            shard));
                 staging_cost += cfg.storeLatency;
                 writesPosted++;
                 accessesCompleted++;
             } else {
-                desc = RequestDescriptor::read(line,
-                                               encodeTag(tid, slot));
+                desc = RequestDescriptor::read(
+                    line, topo::taggedShard(encodeTag(tid, slot),
+                                            shard));
                 submitTicks[desc.hostAddr] = curTick();
                 reads++;
             }
-            const bool ok = queues.submit(desc);
+            const bool ok = queues[shard]->submit(desc);
             kmuAssert(ok, "request ring overflow: deepen queueDepth");
             ++submits;
+            touched |= std::uint64_t(1) << shard;
         }
         t.reads = reads;
         t.pendingFills = reads;
@@ -108,27 +120,34 @@ SwQueueCore::submitPhase(ThreadId tid)
             readyQueue.push_back(tid);
         }
         // Staging the write payloads costs core time; doorbells add
-        // the MMIO cost when the flag protocol demands one.
+        // the MMIO cost per shard whose flag protocol demands one.
         Tick post_cost = staging_cost;
-        bool ring = false;
+        std::uint64_t ring = 0;
         if (!cfg.device.doorbellFlag) {
             // Ablation: no flag protocol — every submission batch
-            // pays the MMIO doorbell.
-            ring = true;
-        } else if (queues.consumeDoorbellRequest()) {
-            ring = true;
+            // pays the MMIO doorbell on every shard it touched.
+            ring = touched;
+        } else {
+            for (std::uint32_t s = 0; s < queues.size(); ++s) {
+                if (queues[s]->consumeDoorbellRequest())
+                    ring |= std::uint64_t(1) << s;
+            }
         }
-        if (ring) {
-            ++doorbellsRung;
-            post_cost += cfg.doorbellCost;
+        const auto rings =
+            std::uint32_t(__builtin_popcountll(ring));
+        if (rings > 0) {
+            doorbellsRung += rings;
+            post_cost += Tick(rings) * cfg.doorbellCost;
         }
         if (post_cost == 0) {
             coreLoop();
             return;
         }
         chargeAndThen(post_cost, [this, ring]() {
-            if (ring)
-                ringDoorbell();
+            for (std::uint32_t s = 0; s < doorbells.size(); ++s) {
+                if ((ring >> s & 1) != 0)
+                    doorbells[s]();
+            }
             coreLoop();
         });
     });
@@ -138,31 +157,38 @@ void
 SwQueueCore::pollLoop()
 {
     ++pollPasses;
-    chargeAndThen(cfg.pollCost, [this]() {
+    chargeAndThen(Tick(queues.size()) * cfg.pollCost, [this]() {
         std::uint32_t reaped = 0;
         CompletionDescriptor comp;
-        while (queues.reapCompletion(comp)) {
-            ++completionsHandled;
-            reaped++;
-            if (isWriteTag(comp.hostAddr)) {
-                // Posted-write completion: bookkeeping only.
-                continue;
+        for (std::uint32_t s = 0; s < queues.size(); ++s) {
+            while (queues[s]->reapCompletion(comp)) {
+                KMU_INVARIANT(topo::shardTag(comp.hostAddr) == s,
+                              "%s reaped a shard-%u completion from "
+                              "shard %u's queue", name().c_str(),
+                              topo::shardTag(comp.hostAddr), s);
+                ++completionsHandled;
+                reaped++;
+                if (isWriteTag(comp.hostAddr)) {
+                    // Posted-write completion: bookkeeping only.
+                    continue;
+                }
+                const ThreadId tid = decodeThread(comp.hostAddr);
+                kmuAssert(tid < threads.size(),
+                          "completion for unknown thread %u", tid);
+                UThread &t = threads[tid];
+                kmuAssert(t.pendingFills > 0, "unexpected completion");
+                auto sub = submitTicks.find(comp.hostAddr);
+                if (sub != submitTicks.end()) {
+                    if (sampleLatency)
+                        sampleLatency(
+                            ticksToNs(curTick() - sub->second));
+                    submitTicks.erase(sub);
+                }
+                t.pendingFills--;
+                accessesCompleted++;
+                if (t.pendingFills == 0)
+                    readyQueue.push_back(tid);
             }
-            const ThreadId tid = decodeThread(comp.hostAddr);
-            kmuAssert(tid < threads.size(),
-                      "completion for unknown thread %u", tid);
-            UThread &t = threads[tid];
-            kmuAssert(t.pendingFills > 0, "unexpected completion");
-            auto sub = submitTicks.find(comp.hostAddr);
-            if (sub != submitTicks.end()) {
-                if (sampleLatency)
-                    sampleLatency(ticksToNs(curTick() - sub->second));
-                submitTicks.erase(sub);
-            }
-            t.pendingFills--;
-            accessesCompleted++;
-            if (t.pendingFills == 0)
-                readyQueue.push_back(tid);
         }
 
         if (reaped > 0) {

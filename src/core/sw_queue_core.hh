@@ -25,6 +25,7 @@
 
 #include "core/core_base.hh"
 #include "queue/sw_queue_pair.hh"
+#include "topo/topology.hh"
 
 namespace kmu
 {
@@ -32,12 +33,21 @@ namespace kmu
 class SwQueueCore : public CoreBase
 {
   public:
-    /** Ring the per-core doorbell register on the device. */
+    /** Ring one shard's per-core doorbell register on its device. */
     using RingDoorbell = std::function<void()>;
 
+    /**
+     * @p queue_pairs / @p rings hold one queue pair and one doorbell
+     * closure per device shard (a single element in the paper's
+     * single-device topology). Descriptors route to the shard owning
+     * their line address (topo::shardOf), and every shard's
+     * completion queue is swept in each poll pass.
+     */
     SwQueueCore(std::string name, EventQueue &queue, CoreId id,
-                const SystemConfig &cfg, SwQueuePair &queues,
-                RingDoorbell ring, StatGroup *stat_parent);
+                const SystemConfig &cfg,
+                std::vector<SwQueuePair *> queue_pairs,
+                std::vector<RingDoorbell> rings,
+                StatGroup *stat_parent);
 
     void start() override;
 
@@ -54,11 +64,13 @@ class SwQueueCore : public CoreBase
         return (Addr(thread) * 64 + slot) * cacheLineSize;
     }
 
-    /** Decode the thread id from a completion tag. */
+    /** Decode the thread id from a completion tag (the tag may carry
+     *  a shard id in bits 56..61; strip it first). */
     static ThreadId
     decodeThread(Addr tag)
     {
-        return ThreadId((tag & ~Addr(1)) / cacheLineSize / 64);
+        return ThreadId((topo::stripShard(tag) & ~Addr(1)) /
+                        cacheLineSize / 64);
     }
 
     /** Write completions carry bit 0 (posted-write recycle only). */
@@ -98,8 +110,8 @@ class SwQueueCore : public CoreBase
     /** Poll pass over the completion queue. */
     void pollLoop();
 
-    SwQueuePair &queues;
-    RingDoorbell ringDoorbell;
+    std::vector<SwQueuePair *> queues;    //!< one per device shard
+    std::vector<RingDoorbell> doorbells;  //!< one per device shard
     std::unordered_map<Addr, Tick> submitTicks; //!< read tag -> tick
     std::vector<UThread> threads;
     std::deque<ThreadId> readyQueue;

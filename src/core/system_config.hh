@@ -26,6 +26,7 @@
 #include "mem/cache.hh"
 #include "mem/dram_model.hh"
 #include "mem/pcie_link.hh"
+#include "topo/topology.hh"
 
 namespace kmu
 {
@@ -66,6 +67,14 @@ struct SystemConfig
     /** @{ Topology. */
     std::uint32_t numCores = 1;
     std::uint32_t threadsPerCore = 1;
+
+    /**
+     * Device-side topology: how many device shards the system
+     * instantiates and how host lines interleave across them. The
+     * default (one shard) reproduces the paper's single-device
+     * platform exactly. See src/topo/topology.hh.
+     */
+    topo::TopologyConfig topo;
     /** @} */
 
     /** @{ Core microarchitecture. */

@@ -52,7 +52,7 @@ DeviceEmulator::hostWrite(CoreId core, Addr addr)
     link.send(LinkDir::ToDevice, cacheLineSize, 0, [this, core]() {
         ++writesReceived;
         trace::instant(trace::Kind::DevWrite, writesReceived.value(),
-                       std::uint16_t(core));
+                       std::uint16_t(traceLaneBase + core));
     });
 }
 
@@ -63,7 +63,7 @@ DeviceEmulator::deviceReceive(CoreId core, Addr addr, ResponseCallback cb)
               "request from unknown core %u", core);
     ++requests;
     const std::uint64_t span = requests.value();
-    const std::uint16_t lane = std::uint16_t(core);
+    const std::uint16_t lane = std::uint16_t(traceLaneBase + core);
     trace::begin(trace::Kind::DevService, span, lane);
 
     // Replay lookup; spurious requests pay the on-demand path.

@@ -67,6 +67,15 @@ class DeviceEmulator : public SimObject
      */
     void hostWrite(CoreId core, Addr addr);
 
+    /**
+     * First trace lane of this device's per-core service engines:
+     * lane base + core carries that core's DevService spans.
+     * SimSystem leaves it 0 in single-shard systems (device spans
+     * share the core lanes, the pre-sharding layout) and gives each
+     * shard of a sharded topology its own lane block.
+     */
+    void setTraceLaneBase(std::uint16_t base) { traceLaneBase = base; }
+
     /** @{ Device-side statistics. */
     Counter requests;
     Counter replayMatches;
@@ -82,6 +91,7 @@ class DeviceEmulator : public SimObject
     DeviceParams cfg;
     PcieLink &link;
     std::vector<std::unique_ptr<ReplayWindow>> replayModules;
+    std::uint16_t traceLaneBase = 0;
 };
 
 } // namespace kmu

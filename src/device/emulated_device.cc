@@ -7,6 +7,7 @@
 #include "common/logging.hh"
 #include "common/types.hh"
 #include "fault/fault_plan.hh"
+#include "topo/topology.hh"
 #include "trace/trace.hh"
 
 namespace kmu
@@ -242,12 +243,13 @@ EmulatedDevice::completeRequest(Pair &pair, const RequestDescriptor &desc)
               "device access beyond backing store: %#llx",
               (unsigned long long)line);
 
-    // The generation tag in the high hostAddr bits is host-side
-    // bookkeeping; strip it before dereferencing, echo it back
-    // verbatim in the completion.
+    // The generation tag (bits 48..55) and shard tag (bits 56..61)
+    // in the high hostAddr bits are host-side bookkeeping; strip
+    // both before dereferencing, echo them back verbatim in the
+    // completion.
     auto *host = reinterpret_cast<std::uint8_t *>(
         static_cast<std::uintptr_t>(
-            RequestDescriptor::hostPtr(desc.hostAddr)));
+            RequestDescriptor::hostPtr(topo::stripShard(desc.hostAddr))));
 
     CompletionDescriptor comp{desc.hostAddr};
     if (desc.isWrite()) {

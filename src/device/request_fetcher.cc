@@ -75,7 +75,8 @@ RequestFetcher::issueBurst()
                 // ring, so a later burst (or the park-path sweep)
                 // retrieves them — delayed, never lost.
                 std::uint32_t slots = cfg.burstSize;
-                if (fault::fire(fault::FaultSite::DescFetchTruncation))
+                if (fault::fire(fault::FaultSite::DescFetchTruncation,
+                                faultShard))
                     slots = std::uint32_t(fault::draw(
                         fault::FaultSite::DescFetchTruncation,
                         cfg.burstSize));
@@ -187,7 +188,8 @@ RequestFetcher::serviceDescriptor(const RequestDescriptor &desc)
         // Eviction storm: the device discards a run of buffered
         // replay entries, so upcoming requests fall through to the
         // on-demand module (extra latency, same data).
-        if (fault::fire(fault::FaultSite::ReplayEvictionStorm)) {
+        if (fault::fire(fault::FaultSite::ReplayEvictionStorm,
+                        faultShard)) {
             const std::uint64_t burst = fault::magnitude(
                 fault::FaultSite::ReplayEvictionStorm,
                 cfg.replayWindowSize / 4);
@@ -205,7 +207,8 @@ RequestFetcher::serviceDescriptor(const RequestDescriptor &desc)
         }
     }
     // On-demand module stall: the slow on-board DRAM path hiccups.
-    if (on_demand && fault::fire(fault::FaultSite::OnDemandStall)) {
+    if (on_demand &&
+        fault::fire(fault::FaultSite::OnDemandStall, faultShard)) {
         service += fault::draw(
             fault::FaultSite::OnDemandStall,
             fault::magnitude(fault::FaultSite::OnDemandStall,

@@ -56,6 +56,14 @@ class RequestFetcher : public SimObject
 
     bool fetching() const { return active; }
 
+    /**
+     * Device shard this fetcher belongs to (fault-site addressing):
+     * the descriptor-path fault sites fire against this id so a
+     * FaultSpec's shardMask can target one device of a sharded
+     * topology. Defaults to 0.
+     */
+    void setFaultShard(std::uint32_t shard) { faultShard = shard; }
+
     /** @{ Statistics. */
     Counter doorbells;
     Counter burstReads;
@@ -83,6 +91,7 @@ class RequestFetcher : public SimObject
     Tick hostMemLatency;
     CompletionNotify notify;
     std::unique_ptr<ReplayWindow> replay;
+    std::uint32_t faultShard = 0;
     bool active = false;
 };
 

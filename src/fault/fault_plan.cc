@@ -107,9 +107,17 @@ FaultPlan::composite(std::uint64_t seed, double rate)
 }
 
 bool
-FaultPlan::shouldInject(FaultSite site)
+FaultPlan::shouldInject(FaultSite site, std::uint32_t shard)
 {
     SiteState &s = state(site);
+    if ((s.spec.shardMask >> (shard & 63u) & 1u) == 0) {
+        // Shard excluded: count the encounter (burst windows track
+        // wall progress) but leave the RNG stream untouched so the
+        // enabled shards' schedules are independent of how often the
+        // masked ones run.
+        s.encounterCount++;
+        return false;
+    }
     const std::uint64_t encounter = s.encounterCount++;
     if (s.spec.rate <= 0.0)
         return false;

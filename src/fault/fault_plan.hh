@@ -97,6 +97,16 @@ const char *faultSiteName(FaultSite site);
  * *Stall sites, extra propagation ticks for PcieLatencySpike,
  * entries evicted for ReplayEvictionStorm, extra service steps for
  * the real-time device. Zero selects a site-specific default.
+ *
+ * `shardMask` scopes the site to a subset of device shards in a
+ * sharded topology (src/topo): bit s enables injection at the
+ * instance of this site on shard s. Components that are not
+ * per-shard (LFBs, the access engines) encounter their sites as
+ * shard 0. The all-ones default keeps single-device plans
+ * bit-identical to the pre-sharding behaviour. A masked-out
+ * encounter still advances the site's encounter counter (so burst
+ * windows stay aligned with wall progress) but draws nothing from
+ * the site's RNG stream.
  */
 struct FaultSpec
 {
@@ -104,6 +114,7 @@ struct FaultSpec
     std::uint64_t magnitude = 0;
     std::uint64_t burstPeriod = 0;
     std::uint64_t burstLen = 0;
+    std::uint64_t shardMask = ~std::uint64_t(0);
 };
 
 class FaultPlan
@@ -127,11 +138,13 @@ class FaultPlan
     static FaultPlan composite(std::uint64_t seed, double rate);
 
     /**
-     * One encounter of @p site: advances the site's encounter
-     * counter and draws whether to inject. Deterministic given the
-     * plan seed and the site's encounter history.
+     * One encounter of @p site on device shard @p shard: advances
+     * the site's encounter counter and draws whether to inject.
+     * Deterministic given the plan seed and the site's encounter
+     * history. Shards excluded by the spec's shardMask never inject
+     * and never draw.
      */
-    bool shouldInject(FaultSite site);
+    bool shouldInject(FaultSite site, std::uint32_t shard = 0);
 
     /**
      * Deterministic magnitude draw in [1, bound] from the site's
@@ -189,12 +202,15 @@ class ScopedPlan
     ScopedPlan &operator=(const ScopedPlan &) = delete;
 };
 
-/** Fast-path encounter: false (one branch) when no plan is active. */
+/** Fast-path encounter: false (one branch) when no plan is active.
+ *  @p shard addresses the site instance in a sharded topology;
+ *  components that predate sharding encounter their sites as
+ *  shard 0. */
 inline bool
-fire(FaultSite site)
+fire(FaultSite site, std::uint32_t shard = 0)
 {
     FaultPlan *p = plan();
-    return p != nullptr && p->shouldInject(site);
+    return p != nullptr && p->shouldInject(site, shard);
 }
 
 /** Magnitude of @p site under the active plan, else @p fallback.

@@ -52,8 +52,8 @@ PcieLink::send(LinkDir dir, std::uint32_t payload_bytes,
     // faults degrade timing and bandwidth, never the protocol.
     Tick deliver_extra = 0;
     const bool retransmit =
-        fault::fire(fault::FaultSite::PcieTlpDrop) ||
-        fault::fire(fault::FaultSite::PcieTlpBitFlip);
+        fault::fire(fault::FaultSite::PcieTlpDrop, faultShard) ||
+        fault::fire(fault::FaultSite::PcieTlpBitFlip, faultShard);
     if (retransmit) {
         done += transferTicks(wire_bytes, cfg.bytesPerSec);
         d.wire += wire_bytes;
@@ -61,12 +61,12 @@ PcieLink::send(LinkDir dir, std::uint32_t payload_bytes,
         deliver_extra += fault::magnitude(
             fault::FaultSite::PcieTlpDrop, cfg.propagation);
     }
-    if (fault::fire(fault::FaultSite::PcieTlpDuplicate)) {
+    if (fault::fire(fault::FaultSite::PcieTlpDuplicate, faultShard)) {
         done += transferTicks(wire_bytes, cfg.bytesPerSec);
         d.wire += wire_bytes;
         d.tlps += 1;
     }
-    if (fault::fire(fault::FaultSite::PcieLatencySpike)) {
+    if (fault::fire(fault::FaultSite::PcieLatencySpike, faultShard)) {
         const Tick spike = fault::magnitude(
             fault::FaultSite::PcieLatencySpike, 4 * cfg.propagation);
         deliver_extra +=

@@ -78,6 +78,15 @@ class PcieLink : public SimObject
     /** Reset byte/TLP counters (occupancy state is untouched). */
     void resetCounters();
 
+    /**
+     * Device shard this link serves (fault-site addressing): the
+     * Pcie* fault sites fire against this id, so a FaultSpec's
+     * shardMask can target one link of a sharded topology. Defaults
+     * to 0, which is also what every single-device system uses.
+     */
+    void setFaultShard(std::uint32_t shard) { faultShard = shard; }
+    std::uint32_t faultShardId() const { return faultShard; }
+
   private:
     struct Direction
     {
@@ -95,6 +104,7 @@ class PcieLink : public SimObject
     PcieLinkParams cfg;
     Direction toDevice;
     Direction toHost;
+    std::uint32_t faultShard = 0;
 };
 
 } // namespace kmu

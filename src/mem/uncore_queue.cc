@@ -55,8 +55,8 @@ UncoreQueue::acquire(EnterCallback cb)
     // the waiter list: the waiter list is only drained by release(),
     // so a fault-queued waiter could strand (or trip the lost-wakeup
     // model check) if the queue was not actually full.
-    if (fault::fire(fault::FaultSite::UncoreEntryStall) ||
-        fault::fire(fault::FaultSite::UncoreTransientFull)) {
+    if (fault::fire(fault::FaultSite::UncoreEntryStall, faultShard) ||
+        fault::fire(fault::FaultSite::UncoreTransientFull, faultShard)) {
         const Tick stall = fault::magnitude(
             fault::FaultSite::UncoreEntryStall, 50 * tickPerNs);
         ++fullStalls;

@@ -60,10 +60,18 @@ class UncoreQueue : public SimObject
     /** Cumulative slots released; entries - released == inUse(). */
     std::uint64_t totalReleases() const { return releasedCount; }
 
+    /**
+     * Device shard this queue feeds (fault-site addressing): the
+     * Uncore* fault sites fire against this id so a FaultSpec's
+     * shardMask can single out one shard's chip queue. Defaults to 0.
+     */
+    void setFaultShard(std::uint32_t shard) { faultShard = shard; }
+
   private:
     void grant(EnterCallback cb);
 
     std::uint32_t cap;
+    std::uint32_t faultShard = 0;
     std::uint32_t used = 0;
     std::uint32_t peak = 0;
     std::uint64_t releasedCount = 0;

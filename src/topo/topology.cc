@@ -1,0 +1,29 @@
+#include "topo/topology.hh"
+
+namespace kmu
+{
+namespace topo
+{
+
+const char *
+interleaveName(Interleave mode)
+{
+    switch (mode) {
+      case Interleave::CacheLine: return "cacheline";
+      case Interleave::Page:      return "page";
+    }
+    panic("bad interleave mode %u", unsigned(mode));
+}
+
+const char *
+chipQueuePolicyName(ChipQueuePolicy policy)
+{
+    switch (policy) {
+      case ChipQueuePolicy::Replicated:  return "replicated";
+      case ChipQueuePolicy::Partitioned: return "partitioned";
+    }
+    panic("bad chip-queue policy %u", unsigned(policy));
+}
+
+} // namespace topo
+} // namespace kmu

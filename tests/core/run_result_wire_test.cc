@@ -36,6 +36,9 @@ sampleResult()
     r.replayMisses = 3;
     r.l1Hits = 1u << 20;
     r.l1Misses = 255;
+    r.shardCount = 4;
+    r.shardRequestsMin = 0xabcd0123;
+    r.shardRequestsMax = 0xabcd9876;
     return r;
 }
 
@@ -70,6 +73,9 @@ TEST(RunResultWire, RoundTripIsBitExact)
     EXPECT_EQ(out.replayMisses, in.replayMisses);
     EXPECT_EQ(out.l1Hits, in.l1Hits);
     EXPECT_EQ(out.l1Misses, in.l1Misses);
+    EXPECT_EQ(out.shardCount, in.shardCount);
+    EXPECT_EQ(out.shardRequestsMin, in.shardRequestsMin);
+    EXPECT_EQ(out.shardRequestsMax, in.shardRequestsMax);
 }
 
 TEST(RunResultWire, DefaultConstructedRoundTrips)

@@ -1,0 +1,58 @@
+# Examples smoke gate: every example binary must run to completion
+# (exit 0) and print the line that proves it exercised its real code
+# path — a quickstart that crashes, a traversal that fails
+# verification, or a lookup run that silently prints nothing is a
+# shipped-but-broken sample.
+#
+# Invoked by ctest as:
+#   cmake -DQUICKSTART=<path> -DGRAPH_TRAVERSAL=<path>
+#         -DKV_LOOKUP=<path> -DBLOOM_MEMBERSHIP=<path>
+#         -DTRACE_TO_SIM=<path> -DWORK_DIR=<dir>
+#         -P examples_smoke_check.cmake
+
+foreach(v QUICKSTART GRAPH_TRAVERSAL KV_LOOKUP BLOOM_MEMBERSHIP
+          TRACE_TO_SIM)
+    if(NOT ${v})
+        message(FATAL_ERROR "pass -D${v}=<path to example binary>")
+    endif()
+endforeach()
+if(NOT WORK_DIR)
+    set(WORK_DIR ${CMAKE_CURRENT_BINARY_DIR})
+endif()
+
+set(dir ${WORK_DIR}/examples_smoke)
+file(REMOVE_RECURSE ${dir})
+file(MAKE_DIRECTORY ${dir})
+
+# run(name binary expected_substring [args...])
+function(run name binary expected)
+    execute_process(
+        COMMAND ${binary} ${ARGN}
+        WORKING_DIRECTORY ${dir}
+        OUTPUT_VARIABLE out
+        ERROR_VARIABLE err
+        RESULT_VARIABLE rc)
+    file(WRITE ${dir}/${name}.out "${out}")
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR
+            "example '${name}' exited with rc=${rc}:\n${out}${err}")
+    endif()
+    string(FIND "${out}" "${expected}" pos)
+    if(pos EQUAL -1)
+        message(FATAL_ERROR
+            "example '${name}' ran but never printed \"${expected}\" "
+            "(full output in ${dir}/${name}.out)")
+    endif()
+    message(STATUS "example '${name}' ok")
+endfunction()
+
+run(quickstart ${QUICKSTART} "mechanism: prefetch")
+# graph_traversal prints PASS only when the device BFS matches the
+# host reference, and exits nonzero on FAIL.
+run(graph_traversal ${GRAPH_TRAVERSAL} "verification:   PASS")
+run(kv_lookup ${KV_LOOKUP} "GETs/s")
+run(bloom_membership ${BLOOM_MEMBERSHIP} "measured FPR")
+# Smallest app/latency point so the timing-model replay stays quick.
+run(trace_to_sim ${TRACE_TO_SIM} "Reading the table:" bloom 1)
+
+message(STATUS "examples smoke check passed: all 5 examples ran")

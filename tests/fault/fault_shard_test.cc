@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests for shard-scoped fault injection: a FaultSpec's shardMask
+ * must gate injection per device shard without perturbing the RNG
+ * schedule of the shards it does target.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/sim_system.hh"
+#include "fault/fault_plan.hh"
+#include "topo/topology.hh"
+
+namespace kmu
+{
+namespace
+{
+
+TEST(FaultShardTest, MaskedShardNeverInjects)
+{
+    fault::FaultPlan plan(7);
+    fault::FaultSpec spec;
+    spec.rate = 1.0;
+    spec.shardMask = std::uint64_t(1) << 1; // shard 1 only
+    plan.set(fault::FaultSite::PcieTlpDrop, spec);
+
+    for (int i = 0; i < 5; ++i) {
+        EXPECT_FALSE(
+            plan.shouldInject(fault::FaultSite::PcieTlpDrop, 0));
+    }
+    EXPECT_EQ(plan.encounters(fault::FaultSite::PcieTlpDrop), 5u);
+    EXPECT_EQ(plan.injected(fault::FaultSite::PcieTlpDrop), 0u);
+
+    EXPECT_TRUE(plan.shouldInject(fault::FaultSite::PcieTlpDrop, 1));
+    EXPECT_EQ(plan.injected(fault::FaultSite::PcieTlpDrop), 1u);
+}
+
+TEST(FaultShardTest, MaskedEncountersDrawNothing)
+{
+    // Interleaving masked-out encounters must leave the targeted
+    // shard's injection schedule untouched: the masked path may not
+    // consume from the site's RNG stream.
+    const auto site = fault::FaultSite::UncoreEntryStall;
+    fault::FaultSpec spec;
+    spec.rate = 0.5;
+
+    fault::FaultPlan pure(42);
+    spec.shardMask = ~std::uint64_t(0);
+    pure.set(site, spec);
+    bool expected[16];
+    for (bool &e : expected)
+        e = pure.shouldInject(site, 1);
+
+    fault::FaultPlan masked(42);
+    spec.shardMask = std::uint64_t(1) << 1;
+    masked.set(site, spec);
+    for (bool e : expected) {
+        // A shard-0 encounter between every shard-1 encounter.
+        EXPECT_FALSE(masked.shouldInject(site, 0));
+        EXPECT_EQ(masked.shouldInject(site, 1), e);
+    }
+}
+
+TEST(FaultShardTest, DefaultMaskCoversEveryShard)
+{
+    fault::FaultPlan plan(3);
+    fault::FaultSpec spec;
+    spec.rate = 1.0;
+    plan.set(fault::FaultSite::CompletionLoss, spec);
+    EXPECT_TRUE(
+        plan.shouldInject(fault::FaultSite::CompletionLoss, 0));
+    EXPECT_TRUE(
+        plan.shouldInject(fault::FaultSite::CompletionLoss, 63));
+}
+
+TEST(FaultShardTest, ShardIndexWrapsAtSixtyFour)
+{
+    // shouldInject masks the shard index into the 64-bit mask, so a
+    // (hypothetical) shard 64 aliases bit 0 rather than shifting
+    // out of range.
+    fault::FaultPlan plan(5);
+    fault::FaultSpec spec;
+    spec.rate = 1.0;
+    spec.shardMask = 1; // bit 0
+    plan.set(fault::FaultSite::PcieLatencySpike, spec);
+    EXPECT_TRUE(
+        plan.shouldInject(fault::FaultSite::PcieLatencySpike, 64));
+}
+
+/** Sharded system whose traffic all lands on shard 0 (the default
+ *  stream strides 16 lines, so cache-line interleave over two
+ *  shards aliases every batch-1 access to shard 0). */
+SystemConfig
+aliasedTwoShardConfig()
+{
+    SystemConfig cfg;
+    cfg.mechanism = Mechanism::Prefetch;
+    cfg.numCores = 2;
+    cfg.threadsPerCore = 8;
+    cfg.device.latency = microseconds(1);
+    cfg.topo.shards = 2;
+    cfg.topo.interleave = topo::Interleave::CacheLine;
+    cfg.measure = microseconds(200);
+    return cfg;
+}
+
+TEST(FaultShardTest, SimInjectsOnTheTrafficBearingShard)
+{
+    fault::FaultPlan plan(11);
+    fault::FaultSpec spec;
+    spec.rate = 0.25;
+    spec.shardMask = 1; // shard 0: where all the traffic goes
+    plan.set(fault::FaultSite::PcieLatencySpike, spec);
+
+    fault::ScopedPlan scoped(plan);
+    const auto res = runSystem(aliasedTwoShardConfig());
+    EXPECT_GT(res.accesses, 0u);
+    EXPECT_GT(plan.encounters(fault::FaultSite::PcieLatencySpike), 0u);
+    EXPECT_GT(plan.injected(fault::FaultSite::PcieLatencySpike), 0u);
+}
+
+TEST(FaultShardTest, SimMaskedToIdleShardInjectsNothing)
+{
+    fault::FaultPlan plan(11);
+    fault::FaultSpec spec;
+    spec.rate = 0.25;
+    spec.shardMask = std::uint64_t(1) << 1; // shard 1: idle
+    plan.set(fault::FaultSite::PcieLatencySpike, spec);
+
+    fault::ScopedPlan scoped(plan);
+    const auto res = runSystem(aliasedTwoShardConfig());
+    EXPECT_GT(res.accesses, 0u);
+    // Shard 0's link encountered the site on every delivery, but
+    // the mask confined injection to the idle device.
+    EXPECT_GT(plan.encounters(fault::FaultSite::PcieLatencySpike), 0u);
+    EXPECT_EQ(plan.injected(fault::FaultSite::PcieLatencySpike), 0u);
+}
+
+} // anonymous namespace
+} // namespace kmu

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Boundary tests for the hostAddr bit budget.
+ *
+ * hostAddr carries three host-side fields on top of a 48-bit x86-64
+ * pointer: the write marker in bit 0 (software-queue core tags), the
+ * 8-bit generation tag in bits 48..55 (queue/descriptor.hh), and the
+ * 6-bit shard id in bits 56..61 (topo/topology.hh). These tests walk
+ * the extremes of every field to prove the packings never collide
+ * and always round-trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include "queue/descriptor.hh"
+#include "topo/topology.hh"
+
+namespace kmu
+{
+namespace
+{
+
+/** Largest line-aligned pointer a 48-bit virtual address can hold. */
+constexpr Addr maxPtr = (Addr(1) << 48) - cacheLineSize;
+
+TEST(ShardBitsTest, FieldsAreDisjoint)
+{
+    EXPECT_EQ(topo::shardTagMask & RequestDescriptor::hostTagMask, 0u);
+    EXPECT_EQ(topo::shardTagMask & maxPtr, 0u);
+    EXPECT_EQ(RequestDescriptor::hostTagMask & maxPtr, 0u);
+    // Bits 62..63 stay clear for future use.
+    EXPECT_EQ(topo::shardTagMask >> 62, 0u);
+    EXPECT_EQ(topo::shardTagShift, 56u);
+    EXPECT_EQ(topo::maxShards, 64u);
+}
+
+TEST(ShardBitsTest, RoundTripAtEveryFieldExtreme)
+{
+    for (Addr ptr : {Addr(0), Addr(cacheLineSize), maxPtr}) {
+        for (std::uint32_t gen : {0u, 1u, 255u}) {
+            for (std::uint32_t shard : {0u, 1u, 63u}) {
+                const Addr tagged = topo::taggedShard(
+                    RequestDescriptor::taggedHost(ptr,
+                                                  std::uint8_t(gen)),
+                    shard);
+                EXPECT_EQ(topo::shardTag(tagged), shard);
+                EXPECT_EQ(RequestDescriptor::hostTag(tagged), gen);
+                EXPECT_EQ(RequestDescriptor::hostPtr(
+                              topo::stripShard(tagged)),
+                          ptr);
+            }
+        }
+    }
+}
+
+TEST(ShardBitsTest, TaggingOrderDoesNotMatter)
+{
+    const Addr ptr = maxPtr;
+    const Addr a = topo::taggedShard(
+        RequestDescriptor::taggedHost(ptr, 255), 63);
+    const Addr b = RequestDescriptor::taggedHost(
+        topo::taggedShard(ptr, 63), 255);
+    EXPECT_EQ(a, b);
+}
+
+TEST(ShardBitsTest, ShardZeroIsTheIdentityOnUntaggedAddresses)
+{
+    // shards=1 systems tag everything with shard 0; for any
+    // plain (pointer + generation) value that must be a no-op, so
+    // the single-device wire traffic is bit-identical to the
+    // pre-sharding format.
+    for (Addr ptr : {Addr(0), Addr(4096), maxPtr}) {
+        const Addr host = RequestDescriptor::taggedHost(ptr, 200);
+        EXPECT_EQ(topo::taggedShard(host, 0), host);
+        EXPECT_EQ(topo::stripShard(host), host);
+    }
+}
+
+TEST(ShardBitsTest, WriteMarkerBitSurvivesTagging)
+{
+    // The software-queue timing core marks write completions with
+    // bit 0 of the tag; shard tagging must not disturb it.
+    const Addr write_tag = Addr(0x1234560) | 1;
+    const Addr tagged = topo::taggedShard(write_tag, 63);
+    EXPECT_EQ(tagged & 1, 1u);
+    EXPECT_EQ(topo::stripShard(tagged) & 1, 1u);
+    EXPECT_EQ(topo::stripShard(tagged), write_tag);
+}
+
+TEST(ShardBitsTest, StripIsFieldSelective)
+{
+    const Addr tagged = topo::taggedShard(
+        RequestDescriptor::taggedHost(maxPtr, 255), 63);
+    // stripShard removes only the shard field: the generation tag
+    // survives for the retry filter.
+    EXPECT_EQ(RequestDescriptor::hostTag(topo::stripShard(tagged)),
+              255u);
+    // hostPtr removes only the generation field: the shard id
+    // survives for completion demux.
+    EXPECT_EQ(topo::shardTag(RequestDescriptor::hostPtr(tagged)),
+              63u);
+}
+
+TEST(ShardBitsTest, ShardIdWrapsIntoItsField)
+{
+    // Ids at or above maxShards cannot spill into bits 62..63.
+    const Addr tagged = topo::taggedShard(0, topo::maxShards);
+    EXPECT_EQ(topo::shardTag(tagged), 0u);
+    EXPECT_EQ(tagged, 0u);
+    EXPECT_EQ(topo::shardTag(topo::taggedShard(0, topo::maxShards + 5)),
+              5u);
+}
+
+TEST(ShardBitsTest, RetaggingReplacesThePreviousShard)
+{
+    const Addr once = topo::taggedShard(maxPtr, 63);
+    const Addr twice = topo::taggedShard(once, 1);
+    EXPECT_EQ(topo::shardTag(twice), 1u);
+    EXPECT_EQ(topo::stripShard(twice), maxPtr);
+}
+
+} // anonymous namespace
+} // namespace kmu

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Tests for the shard-routing pure functions (topo/topology.hh):
+ * address interleaving, chip-queue provisioning, component naming.
+ */
+
+#include <gtest/gtest.h>
+
+#include "topo/topology.hh"
+
+namespace kmu
+{
+namespace
+{
+
+topo::TopologyConfig
+make(std::uint32_t shards, topo::Interleave il,
+     topo::ChipQueuePolicy pol = topo::ChipQueuePolicy::Replicated)
+{
+    topo::TopologyConfig t;
+    t.shards = shards;
+    t.interleave = il;
+    t.chipQueuePolicy = pol;
+    return t;
+}
+
+TEST(TopologyTest, CacheLineInterleaveRoundRobins)
+{
+    const auto t = make(4, topo::Interleave::CacheLine);
+    for (std::uint64_t line = 0; line < 64; ++line) {
+        EXPECT_EQ(topo::shardOf(line * cacheLineSize, t), line % 4)
+            << "line " << line;
+    }
+    // Sub-line offsets never change the owner.
+    EXPECT_EQ(topo::shardOf(cacheLineSize + 63, t), 1u);
+}
+
+TEST(TopologyTest, PageInterleaveGroupsWholePages)
+{
+    const auto t = make(4, topo::Interleave::Page);
+    for (std::uint64_t page = 0; page < 16; ++page) {
+        const Addr base = page * topo::interleavePageBytes;
+        const std::uint32_t owner = topo::shardOf(base, t);
+        EXPECT_EQ(owner, page % 4);
+        // Every line of the page routes to the same shard.
+        EXPECT_EQ(topo::shardOf(base + topo::interleavePageBytes -
+                                    cacheLineSize,
+                                t),
+                  owner);
+    }
+}
+
+TEST(TopologyTest, SingleShardDegeneratesToIdentity)
+{
+    for (auto il : {topo::Interleave::CacheLine, topo::Interleave::Page}) {
+        const auto t = make(1, il, topo::ChipQueuePolicy::Partitioned);
+        EXPECT_EQ(topo::shardOf(0, t), 0u);
+        EXPECT_EQ(topo::shardOf(0xdeadbeef00ull, t), 0u);
+        // Even the partitioned policy keeps the full queue budget.
+        EXPECT_EQ(topo::chipQueueSlice(14, t), 14u);
+    }
+}
+
+TEST(TopologyTest, NonPowerOfTwoShardCounts)
+{
+    const auto t = make(3, topo::Interleave::CacheLine);
+    std::uint64_t seen[3] = {};
+    for (std::uint64_t line = 0; line < 99; ++line) {
+        const std::uint32_t s = topo::shardOf(line * cacheLineSize, t);
+        ASSERT_LT(s, 3u);
+        seen[s]++;
+    }
+    EXPECT_EQ(seen[0], 33u);
+    EXPECT_EQ(seen[1], 33u);
+    EXPECT_EQ(seen[2], 33u);
+}
+
+TEST(TopologyTest, ChipQueueSlicePolicies)
+{
+    const auto repl =
+        make(4, topo::Interleave::CacheLine,
+             topo::ChipQueuePolicy::Replicated);
+    EXPECT_EQ(topo::chipQueueSlice(14, repl), 14u);
+
+    const auto part =
+        make(4, topo::Interleave::CacheLine,
+             topo::ChipQueuePolicy::Partitioned);
+    EXPECT_EQ(topo::chipQueueSlice(14, part), 3u);
+
+    // A slice never rounds down to zero entries.
+    const auto wide =
+        make(64, topo::Interleave::CacheLine,
+             topo::ChipQueuePolicy::Partitioned);
+    EXPECT_EQ(topo::chipQueueSlice(14, wide), 1u);
+}
+
+TEST(TopologyTest, ShardNamesPreserveSingleDeviceNames)
+{
+    // shards=1 components keep their historical names, which is
+    // what keeps stat trees and trace-lane labels byte-identical.
+    EXPECT_EQ(topo::shardName("pcie", 0, 1), "pcie");
+    EXPECT_EQ(topo::shardName("pcie", 0, 4), "pcie_s0");
+    EXPECT_EQ(topo::shardName("chip_pcie_queue", 3, 4),
+              "chip_pcie_queue_s3");
+}
+
+TEST(TopologyTest, StableKnobNames)
+{
+    EXPECT_STREQ(topo::interleaveName(topo::Interleave::CacheLine),
+                 "cacheline");
+    EXPECT_STREQ(topo::interleaveName(topo::Interleave::Page), "page");
+    EXPECT_STREQ(
+        topo::chipQueuePolicyName(topo::ChipQueuePolicy::Replicated),
+        "replicated");
+    EXPECT_STREQ(
+        topo::chipQueuePolicyName(topo::ChipQueuePolicy::Partitioned),
+        "partitioned");
+}
+
+} // anonymous namespace
+} // namespace kmu

@@ -44,6 +44,10 @@ usage()
         "  write_frac=F       posted-write share (0)\n"
         "  lfb=N              LFB entries/core   (10)\n"
         "  chipq=N            chip PCIe queue    (14)\n"
+        "  shards=N           device shards      (1)\n"
+        "  interleave=cacheline|page  shard interleave (cacheline)\n"
+        "  chipq_policy=replicated|partitioned  per-shard chip-queue "
+        "slice (replicated)\n"
         "  ctx_ns=N           context switch     (50)\n"
         "  measure_us=N       measured window    (600)\n"
         "  stats=0|1          dump component stats (0)\n"
@@ -139,6 +143,27 @@ main(int argc, char **argv)
         } else if (key == "chipq") {
             if (!toolargs::parseU32(value, cfg.chipPcieQueue) ||
                 cfg.chipPcieQueue == 0)
+                badValue(key, value);
+        } else if (key == "shards") {
+            if (!toolargs::parseU32(value, cfg.topo.shards) ||
+                cfg.topo.shards == 0 ||
+                cfg.topo.shards > topo::maxShards)
+                badValue(key, value);
+        } else if (key == "interleave") {
+            if (value == "cacheline")
+                cfg.topo.interleave = topo::Interleave::CacheLine;
+            else if (value == "page")
+                cfg.topo.interleave = topo::Interleave::Page;
+            else
+                badValue(key, value);
+        } else if (key == "chipq_policy") {
+            if (value == "replicated")
+                cfg.topo.chipQueuePolicy =
+                    topo::ChipQueuePolicy::Replicated;
+            else if (value == "partitioned")
+                cfg.topo.chipQueuePolicy =
+                    topo::ChipQueuePolicy::Partitioned;
+            else
                 badValue(key, value);
         } else if (key == "ctx_ns") {
             if (!toolargs::parseU64(value, u64))
