@@ -18,6 +18,7 @@
 #include "access/dev_access.hh"
 #include "access/runtime.hh"
 #include "common/random.hh"
+#include "common/thread_annotations.hh"
 #include "queue/spsc_ring.hh"
 #include "ubench/work_loop.hh"
 #include "ult/scheduler.hh"
@@ -55,6 +56,9 @@ void
 BM_SpscRingThroughput(benchmark::State &state)
 {
     SpscRing<std::uint64_t> ring(1024);
+    // Single-threaded driver: embodies both ring roles.
+    RoleGuard producer(ring.producerRole);
+    RoleGuard consumer(ring.consumerRole);
     std::uint64_t produced = 0;
     std::uint64_t consumed = 0;
     for (auto _ : state) {

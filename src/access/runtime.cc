@@ -72,6 +72,7 @@ Runtime::spawnWorker(Worker worker, std::size_t stack_bytes)
 void
 Runtime::run()
 {
+    RoleGuard host(hostRole); // calling thread is the host side
     if (device && !device->running())
         device->start();
     sched.run();

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "access/access_engine.hh"
+#include "common/thread_annotations.hh"
 #include "device/emulated_device.hh"
 #include "fault/recovery.hh"
 #include "topo/topology.hh"
@@ -90,6 +91,17 @@ class Runtime
 
     /** Run all workers to completion (starts/stops the device). */
     void run();
+
+    /**
+     * The host-thread role: run() embodies it for the calling
+     * thread. Every engine host-side queue operation (submit, reap,
+     * doorbell consume) happens on this thread, inside worker fibers
+     * multiplexed by the scheduler — fibers migrate between blocks
+     * but never leave the thread, so the role is held for the whole
+     * run. The device role lives on the EmulatedDevice service
+     * thread (or is taken per-pump-pass in manual mode).
+     */
+    ThreadRole hostRole;
 
     AccessEngine &engine() { return *accessEngine; }
     Scheduler &scheduler() { return sched; }

@@ -6,6 +6,7 @@
 #include "access/access_trace.hh"
 #include "common/crc.hh"
 #include "common/logging.hh"
+#include "common/thread_annotations.hh"
 
 namespace kmu
 {
@@ -118,7 +119,9 @@ SwQueueEngine::submitAndWait(const Addr *addrs, std::size_t n)
                         &io.buffers[i][0]),
                     io.gen[i]),
                 shard));
-        while (!pairs[shard]->submit(desc)) {
+        SwQueuePair &qp = *pairs[shard];
+        RoleGuard host(qp.hostRole); // engine fibers are the host side
+        while (!qp.submit(desc)) {
             // Request ring full: let other fibers and the device
             // make progress, then retry.
             stalledWait();
@@ -176,7 +179,9 @@ SwQueueEngine::doorbellIfRequested()
     // Doorbell-request protocol: only ring the shards whose device
     // side asked for one.
     for (std::uint32_t s = 0; s < pairs.size(); ++s) {
-        if (pairs[s]->consumeDoorbellRequest()) {
+        SwQueuePair &qp = *pairs[s];
+        RoleGuard host(qp.hostRole);
+        if (qp.consumeDoorbellRequest()) {
             doorbells++;
             trace::instant(trace::Kind::Doorbell, doorbells,
                            std::uint16_t(pairIndices[s]));
@@ -192,7 +197,9 @@ SwQueueEngine::forceDoorbell(std::uint32_t shard)
     // made one unnecessary) may have been lost, so ring regardless
     // of the request flag. Consume the flag first so the protocol
     // state stays consistent with a rung doorbell.
-    pairs[shard]->consumeDoorbellRequest();
+    SwQueuePair &qp = *pairs[shard];
+    RoleGuard host(qp.hostRole);
+    qp.consumeDoorbellRequest();
     recoveryStats.recoveryDoorbells++;
     doorbells++;
     trace::instant(trace::Kind::Doorbell, doorbells,
@@ -223,7 +230,9 @@ SwQueueEngine::reissueRead(FiberIo &io, std::size_t slot)
     // resolves by draining, and the watchdog will come back.
     io.deadlineAt[slot] =
         pollTick + backoff.deadlinePolls(io.attempts[slot] + 1);
-    if (pairs[shard]->submit(desc))
+    SwQueuePair &qp = *pairs[shard];
+    RoleGuard host(qp.hostRole);
+    if (qp.submit(desc))
         forceDoorbell(shard);
 }
 
@@ -248,7 +257,9 @@ SwQueueEngine::reissueWrite(std::size_t slot)
                 ws.gen),
             shard));
     ws.deadlineAt = pollTick + backoff.deadlinePolls(ws.attempts + 1);
-    if (pairs[shard]->submit(desc))
+    SwQueuePair &qp = *pairs[shard];
+    RoleGuard host(qp.hostRole);
+    if (qp.submit(desc))
         forceDoorbell(shard);
 }
 
@@ -293,7 +304,9 @@ SwQueueEngine::drainPair(std::uint32_t s)
 {
     CompletionDescriptor comp;
     std::size_t count = 0;
-    while (pairs[s]->reapCompletion(comp)) {
+    SwQueuePair &qp = *pairs[s];
+    RoleGuard host(qp.hostRole);
+    while (qp.reapCompletion(comp)) {
         count++;
         reaped++;
         kmuAssert(topo::shardTag(comp.hostAddr) == s,
@@ -391,8 +404,12 @@ SwQueueEngine::writeLine(Addr addr, const void *line)
                           &staging[slot]->line[0]),
                       ws.gen),
                   shard));
-    while (!pairs[shard]->submit(desc))
-        stalledWait();
+    {
+        SwQueuePair &qp = *pairs[shard];
+        RoleGuard host(qp.hostRole);
+        while (!qp.submit(desc))
+            stalledWait();
+    }
     writeCount++;
     access_trace::writeMark(addr);
     inFlight++;

@@ -1,6 +1,7 @@
 #include "core/sw_queue_core.hh"
 
 #include "check/invariant.hh"
+#include "common/thread_annotations.hh"
 
 namespace kmu
 {
@@ -107,7 +108,9 @@ SwQueueCore::submitPhase(ThreadId tid)
                 submitTicks[desc.hostAddr] = curTick();
                 reads++;
             }
-            const bool ok = queues[shard]->submit(desc);
+            SwQueuePair &qp = *queues[shard];
+            RoleGuard host(qp.hostRole); // the modeled core is host
+            const bool ok = qp.submit(desc);
             kmuAssert(ok, "request ring overflow: deepen queueDepth");
             ++submits;
             touched |= std::uint64_t(1) << shard;
@@ -129,7 +132,9 @@ SwQueueCore::submitPhase(ThreadId tid)
             ring = touched;
         } else {
             for (std::uint32_t s = 0; s < queues.size(); ++s) {
-                if (queues[s]->consumeDoorbellRequest())
+                SwQueuePair &qp = *queues[s];
+                RoleGuard host(qp.hostRole);
+                if (qp.consumeDoorbellRequest())
                     ring |= std::uint64_t(1) << s;
             }
         }
@@ -161,7 +166,9 @@ SwQueueCore::pollLoop()
         std::uint32_t reaped = 0;
         CompletionDescriptor comp;
         for (std::uint32_t s = 0; s < queues.size(); ++s) {
-            while (queues[s]->reapCompletion(comp)) {
+            SwQueuePair &qp = *queues[s];
+            RoleGuard host(qp.hostRole);
+            while (qp.reapCompletion(comp)) {
                 KMU_INVARIANT(topo::shardTag(comp.hostAddr) == s,
                               "%s reaped a shard-%u completion from "
                               "shard %u's queue", name().c_str(),

@@ -5,6 +5,7 @@
 
 #include "common/crc.hh"
 #include "common/logging.hh"
+#include "common/thread_annotations.hh"
 #include "common/types.hh"
 #include "fault/fault_plan.hh"
 #include "topo/topology.hh"
@@ -146,6 +147,11 @@ EmulatedDevice::servicePair(Pair &pair, Clock::time_point now)
     // Fetch stage: burst-read descriptors unless parked. An empty
     // burst sets the doorbell-request flag and parks the fetcher,
     // exactly like the hardware protocol.
+    // The whole service pass runs as the device side of the pair's
+    // queue protocol (on the service thread, or on the host thread
+    // *inside pump()* in manual mode — single-threaded either way).
+    RoleGuard device(pair.queues.deviceRole);
+
     if (!pair.parked.load(std::memory_order_acquire)) {
         std::vector<RequestDescriptor> burst;
         burst.reserve(descriptorBurst);
@@ -237,6 +243,7 @@ EmulatedDevice::servicePair(Pair &pair, Clock::time_point now)
 
 void
 EmulatedDevice::completeRequest(Pair &pair, const RequestDescriptor &desc)
+    KMU_REQUIRES(pair.queues.deviceRole)
 {
     const Addr line = desc.lineAddr();
     kmuAssert(line + cacheLineSize <= data.size(),
@@ -284,6 +291,7 @@ EmulatedDevice::completeRequest(Pair &pair, const RequestDescriptor &desc)
 void
 EmulatedDevice::deliverCompletion(Pair &pair,
                                   const CompletionDescriptor &comp)
+    KMU_REQUIRES(pair.queues.deviceRole)
 {
     // Completion loss: the data write landed but the completion
     // never posts. The host watchdog re-issues the request; the

@@ -30,6 +30,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.hh"
 #include "device/replay_window.hh"
 #include "queue/sw_queue_pair.hh"
 
@@ -139,7 +140,8 @@ class EmulatedDevice
         SwQueuePair queues;
         std::uint16_t traceLane; //!< trace track (= pair index)
         std::deque<Pending> inFlight;
-        std::atomic<bool> parked{true};
+        std::atomic<bool> parked
+            KMU_ATOMIC_ROLE(host_clears, device_sets, device_reads){true};
         std::unique_ptr<ReplayWindow> replayCheck;
         std::vector<Addr> recordedSequence;
         std::size_t replayCursor = 0;
@@ -151,22 +153,28 @@ class EmulatedDevice
     /** Device thread main loop. */
     void serviceLoop();
 
-    /** One scheduling pass over a pair; returns true if it did work. */
+    /** One scheduling pass over a pair; returns true if it did work.
+     *  Runs as the device side of the pair's queue protocol. */
     bool servicePair(Pair &pair, Clock::time_point now);
 
     /** Complete one request: data write, CRC, completion post. */
-    void completeRequest(Pair &pair, const RequestDescriptor &desc);
+    void completeRequest(Pair &pair, const RequestDescriptor &desc)
+        KMU_REQUIRES(pair.queues.deviceRole);
 
     /** Post a completion, applying loss/reorder faults. */
-    void deliverCompletion(Pair &pair, const CompletionDescriptor &comp);
+    void deliverCompletion(Pair &pair, const CompletionDescriptor &comp)
+        KMU_REQUIRES(pair.queues.deviceRole);
 
     std::vector<std::uint8_t> data;
     Config cfg;
     std::vector<std::unique_ptr<Pair>> pairs;
     std::thread serviceThread;
-    std::atomic<bool> stopRequested{false};
-    std::atomic<std::uint64_t> serviced{0};
-    std::atomic<std::uint64_t> spurious{0};
+    std::atomic<bool> stopRequested
+        KMU_ATOMIC_ROLE(host_writes, device_reads){false};
+    std::atomic<std::uint64_t> serviced
+        KMU_ATOMIC_ROLE(device_writes, observers_read){0};
+    std::atomic<std::uint64_t> spurious
+        KMU_ATOMIC_ROLE(device_writes, observers_read){0};
     std::uint64_t step = 0; //!< manual-mode virtual clock
 };
 

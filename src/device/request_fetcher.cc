@@ -1,5 +1,6 @@
 #include "device/request_fetcher.hh"
 
+#include "common/thread_annotations.hh"
 #include "fault/fault_plan.hh"
 #include "trace/trace.hh"
 
@@ -80,6 +81,7 @@ RequestFetcher::issueBurst()
                     slots = std::uint32_t(fault::draw(
                         fault::FaultSite::DescFetchTruncation,
                         cfg.burstSize));
+                RoleGuard device(queues.deviceRole);
                 queues.fetchBurst(burst, slots);
                 // The device always over-reads a full burst worth of
                 // descriptor slots regardless of how many are new.
@@ -113,6 +115,7 @@ RequestFetcher::processBurst(std::vector<RequestDescriptor> burst)
         // would otherwise be stranded: its submitter saw the flag
         // clear and skipped the doorbell.
         link.send(LinkDir::ToHost, 8, 0, [this]() {
+            RoleGuard device(queues.deviceRole);
             queues.requestDoorbell();
             std::vector<RequestDescriptor> sweep;
             sweep.reserve(cfg.burstSize);
@@ -238,6 +241,7 @@ RequestFetcher::sendCompletion(const RequestDescriptor &desc)
                   trace::instant(trace::Kind::Completion,
                                  desc.hostAddr, traceTrack());
                   CompletionDescriptor comp{desc.hostAddr};
+                  RoleGuard device(queues.deviceRole);
                   const bool ok = queues.postCompletion(comp);
                   kmuAssert(ok, "completion queue overflow");
                   notify(comp);

@@ -50,6 +50,7 @@
 #include "check/invariant.hh"
 #include "common/bitops.hh"
 #include "common/logging.hh"
+#include "common/thread_annotations.hh"
 
 namespace kmu
 {
@@ -69,9 +70,19 @@ class SpscRing
     /** Usable capacity (one slot is reserved). */
     std::size_t capacity() const { return slots.size() - 1; }
 
+    /** @{
+     * Role capabilities: exactly one context may act as producer and
+     * one as consumer at any time. Callers of the gated functions
+     * below assert the role with a RoleGuard; clang's thread-safety
+     * analysis rejects call paths that reach them role-less.
+     */
+    ThreadRole producerRole;
+    ThreadRole consumerRole;
+    /** @} */
+
     /** Producer: true on success, false when full. */
     bool
-    tryPush(const T &value)
+    tryPush(const T &value) KMU_REQUIRES(producerRole)
     {
         const std::size_t h = head.load(std::memory_order_relaxed);
         KMU_INVARIANT(h < slots.size(),
@@ -96,7 +107,7 @@ class SpscRing
 
     /** Consumer: true on success, false when empty. */
     bool
-    tryPop(T &out)
+    tryPop(T &out) KMU_REQUIRES(consumerRole)
     {
         const std::size_t t = tail.load(std::memory_order_relaxed);
         KMU_INVARIANT(t < slots.size(),
@@ -120,7 +131,7 @@ class SpscRing
      * @return number of items popped.
      */
     std::size_t
-    popBurst(std::vector<T> &out, std::size_t max)
+    popBurst(std::vector<T> &out, std::size_t max) KMU_REQUIRES(consumerRole)
     {
         std::size_t n = 0;
         T item;
@@ -168,17 +179,22 @@ class SpscRing
   private:
     std::vector<T> slots;
     std::size_t mask;
-    alignas(64) std::atomic<std::size_t> head{0};
-    alignas(64) std::atomic<std::size_t> tail{0};
+    alignas(64) std::atomic<std::size_t> head
+        KMU_ATOMIC_ROLE(producer_writes, both_read){0};
+    alignas(64) std::atomic<std::size_t> tail
+        KMU_ATOMIC_ROLE(consumer_writes, both_read){0};
     // Cumulative counters mirror head/tail without the wrap, making
     // conservation (pops <= pushes <= pops + capacity) checkable.
     // Written only by their owning side, before that side's
     // release-store (see the ordering audit above).
-    alignas(64) std::atomic<std::uint64_t> pushes{0};
-    alignas(64) std::atomic<std::uint64_t> pops{0};
+    alignas(64) std::atomic<std::uint64_t> pushes
+        KMU_ATOMIC_ROLE(producer_writes, both_read){0};
+    alignas(64) std::atomic<std::uint64_t> pops
+        KMU_ATOMIC_ROLE(consumer_writes, both_read){0};
     // Producer-owned like pushes; relaxed is enough (observers only
     // read it at quiesce or as a monotonic statistic).
-    alignas(64) std::atomic<std::uint64_t> rejects{0};
+    alignas(64) std::atomic<std::uint64_t> rejects
+        KMU_ATOMIC_ROLE(producer_writes, observers_read){0};
 };
 
 } // namespace kmu

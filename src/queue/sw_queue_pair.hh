@@ -22,6 +22,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "common/thread_annotations.hh"
 #include "queue/descriptor.hh"
 #include "queue/spsc_ring.hh"
 
@@ -37,11 +38,25 @@ class SwQueuePair
     {
     }
 
+    /** @{
+     * Role capabilities: the queue pair is shared by exactly two
+     * contexts — the host (request producer / completion consumer)
+     * and the device (request consumer / completion producer). The
+     * protocol functions below are gated on these roles; each maps
+     * onto the proper ring-side role internally, so the SPSC
+     * single-owner discipline is enforced end to end at compile time
+     * on clang (-Wthread-safety).
+     */
+    ThreadRole hostRole;
+    ThreadRole deviceRole;
+    /** @} */
+
     /** Host side: enqueue one request descriptor.
      *  @return false when the request ring is full. */
     bool
-    submit(const RequestDescriptor &desc)
+    submit(const RequestDescriptor &desc) KMU_REQUIRES(hostRole)
     {
+        RoleGuard producer(requests.producerRole);
         return requests.tryPush(desc);
     }
 
@@ -51,7 +66,7 @@ class SwQueuePair
      * MMIO doorbell to restart the fetcher.
      */
     bool
-    consumeDoorbellRequest()
+    consumeDoorbellRequest() KMU_REQUIRES(hostRole)
     {
         bool expected = true;
         return doorbellNeeded.compare_exchange_strong(
@@ -60,8 +75,9 @@ class SwQueuePair
 
     /** Host side: poll one completion. */
     bool
-    reapCompletion(CompletionDescriptor &out)
+    reapCompletion(CompletionDescriptor &out) KMU_REQUIRES(hostRole)
     {
+        RoleGuard consumer(completions.consumerRole);
         return completions.tryPop(out);
     }
 
@@ -69,21 +85,23 @@ class SwQueuePair
      *  paper's burst of eight). */
     std::size_t
     fetchBurst(std::vector<RequestDescriptor> &out,
-               std::size_t max = descriptorBurst)
+               std::size_t max = descriptorBurst) KMU_REQUIRES(deviceRole)
     {
+        RoleGuard consumer(requests.consumerRole);
         return requests.popBurst(out, max);
     }
 
     /** Device side: post a completion (after the data write). */
     bool
-    postCompletion(const CompletionDescriptor &desc)
+    postCompletion(const CompletionDescriptor &desc) KMU_REQUIRES(deviceRole)
     {
+        RoleGuard producer(completions.producerRole);
         return completions.tryPush(desc);
     }
 
     /** Device side: no new descriptors seen — request a doorbell. */
     void
-    requestDoorbell()
+    requestDoorbell() KMU_REQUIRES(deviceRole)
     {
         doorbellNeeded.store(true, std::memory_order_release);
     }
@@ -114,7 +132,8 @@ class SwQueuePair
   private:
     SpscRing<RequestDescriptor> requests;
     SpscRing<CompletionDescriptor> completions;
-    std::atomic<bool> doorbellNeeded{true}; //!< starts parked
+    std::atomic<bool> doorbellNeeded //!< starts parked
+        KMU_ATOMIC_ROLE(device_sets, host_clears, both_read){true};
 };
 
 } // namespace kmu

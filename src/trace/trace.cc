@@ -338,7 +338,8 @@ TraceBuffer::readFile(const std::string &path)
 
 namespace detail
 {
-std::atomic<TraceBuffer *> gSink{nullptr};
+std::atomic<TraceBuffer *> gSink
+    KMU_ATOMIC_ROLE(main_installs, all_read){nullptr};
 } // namespace detail
 
 void

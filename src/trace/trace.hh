@@ -42,6 +42,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/thread_annotations.hh"
 #include "common/types.hh"
 
 namespace kmu
@@ -188,7 +189,8 @@ class TraceBuffer
 
 namespace detail
 {
-extern std::atomic<TraceBuffer *> gSink;
+extern std::atomic<TraceBuffer *> gSink
+    KMU_ATOMIC_ROLE(main_installs, all_read);
 } // namespace detail
 
 /** The installed sink, or nullptr when tracing is off. */

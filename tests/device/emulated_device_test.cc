@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "common/random.hh"
+#include "common/thread_annotations.hh"
 #include "device/emulated_device.hh"
 
 namespace kmu
@@ -34,6 +35,7 @@ readLineBlocking(EmulatedDevice &dev, std::size_t pair, Addr device_addr,
                  void *host_buf)
 {
     SwQueuePair &qp = dev.queuePair(pair);
+    RoleGuard host(qp.hostRole); // test thread = host side
     RequestDescriptor desc;
     desc.deviceAddr = device_addr;
     desc.hostAddr = reinterpret_cast<std::uintptr_t>(host_buf);
@@ -113,6 +115,7 @@ TEST(EmulatedDeviceTest, DrainsInFlightOnStop)
                                .queueDepth = 64});
     const std::size_t pair = dev.addQueuePair();
     SwQueuePair &qp = dev.queuePair(pair);
+    RoleGuard host(qp.hostRole); // test thread = host side
 
     alignas(64) std::uint8_t bufs[8][64];
     for (std::uint64_t i = 0; i < 8; ++i) {
@@ -163,6 +166,7 @@ TEST(EmulatedDeviceTest, OutOfRangeReadPanics)
                                .queueDepth = 16});
     const std::size_t pair = dev.addQueuePair();
     SwQueuePair &qp = dev.queuePair(pair);
+    RoleGuard host(qp.hostRole); // test thread = host side
     alignas(64) std::uint8_t buf[64];
     RequestDescriptor desc;
     desc.deviceAddr = 1 << 20; // beyond the backing store

@@ -9,6 +9,7 @@
 
 #include "check/invariant.hh"
 #include "common/units.hh"
+#include "common/thread_annotations.hh"
 #include "device/request_fetcher.hh"
 #include "fault/fault_plan.hh"
 
@@ -45,6 +46,7 @@ struct FetcherFixture : public ::testing::Test
 
 TEST_F(FetcherFixture, DoorbellFetchesAndCompletes)
 {
+    RoleGuard host(qp.hostRole); // single-threaded sim: test is host
     ASSERT_TRUE(qp.submit({0, 0xaaa}));
     ASSERT_TRUE(qp.consumeDoorbellRequest());
     fetcher->ringDoorbell();
@@ -65,6 +67,7 @@ TEST_F(FetcherFixture, DoorbellFetchesAndCompletes)
 
 TEST_F(FetcherFixture, EndToEndLatencyIncludesFetchPath)
 {
+    RoleGuard host(qp.hostRole); // single-threaded sim: test is host
     qp.submit({0, 1});
     qp.consumeDoorbellRequest();
     fetcher->ringDoorbell();
@@ -79,6 +82,7 @@ TEST_F(FetcherFixture, EndToEndLatencyIncludesFetchPath)
 
 TEST_F(FetcherFixture, BurstServicesManyPerRead)
 {
+    RoleGuard host(qp.hostRole); // single-threaded sim: test is host
     for (std::uint64_t i = 0; i < 8; ++i)
         qp.submit({i * 64, i});
     qp.consumeDoorbellRequest();
@@ -93,12 +97,14 @@ TEST_F(FetcherFixture, BurstServicesManyPerRead)
 
 TEST_F(FetcherFixture, KeepsFetchingWhileDescriptorsFlow)
 {
+    RoleGuard host(qp.hostRole); // single-threaded sim: test is host
     // Submit a second request while the first is being serviced; no
     // second doorbell is needed.
     qp.submit({0, 1});
     qp.consumeDoorbellRequest();
     fetcher->ringDoorbell();
     eq.scheduleLambda(nanoseconds(600), [this]() {
+        RoleGuard host(qp.hostRole);
         ASSERT_TRUE(qp.submit({64, 2}));
         // The fetcher is still active: flag must not be set yet.
         EXPECT_FALSE(qp.consumeDoorbellRequest());
@@ -110,6 +116,7 @@ TEST_F(FetcherFixture, KeepsFetchingWhileDescriptorsFlow)
 
 TEST_F(FetcherFixture, RacedSubmissionSweptAfterFlagWrite)
 {
+    RoleGuard host(qp.hostRole); // single-threaded sim: test is host
     // A descriptor that lands between the fetcher's empty read and
     // its flag write must still be serviced (the post-flag sweep).
     qp.submit({0, 1});
@@ -119,6 +126,7 @@ TEST_F(FetcherFixture, RacedSubmissionSweptAfterFlagWrite)
     // Poll each 50 ns; inject the raced descriptor the moment the
     // first completion lands (the fetcher is then winding down).
     std::function<void()> poll = [&]() {
+        RoleGuard host(qp.hostRole);
         if (!injected && !completions.empty()) {
             injected = true;
             ASSERT_TRUE(qp.submit({64, 2}));
@@ -143,6 +151,7 @@ TEST_F(FetcherFixture, RacedSubmissionSweptAfterFlagWrite)
 // parked state, with nothing stranded and no invariant tripped.
 TEST_F(FetcherFixture, ParkingAlwaysPublishesDoorbellFlag)
 {
+    RoleGuard host(qp.hostRole); // single-threaded sim: test is host
     fault::FaultPlan plan(0xdb01);
     plan.set(fault::FaultSite::DescFetchTruncation, {.rate = 0.5});
     fault::ScopedPlan active(plan);
@@ -158,7 +167,11 @@ TEST_F(FetcherFixture, ParkingAlwaysPublishesDoorbellFlag)
         EXPECT_FALSE(fetcher->fetching());
         EXPECT_TRUE(qp.doorbellRequested());
         std::vector<RequestDescriptor> leftover;
-        qp.fetchBurst(leftover, 8);
+        {
+            // Inspect the ring from the (now parked) device side.
+            RoleGuard device(qp.deviceRole);
+            qp.fetchBurst(leftover, 8);
+        }
         EXPECT_TRUE(leftover.empty()) << "stranded descriptors";
     }
     EXPECT_EQ(completions.size(), 32u);
@@ -170,6 +183,7 @@ TEST_F(FetcherFixture, ParkingAlwaysPublishesDoorbellFlag)
 // atomics through the fetcher's stat group.
 TEST_F(FetcherFixture, RingGaugesTrackQueueCounters)
 {
+    RoleGuard host(qp.hostRole); // single-threaded sim: test is host
     for (std::uint64_t i = 0; i < 8; ++i)
         ASSERT_TRUE(qp.submit({i * 64, i}));
     qp.consumeDoorbellRequest();
@@ -199,6 +213,7 @@ TEST_F(FetcherFixture, RingGaugesTrackQueueCounters)
 
 TEST_F(FetcherFixture, DataWritePrecedesCompletionOnTheWire)
 {
+    RoleGuard host(qp.hostRole); // single-threaded sim: test is host
     qp.submit({0, 7});
     qp.consumeDoorbellRequest();
     fetcher->ringDoorbell();
@@ -213,6 +228,7 @@ TEST_F(FetcherFixture, DataWritePrecedesCompletionOnTheWire)
 
 TEST_F(FetcherFixture, RedundantDoorbellIgnoredWhileActive)
 {
+    RoleGuard host(qp.hostRole); // single-threaded sim: test is host
     qp.submit({0, 1});
     qp.consumeDoorbellRequest();
     fetcher->ringDoorbell();

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/random.hh"
+#include "common/thread_annotations.hh"
 #include "queue/spsc_ring.hh"
 
 namespace kmu
@@ -19,6 +20,9 @@ namespace
 TEST(SpscRingTest, PushPopRoundTrip)
 {
     SpscRing<int> ring(8);
+    // Single-threaded driver: embodies both ring roles.
+    RoleGuard producer(ring.producerRole);
+    RoleGuard consumer(ring.consumerRole);
     EXPECT_TRUE(ring.empty());
     EXPECT_TRUE(ring.tryPush(42));
     EXPECT_EQ(ring.size(), 1u);
@@ -31,6 +35,9 @@ TEST(SpscRingTest, PushPopRoundTrip)
 TEST(SpscRingTest, CapacityIsDepthMinusOne)
 {
     SpscRing<int> ring(8);
+    // Single-threaded driver: embodies both ring roles.
+    RoleGuard producer(ring.producerRole);
+    RoleGuard consumer(ring.consumerRole);
     EXPECT_EQ(ring.capacity(), 7u);
     for (int i = 0; i < 7; ++i)
         EXPECT_TRUE(ring.tryPush(i));
@@ -43,6 +50,9 @@ TEST(SpscRingTest, CapacityIsDepthMinusOne)
 TEST(SpscRingTest, PopOnEmptyFails)
 {
     SpscRing<int> ring(4);
+    // Single-threaded driver: embodies both ring roles.
+    RoleGuard producer(ring.producerRole);
+    RoleGuard consumer(ring.consumerRole);
     int out = -1;
     EXPECT_FALSE(ring.tryPop(out));
     EXPECT_EQ(out, -1);
@@ -51,6 +61,9 @@ TEST(SpscRingTest, PopOnEmptyFails)
 TEST(SpscRingTest, FifoOrderAcrossWraparound)
 {
     SpscRing<int> ring(4);
+    // Single-threaded driver: embodies both ring roles.
+    RoleGuard producer(ring.producerRole);
+    RoleGuard consumer(ring.consumerRole);
     int expect = 0;
     int produced = 0;
     for (int round = 0; round < 10; ++round) {
@@ -67,6 +80,9 @@ TEST(SpscRingTest, FifoOrderAcrossWraparound)
 TEST(SpscRingTest, PopBurstHonorsMax)
 {
     SpscRing<int> ring(16);
+    // Single-threaded driver: embodies both ring roles.
+    RoleGuard producer(ring.producerRole);
+    RoleGuard consumer(ring.consumerRole);
     for (int i = 0; i < 10; ++i)
         ring.tryPush(i);
     std::vector<int> out;
@@ -88,12 +104,14 @@ TEST(SpscRingTest, ThreadedProducerConsumer)
     constexpr std::uint64_t total = 200000;
 
     std::thread producer([&]() {
+        RoleGuard produce(ring.producerRole); // this thread: producer
         for (std::uint64_t i = 0; i < total;) {
             if (ring.tryPush(i))
                 i++;
         }
     });
 
+    RoleGuard consume(ring.consumerRole); // main thread: consumer
     std::uint64_t expect = 0;
     std::uint64_t sum = 0;
     while (expect < total) {
@@ -128,6 +146,7 @@ TEST(SpscRingTest, ThreadedStressMultiWordPayload)
 
     std::uint64_t attempts = 0; // producer-side push-call count
     std::thread producer([&]() {
+        RoleGuard produce(ring.producerRole); // this thread: producer
         std::uint64_t i = 0;
         while (i < total) {
             // Bursts of 1..8 pushes, then give the consumer a window.
@@ -145,6 +164,7 @@ TEST(SpscRingTest, ThreadedStressMultiWordPayload)
         }
     });
 
+    RoleGuard consume(ring.consumerRole); // main thread: consumer
     std::uint64_t expect = 0;
     while (expect < total) {
         Payload v;
@@ -178,6 +198,9 @@ TEST(SpscRingTest, ThreadedStressMultiWordPayload)
 TEST(SpscRingTest, RejectCounterCountsFullPushes)
 {
     SpscRing<int> ring(4); // capacity 3
+    // Single-threaded driver: embodies both ring roles.
+    RoleGuard producer(ring.producerRole);
+    RoleGuard consumer(ring.consumerRole);
     for (int i = 0; i < 3; ++i)
         ASSERT_TRUE(ring.tryPush(i));
     EXPECT_EQ(ring.totalRejects(), 0u);

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/thread_annotations.hh"
 #include "queue/sw_queue_pair.hh"
 
 namespace kmu
@@ -15,6 +16,9 @@ namespace
 TEST(SwQueuePairTest, SubmitAndFetchBurst)
 {
     SwQueuePair qp(64);
+    // Single-threaded driver: embodies both queue-pair roles.
+    RoleGuard host(qp.hostRole);
+    RoleGuard device(qp.deviceRole);
     for (std::uint64_t i = 0; i < 5; ++i)
         EXPECT_TRUE(qp.submit({i * 64, i}));
     EXPECT_EQ(qp.pendingRequests(), 5u);
@@ -29,6 +33,9 @@ TEST(SwQueuePairTest, SubmitAndFetchBurst)
 TEST(SwQueuePairTest, BurstCapsAtEight)
 {
     SwQueuePair qp(64);
+    // Single-threaded driver: embodies both queue-pair roles.
+    RoleGuard host(qp.hostRole);
+    RoleGuard device(qp.deviceRole);
     for (std::uint64_t i = 0; i < 12; ++i)
         qp.submit({i, i});
     std::vector<RequestDescriptor> burst;
@@ -41,6 +48,9 @@ TEST(SwQueuePairTest, BurstCapsAtEight)
 TEST(SwQueuePairTest, DoorbellStartsRequested)
 {
     SwQueuePair qp(16);
+    // Single-threaded driver: embodies both queue-pair roles.
+    RoleGuard host(qp.hostRole);
+    RoleGuard device(qp.deviceRole);
     EXPECT_TRUE(qp.doorbellRequested());
     EXPECT_TRUE(qp.consumeDoorbellRequest());
     // Consumed: second check fails until the device re-requests.
@@ -53,6 +63,9 @@ TEST(SwQueuePairTest, DoorbellStartsRequested)
 TEST(SwQueuePairTest, CompletionFlow)
 {
     SwQueuePair qp(16);
+    // Single-threaded driver: embodies both queue-pair roles.
+    RoleGuard host(qp.hostRole);
+    RoleGuard device(qp.deviceRole);
     EXPECT_TRUE(qp.postCompletion({0xabc}));
     EXPECT_TRUE(qp.postCompletion({0xdef}));
     EXPECT_EQ(qp.pendingCompletions(), 2u);
@@ -68,6 +81,9 @@ TEST(SwQueuePairTest, CompletionFlow)
 TEST(SwQueuePairTest, SubmitFailsWhenFull)
 {
     SwQueuePair qp(4); // capacity 3
+    // Single-threaded driver: embodies both queue-pair roles.
+    RoleGuard host(qp.hostRole);
+    RoleGuard device(qp.deviceRole);
     EXPECT_TRUE(qp.submit({1, 1}));
     EXPECT_TRUE(qp.submit({2, 2}));
     EXPECT_TRUE(qp.submit({3, 3}));
