@@ -1,153 +1,29 @@
 #!/usr/bin/env python3
-"""Repo-specific lint gate for the kmu model code.
+"""Deprecated shim: the lint rules moved into tools/kmu_analyze.py.
 
-Checks that clang-tidy cannot express (or that must hold even when
-clang-tidy is unavailable, as it is in the CI fallback and minimal
-dev containers):
+kmu_lint's four rules (no-std-rand, no-raw-new, include-guards,
+no-wall-clock) are now the analyzer rules unseeded-rng, raw-new,
+include-guards and wall-clock, sharing one entry point and one
+suppression syntax (`// kmu-analyze: allow(<rule>)`; the old
+`// kmu-lint: allow(<rule>)` spelling keeps working).
 
-  1. no-std-rand      std::rand/srand in model code breaks run-to-run
-                      determinism; use common/random.hh (mix64/Rng).
-  2. no-raw-new       model code is ownership-audited around
-                      unique_ptr/containers; raw new/delete escapes
-                      that audit.
-  3. include-guards   headers use  KMU_<SUBDIR>_<FILE>_HH  guards
-                      (pragma once is not used in this codebase).
-  4. no-wall-clock    the deterministic core (src/sim, src/mem,
-                      src/queue, src/core, src/check) must not read
-                      wall-clock time: simulated time comes only from
-                      the EventQueue. Real-time layers (src/ult,
-                      src/access, src/device's emulated device,
-                      src/ubench) are exempt.
-
-A finding can be waived on its line with:  // kmu-lint: allow(<rule>)
+This wrapper preserves the historical CLI — same arguments, same
+exit codes (0 clean, 1 findings, 2 bad path) — by invoking the
+analyzer restricted to the folded rule set. New callers should run
+kmu_analyze directly, which also enables the semantic rules
+(unordered-iter, float-accum, fiber-escape, hostaddr-bits,
+capability).
 
 Usage:  kmu_lint.py [--root DIR] PATH...     (exit 1 on findings)
 """
 
 import argparse
 import pathlib
-import re
 import sys
 
-SOURCE_SUFFIXES = {".hh", ".cc", ".h", ".cpp", ".hpp"}
+import kmu_analyze
 
-# Directories (relative to the scan root) whose simulated time must be
-# fully deterministic.
-DETERMINISTIC_DIRS = ("sim", "mem", "queue", "core", "check")
-
-RULE_STD_RAND = "no-std-rand"
-RULE_RAW_NEW = "no-raw-new"
-RULE_GUARD = "include-guards"
-RULE_WALL_CLOCK = "no-wall-clock"
-
-RAND_RE = re.compile(r"\bstd::rand\b|\bsrand\s*\(|[^.\w]rand\s*\(\s*\)")
-NEW_RE = re.compile(r"\bnew\s+[A-Za-z_(]|\bnew\s*\[|\bdelete\b")
-DELETED_FN_RE = re.compile(r"=\s*delete\b")  # deleted functions are fine
-# Placement new into mapped/staged storage is part of no idiom here;
-# flag it too. std::launder etc. never appear.
-CLOCK_RE = re.compile(
-    r"steady_clock|system_clock|high_resolution_clock"
-    r"|\bgettimeofday\b|\bclock_gettime\b|\btime\s*\(\s*(NULL|nullptr|0)?\s*\)"
-    r"|__rdtsc|\basm\b.*\brdtsc\b")
-WAIVER_RE = re.compile(r"//\s*kmu-lint:\s*allow\(([a-z-]+)\)")
-
-GUARD_IFNDEF_RE = re.compile(r"^#ifndef\s+(\w+)\s*$", re.M)
-
-
-def strip_comments_and_strings(text):
-    """Blank out comments and string/char literals, preserving line
-    structure, so token rules don't fire on prose or messages."""
-    out = []
-    i, n = 0, len(text)
-    while i < n:
-        c = text[i]
-        if c == "/" and i + 1 < n and text[i + 1] == "/":
-            j = text.find("\n", i)
-            j = n if j < 0 else j
-            i = j
-        elif c == "/" and i + 1 < n and text[i + 1] == "*":
-            j = text.find("*/", i + 2)
-            j = n if j < 0 else j + 2
-            out.append("\n" * text.count("\n", i, j))
-            i = j
-        elif c in "\"'":
-            quote = c
-            j = i + 1
-            while j < n and text[j] != quote:
-                j += 2 if text[j] == "\\" else 1
-            i = j + 1
-        else:
-            out.append(c)
-            i += 1
-    return "".join(out)
-
-
-def expected_guard(rel_path):
-    """KMU_<DIRS>_<STEM>_<EXT> for a header path relative to src/."""
-    parts = list(rel_path.parts[:-1]) + [rel_path.stem, rel_path.suffix[1:]]
-    return "KMU_" + "_".join(p.upper().replace("-", "_") for p in parts)
-
-
-class Linter:
-    def __init__(self, root):
-        self.root = root
-        self.findings = []
-
-    def report(self, path, line_no, rule, message):
-        self.findings.append(f"{path}:{line_no}: [{rule}] {message}")
-
-    def waived(self, raw_line, rule):
-        m = WAIVER_RE.search(raw_line)
-        return bool(m) and m.group(1) == rule
-
-    def lint_file(self, path):
-        rel = path.relative_to(self.root)
-        raw = path.read_text(encoding="utf-8")
-        raw_lines = raw.splitlines()
-        clean_lines = strip_comments_and_strings(raw).splitlines()
-
-        deterministic = rel.parts and rel.parts[0] in DETERMINISTIC_DIRS
-
-        for idx, clean in enumerate(clean_lines):
-            line_no = idx + 1
-            raw_line = raw_lines[idx] if idx < len(raw_lines) else ""
-
-            if RAND_RE.search(clean) and not self.waived(raw_line,
-                                                        RULE_STD_RAND):
-                self.report(rel, line_no, RULE_STD_RAND,
-                            "std::rand/srand breaks determinism; use "
-                            "common/random.hh")
-            if (NEW_RE.search(DELETED_FN_RE.sub("", clean))
-                    and not self.waived(raw_line, RULE_RAW_NEW)):
-                self.report(rel, line_no, RULE_RAW_NEW,
-                            "raw new/delete in model code; use "
-                            "std::make_unique or a container")
-            if (deterministic and CLOCK_RE.search(clean)
-                    and not self.waived(raw_line, RULE_WALL_CLOCK)):
-                self.report(rel, line_no, RULE_WALL_CLOCK,
-                            "wall-clock time in the deterministic "
-                            "core; simulated time comes from the "
-                            "EventQueue")
-
-        if path.suffix in {".hh", ".h", ".hpp"}:
-            self.lint_guard(path, rel, raw)
-
-    def lint_guard(self, path, rel, raw):
-        want = expected_guard(rel)
-        m = GUARD_IFNDEF_RE.search(raw)
-        if not m:
-            self.report(rel, 1, RULE_GUARD,
-                        f"missing include guard (expected {want})")
-            return
-        got = m.group(1)
-        if got != want:
-            line_no = raw[:m.start()].count("\n") + 1
-            self.report(rel, line_no, RULE_GUARD,
-                        f"include guard {got}, expected {want}")
-        define = f"#define {got}"
-        if define not in raw:
-            self.report(rel, 1, RULE_GUARD,
-                        f"guard {got} is never defined")
+FOLDED_RULES = "wall-clock,unseeded-rng,raw-new,include-guards"
 
 
 def main(argv):
@@ -159,26 +35,14 @@ def main(argv):
                          "(default: the scanned directory itself)")
     args = ap.parse_args(argv)
 
-    rc = 0
-    for top in args.paths:
-        if not top.exists():
-            print(f"kmu_lint: no such path: {top}", file=sys.stderr)
-            return 2
-        root = args.root or (top if top.is_dir() else top.parent)
-        linter = Linter(root.resolve())
-        files = ([top.resolve()] if top.is_file() else sorted(
-            p.resolve() for p in top.rglob("*")
-            if p.suffix in SOURCE_SUFFIXES and p.is_file()))
-        for f in files:
-            linter.lint_file(f)
-        for finding in linter.findings:
-            print(finding)
-        if linter.findings:
-            rc = 1
+    print("kmu_lint: deprecated; use tools/kmu_analyze.py "
+          f"(running rules {FOLDED_RULES})", file=sys.stderr)
 
-    if rc == 0:
-        print("kmu_lint: clean")
-    return rc
+    forwarded = ["--rules", FOLDED_RULES]
+    if args.root is not None:
+        forwarded += ["--root", str(args.root)]
+    forwarded += [str(p) for p in args.paths]
+    return kmu_analyze.run(forwarded)
 
 
 if __name__ == "__main__":
