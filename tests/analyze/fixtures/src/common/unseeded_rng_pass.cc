@@ -1,0 +1,27 @@
+// Fixture: MUST be clean for [unseeded-rng].
+// Seeded, deterministic randomness in the repo idiom.
+namespace kmu
+{
+
+struct Rng
+{
+    explicit Rng(unsigned long long seed) : state(seed) {}
+    unsigned long long next()
+    {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        return state;
+    }
+    unsigned long long state;
+};
+
+unsigned long long
+goodRandom()
+{
+    Rng rng(0x5eed);
+    return rng.next();
+}
+
+// Entropy for a non-reproducible demo mode, explicitly waived:
+extern unsigned seedFromEntropy(); // kmu-analyze: allow(unseeded-rng)
+
+} // namespace kmu

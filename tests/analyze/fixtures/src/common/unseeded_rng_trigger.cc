@@ -1,0 +1,21 @@
+// Fixture: MUST trigger [unseeded-rng].
+#include <cstdlib>
+#include <random>
+
+namespace kmu
+{
+
+int
+badRandom()
+{
+    return rand();
+}
+
+unsigned
+alsoBad()
+{
+    std::random_device rd;
+    return rd();
+}
+
+} // namespace kmu

@@ -1,0 +1,26 @@
+// Fixture: MUST be clean for [float-accum].
+namespace kmu
+{
+
+// Integer accumulation with one final conversion: order-independent.
+double
+meanLatencyNs(const unsigned long long *ticks, int n)
+{
+    unsigned long long total = 0;
+    for (int i = 0; i < n; ++i)
+        total += ticks[i];
+    return n ? double(total) / n : 0.0;
+}
+
+// A float accumulation over an order-fixed sequence at an audited
+// site, explicitly waived:
+double
+auditedSum(const double *xs, int n)
+{
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i)
+        sum += xs[i]; // kmu-analyze: allow(float-accum)
+    return sum;
+}
+
+} // namespace kmu

@@ -1,0 +1,16 @@
+// Fixture: MUST trigger [float-accum].
+// Floating-point summation in deterministic code: the result depends
+// on accumulation order.
+namespace kmu
+{
+
+double
+meanLatency(const double *samples, int n)
+{
+    double total = 0.0;
+    for (int i = 0; i < n; ++i)
+        total += samples[i];
+    return n ? total / n : 0.0;
+}
+
+} // namespace kmu

@@ -1,0 +1,33 @@
+// Fixture: MUST be clean for [raw-new].
+#include <memory>
+#include <vector>
+
+namespace kmu
+{
+
+struct Buffer
+{
+    std::vector<int> data;
+    std::unique_ptr<int> one;
+};
+
+Buffer
+makeBuffer()
+{
+    Buffer b;
+    b.data.resize(64);
+    b.one = std::make_unique<int>(7);
+    return b;
+}
+
+// Deleted special members must never be confused with delete-exprs.
+struct Pinned
+{
+    Pinned(const Pinned &) = delete;
+    Pinned &operator=(const Pinned &) = delete;
+};
+
+// A placement-new shim at an audited boundary, explicitly waived:
+void *stagingNew(void *p); // kmu-analyze: allow(raw-new)
+
+} // namespace kmu

@@ -1,0 +1,24 @@
+// Fixture: MUST trigger [raw-new].
+namespace kmu
+{
+
+struct Buffer
+{
+    int *data;
+};
+
+Buffer
+makeBuffer()
+{
+    Buffer b;
+    b.data = new int[64];
+    return b;
+}
+
+void
+freeBuffer(Buffer &b)
+{
+    delete[] b.data;
+}
+
+} // namespace kmu

@@ -1,0 +1,30 @@
+// Fixture: MUST be clean for [capability].
+#include <atomic>
+
+// Stand-in for common/thread_annotations.hh (fixtures are analyzed,
+// not compiled): the annotation macros expand to nothing.
+#define KMU_ATOMIC_ROLE(...)
+#define KMU_GUARDED_BY(x)
+
+namespace kmu
+{
+
+struct AnnotatedRing
+{
+    std::atomic<unsigned long> head
+        KMU_ATOMIC_ROLE(producer_writes, both_read){0};
+    std::atomic<unsigned long> tail
+        KMU_ATOMIC_ROLE(consumer_writes, both_read){0};
+};
+
+extern std::atomic<int> gCounter
+    KMU_ATOMIC_ROLE(main_writes, all_read);
+
+// Aliases and pointers don't own the contract; not flagged.
+using AtomicWord = std::atomic<unsigned long>;
+std::atomic<int> *gCounterAlias = nullptr;
+
+// A process-local atomic with no cross-thread readers, waived:
+std::atomic<int> gScratch{0}; // kmu-analyze: allow(capability)
+
+} // namespace kmu

@@ -1,0 +1,16 @@
+// Fixture: MUST trigger [capability].
+// Shared atomics without an ordering-contract annotation.
+#include <atomic>
+
+namespace kmu
+{
+
+struct BareRing
+{
+    std::atomic<unsigned long> head{0};
+    std::atomic<unsigned long> tail{0};
+};
+
+extern std::atomic<int> gBareCounter;
+
+} // namespace kmu

@@ -1,0 +1,42 @@
+// Fixture: MUST be clean for [hostaddr-bits].
+#include <iomanip>
+#include <iostream>
+
+namespace kmu
+{
+
+using Addr = unsigned long long;
+
+// The blessed-helper idiom: the layout lives in descriptor.hh /
+// topology.hh and everyone else calls through.
+struct RequestDescriptor
+{
+    static unsigned hostTag(Addr a);
+    static Addr hostPtr(Addr a);
+};
+
+unsigned
+viaHelpers(Addr hostAddr)
+{
+    return RequestDescriptor::hostTag(hostAddr);
+}
+
+// Stream formatting with a width of 48 must never be mistaken for
+// address math, even in a line mentioning an address.
+void
+printAddr(Addr hostAddr)
+{
+    std::cout << std::setw(48) << hostAddr << "\n";
+}
+
+// Shifts of unrelated quantities (a 48-bit *count*, not tag bits in
+// an address) are only reported when the statement smells of
+// address math; this one is waived at an audited site.
+Addr
+packCount(Addr count, unsigned hostShard)
+{
+    return (count << 8) |
+           (Addr(hostShard) << 56); // kmu-analyze: allow(hostaddr-bits)
+}
+
+} // namespace kmu

@@ -1,0 +1,27 @@
+// Fixture: MUST trigger [hostaddr-bits].
+// Open-coded tag extraction outside the blessed helper files: the
+// layout (gen 48..55, shard 56..61) is duplicated and will rot.
+namespace kmu
+{
+
+using Addr = unsigned long long;
+
+unsigned
+openCodedGenTag(Addr hostAddr)
+{
+    return unsigned((hostAddr >> 48) & 0xff);
+}
+
+Addr
+openCodedStrip(Addr hostAddr)
+{
+    return hostAddr & ~Addr(0xff000000000000ull << 8);
+}
+
+unsigned
+openCodedShard(Addr hostAddr)
+{
+    return unsigned((hostAddr & 0x3f00000000000000ull) >> 56);
+}
+
+} // namespace kmu

@@ -1,0 +1,12 @@
+// Fixture: MUST be clean for [include-guards].
+#ifndef KMU_QUEUE_INCLUDE_GUARDS_PASS_HH
+#define KMU_QUEUE_INCLUDE_GUARDS_PASS_HH
+
+namespace kmu
+{
+struct Nothing
+{
+};
+} // namespace kmu
+
+#endif // KMU_QUEUE_INCLUDE_GUARDS_PASS_HH

@@ -1,0 +1,12 @@
+// Fixture: MUST trigger [include-guards] (wrong guard name).
+#ifndef SOME_RANDOM_GUARD_HH
+#define SOME_RANDOM_GUARD_HH
+
+namespace kmu
+{
+struct Nothing
+{
+};
+} // namespace kmu
+
+#endif // SOME_RANDOM_GUARD_HH

@@ -1,0 +1,15 @@
+// Fixture: NOT in the fixture compile database. With --compile-db
+// given, this translation unit must be skipped entirely, violations
+// and all (it stands in for generated/experimental code).
+#include <cstdlib>
+
+namespace kmu
+{
+
+int
+wouldBeFlagged()
+{
+    return rand();
+}
+
+} // namespace kmu

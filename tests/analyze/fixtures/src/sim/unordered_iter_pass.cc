@@ -1,0 +1,42 @@
+// Fixture: MUST be clean for [unordered-iter].
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace kmu
+{
+
+// Sort into a vector first: deterministic output order.
+void
+dumpCsvSorted(const std::unordered_map<std::string, long> &stats)
+{
+    std::vector<std::pair<std::string, long>> rows(stats.begin(),
+                                                   stats.end());
+    std::sort(rows.begin(), rows.end());
+    for (const auto &row : rows)
+        printf("%s,%ld\n", row.first.c_str(), row.second);
+}
+
+// Pure aggregation without output: order-independent, not flagged.
+long
+totalOf(const std::unordered_map<std::string, long> &stats)
+{
+    long sum = 0;
+    for (const auto &entry : stats)
+        sum += entry.second;
+    return sum;
+}
+
+// Output over unordered iteration, explicitly waived (a debug-only
+// dump whose order genuinely does not matter):
+void
+debugDump(const std::unordered_map<std::string, long> &stats)
+{
+    // kmu-analyze: allow(unordered-iter)
+    for (const auto &entry : stats)
+        printf("%s\n", entry.first.c_str());
+}
+
+} // namespace kmu

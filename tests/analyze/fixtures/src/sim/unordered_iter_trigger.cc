@@ -1,0 +1,18 @@
+// Fixture: MUST trigger [unordered-iter].
+// Iterating an unordered map straight into output: the row order is
+// whatever the hash table happens to produce.
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+
+namespace kmu
+{
+
+void
+dumpCsv(const std::unordered_map<std::string, long> &stats)
+{
+    for (const auto &entry : stats)
+        printf("%s,%ld\n", entry.first.c_str(), entry.second);
+}
+
+} // namespace kmu

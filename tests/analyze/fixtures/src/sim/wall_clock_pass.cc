@@ -1,0 +1,25 @@
+// Fixture: MUST be clean for [wall-clock].
+// Simulated time comes from the event queue; the one legitimate
+// wall-clock read (a self-measurement utility) carries a waiver.
+namespace kmu
+{
+
+using Tick = unsigned long long;
+
+struct EventQueue
+{
+    Tick now = 0;
+    Tick curTick() const { return now; }
+};
+
+Tick
+goodTimestamp(const EventQueue &eq)
+{
+    return eq.curTick();
+}
+
+// Self-timing of the analyzer harness itself, waived by design:
+// kmu-analyze: allow(wall-clock)
+extern unsigned long hostClockForSelfMeasurement();
+
+} // namespace kmu

@@ -1,0 +1,24 @@
+// Fixture: MUST trigger [wall-clock].
+// A deterministic-core TU (under sim/) reading the OS clock. The
+// analyzer has to flag every spelling below.
+#include <chrono>
+#include <ctime>
+
+namespace kmu
+{
+
+unsigned long
+badTimestamp()
+{
+    auto tp = std::chrono::steady_clock::now();
+    return static_cast<unsigned long>(
+        tp.time_since_epoch().count());
+}
+
+unsigned long
+alsoBad()
+{
+    return static_cast<unsigned long>(time(nullptr));
+}
+
+} // namespace kmu

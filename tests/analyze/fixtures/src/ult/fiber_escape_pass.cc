@@ -1,0 +1,53 @@
+// Fixture: MUST be clean for [fiber-escape].
+#include <cstddef>
+#include <vector>
+
+namespace kmu
+{
+
+struct Scheduler
+{
+    template <typename F> void spawn(F &&);
+    void run();
+};
+
+struct Slot
+{
+    int value;
+};
+
+namespace thisFiber
+{
+void yield();
+} // namespace thisFiber
+
+// By-reference capture is fine when the frame outlives the fibers:
+// run() joins them before the function returns.
+void
+spawnAndJoin(Scheduler &sched)
+{
+    int local = 42;
+    sched.spawn([&]() { local++; });
+    sched.run();
+}
+
+// Re-look the element up after resuming: indices stay valid across
+// reallocation, references do not.
+int
+indexAcrossYield(std::vector<Slot> &slots, std::size_t i)
+{
+    thisFiber::yield();
+    return slots[i].value;
+}
+
+// A ref held across yield into a deque whose elements are
+// pointer-stable, explicitly waived:
+int
+stableAcrossYield(std::vector<Slot> &slots)
+{
+    Slot &slot = slots[0]; // kmu-analyze: allow(fiber-escape)
+    thisFiber::yield();
+    return slot.value;
+}
+
+} // namespace kmu

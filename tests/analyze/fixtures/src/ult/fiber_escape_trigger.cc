@@ -1,0 +1,44 @@
+// Fixture: MUST trigger [fiber-escape] (both sub-patterns).
+#include <vector>
+
+namespace kmu
+{
+
+struct Scheduler
+{
+    template <typename F> void spawn(F &&);
+    void run();
+};
+
+struct Slot
+{
+    int value;
+};
+
+namespace thisFiber
+{
+void yield();
+} // namespace thisFiber
+
+// Sub-pattern 1: the lambda captures the frame by reference but the
+// function returns without run(); the fiber runs later against a
+// dead stack frame.
+void
+spawnAndLeak(Scheduler &sched)
+{
+    int local = 42;
+    sched.spawn([&]() { local++; });
+}
+
+// Sub-pattern 2: a reference into a vector element is used after a
+// yield; another fiber may have grown the vector meanwhile,
+// invalidating the reference.
+int
+refAcrossYield(std::vector<Slot> &slots)
+{
+    Slot &slot = slots[0];
+    thisFiber::yield();
+    return slot.value;
+}
+
+} // namespace kmu
