@@ -32,6 +32,19 @@ enum class Mechanism
 /** Human-readable mechanism name (for tables and logs). */
 const char *mechanismName(Mechanism mech);
 
+/**
+ * Outcome of a bounded-latency access. Only the software-queue
+ * engine under a Full health controller ever reports
+ * DeadlineExceeded: a request stuck on a quarantined shard past its
+ * per-request deadline is failed back to the workload instead of
+ * hanging it (the error is the bound).
+ */
+enum class AccessStatus
+{
+    Ok,
+    DeadlineExceeded
+};
+
 class AccessEngine
 {
   public:
@@ -45,6 +58,20 @@ class AccessEngine
      * 8-byte aligned). Synchronous to the calling fiber.
      */
     virtual std::uint64_t read64(Addr addr) = 0;
+
+    /**
+     * Deadline-aware variant of read64(): under a Full health
+     * controller a stuck request returns DeadlineExceeded (with
+     * @p out unspecified) instead of blocking forever. Engines
+     * without a deadline path — and any engine with health off —
+     * always return Ok, so workloads can use this unconditionally.
+     */
+    virtual AccessStatus
+    tryRead64(Addr addr, std::uint64_t &out)
+    {
+        out = read64(addr);
+        return AccessStatus::Ok;
+    }
 
     /**
      * Read @p n independent 64-bit words in one batch (the paper's
@@ -102,6 +129,8 @@ class AccessEngine
         std::uint64_t staleCompletions = 0;  //!< filtered stale/dup
         std::uint64_t degradedAccesses = 0;  //!< served degraded
         std::uint64_t recoveryDoorbells = 0; //!< watchdog doorbells
+        std::uint64_t deadlineErrors = 0;    //!< failed at deadline
+        std::uint64_t failovers = 0;         //!< re-routed off-shard
     };
 
     const RecoveryCounters &recovery() const { return recoveryStats; }

@@ -44,11 +44,63 @@ Runtime::Runtime(std::vector<std::uint8_t> device_image, Config config)
         for (std::uint32_t s = 0; s < cfg.shards; ++s)
             pair_list.push_back(device->addQueuePair());
         pairIndex = pair_list.front();
+        if (cfg.health.mode != health::Mode::Off)
+            healthCtrl = std::make_unique<health::RecoveryController>(
+                cfg.health, cfg.shards);
         accessEngine = std::make_unique<SwQueueEngine>(
             sched, *device, std::move(pair_list), cfg.interleave,
-            &governor, cfg.retry);
+            &governor, cfg.retry, healthCtrl.get());
         break;
       }
+    }
+    registerGauges();
+}
+
+void
+Runtime::registerGauges()
+{
+    const auto gauge = [this](const char *name, const char *desc,
+                              Gauge::Source src) {
+        gauges.push_back(std::make_unique<Gauge>(
+            statGroup, name, desc, std::move(src)));
+    };
+    AccessEngine *eng = accessEngine.get();
+    gauge("retries", "accesses re-issued by the watchdog",
+          [eng] { return eng->recovery().retries; });
+    gauge("timeouts", "watchdog deadline expirations",
+          [eng] { return eng->recovery().timeouts; });
+    gauge("crc_failures", "payload CRC mismatches",
+          [eng] { return eng->recovery().crcFailures; });
+    gauge("stale_completions", "stale/duplicate completions filtered",
+          [eng] { return eng->recovery().staleCompletions; });
+    gauge("recovery_doorbells", "watchdog-forced doorbells",
+          [eng] { return eng->recovery().recoveryDoorbells; });
+    gauge("deadline_errors", "requests failed at their deadline",
+          [eng] { return eng->recovery().deadlineErrors; });
+    gauge("failovers", "requests re-routed off their natural shard",
+          [eng] { return eng->recovery().failovers; });
+    const fault::DegradationGovernor *gov = &governor;
+    gauge("governor_degradations", "governor Normal->Degraded flips",
+          [gov] { return gov->degradations(); });
+    gauge("governor_recoveries", "governor Degraded->Normal flips",
+          [gov] { return gov->recoveries(); });
+    if (healthCtrl) {
+        const health::RecoveryController *hc = healthCtrl.get();
+        gauge("health_degradations",
+              "shard Healthy->Degraded transitions",
+              [hc] { return hc->counters().degradations; });
+        gauge("health_quarantines",
+              "shard Degraded->Quarantined transitions",
+              [hc] { return hc->counters().quarantines; });
+        gauge("health_recoveries",
+              "shard Degraded->Healthy transitions",
+              [hc] { return hc->counters().recoveries; });
+        gauge("health_probes", "canary requests routed to "
+              "quarantined shards",
+              [hc] { return hc->counters().probes; });
+        gauge("health_failovers",
+              "controller-chosen sibling re-routes",
+              [hc] { return hc->counters().failovers; });
     }
 }
 

@@ -25,9 +25,11 @@
 #include <vector>
 
 #include "access/access_engine.hh"
+#include "common/stats.hh"
 #include "common/thread_annotations.hh"
 #include "device/emulated_device.hh"
 #include "fault/recovery.hh"
+#include "health/health.hh"
 #include "topo/topology.hh"
 #include "ult/scheduler.hh"
 
@@ -70,6 +72,18 @@ class Runtime
 
         /** Degradation governor parameters (shared EWMA). */
         fault::DegradationGovernor::Config governor{};
+
+        /**
+         * Shard-health control plane (SwQueue mechanism only). With
+         * mode != Off the runtime owns a health::RecoveryController
+         * and hands it to the engine: per-shard signals are sampled
+         * every health.epochPolls poll ticks, sick shards degrade /
+         * quarantine, and (in Full mode) quarantined shards fail
+         * over or deadline-fail their requests. Off keeps every
+         * engine code path byte-identical to a controller-free
+         * build.
+         */
+        health::Config health{};
     };
 
     /**
@@ -127,6 +141,21 @@ class Runtime
         return governor;
     }
 
+    /** Health controller (nullptr unless Config::health.mode != Off
+     *  and the mechanism is SwQueue). */
+    health::RecoveryController *healthController()
+    {
+        return healthCtrl.get();
+    }
+
+    /**
+     * Pull-based runtime statistics: watchdog re-issue counters and
+     * governor / health-controller flip counters, bridged as Gauges
+     * so campaign drivers can dump or diff them uniformly. Valid
+     * from construction; values read live from their owners.
+     */
+    StatGroup &stats() { return statGroup; }
+
   private:
     Config cfg;
     Scheduler sched;
@@ -140,7 +169,14 @@ class Runtime
     std::unique_ptr<EmulatedDevice> device;
     std::size_t pairIndex = 0;
 
+    std::unique_ptr<health::RecoveryController> healthCtrl;
     std::unique_ptr<AccessEngine> accessEngine;
+
+    StatGroup statGroup{"runtime"};
+    std::vector<std::unique_ptr<Gauge>> gauges;
+
+    /** Register the Gauge bridges (after engine construction). */
+    void registerGauges();
 };
 
 } // namespace kmu

@@ -1,5 +1,6 @@
 #include "access/sw_queue_engine.hh"
 
+#include <algorithm>
 #include <cstring>
 #include <thread>
 
@@ -24,9 +25,10 @@ SwQueueEngine::SwQueueEngine(Scheduler &scheduler, EmulatedDevice &device,
                              std::vector<std::size_t> pair_list,
                              topo::Interleave interleave,
                              fault::DegradationGovernor *gov,
-                             fault::RetryPolicy policy)
+                             fault::RetryPolicy policy,
+                             health::RecoveryController *ctrl)
     : sched(scheduler), dev(device), pairIndices(std::move(pair_list)),
-      governor(gov), backoff(policy)
+      governor(gov), backoff(policy), controller(ctrl)
 {
     kmuAssert(!pairIndices.empty() &&
                   pairIndices.size() <= topo::maxShards,
@@ -36,6 +38,16 @@ SwQueueEngine::SwQueueEngine(Scheduler &scheduler, EmulatedDevice &device,
     pairs.reserve(pairIndices.size());
     for (std::size_t idx : pairIndices)
         pairs.push_back(&device.queuePair(idx));
+    if (controller != nullptr) {
+        kmuAssert(controller->shards() == topoCfg.shards,
+                  "controller built for %u shards, engine has %u",
+                  controller->shards(), topoCfg.shards);
+        shardSignals.resize(topoCfg.shards);
+        epochBase.resize(topoCfg.shards);
+        shardLive.assign(topoCfg.shards, 0);
+        oldestScratch.assign(topoCfg.shards, 0);
+        nextEpochAt = controller->config().epochPolls;
+    }
 
     sched.setIdleHandler([this]() { return pollCompletions(); });
     staging.reserve(stagingSlots);
@@ -58,20 +70,48 @@ SwQueueEngine::ioState()
     if (it == ioStates.end()) {
         auto io = std::make_unique<FiberIo>();
         io->fiber = self;
-        for (std::size_t i = 0; i < maxBatch; ++i) {
-            const Addr key = reinterpret_cast<std::uintptr_t>(
-                &io->buffers[i][0]);
-            // The generation tag lives in hostAddr bits 48..55, so
-            // buffer addresses must leave them clear.
-            kmuAssert(RequestDescriptor::hostPtr(key) == key,
-                      "response buffer address uses tag bits: %#llx",
-                      (unsigned long long)key);
-            bufferOwner.emplace(key, io.get());
-        }
+        for (std::size_t i = 0; i < maxBatch; ++i)
+            io->buffers[i] = leaseBuffer(*io, i);
         ioList.push_back(io.get());
         it = ioStates.emplace(self, std::move(io)).first;
     }
     return *it->second;
+}
+
+std::uint8_t *
+SwQueueEngine::leaseBuffer(FiberIo &io, std::size_t slot)
+{
+    std::uint8_t *buf;
+    if (!freeBuffers.empty()) {
+        buf = freeBuffers.back();
+        freeBuffers.pop_back();
+    } else {
+        bufferPool.push_back(std::make_unique<LineBuffer>());
+        buf = &bufferPool.back()->line[0];
+        const Addr key = reinterpret_cast<std::uintptr_t>(buf);
+        // The generation tag lives in hostAddr bits 48..55, so
+        // buffer addresses must leave them clear.
+        kmuAssert(RequestDescriptor::hostPtr(key) == key,
+                  "response buffer address uses tag bits: %#llx",
+                  (unsigned long long)key);
+    }
+    bufStates[reinterpret_cast<Addr>(buf)] = BufState{&io, slot, 0};
+    return buf;
+}
+
+void
+SwQueueEngine::quarantineBufferIfLive(FiberIo &io, std::size_t slot)
+{
+    const Addr key = reinterpret_cast<Addr>(io.buffers[slot]);
+    auto it = bufStates.find(key);
+    kmuAssert(it != bufStates.end(), "slot buffer not leased");
+    if (it->second.outstanding == 0)
+        return; // every attempt answered: the buffer is idle
+    // A twin naming this buffer is still queued somewhere; its DMA
+    // will land whenever that ring drains. Park the buffer until
+    // then and move the slot to a fresh lease.
+    it->second.io = nullptr;
+    io.buffers[slot] = leaseBuffer(io, slot);
 }
 
 void
@@ -90,6 +130,104 @@ SwQueueEngine::stalledWait()
         deviceBackoff();
     pollTick++;
     watchdogScan();
+    healthEpochMaybe();
+}
+
+std::uint32_t
+SwQueueEngine::routeFor(Addr line)
+{
+    const std::uint32_t natural = shardFor(line);
+    if (controller == nullptr)
+        return natural;
+    const std::uint32_t routed =
+        controller->route(natural, line / cacheLineSize);
+    if (routed != natural)
+        recoveryStats.failovers++;
+    return routed;
+}
+
+std::uint32_t
+SwQueueEngine::routeForOrdered(Addr line, std::size_t excludeSlot)
+{
+    if (controller != nullptr) {
+        std::size_t best = stagingSlots;
+        for (std::size_t s = 0; s < stagingSlots; ++s) {
+            if (s == excludeSlot || !writeState[s].pending ||
+                writeState[s].line != line)
+                continue;
+            if (best == stagingSlots ||
+                writeState[s].seq > writeState[best].seq)
+                best = s;
+        }
+        if (best != stagingSlots)
+            return writeState[best].shard;
+    }
+    return routeFor(line);
+}
+
+void
+SwQueueEngine::failRead(FiberIo &io, std::size_t slot)
+{
+    kmuAssert(io.pending[slot], "deadline-failing an idle slot");
+    io.pending[slot] = false;
+    io.failed[slot] = true;
+    // The failed attempt (and any twins) may still be queued on a
+    // hung ring; the slot must not reuse their response buffer.
+    quarantineBufferIfLive(io, slot);
+    recoveryStats.deadlineErrors++;
+    if (controller != nullptr && shardLive[io.shard[slot]] > 0)
+        shardLive[io.shard[slot]]--;
+    kmuAssert(io.outstanding > 0, "deadline fail with no outstanding");
+    io.outstanding--;
+    inFlight--;
+    if (io.outstanding == 0)
+        sched.unblock(*io.fiber);
+}
+
+void
+SwQueueEngine::healthEpochMaybe()
+{
+    if (controller == nullptr || pollTick < nextEpochAt)
+        return;
+
+    // Completion-age watermark per routed shard. Scan order is
+    // deterministic (fibers in first-use order, then staging slots
+    // by index), so health decisions replay bit-identically.
+    std::fill(oldestScratch.begin(), oldestScratch.end(), 0);
+    for (FiberIo *iop : ioList) {
+        FiberIo &io = *iop;
+        if (io.outstanding == 0)
+            continue;
+        for (std::size_t slot = 0; slot < maxBatch; ++slot) {
+            if (!io.pending[slot])
+                continue;
+            const std::uint64_t age = pollTick - io.issuedAt[slot];
+            oldestScratch[io.shard[slot]] =
+                std::max(oldestScratch[io.shard[slot]], age);
+        }
+    }
+    for (std::size_t slot = 0; slot < stagingSlots; ++slot) {
+        const WriteState &ws = writeState[slot];
+        if (!ws.pending)
+            continue;
+        const std::uint64_t age = pollTick - ws.issuedAt;
+        oldestScratch[ws.shard] =
+            std::max(oldestScratch[ws.shard], age);
+    }
+
+    for (std::uint32_t s = 0; s < topoCfg.shards; ++s) {
+        health::ShardSignals sig;
+        sig.completions =
+            shardSignals[s].completions - epochBase[s].completions;
+        sig.retries = shardSignals[s].retries - epochBase[s].retries;
+        sig.rejects = shardSignals[s].rejects - epochBase[s].rejects;
+        sig.queueDepth = shardLive[s];
+        sig.oldestAge = oldestScratch[s];
+        controller->sampleEpoch(s, sig);
+        epochBase[s] = shardSignals[s];
+    }
+    controller->endEpoch();
+    nextEpochAt = pollTick + controller->config().epochPolls;
 }
 
 SwQueueEngine::FiberIo &
@@ -109,8 +247,11 @@ SwQueueEngine::submitAndWait(const Addr *addrs, std::size_t n)
         io.gen[i] = std::uint8_t(io.gen[i] + 1u);
         io.line[i] = lineAlign(addrs[i]);
         io.attempts[i] = 0;
+        io.failed[i] = false;
+        io.issuedAt[i] = pollTick;
         io.deadlineAt[i] = pollTick + backoff.deadlinePolls(1);
-        const std::uint32_t shard = shardFor(io.line[i]);
+        const std::uint32_t shard = routeForOrdered(io.line[i]);
+        io.shard[i] = shard;
         RequestDescriptor desc = RequestDescriptor::read(
             io.line[i],
             topo::taggedShard(
@@ -124,9 +265,15 @@ SwQueueEngine::submitAndWait(const Addr *addrs, std::size_t n)
         while (!qp.submit(desc)) {
             // Request ring full: let other fibers and the device
             // make progress, then retry.
+            if (controller != nullptr)
+                shardSignals[shard].rejects++;
             stalledWait();
             sched.yield();
         }
+        bufStates.at(reinterpret_cast<Addr>(io.buffers[i]))
+            .outstanding++;
+        if (controller != nullptr)
+            shardLive[shard]++;
         accessCount++;
     }
     inFlight += n;
@@ -141,11 +288,27 @@ std::uint64_t
 SwQueueEngine::read64(Addr addr)
 {
     FiberIo &io = submitAndWait(&addr, 1);
+    kmuAssert(!io.failed[0],
+              "read64 of %#llx exceeded its deadline; use tryRead64 "
+              "under a Full health controller",
+              (unsigned long long)addr);
     std::uint64_t value;
     const std::size_t offset = addr - lineAlign(addr);
     kmuAssert(offset + 8 <= cacheLineSize, "read64 straddles lines");
     std::memcpy(&value, &io.buffers[0][offset], sizeof(value));
     return value;
+}
+
+AccessStatus
+SwQueueEngine::tryRead64(Addr addr, std::uint64_t &out)
+{
+    FiberIo &io = submitAndWait(&addr, 1);
+    if (io.failed[0])
+        return AccessStatus::DeadlineExceeded;
+    const std::size_t offset = addr - lineAlign(addr);
+    kmuAssert(offset + 8 <= cacheLineSize, "read64 straddles lines");
+    std::memcpy(&out, &io.buffers[0][offset], sizeof(out));
+    return AccessStatus::Ok;
 }
 
 void
@@ -154,6 +317,7 @@ SwQueueEngine::readBatch(const Addr *addrs, std::size_t n,
 {
     FiberIo &io = submitAndWait(addrs, n);
     for (std::size_t i = 0; i < n; ++i) {
+        kmuAssert(!io.failed[i], "batch read %zu exceeded deadline", i);
         const std::size_t offset = addrs[i] - lineAlign(addrs[i]);
         kmuAssert(offset + 8 <= cacheLineSize, "read straddles lines");
         std::memcpy(&out[i], &io.buffers[i][offset], sizeof(out[0]));
@@ -168,6 +332,7 @@ SwQueueEngine::readLines(const Addr *addrs, std::size_t n, void *out)
     FiberIo &io = submitAndWait(addrs, n);
     auto *dst = static_cast<std::uint8_t *>(out);
     for (std::size_t i = 0; i < n; ++i) {
+        kmuAssert(!io.failed[i], "line read %zu exceeded deadline", i);
         std::memcpy(dst + i * cacheLineSize, &io.buffers[i][0],
                     cacheLineSize);
     }
@@ -210,6 +375,21 @@ SwQueueEngine::forceDoorbell(std::uint32_t shard)
 void
 SwQueueEngine::reissueRead(FiberIo &io, std::size_t slot)
 {
+    // Retry pressure is evidence about the shard the failed attempt
+    // was routed to, not the interleave-natural owner.
+    if (controller != nullptr)
+        shardSignals[io.shard[slot]].retries++;
+    // Bounded-latency contract: under a Full controller a request
+    // that outlived its deadline (or its retry budget) fails back to
+    // the workload instead of retrying forever against a shard that
+    // may never answer.
+    if (deadlineMode() &&
+        (pollTick - io.issuedAt[slot] >=
+             controller->config().requestDeadlinePolls ||
+         io.attempts[slot] >= backoff.policy().maxRetries)) {
+        failRead(io, slot);
+        return;
+    }
     recoveryStats.retries++;
     io.attempts[slot]++;
     kmuAssert(io.attempts[slot] <= backoff.policy().maxRetries,
@@ -217,7 +397,19 @@ SwQueueEngine::reissueRead(FiberIo &io, std::size_t slot)
               (unsigned long long)io.line[slot],
               backoff.policy().maxRetries);
     io.gen[slot] = std::uint8_t(io.gen[slot] + 1u);
-    const std::uint32_t shard = shardFor(io.line[slot]);
+    // Hedged re-issue: a quarantined natural owner re-routes to a
+    // sibling shard (the backing store is shared, so any pair can
+    // serve the line).
+    const std::uint32_t shard = routeForOrdered(io.line[slot]);
+    if (controller != nullptr && shard != io.shard[slot]) {
+        if (shardLive[io.shard[slot]] > 0)
+            shardLive[io.shard[slot]]--;
+        shardLive[shard]++;
+        // Leaving the old ring's FIFO order: twins still queued
+        // there must not share a response buffer with this attempt.
+        quarantineBufferIfLive(io, slot);
+    }
+    io.shard[slot] = shard;
     RequestDescriptor desc = RequestDescriptor::read(
         io.line[slot],
         topo::taggedShard(
@@ -232,14 +424,19 @@ SwQueueEngine::reissueRead(FiberIo &io, std::size_t slot)
         pollTick + backoff.deadlinePolls(io.attempts[slot] + 1);
     SwQueuePair &qp = *pairs[shard];
     RoleGuard host(qp.hostRole);
-    if (qp.submit(desc))
+    if (qp.submit(desc)) {
+        bufStates.at(reinterpret_cast<Addr>(io.buffers[slot]))
+            .outstanding++;
         forceDoorbell(shard);
+    }
 }
 
 void
 SwQueueEngine::reissueWrite(std::size_t slot)
 {
     WriteState &ws = writeState[slot];
+    if (controller != nullptr)
+        shardSignals[ws.shard].retries++;
     recoveryStats.retries++;
     ws.attempts++;
     kmuAssert(ws.attempts <= backoff.policy().maxRetries,
@@ -247,7 +444,16 @@ SwQueueEngine::reissueWrite(std::size_t slot)
               (unsigned long long)ws.line,
               backoff.policy().maxRetries);
     ws.gen = std::uint8_t(ws.gen + 1u);
-    const std::uint32_t shard = shardFor(ws.line);
+    // Writes never deadline-fail: the first retry after a quarantine
+    // re-routes to a healthy sibling, and the shared backing image
+    // keeps cross-shard writes data-safe.
+    const std::uint32_t shard = routeForOrdered(ws.line, slot);
+    if (controller != nullptr && shard != ws.shard) {
+        if (shardLive[ws.shard] > 0)
+            shardLive[ws.shard]--;
+        shardLive[shard]++;
+    }
+    ws.shard = shard;
     RequestDescriptor desc = RequestDescriptor::write(
         ws.line,
         topo::taggedShard(
@@ -259,8 +465,10 @@ SwQueueEngine::reissueWrite(std::size_t slot)
     ws.deadlineAt = pollTick + backoff.deadlinePolls(ws.attempts + 1);
     SwQueuePair &qp = *pairs[shard];
     RoleGuard host(qp.hostRole);
-    if (qp.submit(desc))
+    if (qp.submit(desc)) {
+        ws.outstanding++;
         forceDoorbell(shard);
+    }
 }
 
 void
@@ -276,6 +484,18 @@ SwQueueEngine::watchdogScan()
             continue;
         for (std::size_t slot = 0; slot < maxBatch; ++slot) {
             if (io.pending[slot] && pollTick >= io.deadlineAt[slot]) {
+                // Per-request deadline (Full health mode): convert a
+                // stuck request into a bounded-latency error instead
+                // of another retry. timeouts counts only actual
+                // watchdog re-issues.
+                if (deadlineMode() &&
+                    pollTick - io.issuedAt[slot] >=
+                        controller->config().requestDeadlinePolls) {
+                    if (controller != nullptr)
+                        shardSignals[io.shard[slot]].retries++;
+                    failRead(io, slot);
+                    continue;
+                }
                 recoveryStats.timeouts++;
                 reissueRead(io, slot);
             }
@@ -316,40 +536,68 @@ SwQueueEngine::drainPair(std::uint32_t s)
             topo::stripShard(comp.hostAddr));
         const std::uint8_t tag = RequestDescriptor::hostTag(comp.hostAddr);
 
-        // Posted-write completion: recycle the staging buffer.
+        // Posted-write completion: recycle the staging buffer once
+        // every attempt that DMA-reads it has been answered.
         auto write_it = stagingIndex.find(buf);
         if (write_it != stagingIndex.end()) {
             const std::size_t slot = write_it->second;
             WriteState &ws = writeState[slot];
+            if (ws.outstanding > 0)
+                ws.outstanding--;
             if (!ws.pending || ws.gen != tag) {
                 // Twin of a write the watchdog already re-issued (or
-                // whose retry already completed).
+                // whose retry already completed). If it was the last
+                // attempt holding an already-acknowledged slot, the
+                // staging buffer is finally safe to hand out again.
                 recoveryStats.staleCompletions++;
+                if (!ws.pending && ws.outstanding == 0)
+                    freeStaging.push_back(slot);
                 continue;
             }
             ws.pending = false;
-            freeStaging.push_back(slot);
+            if (ws.outstanding == 0)
+                freeStaging.push_back(slot);
             inFlight--;
+            if (controller != nullptr) {
+                shardSignals[ws.shard].completions++;
+                if (shardLive[ws.shard] > 0)
+                    shardLive[ws.shard]--;
+            }
             if (governor)
                 governor->sample(ws.attempts > 0);
             continue;
         }
 
-        auto it = bufferOwner.find(buf);
-        kmuAssert(it != bufferOwner.end(),
+        auto it = bufStates.find(buf);
+        kmuAssert(it != bufStates.end(),
                   "completion for unknown buffer %#llx",
                   (unsigned long long)comp.hostAddr);
-        FiberIo &io = *it->second;
-        const std::size_t slot =
-            std::size_t(buf - reinterpret_cast<std::uintptr_t>(
-                                  &io.buffers[0][0])) /
-            cacheLineSize;
+        BufState &bs = it->second;
+        if (bs.outstanding > 0)
+            bs.outstanding--;
+        if (bs.io == nullptr) {
+            // Tombstoned buffer: its slot abandoned these attempts
+            // (deadline fail or cross-ring re-issue) and moved to a
+            // fresh lease. The DMA landed harmlessly in the parked
+            // buffer; the last twin returns it to the pool.
+            recoveryStats.staleCompletions++;
+            if (bs.outstanding == 0) {
+                freeBuffers.push_back(
+                    reinterpret_cast<std::uint8_t *>(
+                        static_cast<std::uintptr_t>(buf)));
+                bufStates.erase(it);
+            }
+            continue;
+        }
+        FiberIo &io = *bs.io;
+        const std::size_t slot = bs.slot;
         kmuAssert(slot < maxBatch, "completion buffer slot %zu", slot);
         if (!io.pending[slot] || io.gen[slot] != tag) {
             // Stale: a duplicate from a recovered loss, or the slow
-            // twin of a timed-out request. The buffer write it may
-            // have carried is harmless — either the same data, or
-            // about to be overwritten by the live generation.
+            // twin of a timed-out request. Same ring as the live
+            // generation (cross-ring attempts are tombstoned above),
+            // so FIFO order makes its buffer write harmless — the
+            // live generation's data lands after it.
             recoveryStats.staleCompletions++;
             continue;
         }
@@ -366,6 +614,11 @@ SwQueueEngine::drainPair(std::uint32_t s)
         kmuAssert(io.outstanding > 0, "completion overflow for fiber");
         io.outstanding--;
         inFlight--;
+        if (controller != nullptr) {
+            shardSignals[io.shard[slot]].completions++;
+            if (shardLive[io.shard[slot]] > 0)
+                shardLive[io.shard[slot]]--;
+        }
         if (governor)
             governor->sample(io.attempts[slot] > 0);
         if (io.outstanding == 0)
@@ -390,13 +643,19 @@ SwQueueEngine::writeLine(Addr addr, const void *line)
     std::memcpy(&staging[slot]->line[0], line, cacheLineSize);
 
     WriteState &ws = writeState[slot];
+    kmuAssert(ws.outstanding == 0,
+              "recycled staging slot %zu still has attempts in "
+              "flight", slot);
     ws.pending = true;
     ws.gen = std::uint8_t(ws.gen + 1u);
     ws.line = addr;
     ws.attempts = 0;
+    ws.issuedAt = pollTick;
     ws.deadlineAt = pollTick + backoff.deadlinePolls(1);
+    ws.seq = ++writeSeq;
 
-    const std::uint32_t shard = shardFor(addr);
+    const std::uint32_t shard = routeForOrdered(addr, slot);
+    ws.shard = shard;
     RequestDescriptor desc = RequestDescriptor::write(
         addr, topo::taggedShard(
                   RequestDescriptor::taggedHost(
@@ -407,9 +666,15 @@ SwQueueEngine::writeLine(Addr addr, const void *line)
     {
         SwQueuePair &qp = *pairs[shard];
         RoleGuard host(qp.hostRole);
-        while (!qp.submit(desc))
+        while (!qp.submit(desc)) {
+            if (controller != nullptr)
+                shardSignals[shard].rejects++;
             stalledWait();
+        }
     }
+    ws.outstanding++;
+    if (controller != nullptr)
+        shardLive[shard]++;
     writeCount++;
     access_trace::writeMark(addr);
     inFlight++;
@@ -448,6 +713,7 @@ SwQueueEngine::pollCompletions()
     }
     drainCompletions();
     watchdogScan();
+    healthEpochMaybe();
 
     // Returning true keeps the scheduler polling while requests are
     // in flight at the device, even if this pass woke nobody.

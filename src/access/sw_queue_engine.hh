@@ -23,6 +23,7 @@
 #include "access/access_engine.hh"
 #include "device/emulated_device.hh"
 #include "fault/recovery.hh"
+#include "health/health.hh"
 #include "topo/topology.hh"
 #include "ult/scheduler.hh"
 
@@ -53,13 +54,23 @@ class SwQueueEngine : public AccessEngine
      * completions demux shard-safely. A one-element @p pairs list is
      * exactly the single-pair engine.
      */
+    /**
+     * @param ctrl optional health controller (src/health): routes
+     *             new and re-issued requests away from quarantined
+     *             shards, fails requests stuck past their deadline,
+     *             and is fed per-shard signals every epochPolls poll
+     *             ticks. nullptr keeps every code path byte-identical
+     *             to a controller-free build.
+     */
     SwQueueEngine(Scheduler &scheduler, EmulatedDevice &device,
                   std::vector<std::size_t> pairs,
                   topo::Interleave interleave,
                   fault::DegradationGovernor *gov = nullptr,
-                  fault::RetryPolicy policy = {});
+                  fault::RetryPolicy policy = {},
+                  health::RecoveryController *ctrl = nullptr);
 
     std::uint64_t read64(Addr addr) override;
+    AccessStatus tryRead64(Addr addr, std::uint64_t &out) override;
     void readBatch(const Addr *addrs, std::size_t n,
                    std::uint64_t *out) override;
     void readLines(const Addr *addrs, std::size_t n, void *out) override;
@@ -86,6 +97,12 @@ class SwQueueEngine : public AccessEngine
     std::uint64_t writeStalls() const { return stagingStalls; }
     /** @} */
 
+    /** Watchdog clock: poll passes since construction. In
+     *  manual-pump (deterministic-device) mode this is a logical
+     *  clock, so deltas of it are a bit-reproducible latency unit
+     *  for benches. */
+    std::uint64_t pollTicks() const { return pollTick; }
+
   private:
     /**
      * Per-fiber response buffers and outstanding-request count, plus
@@ -97,8 +114,17 @@ class SwQueueEngine : public AccessEngine
      */
     struct FiberIo
     {
-        alignas(cacheLineSize)
-            std::uint8_t buffers[maxBatch][cacheLineSize];
+        /**
+         * Response buffer of each slot, leased from the engine's
+         * pool. Indirection matters for failure handling: when a
+         * slot abandons an attempt whose twin may still be queued
+         * on a hung ring (deadline fail, cross-ring re-issue), the
+         * lease is swapped for a fresh buffer and the old one is
+         * tombstoned until the twin's DMA and completion drain —
+         * otherwise that late DMA would land in a buffer the slot
+         * has already reused for different data.
+         */
+        std::uint8_t *buffers[maxBatch] = {};
         std::uint32_t outstanding = 0;
         Fiber *fiber = nullptr;
 
@@ -107,6 +133,15 @@ class SwQueueEngine : public AccessEngine
         Addr line[maxBatch] = {}; //!< device line, for re-issue
         std::uint64_t deadlineAt[maxBatch] = {}; //!< pollTick deadline
         std::uint32_t attempts[maxBatch] = {};
+        /** Shard the slot's live request is currently routed to
+         *  (differs from the interleave-natural owner after a
+         *  failover re-issue). */
+        std::uint32_t shard[maxBatch] = {};
+        /** pollTick of first submit: the per-request deadline is
+         *  measured from here, across re-issues. */
+        std::uint64_t issuedAt[maxBatch] = {};
+        /** Slot failed with DeadlineExceeded this batch. */
+        bool failed[maxBatch] = {};
     };
 
     /** Get (or lazily create and register) the caller's IO state. */
@@ -133,6 +168,42 @@ class SwQueueEngine : public AccessEngine
     {
         return topo::shardOf(line, topoCfg);
     }
+
+    /**
+     * Routed destination of a request for @p line: the natural owner
+     * unless the health controller quarantined it, in which case the
+     * controller picks probe-or-failover. Counts failovers.
+     */
+    std::uint32_t routeFor(Addr line);
+
+    /**
+     * Routed destination for a new request on @p line, preserving
+     * read-your-writes across failovers: if a posted write for the
+     * same line is still in flight, follow the *latest* such write's
+     * currently-routed shard so per-ring FIFO order keeps the new
+     * request behind it. Without this, a hedged read re-routed to a
+     * healthy sibling can pass a write still queued on the sick
+     * shard and observe stale data. @p excludeSlot lets a write
+     * re-issue skip its own staging slot.
+     */
+    std::uint32_t routeForOrdered(Addr line,
+                                  std::size_t excludeSlot = stagingSlots);
+
+    /** True when stuck requests must be deadline-failed instead of
+     *  retried forever (Full health mode). */
+    bool
+    deadlineMode() const
+    {
+        return controller != nullptr &&
+               controller->config().mode == health::Mode::Full;
+    }
+
+    /** Fail one read slot with DeadlineExceeded and wake its fiber
+     *  if it was the last outstanding request of the batch. */
+    void failRead(FiberIo &io, std::size_t slot);
+
+    /** Close the signal epoch and feed the controller, when due. */
+    void healthEpochMaybe();
 
     /** Wait-loop backoff: pump a manual-mode device, else yield the
      *  OS thread so the device service thread can run. */
@@ -172,6 +243,21 @@ class SwQueueEngine : public AccessEngine
         Addr line = 0; //!< device line address, for re-issue
         std::uint64_t deadlineAt = 0; //!< pollTick re-issue deadline
         std::uint32_t attempts = 0;
+        std::uint32_t shard = 0;      //!< current routed shard
+        std::uint64_t issuedAt = 0;   //!< pollTick of first submit
+        /**
+         * Attempts submitted but not yet answered (stale twins
+         * included). The staging slot recycles only at zero: a twin
+         * parked on a hung ring DMA-reads the staging buffer when
+         * the ring finally drains, so handing the buffer to a new
+         * write before then would graft the new payload onto the
+         * old write's line address.
+         */
+        std::uint32_t outstanding = 0;
+        /** Program-order stamp: routeForOrdered follows the newest
+         *  pending write of a line, and poll ticks alone cannot
+         *  order two writes submitted in the same tick. */
+        std::uint64_t seq = 0;
     };
 
     Scheduler &sched;
@@ -183,18 +269,71 @@ class SwQueueEngine : public AccessEngine
     topo::TopologyConfig topoCfg;
     fault::DegradationGovernor *governor;
     fault::RetryBackoff backoff;
+    health::RecoveryController *controller;
+
+    /** Per-shard health signals (cumulative; the epoch driver takes
+     *  deltas against epochBase). Empty when no controller. */
+    struct ShardSignalCounters
+    {
+        std::uint64_t completions = 0;
+        std::uint64_t retries = 0;
+        std::uint64_t rejects = 0;
+    };
+    std::vector<ShardSignalCounters> shardSignals;
+    std::vector<ShardSignalCounters> epochBase;
+    /** Live in-flight ops per routed shard (reads + writes). */
+    std::vector<std::uint64_t> shardLive;
+    /** Scratch for the epoch driver's oldest-age scan. */
+    std::vector<std::uint64_t> oldestScratch;
+    std::uint64_t nextEpochAt = 0;
 
     std::unordered_map<Fiber *, std::unique_ptr<FiberIo>> ioStates;
     /** Creation-ordered view of ioStates: the watchdog iterates this
      *  so its scan order (and RNG consumption) is deterministic. */
     std::vector<FiberIo *> ioList;
-    std::unordered_map<Addr, FiberIo *> bufferOwner;
+
+    /** One pooled response buffer (stable address for its lifetime). */
+    struct LineBuffer
+    {
+        alignas(cacheLineSize) std::uint8_t line[cacheLineSize];
+    };
+
+    /**
+     * Who a response buffer currently serves. `io == nullptr` marks
+     * a tombstone: the buffer's slot moved on, but attempts naming
+     * it are still unanswered — it returns to the free pool once
+     * `outstanding` drains to zero.
+     */
+    struct BufState
+    {
+        FiberIo *io = nullptr;
+        std::size_t slot = 0;
+        std::uint32_t outstanding = 0; //!< submitted, not yet answered
+    };
+
+    /** Lease a buffer for @p io's @p slot (reuses the free pool,
+     *  grows it when dry). */
+    std::uint8_t *leaseBuffer(FiberIo &io, std::size_t slot);
+
+    /**
+     * Called before a slot abandons its current attempt for a path
+     * outside its ring's FIFO order (deadline fail, or re-issue to
+     * a different shard). If attempts on the current buffer are
+     * still unanswered, tombstone it and lease a replacement;
+     * otherwise the buffer is provably idle and stays.
+     */
+    void quarantineBufferIfLive(FiberIo &io, std::size_t slot);
+
+    std::vector<std::unique_ptr<LineBuffer>> bufferPool;
+    std::vector<std::uint8_t *> freeBuffers;
+    std::unordered_map<Addr, BufState> bufStates;
 
     std::vector<std::unique_ptr<StagingBuffer>> staging;
     std::vector<std::size_t> freeStaging;
     std::unordered_map<Addr, std::size_t> stagingIndex;
     WriteState writeState[stagingSlots];
 
+    std::uint64_t writeSeq = 0; //!< program-order write stamp source
     std::uint64_t inFlight = 0; //!< logical ops awaiting completion
     std::uint64_t pollTick = 0; //!< watchdog clock: poll passes
     std::uint64_t doorbells = 0;

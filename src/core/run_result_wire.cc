@@ -77,6 +77,11 @@ serializeRunResult(const RunResult &res)
     putU64(out, res.shardCount);
     putU64(out, res.shardRequestsMin);
     putU64(out, res.shardRequestsMax);
+    putU64(out, res.healthDegraded);
+    putU64(out, res.healthQuarantines);
+    putU64(out, res.healthRecoveries);
+    putU64(out, res.failovers);
+    putU64(out, res.deadlineErrors);
     return out;
 }
 
@@ -110,7 +115,12 @@ deserializeRunResult(const std::uint8_t *data, std::size_t size,
     r.l1Misses = getU64(p); p += 8;
     r.shardCount = std::uint32_t(getU64(p)); p += 8;
     r.shardRequestsMin = getU64(p); p += 8;
-    r.shardRequestsMax = getU64(p);
+    r.shardRequestsMax = getU64(p); p += 8;
+    r.healthDegraded = getU64(p); p += 8;
+    r.healthQuarantines = getU64(p); p += 8;
+    r.healthRecoveries = getU64(p); p += 8;
+    r.failovers = getU64(p); p += 8;
+    r.deadlineErrors = getU64(p);
     out = r;
     return true;
 }

@@ -29,10 +29,10 @@ namespace kmu
 constexpr std::uint32_t runResultWireMagic = 0x5252'4d4b;
 
 /** Bump whenever a field is added/removed/reordered. */
-constexpr std::uint32_t runResultWireVersion = 3;
+constexpr std::uint32_t runResultWireVersion = 4;
 
-/** Serialized size: magic + version + 19 8-byte fields. */
-constexpr std::size_t runResultWireBytes = 8 + 19 * 8;
+/** Serialized size: magic + version + 24 8-byte fields. */
+constexpr std::size_t runResultWireBytes = 8 + 24 * 8;
 
 /** Encode @p res; always exactly runResultWireBytes long. */
 std::vector<std::uint8_t> serializeRunResult(const RunResult &res);

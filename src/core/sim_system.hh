@@ -78,6 +78,21 @@ struct RunResult
     std::uint64_t shardRequestsMin = 0;
     std::uint64_t shardRequestsMax = 0;
     /** @} */
+
+    /** @{
+     * Health control plane totals (src/health), warmup included;
+     * all zero when cfg.health.mode == Off. deadlineErrors is the
+     * engine-level Full-mode effect, which exists in the real-time
+     * runtime only — the field is carried here (and in the wire
+     * format) so campaign CSVs share one schema, and is always 0 in
+     * timing-model results.
+     */
+    std::uint64_t healthDegraded = 0;    //!< HEALTHY→DEGRADED flips
+    std::uint64_t healthQuarantines = 0; //!< DEGRADED→QUARANTINED
+    std::uint64_t healthRecoveries = 0;  //!< DEGRADED→HEALTHY
+    std::uint64_t failovers = 0;         //!< requests re-routed away
+    std::uint64_t deadlineErrors = 0;    //!< reserved; 0 in the sim
+    /** @} */
 };
 
 class SimSystem
@@ -120,12 +135,27 @@ class SimSystem
     RequestFetcher *fetcher(std::size_t i);
     StatGroup &stats() { return root; }
     SimChecker &invariantChecker() { return *checker; }
+    health::RecoveryController *healthController()
+    {
+        return healthCtrl.get();
+    }
     /** @} */
 
   private:
     void buildMemoryMapped();
     void buildSwQueue();
     void buildChecker();
+
+    /** Close one health epoch: gather per-shard signals, sample the
+     *  controller, apply state effects, re-arm the epoch event. */
+    void healthEpoch();
+
+    /** One shard's cumulative signal sources (for epoch deltas). */
+    struct HealthBase
+    {
+        std::uint64_t completions = 0;
+        std::uint64_t rejects = 0;
+    };
 
     SystemConfig cfg;
     EventQueue eq;
@@ -145,6 +175,12 @@ class SimSystem
     std::unique_ptr<LogHistogram> readLatencyLog; //!< ns, log2 buckets
     std::unique_ptr<SimChecker> checker; //!< periodic invariant sweeps
     std::unique_ptr<trace::OccupancySampler> sampler;
+    /** Health control plane (nullptr when cfg.health.mode == Off,
+     *  which keeps every pre-health run byte-identical). */
+    std::unique_ptr<health::RecoveryController> healthCtrl;
+    std::vector<HealthBase> healthBase; //!< per-shard epoch baselines
+    Tick healthPeriod = 0;              //!< epoch length in sim ticks
+    std::uint16_t healthLane = 0;       //!< HealthState trace lane
     bool ran = false;
 
     /** Record one issue-to-fill latency in both latency stats. */

@@ -152,6 +152,22 @@ EmulatedDevice::servicePair(Pair &pair, Clock::time_point now)
     // *inside pump()* in manual mode — single-threaded either way).
     RoleGuard device(pair.queues.deviceRole);
 
+    // Device hang: the whole pair goes dark — no descriptor fetch,
+    // no completion delivery — for a window of service steps. The
+    // shard id of the encounter is the pair index, so a plan's
+    // shardMask scopes the outage to chosen failure domains. A
+    // hanging pair stops encountering the site, so consecutive
+    // windows never merge into an unbounded outage.
+    if (cfg.manual ? step < pair.hangUntilStep : now < pair.hangUntil)
+        return false;
+    if (fault::fire(fault::FaultSite::DeviceHang, pair.traceLane)) {
+        const std::uint64_t window =
+            fault::magnitude(fault::FaultSite::DeviceHang, 64);
+        pair.hangUntilStep = step + window;
+        pair.hangUntil = now + window * cfg.latency;
+        return false;
+    }
+
     if (!pair.parked.load(std::memory_order_acquire)) {
         std::vector<RequestDescriptor> burst;
         burst.reserve(descriptorBurst);
@@ -198,6 +214,18 @@ EmulatedDevice::servicePair(Pair &pair, Clock::time_point now)
                         lineAlign(desc.deviceAddr));
                     if (result == ReplayWindow::Result::Miss)
                         spurious.fetch_add(1, std::memory_order_relaxed);
+                }
+                // Brownout: the sick shard still serves, but every
+                // request runs magnitude× slow for the window the
+                // plan's burst schedule defines.
+                if (fault::fire(fault::FaultSite::Brownout,
+                                pair.traceLane)) {
+                    const std::uint64_t factor = fault::magnitude(
+                        fault::FaultSite::Brownout, 4);
+                    if (factor > 1) {
+                        deadline += (factor - 1) * cfg.latency;
+                        ready += (factor - 1) * cfg.manualLatencySteps;
+                    }
                 }
                 // On-demand module stall: this access is served from
                 // the slow on-board path and takes extra time.

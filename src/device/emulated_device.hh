@@ -148,6 +148,10 @@ class EmulatedDevice
         /** Holdback slot for the completion-reorder fault. */
         CompletionDescriptor held;
         bool holdValid = false;
+        /** Device-hang fault window: the pair services nothing until
+         *  the step (manual) / time point (threaded) passes. */
+        std::uint64_t hangUntilStep = 0;
+        Clock::time_point hangUntil{};
     };
 
     /** Device thread main loop. */

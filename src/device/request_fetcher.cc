@@ -60,6 +60,21 @@ RequestFetcher::ringDoorbell()
 void
 RequestFetcher::issueBurst()
 {
+    // Device-hang domain fault: the fetch pipeline freezes for a
+    // window, then resumes where it left off. `active` stays true so
+    // host doorbells remain redundant — exactly the failure the
+    // watchdog and health controller must detect, since nothing the
+    // host does shortens the window. The hang swallows this
+    // encounter of the site; the next one happens after the window,
+    // so windows never merge.
+    if (fault::fire(fault::FaultSite::DeviceHang, faultShard)) {
+        const Tick window = fault::magnitude(
+            fault::FaultSite::DeviceHang, 64) * cfg.latency;
+        eventQueue().scheduleLambda(
+            curTick() + window, [this]() { issueBurst(); },
+            EventPriority::Default, name() + ".hang");
+        return;
+    }
     ++burstReads;
     trace::begin(trace::Kind::DescBurst, burstReads.value(),
                  traceTrack());
@@ -216,6 +231,15 @@ RequestFetcher::serviceDescriptor(const RequestDescriptor &desc)
             fault::FaultSite::OnDemandStall,
             fault::magnitude(fault::FaultSite::OnDemandStall,
                              4 * cfg.onDemandLatency));
+    }
+    // Brownout domain fault: service latency multiplied for the
+    // firing request (the plan's burst window turns this into a
+    // sustained slowdown across the shard).
+    if (fault::fire(fault::FaultSite::Brownout, faultShard)) {
+        const std::uint64_t factor =
+            fault::magnitude(fault::FaultSite::Brownout, 4);
+        if (factor > 1)
+            service += (factor - 1) * cfg.holdTime();
     }
 
     eventQueue().scheduleLambda(

@@ -34,6 +34,9 @@ faultSiteName(FaultSite site)
       case FaultSite::CompletionReorder:   return "completion_reorder";
       case FaultSite::ResponseBitFlip:     return "response_bitflip";
       case FaultSite::MappedReadError:     return "mapped_read_error";
+      case FaultSite::LinkOutage:          return "link_outage";
+      case FaultSite::DeviceHang:          return "device_hang";
+      case FaultSite::Brownout:            return "brownout";
       case FaultSite::NumSites:            break;
     }
     panic("bad fault site %u", unsigned(site));
@@ -106,19 +109,43 @@ FaultPlan::composite(std::uint64_t seed, double rate)
     return plan;
 }
 
+FaultPlan
+FaultPlan::outage(std::uint64_t seed, std::uint64_t shardMask,
+                  std::uint64_t hangWindow, std::uint64_t period,
+                  std::uint64_t brownoutFactor)
+{
+    FaultPlan plan(seed);
+    kmuAssert(hangWindow > 0, "outage needs a positive hang window");
+    kmuAssert(period > 0, "outage needs a positive period");
+    // One guaranteed hang at the top of every period-encounter
+    // window. While a component is inside a hang window it stops
+    // encountering the site, so consecutive windows never merge.
+    plan.set(FaultSite::DeviceHang,
+             FaultSpec{1.0, hangWindow, period, 1, shardMask});
+    plan.set(FaultSite::LinkOutage,
+             FaultSpec{1.0, hangWindow, period, 1, shardMask});
+    if (brownoutFactor > 1) {
+        // Brownout rides alongside the hangs: every serviced request
+        // of the sick shards runs brownoutFactor× slow.
+        plan.set(FaultSite::Brownout,
+                 FaultSpec{1.0, brownoutFactor, 0, 0, shardMask});
+    }
+    return plan;
+}
+
 bool
 FaultPlan::shouldInject(FaultSite site, std::uint32_t shard)
 {
     SiteState &s = state(site);
     if ((s.spec.shardMask >> (shard & 63u) & 1u) == 0) {
-        // Shard excluded: count the encounter (burst windows track
-        // wall progress) but leave the RNG stream untouched so the
-        // enabled shards' schedules are independent of how often the
-        // masked ones run.
-        s.encounterCount++;
+        // Shard excluded: count the encounter (the per-shard window
+        // position still tracks its progress) but leave the RNG
+        // stream untouched so the enabled shards' schedules are
+        // independent of how often the masked ones run.
+        s.shardEncounters[shard & 63u]++;
         return false;
     }
-    const std::uint64_t encounter = s.encounterCount++;
+    const std::uint64_t encounter = s.shardEncounters[shard & 63u]++;
     if (s.spec.rate <= 0.0)
         return false;
     if (s.spec.burstPeriod != 0 &&
@@ -147,7 +174,10 @@ FaultPlan::magnitudeOr(FaultSite site, std::uint64_t fallback) const
 std::uint64_t
 FaultPlan::encounters(FaultSite site) const
 {
-    return state(site).encounterCount;
+    std::uint64_t total = 0;
+    for (const std::uint64_t n : state(site).shardEncounters)
+        total += n;
+    return total;
 }
 
 std::uint64_t

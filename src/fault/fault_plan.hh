@@ -73,6 +73,12 @@ enum class FaultSite : std::uint32_t
     // --- memory-mapped (on-demand / prefetch) read path ---
     MappedReadError,    //!< detected MMIO read error: must re-issue
 
+    // --- domain-scale shapes (whole-shard failure domains; scope
+    //     with FaultSpec::shardMask, magnitude = window length) ---
+    LinkOutage,         //!< PCIe link drops everything for a window
+    DeviceHang,         //!< device stops servicing for a window
+    Brownout,           //!< service latency multiplied for a window
+
     NumSites
 };
 
@@ -138,6 +144,20 @@ class FaultPlan
     static FaultPlan composite(std::uint64_t seed, double rate);
 
     /**
+     * Domain-outage schedule: the shards selected by @p shardMask
+     * suffer periodic device hangs (window of @p hangWindow service
+     * steps, once per @p period encounters) and a brownout
+     * (service latency ×@p brownoutFactor) while the rest of the
+     * system runs fault-free. This is the schedule abl_outage and
+     * kmu_faultstorm's outage mode inject — the shape the health
+     * controller exists to contain.
+     */
+    static FaultPlan outage(std::uint64_t seed, std::uint64_t shardMask,
+                            std::uint64_t hangWindow,
+                            std::uint64_t period,
+                            std::uint64_t brownoutFactor = 0);
+
+    /**
      * One encounter of @p site on device shard @p shard: advances
      * the site's encounter counter and draws whether to inject.
      * Deterministic given the plan seed and the site's encounter
@@ -169,7 +189,15 @@ class FaultPlan
     {
         FaultSpec spec;
         Rng rng;
-        std::uint64_t encounterCount = 0;
+        /**
+         * Encounter counters are per shard: the burst window gate
+         * (encounter % burstPeriod) must track each failure domain's
+         * own progress. A global counter would stride by the number
+         * of shards under round-robin service and alias with
+         * burstPeriod — a shard could sit permanently outside its
+         * burst window no matter how long the plan runs.
+         */
+        std::array<std::uint64_t, 64> shardEncounters{};
         std::uint64_t injectedCount = 0;
     };
 

@@ -1,0 +1,193 @@
+#include "health/health.hh"
+
+#include "common/logging.hh"
+#include "topo/topology.hh"
+
+namespace kmu
+{
+namespace health
+{
+
+const char *
+modeName(Mode mode)
+{
+    switch (mode) {
+      case Mode::Off:          return "off";
+      case Mode::GovernorOnly: return "governor";
+      case Mode::Full:         return "full";
+    }
+    panic("bad health mode %u", unsigned(mode));
+}
+
+bool
+parseMode(const char *text, Mode &out)
+{
+    const std::string s(text != nullptr ? text : "");
+    if (s == "off") {
+        out = Mode::Off;
+    } else if (s == "governor") {
+        out = Mode::GovernorOnly;
+    } else if (s == "full") {
+        out = Mode::Full;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+const char *
+shardStateName(ShardState state)
+{
+    switch (state) {
+      case ShardState::Healthy:     return "healthy";
+      case ShardState::Degraded:    return "degraded";
+      case ShardState::Quarantined: return "quarantined";
+    }
+    panic("bad shard state %u", unsigned(state));
+}
+
+RecoveryController::RecoveryController(const Config &config,
+                                       std::uint32_t shard_count)
+    : cfg(config)
+{
+    kmuAssert(cfg.mode != Mode::Off,
+              "Mode::Off means: do not construct a controller");
+    kmuAssert(shard_count >= 1 && shard_count <= 32,
+              "health controller supports 1..32 shards (2 state bits "
+              "each in the snapshot word), got %u", shard_count);
+    kmuAssert(cfg.epochPolls > 0, "epochPolls must be positive");
+    kmuAssert(cfg.probePeriod > 0, "probePeriod must be positive");
+    mons.assign(shard_count, HealthMonitor(cfg));
+    states.assign(shard_count, ShardState::Healthy);
+    probeDone.assign(shard_count, 0);
+    probeClock.assign(shard_count, 0);
+    publish();
+}
+
+void
+RecoveryController::publish()
+{
+    std::uint64_t word = 0;
+    for (std::size_t s = 0; s < states.size(); ++s)
+        word |= std::uint64_t(states[s]) << (2 * s);
+    statesWord.store(word, std::memory_order_release);
+}
+
+void
+RecoveryController::transition(std::uint32_t shard, ShardState to)
+{
+    const ShardState from = states[shard];
+    if (from == to)
+        return;
+    states[shard] = to;
+    if (from == ShardState::Healthy && to == ShardState::Degraded)
+        stats.degradations++;
+    if (to == ShardState::Quarantined) {
+        stats.quarantines++;
+        probeDone[shard] = 0;
+        probeClock[shard] = 0;
+    }
+    if (to == ShardState::Healthy)
+        stats.recoveries++;
+    publish();
+}
+
+ShardState
+RecoveryController::sampleEpoch(std::uint32_t shard,
+                                const ShardSignals &sig)
+{
+    kmuAssert(shard < shards(), "bad shard %u", shard);
+    HealthMonitor &mon = mons[shard];
+
+    if (states[shard] == ShardState::Quarantined) {
+        // A quarantined shard's EWMA is frozen: the only traffic it
+        // sees is probes, and the verdict on those is the completion
+        // count itself. Exactly reaching probeSuccesses releases it.
+        probeDone[shard] += sig.completions;
+        if (probeDone[shard] >= cfg.probeSuccesses) {
+            mon.resetAfterProbe();
+            transition(shard, ShardState::Degraded);
+        }
+        return states[shard];
+    }
+
+    mon.observe(sig);
+    switch (states[shard]) {
+      case ShardState::Healthy:
+        if (mon.overEnter())
+            transition(shard, ShardState::Degraded);
+        break;
+      case ShardState::Degraded:
+        if (cfg.mode == Mode::Full && mon.overQuarantine())
+            transition(shard, ShardState::Quarantined);
+        else if (mon.recovered())
+            transition(shard, ShardState::Healthy);
+        break;
+      case ShardState::Quarantined:
+        break; // handled above
+    }
+    return states[shard];
+}
+
+ShardState
+RecoveryController::state(std::uint32_t shard) const
+{
+    kmuAssert(shard < shards(), "bad shard %u", shard);
+    return states[shard];
+}
+
+double
+RecoveryController::ewma(std::uint32_t shard) const
+{
+    kmuAssert(shard < shards(), "bad shard %u", shard);
+    return mons[shard].ewma();
+}
+
+bool
+RecoveryController::degraded(std::uint32_t shard) const
+{
+    return state(shard) != ShardState::Healthy;
+}
+
+bool
+RecoveryController::quarantined(std::uint32_t shard) const
+{
+    return state(shard) == ShardState::Quarantined;
+}
+
+std::uint64_t
+RecoveryController::routableMask() const
+{
+    std::uint64_t mask = 0;
+    for (std::size_t s = 0; s < states.size(); ++s) {
+        if (states[s] != ShardState::Quarantined)
+            mask |= std::uint64_t(1) << s;
+    }
+    return mask;
+}
+
+std::uint32_t
+RecoveryController::route(std::uint32_t natural, std::uint64_t salt)
+{
+    kmuAssert(natural < shards(), "bad shard %u", natural);
+    if (cfg.mode != Mode::Full ||
+        states[natural] != ShardState::Quarantined) {
+        return natural;
+    }
+    // Deterministic canary cadence: the k-th request aimed at a
+    // quarantined shard goes through iff k % probePeriod == 0, so
+    // probe traffic is bounded and reproducible.
+    const std::uint64_t k = probeClock[natural]++;
+    if (k % cfg.probePeriod == 0) {
+        stats.probes++;
+        return natural;
+    }
+    const std::uint32_t target = topo::failoverShard(
+        natural, routableMask(), shards(), salt);
+    if (target != natural)
+        stats.failovers++;
+    return target;
+}
+
+} // namespace health
+} // namespace kmu

@@ -37,7 +37,22 @@ PcieLink::send(LinkDir dir, std::uint32_t payload_bytes,
     Direction &d = dirState(dir);
 
     const std::uint32_t wire_bytes = payload_bytes + cfg.tlpHeaderBytes;
-    const Tick start = std::max(curTick(), d.wireFreeAt);
+
+    // Injected link outage: the link drops and retrains, blocking
+    // both directions until the window closes. The window anchors at
+    // the first TLP that encounters the fault; while one is open the
+    // site is not consulted again (a second draw inside the window
+    // would merge windows and make the outage length depend on
+    // traffic, breaking the seeded schedule).
+    if (curTick() >= outageUntil &&
+        fault::fire(fault::FaultSite::LinkOutage, faultShard)) {
+        const Tick window = fault::magnitude(
+            fault::FaultSite::LinkOutage, 64) * cfg.propagation;
+        outageUntil = curTick() + window;
+    }
+
+    Tick start = std::max(curTick(), d.wireFreeAt);
+    start = std::max(start, outageUntil);
     Tick done = start + transferTicks(wire_bytes, cfg.bytesPerSec);
     KMU_INVARIANT(done >= start,
                   "link transfer time went backwards (%llu < %llu)",

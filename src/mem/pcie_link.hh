@@ -75,6 +75,10 @@ class PcieLink : public SimObject
     /** Tick at which the given direction's wire goes idle. */
     Tick busyUntil(LinkDir dir) const;
 
+    /** Tick until which an injected link outage blocks the wire
+     *  (0 when no outage fired yet). */
+    Tick outageEndsAt() const { return outageUntil; }
+
     /** Reset byte/TLP counters (occupancy state is untouched). */
     void resetCounters();
 
@@ -105,6 +109,8 @@ class PcieLink : public SimObject
     Direction toDevice;
     Direction toHost;
     std::uint32_t faultShard = 0;
+    /** Link-outage fault window: both directions stall until here. */
+    Tick outageUntil = 0;
 };
 
 } // namespace kmu

@@ -85,7 +85,9 @@ UncoreQueue::release()
     KMU_INVARIANT(used > 0, "release on an empty uncore queue");
     used--;
     releasedCount++;
-    if (!waiters.empty()) {
+    // After a capacity shrink the queue can sit over-committed; a
+    // release then only drains occupancy and must not admit anyone.
+    if (!waiters.empty() && !full()) {
         auto cb = std::move(waiters.front());
         waiters.pop_front();
         grant(std::move(cb));
@@ -94,6 +96,19 @@ UncoreQueue::release()
     KMU_MODEL_CHECK(waiters.empty() || full(),
                     "%zu waiters stalled on a non-full uncore queue "
                     "(%u/%u in use)", waiters.size(), used, cap);
+}
+
+void
+UncoreQueue::setCapacity(std::uint32_t capacity)
+{
+    kmuAssert(capacity > 0, "uncore queue capacity must be positive");
+    cap = capacity;
+    // Growth may have opened headroom for parked waiters.
+    while (!waiters.empty() && !full()) {
+        auto cb = std::move(waiters.front());
+        waiters.pop_front();
+        grant(std::move(cb));
+    }
 }
 
 } // namespace kmu

@@ -48,6 +48,15 @@ class UncoreQueue : public SimObject
     /** Release a slot (response left the queue); admits one waiter. */
     void release();
 
+    /**
+     * Resize the queue's usable slice (health controller's DEGRADED
+     * effect). Shrinking never evicts requests already holding a slot
+     * — occupancy drains down to the new capacity as responses
+     * return; growing admits as many waiters as the new headroom
+     * allows.
+     */
+    void setCapacity(std::uint32_t capacity);
+
     /** @{ Occupancy statistics. */
     Counter entries;
     Counter fullStalls;

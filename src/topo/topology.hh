@@ -164,6 +164,41 @@ shardName(const std::string &base, std::uint32_t shard,
     return base + csprintf("_s%u", shard);
 }
 
+/**
+ * Failover target for a request whose natural owner @p natural is
+ * not routable: the surviving shards (set bits of @p routableMask
+ * below @p shards, excluding @p natural) split the refugee traffic,
+ * selected by @p salt in ring order starting after the natural owner
+ * — so under either interleave a quarantined shard's keys spread
+ * across *all* siblings instead of piling onto one. Pure function:
+ * both stacks, the health controller, and the tests route
+ * identically. Returns @p natural when no sibling is routable.
+ */
+inline std::uint32_t
+failoverShard(std::uint32_t natural, std::uint64_t routableMask,
+              std::uint32_t shards, std::uint64_t salt)
+{
+    if (shards <= 1)
+        return natural;
+    std::uint32_t candidates = 0;
+    for (std::uint32_t s = 0; s < shards; ++s) {
+        if (s != natural && (routableMask >> s & 1u))
+            candidates++;
+    }
+    if (candidates == 0)
+        return natural;
+    std::uint32_t pick = std::uint32_t(salt % candidates);
+    for (std::uint32_t i = 1; i < shards; ++i) {
+        const std::uint32_t s = (natural + i) % shards;
+        if ((routableMask >> s & 1u) == 0)
+            continue;
+        if (pick == 0)
+            return s;
+        pick--;
+    }
+    return natural; // unreachable: candidates > 0
+}
+
 /** Stable short name of an interleave mode (CLI, CSV columns). */
 const char *interleaveName(Interleave mode);
 

@@ -140,6 +140,7 @@ kindName(Kind kind)
       case Kind::DescService: return "desc_service";
       case Kind::Completion: return "completion";
       case Kind::QueueDepth: return "queue_depth";
+      case Kind::HealthState: return "health_state";
     }
     return "unknown";
 }

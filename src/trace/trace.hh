@@ -73,11 +73,13 @@ enum class Kind : std::uint8_t
     DescBurst,      //!< span: descriptor DMA burst issue -> processed
     DescService,    //!< span: descriptor accepted -> completion sent
     Completion,     //!< instant: completion visible to the host
-    QueueDepth      //!< counter: sampled queue occupancy (arg=depth)
+    QueueDepth,     //!< counter: sampled queue occupancy (arg=depth)
+    HealthState     //!< instant: shard state transition (id=shard,
+                    //!< arg=health::ShardState after the transition)
 };
 
 /** Number of distinct Kind values (for aggregation tables). */
-constexpr std::size_t kindCount = std::size_t(Kind::QueueDepth) + 1;
+constexpr std::size_t kindCount = std::size_t(Kind::HealthState) + 1;
 
 /** Stable lower-case name of a record kind. */
 const char *kindName(Kind kind);

@@ -1,0 +1,110 @@
+# Outage-ablation gate: with a 1-of-4-shard outage injected, the
+# full health controller must (a) keep goodput within ~70% of the
+# fault-free run — measured on the deterministic makespan, since
+# every cell completes the same fixed workload — (b) beat the static
+# no-control-plane configuration by a clear margin, (c) lose no
+# request (the bench itself exits nonzero unless every request
+# completes or errors within its deadline, and on any verify error),
+# and (d) be deterministic: two identical runs produce byte-identical
+# CSVs, which must also match the committed artifact.
+#
+# Invoked by ctest as:
+#   cmake -DABL_OUTAGE=<path> -DARTIFACT_DIR=<dir> -DWORK_DIR=<dir>
+#         -P abl_outage_check.cmake
+
+if(NOT ABL_OUTAGE)
+    message(FATAL_ERROR "pass -DABL_OUTAGE=<path to abl_outage>")
+endif()
+if(NOT ARTIFACT_DIR)
+    message(FATAL_ERROR "pass -DARTIFACT_DIR=<committed CSV dir>")
+endif()
+if(NOT WORK_DIR)
+    set(WORK_DIR ${CMAKE_CURRENT_BINARY_DIR})
+endif()
+
+set(dir ${WORK_DIR}/abl_outage_check)
+file(REMOVE_RECURSE ${dir})
+file(MAKE_DIRECTORY ${dir})
+
+foreach(run a b)
+    file(MAKE_DIRECTORY ${dir}/${run})
+    execute_process(
+        COMMAND ${ABL_OUTAGE}
+        WORKING_DIRECTORY ${dir}/${run}
+        OUTPUT_FILE ${dir}/${run}/abl_outage.out
+        ERROR_VARIABLE err
+        RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR
+            "abl_outage run '${run}' failed (rc=${rc}): a verify "
+            "error or a lost request — a read returned wrong data, "
+            "or a request neither completed nor errored within its "
+            "deadline: ${err}")
+    endif()
+endforeach()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            ${dir}/a/abl_outage.csv ${dir}/b/abl_outage.csv
+    RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+    message(FATAL_ERROR
+        "abl_outage CSVs differ between identical seeded runs; the "
+        "outage schedule or the recovery path is nondeterministic "
+        "(compare a/abl_outage.csv and b/abl_outage.csv in ${dir})")
+endif()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            ${dir}/a/abl_outage.csv ${ARTIFACT_DIR}/abl_outage.csv
+    RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+    message(FATAL_ERROR
+        "abl_outage.csv differs from the committed artifact (fresh "
+        "copy in ${dir}/a; if the change is intentional, regenerate "
+        "and commit the CSV)")
+endif()
+
+# Pull the per-config makespans out of the CSV. total_polls is the
+# last column; rows are config,...,total_polls.
+file(STRINGS ${dir}/a/abl_outage.csv rows)
+foreach(row ${rows})
+    string(REGEX MATCH "^([a-z_]+),.*,([0-9]+)$" m "${row}")
+    if(m)
+        set(polls_${CMAKE_MATCH_1} ${CMAKE_MATCH_2})
+    endif()
+endforeach()
+foreach(config fault_free static full)
+    if(NOT DEFINED polls_${config})
+        message(FATAL_ERROR
+            "abl_outage.csv has no '${config}' row to gate on")
+    endif()
+endforeach()
+
+# Goodput floor: the full controller's makespan may exceed the
+# fault-free makespan by at most 10/7 — i.e. throughput on the fixed
+# workload stays >= 70% of fault-free despite one of four shards
+# being dark for a 16k-poll window.
+math(EXPR ceiling "(${polls_fault_free} * 10) / 7")
+if(polls_full GREATER ceiling)
+    message(FATAL_ERROR
+        "full controller makespan ${polls_full} polls exceeds "
+        "${ceiling} (fault-free ${polls_fault_free} x 10/7): goodput "
+        "under the outage dropped below ~70% of fault-free")
+endif()
+
+# And the control plane must actually pay for itself: the static
+# configuration rides the watchdog through the whole outage window,
+# so its makespan must be clearly worse than the full controller's.
+if(NOT polls_static GREATER ${polls_full})
+    message(FATAL_ERROR
+        "static makespan ${polls_static} polls is not worse than the "
+        "full controller's ${polls_full}: the injected outage no "
+        "longer stresses the no-control-plane configuration")
+endif()
+
+message(STATUS
+    "abl_outage check passed: full=${polls_full} polls vs "
+    "fault-free=${polls_fault_free} (ceiling ${ceiling}), "
+    "static=${polls_static}, CSVs byte-identical and matching the "
+    "committed artifact")

@@ -13,7 +13,9 @@
 
 #include "access/runtime.hh"
 #include "common/random.hh"
+#include "common/stats.hh"
 #include "fault/fault_plan.hh"
+#include "health/health.hh"
 
 namespace kmu
 {
@@ -154,6 +156,95 @@ TEST(RecoveryTest, GovernorDegradesPrefetchUnderPressureThenRecovers)
     EXPECT_GE(rt.degradation().degradations(), 1u);
     EXPECT_GE(rt.degradation().recoveries(), 1u);
     EXPECT_EQ(rt.engine().accesses(), 4096u);
+}
+
+/** Find a Gauge by name in @p group; fails the test if missing. */
+const Gauge *
+findGauge(StatGroup &group, const std::string &name)
+{
+    for (const StatBase *stat : group.stats()) {
+        if (stat->name() == name)
+            return dynamic_cast<const Gauge *>(stat);
+    }
+    return nullptr;
+}
+
+TEST(RecoveryTest, GaugesMirrorCountersAndConserve)
+{
+    // The runtime bridges its recovery and health counters as
+    // pull-based Gauges so campaign drivers can dump them uniformly.
+    // Run an outage, then check (a) every gauge reads live from its
+    // owner — value == the counter it wraps — and (b) the health
+    // transition counters satisfy their conservation law.
+    Runtime rt(patternImage(imageBytes),
+               {.mechanism = Mechanism::SwQueue,
+                .shards = 4,
+                .deterministicDevice = true,
+                .retry = {.maxRetries = 1'000'000},
+                .health = {.mode = health::Mode::Full}});
+    FaultPlan plan = FaultPlan::outage(/*seed=*/19, /*shardMask=*/0x1,
+                                       /*hangWindow=*/4096,
+                                       /*period=*/std::uint64_t(1)
+                                           << 20);
+    std::uint64_t completed = 0;
+    rt.spawnWorker([&](AccessEngine &eng) {
+        Rng rng(5);
+        for (std::size_t i = 0; i < 4096; ++i) {
+            const Addr a = rng.nextBounded(imageBytes / 8) * 8;
+            std::uint64_t got = 0;
+            if (eng.tryRead64(a, got) == AccessStatus::Ok) {
+                EXPECT_EQ(got, mix64(a));
+                completed++;
+            }
+        }
+    });
+    fault::ScopedPlan active(plan);
+    rt.run();
+    EXPECT_GT(completed, 0u);
+
+    ASSERT_NE(rt.healthController(), nullptr);
+    const auto &rec = rt.engine().recovery();
+    const auto health_counters = rt.healthController()->counters();
+    const struct
+    {
+        const char *name;
+        std::uint64_t want;
+    } expected[] = {
+        {"retries", rec.retries},
+        {"timeouts", rec.timeouts},
+        {"failovers", rec.failovers},
+        {"deadline_errors", rec.deadlineErrors},
+        {"health_degradations", health_counters.degradations},
+        {"health_quarantines", health_counters.quarantines},
+        {"health_recoveries", health_counters.recoveries},
+        {"health_probes", health_counters.probes},
+        {"health_failovers", health_counters.failovers},
+    };
+    for (const auto &e : expected) {
+        const Gauge *gauge = findGauge(rt.stats(), e.name);
+        ASSERT_NE(gauge, nullptr) << "no gauge named " << e.name;
+        EXPECT_EQ(gauge->value(), e.want) << e.name;
+    }
+
+    // The outage demonstrably exercised the machinery being gauged.
+    EXPECT_GE(health_counters.quarantines, 1u);
+    EXPECT_GT(health_counters.failovers, 0u);
+    EXPECT_GT(rec.retries, 0u);
+
+    // Conservation: every Healthy->Degraded entry is matched by a
+    // completed recovery or a shard still unhealthy right now.
+    std::uint64_t unhealthy = 0;
+    for (std::uint32_t s = 0; s < 4; ++s) {
+        if (rt.healthController()->state(s) !=
+            health::ShardState::Healthy)
+            unhealthy++;
+    }
+    EXPECT_EQ(health_counters.degradations,
+              health_counters.recoveries + unhealthy);
+    // And quarantines can never outnumber degradations: the only
+    // path into QUARANTINED is through DEGRADED.
+    EXPECT_LE(health_counters.quarantines,
+              health_counters.degradations);
 }
 
 } // anonymous namespace

@@ -1,0 +1,43 @@
+// Fixture: MUST be clean for [capability].
+// The health controller's shared atomics with their contracts named
+// (mirrors src/health/health.hh).
+#include <atomic>
+#include <cstdint>
+
+// Stand-in for common/thread_annotations.hh (fixtures are analyzed,
+// not compiled): the annotation macros expand to nothing.
+#define KMU_ATOMIC_ROLE(...)
+#define KMU_GUARDED_BY(x)
+
+namespace kmu
+{
+namespace health
+{
+
+class AnnotatedController
+{
+  public:
+    std::uint64_t snapshot() const
+    {
+        return statesWord.load(std::memory_order_acquire);
+    }
+
+  private:
+    // 2 state bits per shard: written on the control thread at every
+    // transition, read by observers without synchronization.
+    std::atomic<std::uint64_t> statesWord
+        KMU_ATOMIC_ROLE(control_writes, observers_read){0};
+};
+
+extern std::atomic<std::uint64_t> gEpochsClosed
+    KMU_ATOMIC_ROLE(control_writes, dumpers_read);
+
+// The controller hands observers a plain pointer to the word; the
+// pointer itself owns no contract — not flagged.
+std::atomic<std::uint64_t> *gSnapshotView = nullptr;
+
+// Epoch scratch local to the control thread, waived:
+std::atomic<std::uint64_t> gEpochScratch{0}; // kmu-analyze: allow(capability)
+
+} // namespace health
+} // namespace kmu

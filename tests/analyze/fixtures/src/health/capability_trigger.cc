@@ -1,0 +1,29 @@
+// Fixture: MUST trigger [capability].
+// The health controller's lock-free observer surface — a packed
+// per-shard state word — shared across threads without an
+// ordering-contract annotation.
+#include <atomic>
+#include <cstdint>
+
+namespace kmu
+{
+namespace health
+{
+
+class BareController
+{
+  public:
+    std::uint64_t snapshot() const
+    {
+        return statesWord.load(std::memory_order_acquire);
+    }
+
+  private:
+    std::atomic<std::uint64_t> statesWord{0};
+};
+
+// Per-shard epoch counters published to stats dumpers.
+extern std::atomic<std::uint64_t> gEpochsClosed;
+
+} // namespace health
+} // namespace kmu

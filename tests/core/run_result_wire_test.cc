@@ -39,6 +39,11 @@ sampleResult()
     r.shardCount = 4;
     r.shardRequestsMin = 0xabcd0123;
     r.shardRequestsMax = 0xabcd9876;
+    r.healthDegraded = 11;
+    r.healthQuarantines = 5;
+    r.healthRecoveries = 4;
+    r.failovers = 0xfeed1234;
+    r.deadlineErrors = 21;
     return r;
 }
 
@@ -76,6 +81,11 @@ TEST(RunResultWire, RoundTripIsBitExact)
     EXPECT_EQ(out.shardCount, in.shardCount);
     EXPECT_EQ(out.shardRequestsMin, in.shardRequestsMin);
     EXPECT_EQ(out.shardRequestsMax, in.shardRequestsMax);
+    EXPECT_EQ(out.healthDegraded, in.healthDegraded);
+    EXPECT_EQ(out.healthQuarantines, in.healthQuarantines);
+    EXPECT_EQ(out.healthRecoveries, in.healthRecoveries);
+    EXPECT_EQ(out.failovers, in.failovers);
+    EXPECT_EQ(out.deadlineErrors, in.deadlineErrors);
 }
 
 TEST(RunResultWire, DefaultConstructedRoundTrips)

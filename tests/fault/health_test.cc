@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Boundary tests for the shard-health control plane: the
+ * HealthMonitor's EWMA/stuck/hysteresis edges and the
+ * RecoveryController state machine, driven directly with synthetic
+ * epoch signals so every threshold is hit exactly at its boundary
+ * (the end-to-end outage behaviour is covered by
+ * tests/topo/failover_test.cc and the abl_outage ctest gate).
+ */
+
+#include <gtest/gtest.h>
+
+#include "health/health.hh"
+#include "topo/topology.hh"
+
+namespace kmu
+{
+namespace
+{
+
+using health::Config;
+using health::HealthMonitor;
+using health::Mode;
+using health::RecoveryController;
+using health::ShardSignals;
+using health::ShardState;
+
+/** alpha=1 makes the EWMA equal the last epoch's dirty fraction, so
+ *  threshold tests see exact binary fractions, not decayed ones. */
+Config
+stepConfig()
+{
+    Config cfg;
+    cfg.mode = Mode::Full;
+    cfg.alpha = 1.0;
+    return cfg;
+}
+
+ShardSignals
+epoch(std::uint64_t completions, std::uint64_t retries,
+      std::uint64_t queue_depth = 0)
+{
+    ShardSignals sig;
+    sig.completions = completions;
+    sig.retries = retries;
+    sig.queueDepth = queue_depth;
+    return sig;
+}
+
+TEST(HealthMonitorTest, EnterThresholdIsStrictlyAbove)
+{
+    // enterDegraded defaults to 0.25 — an exact binary fraction, so
+    // a dirty fraction of exactly 1/4 is representable and must NOT
+    // trip the (strictly greater) threshold.
+    HealthMonitor at(stepConfig());
+    at.observe(epoch(4, 1));
+    EXPECT_DOUBLE_EQ(at.ewma(), 0.25);
+    EXPECT_FALSE(at.overEnter());
+
+    HealthMonitor above(stepConfig());
+    above.observe(epoch(16, 5)); // 0.3125
+    EXPECT_TRUE(above.overEnter());
+    EXPECT_FALSE(above.overQuarantine()); // 0.3125 < 0.70
+}
+
+TEST(HealthMonitorTest, DirtyFractionClampsToOne)
+{
+    // More watchdog re-issues than completions (every op retried
+    // several times) must saturate, not overshoot the EWMA range.
+    HealthMonitor mon(stepConfig());
+    mon.observe(epoch(2, 100));
+    EXPECT_DOUBLE_EQ(mon.ewma(), 1.0);
+    EXPECT_TRUE(mon.overQuarantine());
+}
+
+TEST(HealthMonitorTest, StuckDetectorFiresExactlyAtStuckEpochs)
+{
+    // Zero completions with work queued is "stuck"; the detector
+    // fires at stuckEpochs consecutive such epochs, not before.
+    Config cfg = stepConfig();
+    cfg.alpha = 0.0; // isolate the stuck path from the EWMA path
+    HealthMonitor mon(cfg);
+    for (std::uint32_t e = 1; e < cfg.stuckEpochs; ++e) {
+        mon.observe(epoch(0, 0, /*queue_depth=*/5));
+        EXPECT_EQ(mon.stuckRun(), e);
+        EXPECT_FALSE(mon.overEnter());
+    }
+    mon.observe(epoch(0, 0, /*queue_depth=*/5));
+    EXPECT_EQ(mon.stuckRun(), cfg.stuckEpochs);
+    EXPECT_TRUE(mon.overEnter());
+    EXPECT_TRUE(mon.overQuarantine());
+
+    // One serviced epoch resets the run: stuck must be consecutive.
+    mon.observe(epoch(8, 0));
+    EXPECT_EQ(mon.stuckRun(), 0u);
+}
+
+TEST(HealthMonitorTest, IdleEpochsAreCleanNotStuck)
+{
+    // Nothing queued and nothing done is a healthy idle shard.
+    HealthMonitor mon(stepConfig());
+    mon.observe(epoch(0, 0, /*queue_depth=*/0));
+    EXPECT_EQ(mon.stuckRun(), 0u);
+    EXPECT_EQ(mon.cleanRun(), 1u);
+    EXPECT_DOUBLE_EQ(mon.ewma(), 0.0);
+}
+
+TEST(HealthMonitorTest, FlapSuppressionResetsTheCleanRun)
+{
+    // recovered() needs hysteresisEpochs *consecutive* clean epochs:
+    // a single dirty epoch anywhere in the run starts it over, so a
+    // flapping shard cannot sneak back to HEALTHY.
+    Config cfg = stepConfig();
+    cfg.alpha = 0.5;
+    cfg.exitDegraded = 0.10;
+    HealthMonitor mon(cfg);
+    mon.observe(epoch(4, 4)); // dirty epoch: ewma 0.5
+
+    for (std::uint32_t e = 1; e < cfg.hysteresisEpochs; ++e) {
+        mon.observe(epoch(16, 0));
+        EXPECT_EQ(mon.cleanRun(), e);
+        EXPECT_FALSE(mon.recovered());
+    }
+    mon.observe(epoch(16, 1)); // flap: one retry dirties the epoch
+    EXPECT_EQ(mon.cleanRun(), 0u);
+    EXPECT_FALSE(mon.recovered());
+
+    // A full fresh run of clean epochs (by which point the EWMA has
+    // also decayed under exitDegraded) completes the recovery.
+    for (std::uint32_t e = 0; e < cfg.hysteresisEpochs; ++e)
+        mon.observe(epoch(16, 0));
+    EXPECT_EQ(mon.cleanRun(), cfg.hysteresisEpochs);
+    EXPECT_LT(mon.ewma(), cfg.exitDegraded);
+    EXPECT_TRUE(mon.recovered());
+}
+
+TEST(RecoveryControllerTest, LifecycleCountersConserve)
+{
+    // Walk one shard through the whole machine and check the
+    // conservation law the transition counters must satisfy at any
+    // instant: every degradation is eventually matched by a recovery
+    // or by the shard still being unhealthy —
+    //   degradations == recoveries + |shards not HEALTHY|.
+    Config cfg = stepConfig();
+    cfg.hysteresisEpochs = 2;
+    RecoveryController ctrl(cfg, 4);
+
+    const auto unhealthy = [&] {
+        std::uint32_t n = 0;
+        for (std::uint32_t s = 0; s < ctrl.shards(); ++s) {
+            if (ctrl.state(s) != ShardState::Healthy)
+                n++;
+        }
+        return n;
+    };
+    const auto conserved = [&] {
+        return ctrl.counters().degradations ==
+               ctrl.counters().recoveries + unhealthy();
+    };
+
+    // Moderate pressure: HEALTHY -> DEGRADED only (0.4 < 0.70).
+    EXPECT_EQ(ctrl.sampleEpoch(0, epoch(10, 4)),
+              ShardState::Degraded);
+    ctrl.endEpoch();
+    EXPECT_EQ(ctrl.counters().degradations, 1u);
+    EXPECT_TRUE(conserved());
+
+    // Stuck epoch: DEGRADED -> QUARANTINED.
+    EXPECT_EQ(ctrl.sampleEpoch(0, epoch(0, 0, /*queue_depth=*/3)),
+              ShardState::Quarantined);
+    ctrl.endEpoch();
+    EXPECT_EQ(ctrl.counters().quarantines, 1u);
+    EXPECT_TRUE(conserved());
+
+    // Probe completions accumulate across epochs; reaching
+    // probeSuccesses *exactly* releases the shard to DEGRADED.
+    ASSERT_GE(cfg.probeSuccesses, 2u);
+    EXPECT_EQ(ctrl.sampleEpoch(0, epoch(cfg.probeSuccesses - 1, 0)),
+              ShardState::Quarantined);
+    ctrl.endEpoch();
+    EXPECT_EQ(ctrl.sampleEpoch(0, epoch(1, 0)),
+              ShardState::Degraded);
+    ctrl.endEpoch();
+    EXPECT_TRUE(conserved());
+
+    // Post-probe slate is clean: hysteresisEpochs clean epochs walk
+    // it home, and the books balance with everything healthy again.
+    for (std::uint32_t e = 1; e < cfg.hysteresisEpochs; ++e) {
+        EXPECT_EQ(ctrl.sampleEpoch(0, epoch(16, 0)),
+                  ShardState::Degraded);
+        ctrl.endEpoch();
+    }
+    EXPECT_EQ(ctrl.sampleEpoch(0, epoch(16, 0)),
+              ShardState::Healthy);
+    ctrl.endEpoch();
+    EXPECT_EQ(ctrl.counters().recoveries, 1u);
+    EXPECT_EQ(unhealthy(), 0u);
+    EXPECT_TRUE(conserved());
+    EXPECT_EQ(ctrl.statesSnapshot(), 0u);
+}
+
+TEST(RecoveryControllerTest, GovernorOnlyNeverQuarantines)
+{
+    Config cfg = stepConfig();
+    cfg.mode = Mode::GovernorOnly;
+    RecoveryController ctrl(cfg, 2);
+
+    for (int e = 0; e < 8; ++e) {
+        ctrl.sampleEpoch(0, epoch(0, 0, /*queue_depth=*/9));
+        ctrl.endEpoch();
+    }
+    EXPECT_EQ(ctrl.state(0), ShardState::Degraded);
+    EXPECT_EQ(ctrl.counters().quarantines, 0u);
+    // And it never re-routes, even for a shard that would have been
+    // quarantined in Full mode.
+    for (std::uint64_t salt = 0; salt < 8; ++salt)
+        EXPECT_EQ(ctrl.route(0, salt), 0u);
+    EXPECT_EQ(ctrl.counters().failovers, 0u);
+    EXPECT_EQ(ctrl.counters().probes, 0u);
+}
+
+/** Drive @p shard of @p ctrl straight to QUARANTINED. */
+void
+quarantine(RecoveryController &ctrl, std::uint32_t shard)
+{
+    for (int e = 0; e < 2 &&
+                    ctrl.state(shard) != ShardState::Quarantined;
+         ++e) {
+        ctrl.sampleEpoch(shard, epoch(0, 0, /*queue_depth=*/3));
+        ctrl.endEpoch();
+    }
+    ASSERT_EQ(ctrl.state(shard), ShardState::Quarantined);
+}
+
+TEST(RecoveryControllerTest, RouteProbesOnceInPeriodElseFailsOver)
+{
+    Config cfg = stepConfig();
+    cfg.probePeriod = 4;
+    RecoveryController ctrl(cfg, 4);
+    quarantine(ctrl, 1);
+
+    // Healthy shards keep their traffic unconditionally.
+    EXPECT_EQ(ctrl.route(0, 17), 0u);
+
+    for (std::uint64_t period = 0; period < 3; ++period) {
+        // k % probePeriod == 0: the canary goes through.
+        EXPECT_EQ(ctrl.route(1, period), 1u);
+        // The rest of the period fails over to a routable sibling.
+        for (std::uint64_t k = 1; k < cfg.probePeriod; ++k) {
+            const std::uint32_t target = ctrl.route(1, k);
+            EXPECT_NE(target, 1u);
+            EXPECT_NE(ctrl.routableMask() >> target & 1u, 0u);
+        }
+    }
+    EXPECT_EQ(ctrl.counters().probes, 3u);
+    EXPECT_EQ(ctrl.counters().failovers,
+              3u * (cfg.probePeriod - 1));
+}
+
+TEST(RecoveryControllerTest, RouteSaltSpreadsAcrossAllSiblings)
+{
+    RecoveryController ctrl(stepConfig(), 4);
+    quarantine(ctrl, 2);
+    ctrl.route(2, 0); // consume the k=0 probe slot
+
+    std::uint64_t hit = 0;
+    for (std::uint64_t salt = 0; salt < 3; ++salt)
+        hit |= std::uint64_t(1) << ctrl.route(2, salt);
+    EXPECT_EQ(hit, 0b1011u); // every sibling, never the sick shard
+}
+
+TEST(RecoveryControllerTest, AllQuarantinedFallsBackToNatural)
+{
+    RecoveryController ctrl(stepConfig(), 2);
+    quarantine(ctrl, 0);
+    quarantine(ctrl, 1);
+    EXPECT_EQ(ctrl.routableMask(), 0u);
+    // No routable sibling exists: the router must degenerate to the
+    // natural owner (where the watchdog/deadline machinery takes
+    // over) rather than loop or crash.
+    for (std::uint64_t k = 0; k < 6; ++k)
+        EXPECT_EQ(ctrl.route(0, k), 0u);
+}
+
+TEST(RecoveryControllerTest, SnapshotPacksTwoBitsPerShard)
+{
+    RecoveryController ctrl(stepConfig(), 3);
+    quarantine(ctrl, 1);
+    ctrl.sampleEpoch(2, epoch(10, 4)); // shard 2: DEGRADED
+    ctrl.endEpoch();
+
+    const std::uint64_t word = ctrl.statesSnapshot();
+    EXPECT_EQ(word >> 0 & 3u,
+              std::uint64_t(ShardState::Healthy));
+    EXPECT_EQ(word >> 2 & 3u,
+              std::uint64_t(ShardState::Quarantined));
+    EXPECT_EQ(word >> 4 & 3u,
+              std::uint64_t(ShardState::Degraded));
+}
+
+} // anonymous namespace
+} // namespace kmu

@@ -1,0 +1,57 @@
+# Health differential gate: on a fault-free workload the health
+# control plane must be inert. A campaign run with health=off,
+# health=governor, and health=full must produce byte-identical CSVs
+# (modulo the column that names the mode): same data-path results,
+# zero health-counter activity, no routing or timing perturbation
+# from epoch sampling, deadline arming, or ordered routing. Any
+# drift means the control plane leaked into the healthy fast path —
+# which would also invalidate every committed fig*/abl_* artifact.
+#
+# Invoked by ctest as:
+#   cmake -DKMU_FAULTSTORM=<path> -DWORK_DIR=<dir>
+#         -P health_differential_check.cmake
+
+if(NOT KMU_FAULTSTORM)
+    message(FATAL_ERROR "pass -DKMU_FAULTSTORM=<path to kmu_faultstorm>")
+endif()
+if(NOT WORK_DIR)
+    set(WORK_DIR ${CMAKE_CURRENT_BINARY_DIR})
+endif()
+
+set(dir ${WORK_DIR}/health_differential)
+file(REMOVE_RECURSE ${dir})
+file(MAKE_DIRECTORY ${dir})
+
+# Fault-free (rates=0) on a sharded topology: the modes may only
+# differ when fault pressure produces health signals.
+set(ARGS seed=7 rates=0 ops=1500 fibers=4 shards=4)
+
+foreach(mode off governor full)
+    execute_process(
+        COMMAND ${KMU_FAULTSTORM} ${ARGS} health=${mode}
+        OUTPUT_FILE ${dir}/health_${mode}.csv
+        ERROR_VARIABLE err
+        RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR
+            "kmu_faultstorm health=${mode} failed (rc=${rc}): ${err}")
+    endif()
+endforeach()
+
+file(READ ${dir}/health_off.csv baseline)
+foreach(mode governor full)
+    file(READ ${dir}/health_${mode}.csv got)
+    # The `health` CSV column names the mode; normalize it before
+    # comparing. Everything else must match byte-for-byte.
+    string(REPLACE ",${mode}," ",off," got "${got}")
+    if(NOT got STREQUAL baseline)
+        message(FATAL_ERROR
+            "health=${mode} perturbed a fault-free run: CSV differs "
+            "from health=off beyond the mode column (compare "
+            "health_off.csv and health_${mode}.csv in ${dir}). The "
+            "control plane must be inert without fault pressure.")
+    endif()
+endforeach()
+message(STATUS
+    "health differential check passed: fault-free runs byte-identical "
+    "across health=off/governor/full")

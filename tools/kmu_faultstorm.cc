@@ -51,6 +51,14 @@ usage()
         "  ops=N               read ops per fiber       (4000)\n"
         "  fibers=N            worker fibers            (4)\n"
         "  mechanisms=a,b,...  ondemand,prefetch,swqueue (all)\n"
+        "  shards=N            device shards, swqueue   (1)\n"
+        "  shard_mask=M        shards the faults hit    (1)\n"
+        "  outage=0|1          domain-outage schedule instead of the\n"
+        "                      composite one (nonzero rates arm it) (0)\n"
+        "  hang_window=N       outage hang, service steps (64)\n"
+        "  outage_period=N     encounters between hangs (2048)\n"
+        "  brownout=N          outage service-latency factor (0=off)\n"
+        "  health=MODE         off,governor,full (swqueue) (off)\n"
         "  require_recovery=0|1  fail if faults never bit (0)\n");
     std::exit(1);
 }
@@ -93,11 +101,13 @@ patternImage(std::size_t bytes)
 struct CellResult
 {
     std::uint64_t verifyErrors = 0;
+    std::uint64_t deadlineFailed = 0; //!< reads failed at deadline
     std::uint64_t accesses = 0;
     std::uint64_t writes = 0;
     AccessEngine::RecoveryCounters rec;
     std::uint64_t degradations = 0;
     std::uint64_t recoveries = 0;
+    health::RecoveryController::Counters health;
     std::uint64_t injected = 0;
     std::uint64_t violations = 0;
 };
@@ -112,7 +122,8 @@ struct CellResult
  */
 CellResult
 runCell(Mechanism mech, FaultPlan *plan, std::uint64_t seed,
-        std::uint64_t ops, std::uint64_t fibers)
+        std::uint64_t ops, std::uint64_t fibers,
+        std::uint32_t shards, health::Mode health_mode)
 {
     constexpr std::size_t imageBytes = 1u << 20;
     constexpr std::size_t readBytes = imageBytes / 2;
@@ -120,7 +131,16 @@ runCell(Mechanism mech, FaultPlan *plan, std::uint64_t seed,
     Runtime::Config cfg;
     cfg.mechanism = mech;
     cfg.deterministicDevice = true; // single-threaded, reproducible
+    if (mech == Mechanism::SwQueue) {
+        // Shards and the health control plane are software-queue
+        // features; the memory-mapped mechanisms run the paper's
+        // single-device platform regardless of the knobs.
+        cfg.shards = shards;
+        cfg.health.mode = health_mode;
+    }
     Runtime rt(patternImage(imageBytes), cfg);
+    const bool deadlines = rt.healthController() != nullptr &&
+                           health_mode == health::Mode::Full;
 
     const std::uint64_t violationsBefore = check::violationCount();
     CellResult out;
@@ -145,6 +165,23 @@ runCell(Mechanism mech, FaultPlan *plan, std::uint64_t seed,
                         line[b] = std::uint8_t(mix64(op ^ addr) >>
                                                ((b % 8) * 8));
                     eng.writeLine(addr, line);
+                    if (deadlines) {
+                        // Under per-request deadlines the readback
+                        // may legitimately fail instead of retrying
+                        // forever; verify the first word of what did
+                        // arrive.
+                        std::uint64_t word = 0;
+                        if (eng.tryRead64(addr, word) ==
+                            AccessStatus::Ok) {
+                            std::uint64_t want;
+                            std::memcpy(&want, line, 8);
+                            if (word != want)
+                                out.verifyErrors++;
+                        } else {
+                            out.deadlineFailed++;
+                        }
+                        continue;
+                    }
                     eng.readLines(&addr, 1, back);
                     if (std::memcmp(line, back, cacheLineSize) != 0)
                         out.verifyErrors++;
@@ -153,9 +190,13 @@ runCell(Mechanism mech, FaultPlan *plan, std::uint64_t seed,
                 // Read path: any aligned word in the pattern region.
                 const Addr addr =
                     rng.nextBounded(readBytes / 8) * 8;
-                const std::uint64_t got = eng.read64(addr);
-                if (got != mix64(addr))
-                    out.verifyErrors++;
+                std::uint64_t got = 0;
+                if (eng.tryRead64(addr, got) == AccessStatus::Ok) {
+                    if (got != mix64(addr))
+                        out.verifyErrors++;
+                } else {
+                    out.deadlineFailed++;
+                }
             }
         });
     }
@@ -169,6 +210,8 @@ runCell(Mechanism mech, FaultPlan *plan, std::uint64_t seed,
     out.rec = rt.engine().recovery();
     out.degradations = rt.degradation().degradations();
     out.recoveries = rt.degradation().recoveries();
+    if (const health::RecoveryController *hc = rt.healthController())
+        out.health = hc->counters();
     out.injected = plan ? plan->totalInjected() : 0;
     out.violations = check::violationCount() - violationsBefore;
     return out;
@@ -182,6 +225,13 @@ main(int argc, char **argv)
     std::uint64_t seed = 1;
     std::uint64_t ops = 4000;
     std::uint64_t fibers = 4;
+    std::uint64_t shards = 1;
+    std::uint64_t shard_mask = 1;
+    bool outage = false;
+    std::uint64_t hang_window = 64;
+    std::uint64_t outage_period = 2048;
+    std::uint64_t brownout = 0;
+    health::Mode health_mode = health::Mode::Off;
     bool require_recovery = false;
     std::vector<double> rates{0.0, 0.001, 0.01};
     std::vector<Mechanism> mechanisms{
@@ -202,6 +252,31 @@ main(int argc, char **argv)
                 badValue(key, value);
         } else if (key == "fibers") {
             if (!toolargs::parseU64(value, fibers) || fibers == 0)
+                badValue(key, value);
+        } else if (key == "shards") {
+            if (!toolargs::parseU64(value, shards) || shards == 0 ||
+                shards > topo::maxShards)
+                badValue(key, value);
+        } else if (key == "shard_mask") {
+            if (!toolargs::parseU64(value, shard_mask) ||
+                shard_mask == 0)
+                badValue(key, value);
+        } else if (key == "outage") {
+            if (!toolargs::parseFlag(value, outage))
+                badValue(key, value);
+        } else if (key == "hang_window") {
+            if (!toolargs::parseU64(value, hang_window) ||
+                hang_window == 0)
+                badValue(key, value);
+        } else if (key == "outage_period") {
+            if (!toolargs::parseU64(value, outage_period) ||
+                outage_period == 0)
+                badValue(key, value);
+        } else if (key == "brownout") {
+            if (!toolargs::parseU64(value, brownout))
+                badValue(key, value);
+        } else if (key == "health") {
+            if (!health::parseMode(value.c_str(), health_mode))
                 badValue(key, value);
         } else if (key == "require_recovery") {
             if (!toolargs::parseFlag(value, require_recovery))
@@ -237,10 +312,13 @@ main(int argc, char **argv)
         }
     }
 
-    std::printf("mechanism,fault_rate,ops,verify_errors,accesses,"
+    std::printf("mechanism,shards,shard_mask,health,fault_rate,ops,"
+                "verify_errors,deadline_failed,accesses,"
                 "writes,retries,timeouts,crc_failures,"
                 "stale_completions,recovery_doorbells,"
                 "degraded_accesses,degradations,recoveries,"
+                "health_degradations,health_quarantines,"
+                "health_recoveries,health_failovers,deadline_errors,"
                 "injected_total,goodput_pct,violations\n");
 
     bool failed = false;
@@ -253,25 +331,40 @@ main(int argc, char **argv)
         for (Mechanism mech : mechanisms) {
             // A fresh plan per cell, seeded from the campaign seed
             // and the cell index, keeps cells independent: editing
-            // the rate list cannot perturb an earlier cell.
-            FaultPlan plan = FaultPlan::composite(
-                mix64(seed ^ (0x57a6e000 + step)), rate);
+            // the rate list cannot perturb an earlier cell. In
+            // outage mode any nonzero rate arms the domain-outage
+            // schedule (whole-shard hangs on the masked shards)
+            // instead of scaling the composite one.
+            FaultPlan plan =
+                outage ? FaultPlan::outage(
+                             mix64(seed ^ (0x57a6e000 + step)),
+                             shard_mask, hang_window, outage_period,
+                             brownout)
+                       : FaultPlan::composite(
+                             mix64(seed ^ (0x57a6e000 + step)), rate);
             ++step;
             FaultPlan *active = rate > 0.0 ? &plan : nullptr;
 
-            CellResult r =
-                runCell(mech, active, seed, ops, fibers);
+            CellResult r = runCell(mech, active, seed, ops, fibers,
+                                   std::uint32_t(shards),
+                                   health_mode);
 
             const std::uint64_t attempts = r.accesses + r.rec.retries;
             const double goodput = attempts
                 ? 100.0 * double(r.accesses) / double(attempts)
                 : 100.0;
 
-            std::printf("%s,%.17g,%llu,%llu,%llu,%llu,%llu,%llu,%llu,"
-                        "%llu,%llu,%llu,%llu,%llu,%llu,%.17g,%llu\n",
-                        mechanismName(mech), rate,
+            std::printf("%s,%llu,%#llx,%s,%.17g,%llu,%llu,%llu,%llu,"
+                        "%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,"
+                        "%llu,%llu,%llu,%llu,%llu,%llu,%llu,%.17g,"
+                        "%llu\n",
+                        mechanismName(mech),
+                        (unsigned long long)shards,
+                        (unsigned long long)shard_mask,
+                        health::modeName(health_mode), rate,
                         (unsigned long long)(ops * fibers),
                         (unsigned long long)r.verifyErrors,
+                        (unsigned long long)r.deadlineFailed,
                         (unsigned long long)r.accesses,
                         (unsigned long long)r.writes,
                         (unsigned long long)r.rec.retries,
@@ -282,6 +375,11 @@ main(int argc, char **argv)
                         (unsigned long long)r.rec.degradedAccesses,
                         (unsigned long long)r.degradations,
                         (unsigned long long)r.recoveries,
+                        (unsigned long long)r.health.degradations,
+                        (unsigned long long)r.health.quarantines,
+                        (unsigned long long)r.health.recoveries,
+                        (unsigned long long)r.health.failovers,
+                        (unsigned long long)r.rec.deadlineErrors,
                         (unsigned long long)r.injected, goodput,
                         (unsigned long long)r.violations);
 
@@ -289,8 +387,14 @@ main(int argc, char **argv)
                 failed = true;
             if (rate > 0.0) {
                 anyNonzeroRate = true;
-                campaignDegradations += r.degradations;
-                campaignRecoveries += r.recoveries;
+                // In outage mode the machinery under test is the
+                // shard-health controller, not the prefetch
+                // degradation governor: credit its quarantine /
+                // recovery cycle instead.
+                campaignDegradations +=
+                    outage ? r.health.quarantines : r.degradations;
+                campaignRecoveries +=
+                    outage ? r.health.recoveries : r.recoveries;
                 if (require_recovery && r.injected > 0 &&
                     r.rec.retries == 0 &&
                     r.rec.degradedAccesses == 0) {
@@ -308,8 +412,10 @@ main(int argc, char **argv)
     if (require_recovery && anyNonzeroRate &&
         (campaignDegradations == 0 || campaignRecoveries == 0)) {
         std::fprintf(stderr,
-                     "faultstorm: degradation governor never cycled "
+                     "faultstorm: %s never cycled "
                      "(degradations=%llu recoveries=%llu)\n",
+                     outage ? "health controller"
+                            : "degradation governor",
                      (unsigned long long)campaignDegradations,
                      (unsigned long long)campaignRecoveries);
         failed = true;
