@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Knee curves: open-loop tail latency vs. offered load per access
+ * mechanism (src/serve).
+ *
+ * Claim reproduced: under open-loop arrivals every mechanism's p99
+ * latency shows a knee at the load its concurrency budget saturates
+ * — on-demand first (ROB-bound), prefetch next (LFB-bound), and the
+ * software queues last — so under a fixed per-request SLO the
+ * SW-queue path sustains the highest offered load. Closed-loop
+ * replay (the paper's fig. 2-9) cannot show this: it measures
+ * service time only, never queueing delay.
+ *
+ * Shared shape: 4 us device, 4-line values, Poisson arrivals, 20 us
+ * SLO. Goodput counts completions that met the SLO, per microsecond
+ * of the measured window.
+ */
+
+#include "bench/fig_common.hh"
+
+using namespace kmu;
+
+namespace
+{
+
+SystemConfig
+servedConfig(Mechanism mech, double lambda)
+{
+    SystemConfig cfg;
+    cfg.mechanism = mech;
+    cfg.device.latency = microseconds(4);
+    if (mech == Mechanism::OnDemand)
+        cfg.smtContexts = 2;
+    else
+        cfg.threadsPerCore = 16;
+    cfg.serve.arrival = serve::ArrivalKind::Poisson;
+    cfg.serve.lambdaPerUs = lambda;
+    cfg.serve.valueLines = 4;
+    cfg.serve.sloUs = 20.0;
+    return cfg;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    return figureMain(argc, argv, "fig_knee",
+                      [](FigureRunner &runner) {
+        Table table("Knee — open-loop p99 latency and goodput under "
+                    "a 20 us SLO vs. offered load, 4 us device");
+        table.setHeader({"lambda_per_us", "ondemand_p99_us",
+                         "ondemand_goodput", "prefetch_p99_us",
+                         "prefetch_goodput", "swqueue_p99_us",
+                         "swqueue_goodput"});
+
+        for (double lambda :
+             {0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5, 0.625, 0.75, 0.875,
+              1.0, 1.25}) {
+            std::vector<std::string> row;
+            row.push_back(Table::num(lambda, 3));
+            for (Mechanism mech :
+                 {Mechanism::OnDemand, Mechanism::Prefetch,
+                  Mechanism::SwQueue}) {
+                const RunResult res =
+                    runner.run(servedConfig(mech, lambda));
+                row.push_back(Table::num(res.serveP99Ns / 1e3, 3));
+                row.push_back(Table::num(res.serveGoodputPerUs, 3));
+            }
+            table.addRow(std::move(row));
+        }
+        runner.emit(table, "fig_knee.csv");
+    });
+}

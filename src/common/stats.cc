@@ -202,6 +202,44 @@ LogHistogram::mean() const
     return sampleCount ? sum / double(sampleCount) : 0.0;
 }
 
+double
+LogHistogram::quantile(double q) const
+{
+    if (sampleCount == 0)
+        return 0.0;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+
+    // Target rank in (0, n]: the q-quantile is the value at position
+    // q*n of the sorted samples (with rank 0 pinned into the first
+    // populated bucket so quantile(0) reports that bucket's edge).
+    const double target = q * double(sampleCount);
+    double cum = double(below);
+    if (target <= cum && below > 0)
+        return lowBound; // underflow values clamp to the lower bound
+    double edge = lowBound;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        const double low = edge;
+        edge *= 2.0;
+        if (counts[i] == 0)
+            continue;
+        const double in_bucket = double(counts[i]);
+        if (target <= cum + in_bucket || i + 1 == counts.size()) {
+            if (target > cum + in_bucket)
+                break; // ranks beyond the last bucket: overflow
+            double frac = (target - cum) / in_bucket;
+            if (frac < 0.0)
+                frac = 0.0;
+            return low + frac * (edge - low);
+        }
+        cum += in_bucket;
+    }
+    // Overflow samples clamp to the overflow bucket's lower edge.
+    return bucketLow(counts.size());
+}
+
 std::string
 LogHistogram::render() const
 {

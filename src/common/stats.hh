@@ -193,6 +193,17 @@ class LogHistogram : public StatBase
     std::uint64_t overflow() const { return above; }
     double mean() const;
 
+    /**
+     * Estimate the @p q quantile (q in [0, 1], clamped) of the
+     * sampled distribution, interpolating linearly inside the bucket
+     * the target rank lands in. Underflow samples clamp to the lower
+     * bound and overflow samples to the overflow bucket's lower edge,
+     * so the estimate is always finite. Returns 0 for an empty
+     * histogram. Deterministic: a pure walk over the same doubling
+     * boundaries sample() buckets with.
+     */
+    double quantile(double q) const;
+
     std::string render() const override;
     void reset() override;
 

@@ -37,6 +37,18 @@ OnDemandCore::admitLoop(std::uint32_t ctx_id)
     if (ctx.issuing)
         return;
 
+    // Serving mode: an iteration only starts once the driver has a
+    // request for this SMT context. The wake re-enters this loop on
+    // arrival; an already-bound iteration (re-entry) admits at once.
+    if (cfg.admitGate &&
+        !cfg.admitGate(id(), ctx_id, ctx.nextIter, [this, ctx_id]() {
+            eventQueue().scheduleLambda(
+                curTick(), [this, ctx_id]() { admitLoop(ctx_id); },
+                EventPriority::CpuTick, name() + ".serve_wake");
+        })) {
+        return;
+    }
+
     // Admit the next iteration if its instructions fit in this
     // context's ROB share alongside the in-flight ones; an empty
     // window always admits (the machine makes forward progress even
@@ -177,6 +189,8 @@ OnDemandCore::tryWork()
                 emitWrite(picked, rec.index, slot);
         }
         retireIteration(rec.plan);
+        if (cfg.onRetire)
+            cfg.onRetire(id(), picked, rec.index);
         admitLoop(picked);
         tryWork();
     });

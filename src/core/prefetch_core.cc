@@ -32,14 +32,71 @@ PrefetchCore::start()
 void
 PrefetchCore::runCurrent()
 {
+    // Serving mode: skip parked threads without charge; with every
+    // thread parked the core goes idle until an arrival unparks one.
+    // parkedCount is 0 whenever serving is off, so the closed-loop
+    // path never takes this branch.
+    if (parkedCount > 0) {
+        std::uint32_t scanned = 0;
+        while (threads[current].parked &&
+               scanned < threads.size()) {
+            current = (current + 1) % std::uint32_t(threads.size());
+            scanned++;
+        }
+        if (threads[current].parked) {
+            coreIdle = true;
+            return;
+        }
+    }
     UThread &t = threads[current];
     if (t.firstVisit) {
+        if (!admitCurrent())
+            return;
         t.firstVisit = false;
         issuePrefetches();
         switchAway(t.plan.batch);
         return;
     }
     consumeLoads(0);
+}
+
+bool
+PrefetchCore::admitCurrent()
+{
+    if (!cfg.admitGate)
+        return true;
+    UThread &t = threads[current];
+    const std::uint32_t tid = current;
+    if (cfg.admitGate(id(), tid, t.iter,
+                      [this, tid]() { unpark(tid); })) {
+        return true;
+    }
+    // No request yet: park with firstVisit set so the next visit
+    // re-enters the prefetch-issue path, and let the scheduler find
+    // a runnable thread (or idle the core).
+    t.parked = true;
+    t.firstVisit = true;
+    parkedCount++;
+    runCurrent();
+    return false;
+}
+
+void
+PrefetchCore::unpark(std::uint32_t thread_id)
+{
+    UThread &t = threads[thread_id];
+    kmuAssert(t.parked, "unpark of a running thread");
+    t.parked = false;
+    kmuAssert(parkedCount > 0, "unpark without parked threads");
+    parkedCount--;
+    if (coreIdle) {
+        // The woken thread restarts the otherwise-quiet core.
+        coreIdle = false;
+        current = thread_id;
+        eventQueue().scheduleLambda(
+            curTick(), [this]() { runCurrent(); },
+            EventPriority::CpuTick, name() + ".serve_wake");
+    }
 }
 
 void
@@ -89,7 +146,11 @@ PrefetchCore::finishVisit()
     const IterationPlan done = threads[current].plan;
     chargeAndThen(cfg.workTicks(done), [this, done]() {
         retireIteration(done);
+        if (cfg.onRetire)
+            cfg.onRetire(id(), current, threads[current].iter);
         threads[current].iter++;
+        if (!admitCurrent())
+            return;
         issuePrefetches();
 
         // Count the prefetches actually issued (write slots issue

@@ -60,6 +60,7 @@ class PrefetchCore : public CoreBase
     struct UThread
     {
         bool firstVisit = true;
+        bool parked = false; //!< serving mode: awaiting an arrival
         std::uint64_t iter = 0;
         IterationPlan plan{1, 0}; //!< plan of iteration `iter`
         std::vector<SlotState> slots;
@@ -69,6 +70,18 @@ class PrefetchCore : public CoreBase
 
     /** Begin the current thread's visit. */
     void runCurrent();
+
+    /**
+     * Serving mode: consult the admission gate for the current
+     * thread's next iteration. On failure the thread parks (its
+     * next visit re-enters the prefetch-issue path), the scheduler
+     * skips to a runnable thread, and false is returned — the
+     * caller must not touch the thread further.
+     */
+    bool admitCurrent();
+
+    /** Wake hook: the parked thread's request arrived. */
+    void unpark(std::uint32_t thread_id);
 
     /** Consume the loads of the current thread from @p slot on. */
     void consumeLoads(std::uint32_t slot);
@@ -89,6 +102,8 @@ class PrefetchCore : public CoreBase
 
     std::vector<UThread> threads;
     std::uint32_t current = 0;
+    std::uint32_t parkedCount = 0; //!< serving mode: parked threads
+    bool coreIdle = false;         //!< every thread is parked
 };
 
 } // namespace kmu

@@ -82,6 +82,19 @@ serializeRunResult(const RunResult &res)
     putU64(out, res.healthRecoveries);
     putU64(out, res.failovers);
     putU64(out, res.deadlineErrors);
+    putU64(out, res.serveOffered);
+    putU64(out, res.serveCompleted);
+    putU64(out, res.serveSloMet);
+    putU64(out, res.serveInFlightPeak);
+    putF64(out, res.serveP50Ns);
+    putF64(out, res.serveP99Ns);
+    putF64(out, res.serveP999Ns);
+    putF64(out, res.serveMeanLatencyNs);
+    putF64(out, res.serveGoodputPerUs);
+    for (const std::uint64_t bucket : res.serveLatencyBuckets)
+        putU64(out, bucket);
+    putU64(out, res.serveLatencyUnderflow);
+    putU64(out, res.serveLatencyOverflow);
     return out;
 }
 
@@ -120,7 +133,22 @@ deserializeRunResult(const std::uint8_t *data, std::size_t size,
     r.healthQuarantines = getU64(p); p += 8;
     r.healthRecoveries = getU64(p); p += 8;
     r.failovers = getU64(p); p += 8;
-    r.deadlineErrors = getU64(p);
+    r.deadlineErrors = getU64(p); p += 8;
+    r.serveOffered = getU64(p); p += 8;
+    r.serveCompleted = getU64(p); p += 8;
+    r.serveSloMet = getU64(p); p += 8;
+    r.serveInFlightPeak = getU64(p); p += 8;
+    r.serveP50Ns = getF64(p); p += 8;
+    r.serveP99Ns = getF64(p); p += 8;
+    r.serveP999Ns = getF64(p); p += 8;
+    r.serveMeanLatencyNs = getF64(p); p += 8;
+    r.serveGoodputPerUs = getF64(p); p += 8;
+    for (std::uint64_t &bucket : r.serveLatencyBuckets) {
+        bucket = getU64(p);
+        p += 8;
+    }
+    r.serveLatencyUnderflow = getU64(p); p += 8;
+    r.serveLatencyOverflow = getU64(p);
     out = r;
     return true;
 }

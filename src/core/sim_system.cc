@@ -5,11 +5,16 @@
 #include "core/on_demand_core.hh"
 #include "core/prefetch_core.hh"
 #include "core/sw_queue_core.hh"
+#include "serve/serve_driver.hh"
 #include "trace/occupancy_sampler.hh"
 #include "trace/trace.hh"
 
 namespace kmu
 {
+
+static_assert(serveLatencyBucketCount ==
+                  serve::ServeDriver::latencyBuckets,
+              "RunResult histogram shape must match the driver's");
 
 namespace
 {
@@ -53,6 +58,12 @@ SimSystem::SimSystem(SystemConfig config)
         root, "read_latency_log_ns",
         "issue-to-fill read latency, log2 ns buckets", 1.0, 24);
 
+    // The serving hooks must be installed into cfg before the cores
+    // are built: they capture cfg by reference but read the hooks on
+    // every iteration, so ordering only matters for the assertions.
+    if (cfg.serve.enabled())
+        buildServing();
+
     if (cfg.mechanism == Mechanism::SwQueue) {
         kmuAssert(cfg.backing == Backing::Device,
                   "software queues target the device");
@@ -61,6 +72,48 @@ SimSystem::SimSystem(SystemConfig config)
         buildMemoryMapped();
     }
     buildChecker();
+}
+
+std::uint32_t
+SimSystem::lanesPerCore() const
+{
+    return cfg.mechanism == Mechanism::OnDemand ? cfg.smtContexts
+                                                : cfg.threadsPerCore;
+}
+
+void
+SimSystem::buildServing()
+{
+    kmuAssert(!cfg.plan && !cfg.addressPlan,
+              "serving mode owns the iteration and address plans");
+    kmuAssert(cfg.writeFraction == 0.0,
+              "serving mode models a read-only KV service");
+    const std::uint32_t lanes = cfg.numCores * lanesPerCore();
+    serving = std::make_unique<serve::ServeDriver>(cfg.serve, eq,
+                                                   &root, lanes);
+    serving->setMeasureStart(cfg.warmup);
+
+    serve::ServeDriver *sd = serving.get();
+    const std::uint32_t lpc = lanesPerCore();
+    const IterationPlan request_plan{cfg.serve.valueLines,
+                                     cfg.workCount};
+    cfg.plan = [request_plan](CoreId, ThreadId, std::uint64_t) {
+        return request_plan;
+    };
+    cfg.addressPlan = [sd, lpc](CoreId c, ThreadId t,
+                                std::uint64_t iter,
+                                std::uint32_t slot) {
+        return sd->addressFor(c * lpc + t, iter, slot);
+    };
+    cfg.admitGate = [sd, lpc](CoreId c, ThreadId t,
+                              std::uint64_t iter,
+                              std::function<void()> wake) {
+        return sd->admit(c * lpc + t, iter, std::move(wake));
+    };
+    cfg.onRetire = [sd, lpc](CoreId c, ThreadId t,
+                             std::uint64_t iter) {
+        sd->retire(c * lpc + t, iter);
+    };
 }
 
 SimSystem::~SimSystem() = default;
@@ -485,6 +538,17 @@ SimSystem::enableTracing(trace::TraceBuffer &buf, Tick samplePeriod)
         buf.registerName(trace::trackNameKey(healthLane), "health");
     }
 
+    // Request spans get a lane of their own after everything else
+    // (allocated only in serving mode, so the closed-loop lane
+    // layout is untouched).
+    if (serving) {
+        const auto serveLane = std::uint16_t(
+            n + 1 + 3 * shards + (shards > 1 ? shards * n : 0) +
+            (healthCtrl ? 1 : 0));
+        serving->setTraceLane(serveLane);
+        buf.registerName(trace::trackNameKey(serveLane), "serve");
+    }
+
     // Periodic occupancy timeline: per-core LFB and software rings,
     // plus each shard's chip-level queue.
     sampler = std::make_unique<trace::OccupancySampler>(eq,
@@ -531,6 +595,8 @@ SimSystem::run()
         eq.scheduleLambda(healthPeriod, [this]() { healthEpoch(); },
                           EventPriority::Default, "health.epoch");
     }
+    if (serving)
+        serving->start();
     for (auto &core : cores) {
         core->setLatencySampler(
             [this](double ns) { sampleReadLatency(ns); });
@@ -625,6 +691,24 @@ SimSystem::run()
         // real-time engine's effect (see RunResult).
     }
 
+    if (serving) {
+        res.serveOffered = serving->offered();
+        res.serveCompleted = serving->completed();
+        res.serveSloMet = serving->sloMet();
+        res.serveInFlightPeak = serving->inFlightPeak();
+        const LogHistogram &lat = serving->latencyLog();
+        res.serveP50Ns = lat.quantile(0.50);
+        res.serveP99Ns = lat.quantile(0.99);
+        res.serveP999Ns = lat.quantile(0.999);
+        res.serveMeanLatencyNs = lat.mean();
+        res.serveGoodputPerUs =
+            double(res.serveSloMet) / ticksToUs(res.elapsed);
+        for (std::size_t i = 0; i < serveLatencyBucketCount; ++i)
+            res.serveLatencyBuckets[i] = lat.bucketCount(i);
+        res.serveLatencyUnderflow = lat.underflow();
+        res.serveLatencyOverflow = lat.overflow();
+    }
+
     for (auto &core : cores) {
         if (auto *pf = dynamic_cast<PrefetchCore *>(core.get()))
             res.prefetchesQueued += pf->prefetchesQueued.value();
@@ -655,6 +739,11 @@ baselineConfig(const SystemConfig &cfg)
     base.threadsPerCore = 1;
     base.smtContexts = 1; // the paper's hyperthreading-off baseline
     base.topo = topo::TopologyConfig{}; // no device, no shards
+    // The normalization baseline is always the closed-loop replay:
+    // serving measures latency against a load, not peak IPC.
+    base.serve = serve::ServeConfig{};
+    base.admitGate = nullptr;
+    base.onRetire = nullptr;
     return base;
 }
 

@@ -17,6 +17,7 @@
 #ifndef KMU_CORE_SIM_SYSTEM_HH
 #define KMU_CORE_SIM_SYSTEM_HH
 
+#include <array>
 #include <memory>
 #include <vector>
 
@@ -38,6 +39,16 @@ namespace trace
 class OccupancySampler;
 class TraceBuffer;
 } // namespace trace
+
+namespace serve
+{
+class ServeDriver;
+} // namespace serve
+
+/** Buckets of RunResult's per-request latency histogram (log2 ns);
+ *  must equal serve::ServeDriver::latencyBuckets (static_assert in
+ *  sim_system.cc). */
+constexpr std::size_t serveLatencyBucketCount = 32;
 
 /** Aggregate metrics of one measured window. */
 struct RunResult
@@ -93,6 +104,35 @@ struct RunResult
     std::uint64_t failovers = 0;         //!< requests re-routed away
     std::uint64_t deadlineErrors = 0;    //!< reserved; 0 in the sim
     /** @} */
+
+    /** @{
+     * Open-loop serving mode (src/serve); all zero with
+     * serve.arrival == Off. Counts cover the measurement window:
+     * offered = arrivals, completed = retirements (under overload
+     * completed < offered — requests pile up in the arrival queue),
+     * sloMet = completions within serve.sloUs. Latency is
+     * arrival-to-retirement in ns, queueing included; the histogram
+     * uses log2 buckets [2^i, 2^(i+1)) ns, and the percentiles
+     * interpolate inside buckets (LogHistogram::quantile).
+     * inFlightPeak covers the whole run, warmup included.
+     */
+    std::uint64_t serveOffered = 0;
+    std::uint64_t serveCompleted = 0;
+    std::uint64_t serveSloMet = 0;
+    std::uint64_t serveInFlightPeak = 0;
+
+    double serveP50Ns = 0.0;
+    double serveP99Ns = 0.0;
+    double serveP999Ns = 0.0;
+    double serveMeanLatencyNs = 0.0;
+    /** SLO-met completions per microsecond of the window. */
+    double serveGoodputPerUs = 0.0;
+
+    std::array<std::uint64_t, serveLatencyBucketCount>
+        serveLatencyBuckets{};
+    std::uint64_t serveLatencyUnderflow = 0;
+    std::uint64_t serveLatencyOverflow = 0;
+    /** @} */
 };
 
 class SimSystem
@@ -139,12 +179,21 @@ class SimSystem
     {
         return healthCtrl.get();
     }
+    serve::ServeDriver *serveDriver() { return serving.get(); }
     /** @} */
 
   private:
     void buildMemoryMapped();
     void buildSwQueue();
     void buildChecker();
+
+    /** Construct the ServeDriver and install the serving hooks into
+     *  cfg (must run before the cores copy-capture them). */
+    void buildServing();
+
+    /** Iteration streams per core (SMT contexts for on-demand, ULT
+     *  threads otherwise) — the serving lane geometry. */
+    std::uint32_t lanesPerCore() const;
 
     /** Close one health epoch: gather per-shard signals, sample the
      *  controller, apply state effects, re-arm the epoch event. */
@@ -181,6 +230,9 @@ class SimSystem
     std::vector<HealthBase> healthBase; //!< per-shard epoch baselines
     Tick healthPeriod = 0;              //!< epoch length in sim ticks
     std::uint16_t healthLane = 0;       //!< HealthState trace lane
+    /** Open-loop request driver (nullptr when serve.arrival == Off,
+     *  which keeps every closed-loop run byte-identical). */
+    std::unique_ptr<serve::ServeDriver> serving;
     bool ran = false;
 
     /** Record one issue-to-fill latency in both latency stats. */

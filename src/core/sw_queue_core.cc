@@ -62,6 +62,14 @@ SwQueueCore::visitThread(ThreadId tid)
         submitPhase(tid);
         return;
     }
+    if (t.parkedAtSubmit) {
+        // Serving mode: the thread parked in submitPhase waiting for
+        // an arrival and was re-queued by onRequestReady — there are
+        // no responses to consume, go straight back to submission.
+        t.parkedAtSubmit = false;
+        submitPhase(tid);
+        return;
+    }
 
     // Consume the read responses (first touch of each DMA-written
     // buffer) and run the dependent work block; posted writes left
@@ -70,6 +78,8 @@ SwQueueCore::visitThread(ThreadId tid)
     const Tick work = cfg.workTicks(t.plan);
     chargeAndThen(consume + work, [this, tid]() {
         retireIteration(threads[tid].plan);
+        if (cfg.onRetire)
+            cfg.onRetire(id(), tid, threads[tid].iter);
         threads[tid].iter++;
         submitPhase(tid);
     });
@@ -79,6 +89,17 @@ void
 SwQueueCore::submitPhase(ThreadId tid)
 {
     UThread &t0 = threads[tid];
+    // Serving mode: only submit once a request is bound to this
+    // thread. On failure the thread parks off the ready queue; the
+    // wake re-queues it and the scheduler keeps running the rest.
+    if (cfg.admitGate &&
+        !cfg.admitGate(id(), tid, t0.iter, [this, tid]() {
+            onRequestReady(tid);
+        })) {
+        t0.parkedAtSubmit = true;
+        coreLoop();
+        return;
+    }
     t0.plan = cfg.planFor(id(), tid, t0.iter);
     kmuAssert(t0.plan.batch >= 1 &&
               t0.plan.batch <= AccessEngine::maxBatch,
@@ -206,10 +227,31 @@ SwQueueCore::pollLoop()
             return;
         }
 
+        // A request may have arrived for a parked thread during the
+        // poll charge (serving mode only — closed-loop threads can't
+        // become ready without a reaped completion): run it rather
+        // than sleeping with work queued.
+        if (!readyQueue.empty()) {
+            coreLoop();
+            return;
+        }
+
         // Nothing arrived: sleep until the device posts a completion.
         ++idleWaits;
         idleWaiting = true;
     });
+}
+
+void
+SwQueueCore::onRequestReady(ThreadId tid)
+{
+    readyQueue.push_back(tid);
+    if (!idleWaiting)
+        return; // the running scheduler will reach it
+    idleWaiting = false;
+    eventQueue().scheduleLambda(curTick(), [this]() { coreLoop(); },
+                                EventPriority::CpuTick,
+                                name() + ".serve_wake");
 }
 
 void

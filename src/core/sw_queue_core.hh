@@ -105,6 +105,7 @@ class SwQueueCore : public CoreBase
     struct UThread
     {
         bool started = false;
+        bool parkedAtSubmit = false; //!< serving: no request yet
         std::uint64_t iter = 0;
         IterationPlan plan{1, 0}; //!< plan of iteration `iter`
         std::uint32_t reads = 0;  //!< read slots of iteration `iter`
@@ -122,6 +123,9 @@ class SwQueueCore : public CoreBase
 
     /** Poll pass over the completion queue. */
     void pollLoop();
+
+    /** Serving mode: a request arrived for parked thread @p tid. */
+    void onRequestReady(ThreadId tid);
 
     std::vector<SwQueuePair *> queues;    //!< one per device shard
     std::vector<RingDoorbell> doorbells;  //!< one per device shard

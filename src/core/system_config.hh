@@ -27,6 +27,7 @@
 #include "mem/cache.hh"
 #include "mem/dram_model.hh"
 #include "mem/pcie_link.hh"
+#include "serve/serve_config.hh"
 #include "topo/topology.hh"
 
 namespace kmu
@@ -184,6 +185,31 @@ struct SystemConfig
     std::function<Addr(CoreId, ThreadId, std::uint64_t iter,
                        std::uint32_t slot)>
         addressPlan;
+    /** @} */
+
+    /** @{ Open-loop serving mode (src/serve).
+     *
+     * With serve.arrival == Off (the default) the hooks below stay
+     * unset and every closed-loop path is untouched. When enabled,
+     * SimSystem constructs a ServeDriver and installs all four of
+     * plan/addressPlan/admitGate/onRetire from it — they are not for
+     * users to set directly in serving mode.
+     */
+    serve::ServeConfig serve;
+
+    /**
+     * Admission gate, consulted before a core starts iteration
+     * @p iter of a thread/context. Returning true binds a request
+     * to the (core, thread) lane (idempotent for an already-bound
+     * iteration). Returning false means no request has arrived: the
+     * lane parks and @p wake re-enters its admission path later.
+     */
+    std::function<bool(CoreId, ThreadId, std::uint64_t iter,
+                       std::function<void()> wake)>
+        admitGate;
+
+    /** Completion hook: iteration @p iter of the lane retired. */
+    std::function<void(CoreId, ThreadId, std::uint64_t iter)> onRetire;
     /** @} */
 
     /** @{ Measurement window. */

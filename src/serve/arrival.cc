@@ -1,0 +1,50 @@
+#include "serve/arrival.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace kmu
+{
+namespace serve
+{
+
+ArrivalGen::ArrivalGen(const ServeConfig &cfg)
+    : kind(cfg.arrival), ratePerUs(cfg.lambdaPerUs),
+      onSpanUs(cfg.duty * cfg.burstPeriodUs),
+      periodUs(cfg.burstPeriodUs), rng(cfg.seed)
+{
+    kmuAssert(cfg.lambdaPerUs > 0.0,
+              "arrival rate must be positive");
+    if (kind == ArrivalKind::Bursty) {
+        kmuAssert(cfg.duty > 0.0 && cfg.duty <= 1.0,
+                  "bursty duty cycle must be in (0, 1]");
+        kmuAssert(cfg.burstPeriodUs > 0.0,
+                  "bursty period must be positive");
+        // Drawing at lambda/duty while ON keeps the long-run offered
+        // rate at lambda.
+        ratePerUs = cfg.lambdaPerUs / cfg.duty;
+    }
+}
+
+Tick
+ArrivalGen::next()
+{
+    kmuAssert(kind != ArrivalKind::Off,
+              "arrival generator constructed with serving off");
+    // Exponential inter-arrival: nextDouble() is in [0, 1), so
+    // 1 - u is in (0, 1] and the log is finite and non-positive.
+    const double u = rng.nextDouble();
+    virtualUs += -std::log(1.0 - u) / ratePerUs;
+    double realUs = virtualUs;
+    if (kind == ArrivalKind::Bursty) {
+        // Map the virtual ON-clock onto real time: ON-span k of
+        // length onSpanUs occupies the head of real period k.
+        const double span = std::floor(virtualUs / onSpanUs);
+        realUs = span * periodUs + (virtualUs - span * onSpanUs);
+    }
+    return Tick(realUs * 1e6); // us -> ps
+}
+
+} // namespace serve
+} // namespace kmu

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Seeded open-loop arrival processes.
+ *
+ * An ArrivalGen hands out a monotone stream of absolute arrival
+ * ticks. Two shapes:
+ *
+ *  - Poisson: memoryless exponential inter-arrivals at rate lambda,
+ *    the classic open-loop datacenter load model.
+ *  - Bursty:  an ON/OFF modulated Poisson source. Arrivals are drawn
+ *    at rate lambda/duty on a *virtual* clock that only advances
+ *    while the source is ON, then mapped onto real time by slotting
+ *    each ON-span of length duty*period at the head of its period.
+ *    The long-run rate stays lambda, but requests cluster into
+ *    bursts that stress queueing far beyond the Poisson case.
+ *
+ * Determinism: one Rng seeded from ServeConfig::seed, pure double
+ * arithmetic, no wall clock — identical seeds give identical tick
+ * streams on every run and machine.
+ */
+
+#ifndef KMU_SERVE_ARRIVAL_HH
+#define KMU_SERVE_ARRIVAL_HH
+
+#include "common/random.hh"
+#include "common/types.hh"
+#include "serve/serve_config.hh"
+
+namespace kmu
+{
+namespace serve
+{
+
+class ArrivalGen
+{
+  public:
+    explicit ArrivalGen(const ServeConfig &cfg);
+
+    /**
+     * Absolute tick of the next arrival. Monotone non-decreasing;
+     * successive calls walk the arrival stream.
+     */
+    Tick next();
+
+  private:
+    ArrivalKind kind;
+    double ratePerUs;    //!< draw rate on the (virtual) clock
+    double onSpanUs;     //!< ON window length (Bursty only)
+    double periodUs;     //!< ON+OFF period length (Bursty only)
+    double virtualUs = 0.0; //!< cumulative virtual arrival clock
+    Rng rng;
+};
+
+} // namespace serve
+} // namespace kmu
+
+#endif // KMU_SERVE_ARRIVAL_HH

@@ -1,0 +1,70 @@
+#include "serve/popularity.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace kmu
+{
+namespace serve
+{
+
+namespace
+{
+
+double
+zeta(std::uint64_t n, double theta)
+{
+    double sum = 0.0;
+    for (std::uint64_t i = 1; i <= n; ++i)
+        sum += 1.0 / std::pow(double(i), theta);
+    return sum;
+}
+
+} // namespace
+
+ZipfSampler::ZipfSampler(std::uint64_t keys, double skew)
+    : n(keys), theta(skew)
+{
+    kmuAssert(n > 0, "zipf sampler needs a non-empty keyspace");
+    kmuAssert(theta >= 0.0 && theta < 1.0,
+              "zipf theta must be in [0, 1)");
+    if (theta == 0.0)
+        return; // uniform: no normalizer needed
+    alpha = 1.0 / (1.0 - theta);
+    zetan = zeta(n, theta);
+    const double zeta2 = zeta(2 < n ? 2 : n, theta);
+    eta = (1.0 - std::pow(2.0 / double(n), 1.0 - theta)) /
+          (1.0 - zeta2 / zetan);
+}
+
+std::uint64_t
+ZipfSampler::draw(Rng &rng) const
+{
+    if (theta == 0.0)
+        return rng.nextBounded(n);
+    const double u = rng.nextDouble();
+    const double uz = u * zetan;
+    if (uz < 1.0)
+        return 0;
+    if (n > 1 && uz < 1.0 + std::pow(0.5, theta))
+        return 1;
+    const double r =
+        double(n) * std::pow(eta * u - eta + 1.0, alpha);
+    std::uint64_t rank = std::uint64_t(r);
+    if (rank >= n)
+        rank = n - 1;
+    return rank;
+}
+
+double
+ZipfSampler::rankProbability(std::uint64_t r) const
+{
+    kmuAssert(r < n, "rank out of range");
+    if (theta == 0.0)
+        return 1.0 / double(n);
+    return 1.0 / (std::pow(double(r + 1), theta) * zetan);
+}
+
+} // namespace serve
+} // namespace kmu

@@ -141,6 +141,7 @@ kindName(Kind kind)
       case Kind::Completion: return "completion";
       case Kind::QueueDepth: return "queue_depth";
       case Kind::HealthState: return "health_state";
+      case Kind::Request: return "request";
     }
     return "unknown";
 }

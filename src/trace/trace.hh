@@ -74,12 +74,14 @@ enum class Kind : std::uint8_t
     DescService,    //!< span: descriptor accepted -> completion sent
     Completion,     //!< instant: completion visible to the host
     QueueDepth,     //!< counter: sampled queue occupancy (arg=depth)
-    HealthState     //!< instant: shard state transition (id=shard,
+    HealthState,    //!< instant: shard state transition (id=shard,
                     //!< arg=health::ShardState after the transition)
+    Request         //!< span: serving-mode request arrival ->
+                    //!< retirement (id=request seq, arg=latency ns)
 };
 
 /** Number of distinct Kind values (for aggregation tables). */
-constexpr std::size_t kindCount = std::size_t(Kind::HealthState) + 1;
+constexpr std::size_t kindCount = std::size_t(Kind::Request) + 1;
 
 /** Stable lower-case name of a record kind. */
 const char *kindName(Kind kind);

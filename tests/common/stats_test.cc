@@ -193,6 +193,94 @@ TEST(StatsTest, LogHistogramMergeRequiresSameShape)
     EXPECT_EQ(a.overflow(), 1u);
 }
 
+TEST(StatsTest, LogHistogramQuantileEmptyIsZero)
+{
+    StatGroup group("g");
+    LogHistogram h(group, "lat", "", 1.0, 8);
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.0);
+}
+
+TEST(StatsTest, LogHistogramQuantileSingleSample)
+{
+    StatGroup group("g");
+    LogHistogram h(group, "lat", "", 1.0, 8);
+    h.sample(3.0); // bucket 1 spans [2, 4)
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 2.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 3.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 4.0);
+    // Out-of-range q clamps rather than walking off the buckets.
+    EXPECT_DOUBLE_EQ(h.quantile(-1.0), 2.0);
+    EXPECT_DOUBLE_EQ(h.quantile(2.0), 4.0);
+}
+
+TEST(StatsTest, LogHistogramQuantileAllOneBucket)
+{
+    StatGroup group("g");
+    LogHistogram h(group, "lat", "", 1.0, 8);
+    for (int i = 0; i < 4; ++i)
+        h.sample(5.0); // bucket 2 spans [4, 8)
+    // Linear interpolation inside the one populated bucket.
+    EXPECT_DOUBLE_EQ(h.quantile(0.25), 5.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 6.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 8.0);
+}
+
+TEST(StatsTest, LogHistogramQuantileSpansBuckets)
+{
+    StatGroup group("g");
+    LogHistogram h(group, "lat", "", 1.0, 8);
+    h.sample(1.5);  // bucket 0: [1, 2)
+    h.sample(3.0);  // bucket 1: [2, 4)
+    h.sample(3.5);  // bucket 1
+    h.sample(10.0); // bucket 3: [8, 16)
+    // Rank 1 of 4 fills bucket 0 exactly: its upper edge.
+    EXPECT_DOUBLE_EQ(h.quantile(0.25), 2.0);
+    // Rank 2 of 4 is halfway into bucket 1.
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 3.0);
+    // Rank 4 of 4 fills bucket 3: its upper edge.
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 16.0);
+}
+
+TEST(StatsTest, LogHistogramQuantileOutlierClamps)
+{
+    StatGroup group("g");
+    LogHistogram lo(group, "lo", "", 2.0, 4);
+    lo.sample(0.5); // underflow
+    lo.sample(1.0); // underflow
+    EXPECT_DOUBLE_EQ(lo.quantile(0.5), 2.0);  // clamps to lower bound
+    EXPECT_DOUBLE_EQ(lo.quantile(1.0), 2.0);
+
+    LogHistogram hi(group, "hi", "", 1.0, 4); // covers [1, 16)
+    hi.sample(3.0);
+    hi.sample(100.0); // overflow
+    hi.sample(200.0); // overflow
+    // Ranks landing in the overflow clamp to its lower edge.
+    EXPECT_DOUBLE_EQ(hi.quantile(1.0), 16.0);
+    EXPECT_DOUBLE_EQ(hi.quantile(0.9), 16.0);
+}
+
+TEST(StatsTest, LogHistogramMergeThenQuantile)
+{
+    StatGroup group("g");
+    LogHistogram a(group, "a", "", 1.0, 8);
+    LogHistogram b(group, "b", "", 1.0, 8);
+    LogHistogram all(group, "all", "", 1.0, 8);
+    const double samples[] = {1.5, 3.0, 3.5, 6.0, 10.0, 24.0};
+    for (std::size_t i = 0; i < 6; ++i) {
+        (i < 3 ? a : b).sample(samples[i]);
+        all.sample(samples[i]);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.samples(), all.samples());
+    // Merged counts answer the same quantile queries as one
+    // histogram fed every sample.
+    for (double q : {0.0, 0.25, 0.5, 0.75, 0.99, 1.0})
+        EXPECT_DOUBLE_EQ(a.quantile(q), all.quantile(q));
+    EXPECT_DOUBLE_EQ(a.quantile(0.5), 4.0);
+}
+
 TEST(StatsDeathTest, LogHistogramMergeShapeMismatchPanics)
 {
     StatGroup group("g");

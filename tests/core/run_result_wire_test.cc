@@ -44,6 +44,19 @@ sampleResult()
     r.healthRecoveries = 4;
     r.failovers = 0xfeed1234;
     r.deadlineErrors = 21;
+    r.serveOffered = 100000;
+    r.serveCompleted = 99998;
+    r.serveSloMet = 97531;
+    r.serveInFlightPeak = 48;
+    r.serveP50Ns = 4096.5;
+    r.serveP99Ns = 1.0e5 / 3.0;
+    r.serveP999Ns = 7.0e5 / 11.0;
+    r.serveMeanLatencyNs = 5432.1;
+    r.serveGoodputPerUs = 13.0 / 9.0;
+    for (std::size_t i = 0; i < r.serveLatencyBuckets.size(); ++i)
+        r.serveLatencyBuckets[i] = i * i + 1;
+    r.serveLatencyUnderflow = 2;
+    r.serveLatencyOverflow = 3;
     return r;
 }
 
@@ -86,6 +99,18 @@ TEST(RunResultWire, RoundTripIsBitExact)
     EXPECT_EQ(out.healthRecoveries, in.healthRecoveries);
     EXPECT_EQ(out.failovers, in.failovers);
     EXPECT_EQ(out.deadlineErrors, in.deadlineErrors);
+    EXPECT_EQ(out.serveOffered, in.serveOffered);
+    EXPECT_EQ(out.serveCompleted, in.serveCompleted);
+    EXPECT_EQ(out.serveSloMet, in.serveSloMet);
+    EXPECT_EQ(out.serveInFlightPeak, in.serveInFlightPeak);
+    EXPECT_EQ(out.serveP50Ns, in.serveP50Ns);
+    EXPECT_EQ(out.serveP99Ns, in.serveP99Ns);
+    EXPECT_EQ(out.serveP999Ns, in.serveP999Ns);
+    EXPECT_EQ(out.serveMeanLatencyNs, in.serveMeanLatencyNs);
+    EXPECT_EQ(out.serveGoodputPerUs, in.serveGoodputPerUs);
+    EXPECT_EQ(out.serveLatencyBuckets, in.serveLatencyBuckets);
+    EXPECT_EQ(out.serveLatencyUnderflow, in.serveLatencyUnderflow);
+    EXPECT_EQ(out.serveLatencyOverflow, in.serveLatencyOverflow);
 }
 
 TEST(RunResultWire, DefaultConstructedRoundTrips)

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * End-to-end tests of the open-loop serving mode through the full
+ * timing model: every mechanism serves requests, the accounting is
+ * self-consistent, overload behaves like an open loop (offered
+ * outruns completed and latency grows without bound), runs are
+ * deterministic, and a disabled generator leaves RunResult's serving
+ * block all-zero.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/run_result_wire.hh"
+#include "core/sim_system.hh"
+
+using namespace kmu;
+
+namespace
+{
+
+SystemConfig
+servedConfig(Mechanism mech, double lambda)
+{
+    SystemConfig cfg;
+    cfg.mechanism = mech;
+    cfg.device.latency = microseconds(2);
+    if (mech == Mechanism::OnDemand)
+        cfg.smtContexts = 2;
+    else
+        cfg.threadsPerCore = 8;
+    cfg.warmup = microseconds(30);
+    cfg.measure = microseconds(300);
+    cfg.serve.arrival = serve::ArrivalKind::Poisson;
+    cfg.serve.lambdaPerUs = lambda;
+    cfg.serve.valueLines = 2;
+    cfg.serve.sloUs = 50.0;
+    return cfg;
+}
+
+} // anonymous namespace
+
+class ServingMechanismTest
+    : public ::testing::TestWithParam<Mechanism>
+{
+};
+
+TEST_P(ServingMechanismTest, ServesRequestsWithSaneAccounting)
+{
+    const RunResult res = runSystem(servedConfig(GetParam(), 0.1));
+
+    // ~30 arrivals in the 300us window at lambda = 0.1/us.
+    EXPECT_GT(res.serveOffered, 10u);
+    EXPECT_GT(res.serveCompleted, 10u);
+    EXPECT_LE(res.serveSloMet, res.serveCompleted);
+    EXPECT_GE(res.serveInFlightPeak, 1u);
+
+    // Latency can never beat one device access (2us = 2000ns), and
+    // at this light load p99 should stay inside the 50us SLO.
+    EXPECT_GE(res.serveMeanLatencyNs, 2000.0);
+    EXPECT_GE(res.serveP50Ns, 2000.0);
+    EXPECT_LE(res.serveP50Ns, res.serveP99Ns);
+    EXPECT_LE(res.serveP99Ns, res.serveP999Ns);
+    EXPECT_EQ(res.serveSloMet, res.serveCompleted)
+        << "light load must meet a 50us SLO";
+
+    // goodput = sloMet / window.
+    EXPECT_NEAR(res.serveGoodputPerUs,
+                double(res.serveSloMet) / ticksToUs(res.elapsed),
+                1e-12);
+
+    // The histogram totals match the completion count.
+    std::uint64_t hist = res.serveLatencyUnderflow +
+                         res.serveLatencyOverflow;
+    for (const std::uint64_t b : res.serveLatencyBuckets)
+        hist += b;
+    EXPECT_EQ(hist, res.serveCompleted);
+
+    // The cores really did the work the requests describe: every
+    // completed request is one iteration of valueLines = 2 reads
+    // (slack of one request for the warmup-boundary straddler whose
+    // reads landed before the window).
+    EXPECT_GE(res.iterations, res.serveCompleted);
+    EXPECT_GE(res.accesses + 2, 2 * res.serveCompleted);
+}
+
+TEST_P(ServingMechanismTest, DeterministicAcrossRuns)
+{
+    const SystemConfig cfg = servedConfig(GetParam(), 0.3);
+    const RunResult a = runSystem(cfg);
+    const RunResult b = runSystem(cfg);
+    EXPECT_EQ(serializeRunResult(a), serializeRunResult(b));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMechanisms, ServingMechanismTest,
+                         ::testing::Values(Mechanism::OnDemand,
+                                           Mechanism::Prefetch,
+                                           Mechanism::SwQueue),
+                         [](const auto &info) {
+                             switch (info.param) {
+                             case Mechanism::OnDemand:
+                                 return std::string("OnDemand");
+                             case Mechanism::Prefetch:
+                                 return std::string("Prefetch");
+                             default:
+                                 return std::string("SwQueue");
+                             }
+                         });
+
+TEST(ServingTest, OverloadBehavesOpenLoop)
+{
+    // One on-demand lane at 2us/request cannot serve 1 req/us: the
+    // arrival queue grows, completions fall far short of offered,
+    // and the tail blows past any queueing-free latency.
+    SystemConfig cfg = servedConfig(Mechanism::OnDemand, 1.0);
+    cfg.smtContexts = 1;
+    const RunResult res = runSystem(cfg);
+    EXPECT_LT(res.serveCompleted, res.serveOffered / 2);
+    EXPECT_GT(res.serveP99Ns, 50000.0);
+    EXPECT_GT(res.serveInFlightPeak, 50u);
+}
+
+TEST(ServingTest, ClientCapBoundsInFlight)
+{
+    SystemConfig cfg = servedConfig(Mechanism::SwQueue, 2.0);
+    cfg.serve.clients = 4;
+    const RunResult res = runSystem(cfg);
+    EXPECT_LE(res.serveInFlightPeak, 4u);
+    EXPECT_GT(res.serveCompleted, 0u);
+}
+
+TEST(ServingTest, ZipfSkewStillServes)
+{
+    SystemConfig cfg = servedConfig(Mechanism::Prefetch, 0.2);
+    cfg.serve.zipfTheta = 0.99;
+    cfg.serve.numKeys = 4096;
+    const RunResult res = runSystem(cfg);
+    EXPECT_GT(res.serveCompleted, 10u);
+}
+
+TEST(ServingTest, ShardedServingCompletes)
+{
+    SystemConfig cfg = servedConfig(Mechanism::SwQueue, 0.5);
+    cfg.topo.shards = 2;
+    const RunResult res = runSystem(cfg);
+    EXPECT_GT(res.serveCompleted, 50u);
+    EXPECT_EQ(res.shardCount, 2u);
+}
+
+TEST(ServingTest, DisabledLeavesServeBlockZero)
+{
+    SystemConfig cfg;
+    cfg.measure = microseconds(100);
+    const RunResult res = runSystem(cfg);
+    EXPECT_EQ(res.serveOffered, 0u);
+    EXPECT_EQ(res.serveCompleted, 0u);
+    EXPECT_EQ(res.serveSloMet, 0u);
+    EXPECT_EQ(res.serveInFlightPeak, 0u);
+    EXPECT_EQ(res.serveP99Ns, 0.0);
+    EXPECT_EQ(res.serveGoodputPerUs, 0.0);
+    for (const std::uint64_t b : res.serveLatencyBuckets)
+        EXPECT_EQ(b, 0u);
+}
+
+TEST(ServingTest, BaselineStripsServing)
+{
+    const SystemConfig cfg = servedConfig(Mechanism::Prefetch, 0.5);
+    const SystemConfig base = baselineConfig(cfg);
+    EXPECT_FALSE(base.serve.enabled());
+    EXPECT_FALSE(static_cast<bool>(base.admitGate));
+    EXPECT_FALSE(static_cast<bool>(base.onRetire));
+}

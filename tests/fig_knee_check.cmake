@@ -1,0 +1,158 @@
+# Serving knee gate: the open-loop knee bench must (a) be
+# deterministic — two identical runs produce byte-identical CSVs,
+# which must also match the committed artifact — (b) degrade
+# monotonically: per mechanism, p99 latency never drops by more than
+# 5% as offered load rises (the slack absorbs small-sample noise at
+# light load), and (c) order the mechanisms as the model predicts:
+# the SW-queue path sustains the highest goodput under the fixed
+# 20 us SLO, and every mechanism's p99 is past the SLO at the top of
+# the sweep (each curve actually has a knee inside it).
+#
+# Invoked by ctest as:
+#   cmake -DFIG_KNEE=<path> -DARTIFACT_DIR=<dir> -DWORK_DIR=<dir>
+#         -P fig_knee_check.cmake
+
+if(NOT FIG_KNEE)
+    message(FATAL_ERROR "pass -DFIG_KNEE=<path to fig_knee>")
+endif()
+if(NOT ARTIFACT_DIR)
+    message(FATAL_ERROR "pass -DARTIFACT_DIR=<committed CSV dir>")
+endif()
+if(NOT WORK_DIR)
+    set(WORK_DIR ${CMAKE_CURRENT_BINARY_DIR})
+endif()
+
+set(dir ${WORK_DIR}/fig_knee_check)
+file(REMOVE_RECURSE ${dir})
+file(MAKE_DIRECTORY ${dir})
+
+foreach(run a b)
+    file(MAKE_DIRECTORY ${dir}/${run})
+    execute_process(
+        COMMAND ${FIG_KNEE} jobs=4
+        WORKING_DIRECTORY ${dir}/${run}
+        OUTPUT_FILE ${dir}/${run}/fig_knee.out
+        ERROR_VARIABLE err
+        RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR
+            "fig_knee run '${run}' failed (rc=${rc}): ${err}")
+    endif()
+endforeach()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            ${dir}/a/fig_knee.csv ${dir}/b/fig_knee.csv
+    RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+    message(FATAL_ERROR
+        "fig_knee CSVs differ between identical runs: the serving "
+        "arrival stream or the latency accounting is "
+        "nondeterministic (compare a/ and b/ under ${dir})")
+endif()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            ${dir}/a/fig_knee.csv ${ARTIFACT_DIR}/fig_knee.csv
+    RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+    message(FATAL_ERROR
+        "fig_knee.csv differs from the committed artifact (fresh "
+        "copy in ${dir}/a; if the change is intentional, regenerate "
+        "and commit the CSV)")
+endif()
+
+# Every cell is printed with exactly three decimals; stripping the
+# dot yields milli-units as integers CMake's math() can compare.
+function(scaled out cell)
+    string(REPLACE "." "" v "${cell}")
+    string(REGEX REPLACE "^0+" "" v "${v}")
+    if(v STREQUAL "")
+        set(v 0)
+    endif()
+    set(${out} ${v} PARENT_SCOPE)
+endfunction()
+
+set(num "[0-9]+\\.[0-9]+")
+set(mechs ondemand prefetch swqueue)
+foreach(mech ${mechs})
+    set(prev_p99_${mech} 0)
+    set(max_good_${mech} 0)
+    set(last_p99_${mech} 0)
+endforeach()
+
+file(STRINGS ${dir}/a/fig_knee.csv rows)
+set(data_rows 0)
+foreach(row ${rows})
+    string(REGEX MATCH
+        "^(${num}),(${num}),(${num}),(${num}),(${num}),(${num}),(${num})$"
+        m "${row}")
+    if(NOT m)
+        continue()
+    endif()
+    math(EXPR data_rows "${data_rows} + 1")
+    scaled(od_p99 ${CMAKE_MATCH_2})
+    scaled(od_good ${CMAKE_MATCH_3})
+    scaled(pf_p99 ${CMAKE_MATCH_4})
+    scaled(pf_good ${CMAKE_MATCH_5})
+    scaled(swq_p99 ${CMAKE_MATCH_6})
+    scaled(swq_good ${CMAKE_MATCH_7})
+    set(p99_ondemand ${od_p99})
+    set(p99_prefetch ${pf_p99})
+    set(p99_swqueue ${swq_p99})
+    set(good_ondemand ${od_good})
+    set(good_prefetch ${pf_good})
+    set(good_swqueue ${swq_good})
+    foreach(mech ${mechs})
+        # Monotone degradation with 5% slack: 100*p99 >= 95*prev.
+        math(EXPR lhs "100 * ${p99_${mech}}")
+        math(EXPR rhs "95 * ${prev_p99_${mech}}")
+        if(lhs LESS rhs)
+            message(FATAL_ERROR
+                "${mech} p99 drops by more than 5% between adjacent "
+                "offered loads (row '${row}'): the latency curve is "
+                "not monotonically degrading")
+        endif()
+        set(prev_p99_${mech} ${p99_${mech}})
+        set(last_p99_${mech} ${p99_${mech}})
+        if(good_${mech} GREATER max_good_${mech})
+            set(max_good_${mech} ${good_${mech}})
+        endif()
+    endforeach()
+endforeach()
+if(NOT data_rows GREATER 4)
+    message(FATAL_ERROR
+        "fig_knee.csv parsed only ${data_rows} data rows; the sweep "
+        "or the CSV format changed under the gate")
+endif()
+
+# The fixed SLO is 20 us = 20000 milli-units scaled. At the top of
+# the sweep every mechanism must be past it — otherwise the sweep no
+# longer reaches the knees it exists to show.
+foreach(mech ${mechs})
+    if(NOT last_p99_${mech} GREATER 20000)
+        message(FATAL_ERROR
+            "${mech} p99 at the highest offered load is "
+            "${last_p99_${mech}} milli-us, inside the 20 us SLO: the "
+            "sweep no longer saturates this mechanism")
+    endif()
+endforeach()
+
+# The paper's ordering: software queues sustain the most load under
+# the SLO, prefetch more than on-demand.
+if(NOT max_good_swqueue GREATER ${max_good_prefetch})
+    message(FATAL_ERROR
+        "SW-queue peak goodput ${max_good_swqueue} does not beat "
+        "prefetch's ${max_good_prefetch} under the 20 us SLO")
+endif()
+if(NOT max_good_swqueue GREATER ${max_good_ondemand})
+    message(FATAL_ERROR
+        "SW-queue peak goodput ${max_good_swqueue} does not beat "
+        "on-demand's ${max_good_ondemand} under the 20 us SLO")
+endif()
+
+message(STATUS
+    "fig_knee check passed: ${data_rows} loads, peak goodput "
+    "swqueue=${max_good_swqueue} > prefetch=${max_good_prefetch} / "
+    "ondemand=${max_good_ondemand} (milli-req/us), curves monotone, "
+    "CSVs byte-identical and matching the committed artifact")

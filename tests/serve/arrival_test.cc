@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Unit tests for the open-loop arrival processes.
+ *
+ * The serving mode's determinism and its statistical fidelity both
+ * live here: the seeded streams must never change across refactors
+ * (golden first-arrivals), Poisson must hit its configured rate and
+ * memoryless shape, and the bursty source must confine arrivals to
+ * its ON windows while preserving the long-run rate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/units.hh"
+#include "serve/arrival.hh"
+
+using namespace kmu;
+using namespace kmu::serve;
+
+namespace
+{
+
+ServeConfig
+poissonCfg(double lambda, std::uint64_t seed)
+{
+    ServeConfig cfg;
+    cfg.arrival = ArrivalKind::Poisson;
+    cfg.lambdaPerUs = lambda;
+    cfg.seed = seed;
+    return cfg;
+}
+
+ServeConfig
+burstyCfg(double lambda, double duty, double period_us,
+          std::uint64_t seed)
+{
+    ServeConfig cfg;
+    cfg.arrival = ArrivalKind::Bursty;
+    cfg.lambdaPerUs = lambda;
+    cfg.duty = duty;
+    cfg.burstPeriodUs = period_us;
+    cfg.seed = seed;
+    return cfg;
+}
+
+} // anonymous namespace
+
+TEST(ArrivalTest, PoissonStreamIsMonotone)
+{
+    ArrivalGen gen(poissonCfg(2.0, 1));
+    Tick prev = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const Tick t = gen.next();
+        EXPECT_GE(t, prev);
+        prev = t;
+    }
+}
+
+TEST(ArrivalTest, PoissonMeanRateWithinTolerance)
+{
+    // 100k draws at lambda = 2/us: the relative error of the mean
+    // inter-arrival is ~1/sqrt(100k) ~ 0.3%; gate at 2%.
+    const double lambda = 2.0;
+    ArrivalGen gen(poissonCfg(lambda, 1234));
+    const int n = 100000;
+    Tick last = 0;
+    for (int i = 0; i < n; ++i)
+        last = gen.next();
+    const double mean_us = ticksToUs(last) / n;
+    EXPECT_NEAR(mean_us, 1.0 / lambda, 0.02 / lambda);
+}
+
+TEST(ArrivalTest, PoissonIsMemoryless)
+{
+    // Exponential inter-arrivals: P(X > 2/lambda) = e^-2 ~ 13.5%,
+    // and the coefficient of variation is 1. Both separate a Poisson
+    // stream from a paced (deterministic) or heavy-tailed one.
+    const double lambda = 1.0;
+    ArrivalGen gen(poissonCfg(lambda, 5));
+    const int n = 100000;
+    std::vector<double> gaps;
+    gaps.reserve(n);
+    Tick prev = 0;
+    for (int i = 0; i < n; ++i) {
+        const Tick t = gen.next();
+        gaps.push_back(ticksToUs(t - prev));
+        prev = t;
+    }
+    double sum = 0.0, sumsq = 0.0;
+    int over = 0;
+    for (const double g : gaps) {
+        sum += g;
+        sumsq += g * g;
+        if (g > 2.0 / lambda)
+            over++;
+    }
+    const double mean = sum / n;
+    const double var = sumsq / n - mean * mean;
+    const double cv = std::sqrt(var) / mean;
+    EXPECT_NEAR(cv, 1.0, 0.03);
+    EXPECT_NEAR(double(over) / n, std::exp(-2.0), 0.01);
+}
+
+TEST(ArrivalTest, PoissonSeedGolden)
+{
+    // The exact first arrivals of seed 42 at lambda = 2/us. A change
+    // here silently invalidates every committed serving artifact
+    // (fig_knee.csv, the determinism goldens) — regenerate them all
+    // or revert.
+    ArrivalGen gen(poissonCfg(2.0, 42));
+    const Tick expected[] = {43794,   281990,  851775,
+                             2144866, 4546915, 5281187};
+    for (const Tick t : expected)
+        EXPECT_EQ(gen.next(), t);
+}
+
+TEST(ArrivalTest, SameSeedSameStream)
+{
+    ArrivalGen a(poissonCfg(0.7, 99));
+    ArrivalGen b(poissonCfg(0.7, 99));
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(ArrivalTest, DifferentSeedsDiverge)
+{
+    ArrivalGen a(poissonCfg(0.7, 1));
+    ArrivalGen b(poissonCfg(0.7, 2));
+    bool diverged = false;
+    for (int i = 0; i < 100 && !diverged; ++i)
+        diverged = a.next() != b.next();
+    EXPECT_TRUE(diverged);
+}
+
+TEST(ArrivalTest, BurstyConfinesArrivalsToOnWindows)
+{
+    // duty 0.25, period 40us: every arrival must land inside
+    // [k*40, k*40 + 10) us for some integer k.
+    const double period_us = 40.0;
+    const double duty = 0.25;
+    ArrivalGen gen(burstyCfg(1.0, duty, period_us, 3));
+    for (int i = 0; i < 20000; ++i) {
+        const double us = ticksToUs(gen.next());
+        const double phase =
+            us - std::floor(us / period_us) * period_us;
+        EXPECT_LT(phase, duty * period_us)
+            << "arrival at " << us << "us is outside the ON window";
+    }
+}
+
+TEST(ArrivalTest, BurstyLongRunRateIsLambda)
+{
+    // The ON-rate is lambda/duty, but averaged over whole periods
+    // the offered load must come out at lambda again.
+    const double lambda = 1.0;
+    ArrivalGen gen(burstyCfg(lambda, 0.25, 40.0, 11));
+    const int n = 100000;
+    Tick last = 0;
+    for (int i = 0; i < n; ++i)
+        last = gen.next();
+    const double rate = n / ticksToUs(last);
+    EXPECT_NEAR(rate, lambda, 0.02 * lambda);
+}
+
+TEST(ArrivalTest, BurstyDutyCycleShapesOccupancy)
+{
+    // Bin arrivals by period phase: the ON quarter must hold every
+    // arrival, and each ON sub-bin should carry roughly equal mass
+    // (the virtual clock is uniform within the ON span).
+    ArrivalGen gen(burstyCfg(2.0, 0.25, 40.0, 17));
+    const int n = 40000;
+    int bins[4] = {0, 0, 0, 0}; // 10us quarters of the 40us period
+    for (int i = 0; i < n; ++i) {
+        const double us = ticksToUs(gen.next());
+        const double phase = us - std::floor(us / 40.0) * 40.0;
+        bins[int(phase / 10.0)]++;
+    }
+    EXPECT_EQ(bins[0], n);
+    EXPECT_EQ(bins[1] + bins[2] + bins[3], 0);
+}
+
+TEST(ArrivalTest, BurstySeedGolden)
+{
+    ArrivalGen gen(burstyCfg(1.0, 0.25, 40.0, 7));
+    const Tick expected[] = {301474,  383166,  840730,
+                             1832849, 3006630, 3522077};
+    for (const Tick t : expected)
+        EXPECT_EQ(gen.next(), t);
+}

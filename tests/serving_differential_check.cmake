@@ -1,0 +1,71 @@
+# Serving differential gate: with the arrival generator off, the
+# serving-capable binary must be byte-identical to the pre-serving
+# model. The committed artifact captures the seed tree's kmu_sim CSV
+# output across every mechanism (plus a sharded write-mix config);
+# any drift means the admission gate, the retire hook, or the
+# parked-thread scheduling changed a closed-loop code path it was
+# supposed to leave untouched. Both spellings — no serving keys at
+# all, and an explicit arrival=off — must match.
+#
+# Invoked by ctest as:
+#   cmake -DKMU_SIM=<path> -DARTIFACT_DIR=<dir> -DWORK_DIR=<dir>
+#         -P serving_differential_check.cmake
+
+if(NOT KMU_SIM)
+    message(FATAL_ERROR "pass -DKMU_SIM=<path to kmu_sim>")
+endif()
+if(NOT ARTIFACT_DIR)
+    message(FATAL_ERROR "pass -DARTIFACT_DIR=<committed CSV dir>")
+endif()
+if(NOT WORK_DIR)
+    set(WORK_DIR ${CMAKE_CURRENT_BINARY_DIR})
+endif()
+
+set(dir ${WORK_DIR}/serving_differential)
+file(REMOVE_RECURSE ${dir})
+file(MAKE_DIRECTORY ${dir})
+
+# Must mirror the config list the committed artifact was generated
+# from (one CSV header + row per config, concatenated in order).
+set(cfg_1 "")
+set(cfg_2 mechanism=ondemand smt=2)
+set(cfg_3 mechanism=swqueue threads=16)
+set(cfg_4 mechanism=prefetch threads=10 latency_us=4)
+set(cfg_5 mechanism=swqueue threads=8 shards=4 write_frac=0.2)
+
+foreach(mode default off)
+    set(out ${dir}/closed_loop_${mode}.csv)
+    file(WRITE ${out} "")
+    foreach(i RANGE 1 5)
+        set(extra "")
+        if(mode STREQUAL off)
+            set(extra arrival=off)
+        endif()
+        execute_process(
+            COMMAND ${KMU_SIM} csv=1 ${cfg_${i}} ${extra}
+            OUTPUT_VARIABLE row
+            RESULT_VARIABLE rc)
+        if(NOT rc EQUAL 0)
+            message(FATAL_ERROR
+                "kmu_sim closed-loop config ${i} (${mode}) failed "
+                "(rc=${rc})")
+        endif()
+        file(APPEND ${out} "${row}")
+    endforeach()
+
+    execute_process(
+        COMMAND ${CMAKE_COMMAND} -E compare_files
+                ${out} ${ARTIFACT_DIR}/kmu_sim_closed_loop.csv
+        RESULT_VARIABLE diff)
+    if(NOT diff EQUAL 0)
+        message(FATAL_ERROR
+            "closed-loop kmu_sim output (${mode}) differs from the "
+            "committed pre-serving artifact: the serving hooks "
+            "perturb the model when disabled (fresh copy: ${out})")
+    endif()
+endforeach()
+
+message(STATUS
+    "serving differential check passed: generator-off output "
+    "byte-identical to the pre-serving artifact, with and without "
+    "an explicit arrival=off")

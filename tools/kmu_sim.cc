@@ -53,7 +53,18 @@ usage()
         "  stats=0|1          dump component stats (0)\n"
         "  csv=0|1            machine-readable one-row CSV (0)\n"
         "  trace=FILE         write a binary trace (see kmu_trace)\n"
-        "  trace_period_us=F  occupancy sample period (1)\n");
+        "  trace_period_us=F  occupancy sample period (1)\n"
+        "serving mode (open-loop request arrivals, src/serve):\n"
+        "  arrival=off|poisson|bursty  arrival process (off)\n"
+        "  lambda=F           offered load, requests/us (1)\n"
+        "  zipf=F             key popularity skew, [0,1) (0)\n"
+        "  keys=N             keyspace size      (1048576)\n"
+        "  value_lines=N      cache lines per value (1)\n"
+        "  clients=N          client cap, 0=unbounded (0)\n"
+        "  slo_us=F           per-request latency SLO (100)\n"
+        "  duty=F             bursty ON fraction, (0,1] (0.5)\n"
+        "  burst_period_us=F  bursty ON+OFF period (50)\n"
+        "  serve_seed=N       arrival/popularity seed (1)\n");
     std::exit(1);
 }
 
@@ -179,6 +190,51 @@ main(int argc, char **argv)
         } else if (key == "csv") {
             if (!toolargs::parseFlag(value, csv))
                 badValue(key, value);
+        } else if (key == "arrival") {
+            if (value == "off")
+                cfg.serve.arrival = serve::ArrivalKind::Off;
+            else if (value == "poisson")
+                cfg.serve.arrival = serve::ArrivalKind::Poisson;
+            else if (value == "bursty")
+                cfg.serve.arrival = serve::ArrivalKind::Bursty;
+            else
+                badValue(key, value);
+        } else if (key == "lambda") {
+            if (!toolargs::parseF64(value, f64) || f64 <= 0.0)
+                badValue(key, value);
+            cfg.serve.lambdaPerUs = f64;
+        } else if (key == "zipf") {
+            if (!toolargs::parseF64(value, f64) || f64 < 0.0 ||
+                f64 >= 1.0)
+                badValue(key, value);
+            cfg.serve.zipfTheta = f64;
+        } else if (key == "keys") {
+            if (!toolargs::parseU64(value, cfg.serve.numKeys) ||
+                cfg.serve.numKeys == 0)
+                badValue(key, value);
+        } else if (key == "value_lines") {
+            if (!toolargs::parseU32(value, cfg.serve.valueLines) ||
+                cfg.serve.valueLines == 0)
+                badValue(key, value);
+        } else if (key == "clients") {
+            if (!toolargs::parseU32(value, cfg.serve.clients))
+                badValue(key, value);
+        } else if (key == "slo_us") {
+            if (!toolargs::parseF64(value, f64) || f64 <= 0.0)
+                badValue(key, value);
+            cfg.serve.sloUs = f64;
+        } else if (key == "duty") {
+            if (!toolargs::parseF64(value, f64) || f64 <= 0.0 ||
+                f64 > 1.0)
+                badValue(key, value);
+            cfg.serve.duty = f64;
+        } else if (key == "burst_period_us") {
+            if (!toolargs::parseF64(value, f64) || f64 <= 0.0)
+                badValue(key, value);
+            cfg.serve.burstPeriodUs = f64;
+        } else if (key == "serve_seed") {
+            if (!toolargs::parseU64(value, cfg.serve.seed))
+                badValue(key, value);
         } else if (key == "trace") {
             trace_path = value;
         } else if (key == "trace_period_us") {
@@ -189,6 +245,12 @@ main(int argc, char **argv)
             toolargs::reportUnknownKey("kmu_sim", key);
             usage();
         }
+    }
+
+    if (cfg.serve.enabled() && cfg.writeFraction != 0.0) {
+        std::fprintf(stderr, "kmu_sim: serving mode models read "
+                             "requests only (write_frac must be 0)\n");
+        usage();
     }
 
     SimSystem system(cfg);
@@ -213,15 +275,25 @@ main(int argc, char **argv)
         // Full-precision, locale-free output: byte-identical across
         // runs of the same configuration (the determinism_kmu_sim
         // ctest depends on this).
+        // The base columns never change with serving off: the
+        // determinism_kmu_sim and serving_differential ctests compare
+        // this output byte-for-byte against committed expectations.
         std::printf(
             "mechanism,cores,threads,iterations,work_instrs,accesses,"
             "writes,work_ipc,normalized_ipc,mean_read_latency_ns,"
             "to_host_wire_gbs,to_host_useful_gbs,to_device_wire_gbs,"
             "chip_queue_peak,prefetches_queued,replay_misses,"
-            "events_serviced\n");
+            "events_serviced");
+        if (cfg.serve.enabled()) {
+            std::printf(
+                ",serve_offered,serve_completed,serve_slo_met,"
+                "serve_inflight_peak,serve_p50_ns,serve_p99_ns,"
+                "serve_p999_ns,serve_mean_ns,serve_goodput_per_us");
+        }
+        std::printf("\n");
         std::printf(
             "%s,%u,%u,%llu,%llu,%llu,%llu,%.17g,%.17g,%.17g,%.17g,"
-            "%.17g,%.17g,%u,%llu,%llu,%llu\n",
+            "%.17g,%.17g,%u,%llu,%llu,%llu",
             mechanismName(cfg.mechanism), cfg.numCores,
             cfg.threadsPerCore, (unsigned long long)res.iterations,
             (unsigned long long)res.workInstrs,
@@ -233,6 +305,17 @@ main(int argc, char **argv)
             (unsigned long long)res.prefetchesQueued,
             (unsigned long long)res.replayMisses,
             (unsigned long long)system.eventQueue().serviced());
+        if (cfg.serve.enabled()) {
+            std::printf(
+                ",%llu,%llu,%llu,%llu,%.17g,%.17g,%.17g,%.17g,%.17g",
+                (unsigned long long)res.serveOffered,
+                (unsigned long long)res.serveCompleted,
+                (unsigned long long)res.serveSloMet,
+                (unsigned long long)res.serveInFlightPeak,
+                res.serveP50Ns, res.serveP99Ns, res.serveP999Ns,
+                res.serveMeanLatencyNs, res.serveGoodputPerUs);
+        }
+        std::printf("\n");
         if (dump_stats) {
             std::printf("\n--- component statistics ---\n");
             system.stats().dump(std::cout);
@@ -268,6 +351,31 @@ main(int argc, char **argv)
     if (res.prefetchesQueued > 0) {
         std::printf("prefetches queued  %llu (LFB pressure)\n",
                     (unsigned long long)res.prefetchesQueued);
+    }
+
+    if (cfg.serve.enabled()) {
+        std::printf("--- serving (open loop) ---\n");
+        std::printf("offered            %llu requests "
+                    "(lambda=%.3g/us, %s)\n",
+                    (unsigned long long)res.serveOffered,
+                    cfg.serve.lambdaPerUs,
+                    cfg.serve.arrival == serve::ArrivalKind::Bursty
+                        ? "bursty" : "poisson");
+        std::printf("completed          %llu (peak in flight %llu)\n",
+                    (unsigned long long)res.serveCompleted,
+                    (unsigned long long)res.serveInFlightPeak);
+        std::printf("latency p50/p99    %.2f / %.2f us "
+                    "(p999 %.2f, mean %.2f)\n",
+                    res.serveP50Ns / 1e3, res.serveP99Ns / 1e3,
+                    res.serveP999Ns / 1e3,
+                    res.serveMeanLatencyNs / 1e3);
+        std::printf("goodput under SLO  %.3f req/us (SLO %.1f us, "
+                    "%.1f%% of completions)\n",
+                    res.serveGoodputPerUs, cfg.serve.sloUs,
+                    res.serveCompleted
+                        ? 100.0 * double(res.serveSloMet) /
+                              double(res.serveCompleted)
+                        : 0.0);
     }
 
     if (dump_stats) {
