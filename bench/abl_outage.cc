@@ -38,6 +38,7 @@
 #include "access/runtime.hh"
 #include "access/sw_queue_engine.hh"
 #include "common/random.hh"
+#include "tools/tool_args.hh"
 #include "common/table.hh"
 #include "fault/fault_plan.hh"
 #include "health/health.hh"
@@ -195,29 +196,30 @@ main(int argc, char **argv)
     std::uint64_t fibers = 8;
 
     for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        const std::size_t eq = arg.find('=');
-        if (eq == std::string::npos) {
-            std::fprintf(stderr, "abl_outage: bad argument '%s' "
-                                 "(want key=value)\n",
-                         arg.c_str());
+        std::string key, value;
+        if (!toolargs::parseKv(argv[i], key, value)) {
+            toolargs::reportBadArg("abl_outage", argv[i]);
             return 1;
         }
-        const std::string key = arg.substr(0, eq);
-        const std::string value = arg.substr(eq + 1);
+        // Strict parses: a typo like ops=25oo or seed=" -1" must
+        // fail the run, not silently truncate or wrap.
+        bool ok = true;
         if (key == "seed") {
-            seed = std::strtoull(value.c_str(), nullptr, 0);
+            ok = toolargs::parseU64(value, seed);
         } else if (key == "ops") {
-            ops = std::strtoull(value.c_str(), nullptr, 0);
+            ok = toolargs::parseU64(value, ops);
         } else if (key == "fibers") {
-            fibers = std::strtoull(value.c_str(), nullptr, 0);
+            ok = toolargs::parseU64(value, fibers);
         } else if (key == "jobs" || key == "bench_json") {
             // Accepted for driver compatibility: the figure-bench
             // harness passes these, but this bench is a single
             // deterministic process — there is nothing to shard.
         } else {
-            std::fprintf(stderr, "abl_outage: unknown key '%s'\n",
-                         key.c_str());
+            toolargs::reportUnknownKey("abl_outage", key);
+            return 1;
+        }
+        if (!ok) {
+            toolargs::reportBadValue("abl_outage", key, value);
             return 1;
         }
     }

@@ -7,7 +7,8 @@ CoreBase::CoreBase(std::string name, EventQueue &queue, CoreId id,
                    const SystemConfig &config, IssueLine issue,
                    StatGroup *stat_parent)
     : SimObject(std::move(name), queue, stat_parent),
-      cfg(config), issueLine(std::move(issue)),
+      cfg(config), stepName(this->name() + ".step"),
+      issueLine(std::move(issue)),
       lineFillBuffers(this->name() + ".lfb", queue, config.lfbPerCore,
                       &stats()),
       l1Cache(this->name() + ".l1", queue, config.l1, &stats()),

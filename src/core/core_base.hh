@@ -74,13 +74,16 @@ class CoreBase : public SimObject
     L1Cache &l1() { return l1Cache; }
 
   protected:
-    /** Model the core being busy for @p delay, then continue. */
+    /** Model the core being busy for @p delay, then continue. The
+     *  continuation goes straight into the queue's lambda arena —
+     *  templated so no std::function materialises on this hot path. */
+    template <typename F>
     void
-    chargeAndThen(Tick delay, std::function<void()> cont)
+    chargeAndThen(Tick delay, F &&cont)
     {
-        eventQueue().scheduleLambda(curTick() + delay, std::move(cont),
-                                    EventPriority::CpuTick,
-                                    name() + ".step");
+        eventQueue().scheduleLambda(curTick() + delay,
+                                    std::forward<F>(cont),
+                                    EventPriority::CpuTick, stepName);
     }
 
     /** Line address for (thread, iteration, slot): by default every
@@ -154,6 +157,8 @@ class CoreBase : public SimObject
     }
 
     const SystemConfig &cfg;
+    /** Cached "<name>.step" — scheduling must not rebuild it. */
+    const std::string stepName;
     IssueLine issueLine;
     PostWrite postWrite;
     std::function<void(double)> sampleLatency;

@@ -44,7 +44,7 @@ OnDemandCore::admitLoop(std::uint32_t ctx_id)
         !cfg.admitGate(id(), ctx_id, ctx.nextIter, [this, ctx_id]() {
             eventQueue().scheduleLambda(
                 curTick(), [this, ctx_id]() { admitLoop(ctx_id); },
-                EventPriority::CpuTick, name() + ".serve_wake");
+                EventPriority::CpuTick, serveWakeName);
         })) {
         return;
     }

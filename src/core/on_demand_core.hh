@@ -58,6 +58,9 @@ class OnDemandCore : public CoreBase
     }
 
   private:
+    /** Cached "<name>.serve_wake": per-admission wakeup. */
+    const std::string serveWakeName = name() + ".serve_wake";
+
     struct IterRec
     {
         IterationPlan plan;

@@ -95,7 +95,7 @@ PrefetchCore::unpark(std::uint32_t thread_id)
         current = thread_id;
         eventQueue().scheduleLambda(
             curTick(), [this]() { runCurrent(); },
-            EventPriority::CpuTick, name() + ".serve_wake");
+            EventPriority::CpuTick, serveWakeName);
     }
 }
 

@@ -48,6 +48,9 @@ class PrefetchCore : public CoreBase
     /** @} */
 
   private:
+    /** Cached "<name>.serve_wake": per-admission wakeup. */
+    const std::string serveWakeName = name() + ".serve_wake";
+
     enum class SlotState
     {
         Filled, //!< prefetch completed; load will hit in the L1

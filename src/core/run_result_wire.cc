@@ -95,6 +95,7 @@ serializeRunResult(const RunResult &res)
         putU64(out, bucket);
     putU64(out, res.serveLatencyUnderflow);
     putU64(out, res.serveLatencyOverflow);
+    putU64(out, res.kernelEvents);
     return out;
 }
 
@@ -148,7 +149,8 @@ deserializeRunResult(const std::uint8_t *data, std::size_t size,
         p += 8;
     }
     r.serveLatencyUnderflow = getU64(p); p += 8;
-    r.serveLatencyOverflow = getU64(p);
+    r.serveLatencyOverflow = getU64(p); p += 8;
+    r.kernelEvents = getU64(p);
     out = r;
     return true;
 }

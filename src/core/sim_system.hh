@@ -133,6 +133,19 @@ struct RunResult
     std::uint64_t serveLatencyUnderflow = 0;
     std::uint64_t serveLatencyOverflow = 0;
     /** @} */
+
+    /** @{
+     * Event-kernel self-measurement: how fast the simulator itself
+     * ran this point. kernelEvents counts every event serviced by
+     * the run (warmup included); kernelWallSeconds is the host wall
+     * time spent inside EventQueue::run. The ratio is the kernel's
+     * events/sec for this workload. Host-dependent by design — it
+     * feeds the BENCH_sweep.json trajectory and is never printed
+     * into CSVs or compared by determinism gates.
+     */
+    std::uint64_t kernelEvents = 0;
+    double kernelWallSeconds = 0.0;
+    /** @} */
 };
 
 class SimSystem

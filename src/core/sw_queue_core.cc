@@ -251,7 +251,7 @@ SwQueueCore::onRequestReady(ThreadId tid)
     idleWaiting = false;
     eventQueue().scheduleLambda(curTick(), [this]() { coreLoop(); },
                                 EventPriority::CpuTick,
-                                name() + ".serve_wake");
+                                serveWakeName);
 }
 
 void
@@ -263,7 +263,7 @@ SwQueueCore::onCompletionPosted()
     // Wake the scheduler; the next poll pass reaps the record.
     eventQueue().scheduleLambda(curTick(), [this]() { pollLoop(); },
                                 EventPriority::CpuTick,
-                                name() + ".wake");
+                                wakeName);
 }
 
 } // namespace kmu

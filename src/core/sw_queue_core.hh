@@ -102,6 +102,10 @@ class SwQueueCore : public CoreBase
     /** @} */
 
   private:
+    /** Cached wakeup event names (scheduled per poll/serve). */
+    const std::string serveWakeName = name() + ".serve_wake";
+    const std::string wakeName = name() + ".wake";
+
     struct UThread
     {
         bool started = false;

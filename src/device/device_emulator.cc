@@ -121,7 +121,7 @@ DeviceEmulator::deviceReceive(CoreId core, Addr addr, ResponseCallback cb)
             link.send(LinkDir::ToHost, cacheLineSize, cacheLineSize,
                       std::move(cb));
         },
-        EventPriority::Default, name() + ".delay");
+        EventPriority::Default, delayName);
 }
 
 } // namespace kmu

@@ -96,6 +96,9 @@ class DeviceEmulator : public SimObject
     /** @} */
 
   private:
+    /** Cached "<name>.delay": scheduled once per request. */
+    const std::string delayName = name() + ".delay";
+
     /** Request dispatcher + replay + delay for one arrived TLP. */
     void deviceReceive(CoreId core, Addr addr, ResponseCallback cb);
 

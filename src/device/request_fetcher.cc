@@ -72,7 +72,7 @@ RequestFetcher::issueBurst()
             fault::FaultSite::DeviceHang, 64) * cfg.latency;
         eventQueue().scheduleLambda(
             curTick() + window, [this]() { issueBurst(); },
-            EventPriority::Default, name() + ".hang");
+            EventPriority::Default, hangName);
         return;
     }
     ++burstReads;
@@ -107,7 +107,7 @@ RequestFetcher::issueBurst()
                               processBurst(std::move(burst));
                           });
             },
-            EventPriority::Default, name() + ".descRead");
+            EventPriority::Default, descReadName);
     });
 }
 
@@ -192,10 +192,10 @@ RequestFetcher::serviceDescriptor(const RequestDescriptor &desc)
                                     sendCompletion(desc);
                                 },
                                 EventPriority::Default,
-                                name() + ".writeDelay");
+                                writeDelayName);
                         });
                 },
-                EventPriority::Default, name() + ".writeData");
+                EventPriority::Default, writeDataName);
         });
         return;
     }
@@ -252,7 +252,7 @@ RequestFetcher::serviceDescriptor(const RequestDescriptor &desc)
                       []() {});
             sendCompletion(desc);
         },
-        EventPriority::Default, name() + ".delay");
+        EventPriority::Default, delayName);
 }
 
 void

@@ -79,6 +79,13 @@ class RequestFetcher : public SimObject
     /** @} */
 
   private:
+    /** Cached event names for the per-request fetch pipeline. */
+    const std::string hangName = name() + ".hang";
+    const std::string descReadName = name() + ".descRead";
+    const std::string writeDelayName = name() + ".writeDelay";
+    const std::string writeDataName = name() + ".writeData";
+    const std::string delayName = name() + ".delay";
+
     void issueBurst();
     void processBurst(std::vector<RequestDescriptor> burst);
     void serviceDescriptor(const RequestDescriptor &desc);

@@ -29,7 +29,7 @@ DramModel::access(Addr line, FillCallback cb)
                 trace::end(trace::Kind::DramRead, span, traceTrack());
                 cb();
             },
-            EventPriority::DeviceResponse, name() + ".fill");
+            EventPriority::DeviceResponse, fillName);
     });
 }
 

@@ -54,6 +54,9 @@ class DramModel : public SimObject
     Counter reads;
 
   private:
+    /** Cached "<name>.fill": scheduled once per read. */
+    const std::string fillName = name() + ".fill";
+
     DramParams cfg;
     UncoreQueue pathQueue;
 };

@@ -80,7 +80,7 @@ Lfb::waitForFree(FreeCallback cb)
         // off the current call stack for re-entrancy safety.
         eventQueue().scheduleLambda(curTick(), std::move(cb),
                                     EventPriority::Default,
-                                    name() + ".freeNow");
+                                    freeNowName);
         return;
     }
     freeWaiters.push_back(std::move(cb));
@@ -99,7 +99,7 @@ Lfb::fill(Addr line)
             curTick() + fault::draw(fault::FaultSite::LfbFillStall,
                                     stall),
             [this, line] { fill(line); },
-            EventPriority::Default, name() + ".stalledFill");
+            EventPriority::Default, stalledFillName);
         return;
     }
 

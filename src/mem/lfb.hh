@@ -88,6 +88,10 @@ class Lfb : public SimObject
     /** @} */
 
   private:
+    /** Cached event names: the fill path runs per access. */
+    const std::string freeNowName = name() + ".freeNow";
+    const std::string stalledFillName = name() + ".stalledFill";
+
     struct Entry
     {
         std::vector<FillCallback> waiters;

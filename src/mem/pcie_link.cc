@@ -117,7 +117,7 @@ PcieLink::send(LinkDir dir, std::uint32_t payload_bytes,
     eventQueue().scheduleLambda(done + cfg.propagation + deliver_extra,
                                 std::move(cb),
                                 EventPriority::DeviceResponse,
-                                name() + ".deliver");
+                                deliverName);
 }
 
 std::uint64_t

@@ -92,6 +92,10 @@ class PcieLink : public SimObject
     std::uint32_t faultShardId() const { return faultShard; }
 
   private:
+    /** Cached "<name>.deliver": per-TLP scheduling must not
+     *  rebuild the event name. */
+    const std::string deliverName = name() + ".deliver";
+
     struct Direction
     {
         Tick wireFreeAt = 0;

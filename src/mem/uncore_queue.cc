@@ -45,7 +45,7 @@ UncoreQueue::grant(EnterCallback cb)
     // cannot recurse into waiter admission mid-flight.
     eventQueue().scheduleLambda(curTick(), std::move(cb),
                                 EventPriority::Default,
-                                name() + ".enter");
+                                enterName);
 }
 
 void
@@ -66,7 +66,7 @@ UncoreQueue::acquire(EnterCallback cb)
             [this, cb = std::move(cb)]() mutable {
                 acquire(std::move(cb));
             },
-            EventPriority::Default, name() + ".faultRetry");
+            EventPriority::Default, faultRetryName);
         return;
     }
     if (!full()) {

@@ -77,6 +77,10 @@ class UncoreQueue : public SimObject
     void setFaultShard(std::uint32_t shard) { faultShard = shard; }
 
   private:
+    /** Cached event names: grant/retry paths are per-access. */
+    const std::string enterName = name() + ".enter";
+    const std::string faultRetryName = name() + ".faultRetry";
+
     void grant(EnterCallback cb);
 
     std::uint32_t cap;

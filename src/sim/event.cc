@@ -1,5 +1,8 @@
 #include "sim/event.hh"
 
+#include <cstdlib>
+#include <cstring>
+
 #include "check/invariant.hh"
 #include "common/logging.hh"
 
@@ -19,21 +22,35 @@ Event::~Event()
         panic("event '%s' destroyed while scheduled", eventName.c_str());
 }
 
-EventQueue::EventQueue() = default;
+EventQueue::SchedulerKind
+EventQueue::defaultSchedulerKind()
+{
+    const char *env = std::getenv("KMU_EVENT_KERNEL");
+    if (env && std::strcmp(env, "heap") == 0)
+        return SchedulerKind::Heap;
+    return SchedulerKind::Ladder;
+}
+
+EventQueue::EventQueue(SchedulerKind kind) : schedKind(kind) {}
 
 EventQueue::~EventQueue()
 {
     // Disarm events still scheduled at teardown so their destructors
-    // (for owned lambdas: when ownedLambdas clears below) don't flag
-    // queue misuse. Cancelled entries may point at events that were
-    // since destroyed, so those are skipped by seq without ever
-    // touching the pointer.
-    while (!heap.empty()) {
-        HeapEntry entry = heap.top();
-        heap.pop();
-        if (!cancelledSeqs.erase(entry.seq))
-            entry.event->isScheduled = false;
-    }
+    // don't flag queue misuse, and drop owned lambda callables (the
+    // arena slabs below free the slots themselves). Cancelled entries
+    // may point at events that were since destroyed, so those are
+    // skipped by seq without ever touching the pointer.
+    auto disarm = [this](const sched::Entry &entry) {
+        if (cancelledSeqs.erase(entry.seq))
+            return;
+        entry.event->isScheduled = false;
+        if (entry.event->ownedByQueue)
+            static_cast<LambdaEvent *>(entry.event)->dispose();
+    };
+    if (schedKind == SchedulerKind::Heap)
+        heap.forEachEntry(disarm);
+    else
+        ladder.forEachEntry(disarm);
 }
 
 void
@@ -48,9 +65,15 @@ EventQueue::schedule(Event *event, Tick when)
     event->isScheduled = true;
     event->scheduledAt = when;
     event->heapSeq = nextSeq;
-    heap.push(HeapEntry{when, std::int32_t(event->prio), nextSeq++,
-                        event});
+    const sched::Entry entry{when, std::int32_t(event->prio),
+                             nextSeq++, event};
+    if (schedKind == SchedulerKind::Heap)
+        heap.insert(entry);
+    else
+        ladder.insert(entry);
     liveEvents++;
+    if (event->ownedByQueue)
+        ownedLive++;
 }
 
 void
@@ -62,15 +85,27 @@ EventQueue::deschedule(Event *event)
                   "live event count underflow descheduling '%s'",
                   event->name().c_str());
     event->isScheduled = false;
-    cancelledSeqs.insert(event->heapSeq); // invalidates the heap entry
+    cancelledSeqs.insert(event->heapSeq); // invalidates the entry
     liveEvents--;
 
-    // Keep the dead fraction of the heap bounded. Without this, a
-    // workload that schedules far-future events and cancels them
+    // A descheduled one-shot lambda can never run; recycle its slot
+    // now instead of parking it until queue destruction (the old
+    // behaviour leaked a slot per cancelled timeout guard). The dead
+    // scheduler entry is recognised by seq alone, so reuse is safe.
+    if (event->ownedByQueue) {
+        KMU_INVARIANT(ownedLive > 0,
+                      "owned event count underflow descheduling '%s'",
+                      event->name().c_str());
+        ownedLive--;
+        releaseLambda(static_cast<LambdaEvent *>(event));
+    }
+
+    // Keep the dead fraction of the scheduler bounded. Without this,
+    // a workload that schedules far-future events and cancels them
     // before they pop (timeout guards, speculative wakeups) grows the
-    // heap and cancelledSeqs without bound even though liveEvents
-    // stays flat. The floor of 64 keeps small churny queues on the
-    // cheap lazy path.
+    // scheduler and cancelledSeqs without bound even though
+    // liveEvents stays flat. The floor of 64 keeps small churny
+    // queues on the cheap lazy path.
     if (cancelledSeqs.size() > 64 && cancelledSeqs.size() > liveEvents)
         compact();
 }
@@ -78,23 +113,20 @@ EventQueue::deschedule(Event *event)
 void
 EventQueue::compact()
 {
-    std::vector<HeapEntry> survivors;
-    survivors.reserve(liveEvents);
-    while (!heap.empty()) {
-        const HeapEntry &entry = heap.top();
-        if (!cancelledSeqs.erase(entry.seq))
-            survivors.push_back(entry);
-        heap.pop();
-    }
+    if (schedKind == SchedulerKind::Heap)
+        heap.compact(cancelledSeqs, liveEvents);
+    else
+        ladder.compact(cancelledSeqs, liveEvents);
     KMU_MODEL_CHECK(cancelledSeqs.empty(),
-                    "%zu cancelled seqs match no heap entry",
+                    "%zu cancelled seqs match no scheduler entry",
                     cancelledSeqs.size());
-    KMU_MODEL_CHECK(survivors.size() == liveEvents,
+    const std::size_t kept = schedKind == SchedulerKind::Heap
+                                 ? heap.size() : ladder.size();
+    KMU_MODEL_CHECK(kept == liveEvents,
                     "compaction kept %zu entries for %llu live events",
-                    survivors.size(), (unsigned long long)liveEvents);
+                    kept, (unsigned long long)liveEvents);
     // Swap in a fresh set: clear() keeps the grown bucket array.
-    std::unordered_set<std::uint64_t>().swap(cancelledSeqs);
-    heap = decltype(heap)(HeapCompare{}, std::move(survivors));
+    sched::CancelSet().swap(cancelledSeqs);
 }
 
 void
@@ -105,43 +137,57 @@ EventQueue::reschedule(Event *event, Tick when)
     schedule(event, when);
 }
 
-void
-EventQueue::scheduleLambda(Tick when, std::function<void()> fn,
-                           EventPriority prio, std::string name)
+LambdaEvent *
+EventQueue::acquireLambda()
 {
-    auto ev = std::make_unique<CallbackEvent>(std::move(name),
-                                              std::move(fn), prio);
-    ev->ownedByQueue = true;
-    CallbackEvent *raw = ev.get();
-    ownedLambdas.emplace(raw, std::move(ev));
-    schedule(raw, when);
+    if (!freeLambdas) {
+        slabs.push_back(std::make_unique<LambdaEvent[]>(slabSize));
+        LambdaEvent *slab = slabs.back().get();
+        for (std::size_t i = slabSize; i-- > 0;) {
+            slab[i].nextFree = freeLambdas;
+            freeLambdas = &slab[i];
+        }
+    }
+    LambdaEvent *ev = freeLambdas;
+    freeLambdas = ev->nextFree;
+    ev->nextFree = nullptr;
+    return ev;
 }
 
 void
-EventQueue::skipDead()
+EventQueue::releaseLambda(LambdaEvent *ev)
 {
-    while (!heap.empty() && cancelledSeqs.erase(heap.top().seq))
-        heap.pop();
+    ev->dispose();
+    ev->ownedByQueue = false;
+    ev->nextFree = freeLambdas;
+    freeLambdas = ev;
 }
 
 bool
-EventQueue::serviceOne()
+EventQueue::peek(sched::Entry &out)
 {
-    skipDead();
-    if (heap.empty())
-        return false;
+    return schedKind == SchedulerKind::Heap
+               ? heap.peek(out, cancelledSeqs)
+               : ladder.peek(out, cancelledSeqs);
+}
 
-    // Every heap entry is exactly one of: live (its event scheduled,
-    // heapSeq matching) or cancelled (seq parked in cancelledSeqs).
-    KMU_MODEL_CHECK(heap.size() == liveEvents + cancelledSeqs.size(),
-                    "heap holds %zu entries but %llu live + %zu "
-                    "cancelled events are booked", heap.size(),
+void
+EventQueue::servicePeeked(const sched::Entry &entry)
+{
+    Event *ev = entry.event;
+
+    // Every scheduler entry is exactly one of: live (its event
+    // scheduled, heapSeq matching) or cancelled (seq parked in
+    // cancelledSeqs).
+#if !defined(KMU_NO_MODEL_CHECKS)
+    const std::size_t stored = schedKind == SchedulerKind::Heap
+                                   ? heap.size() : ladder.size();
+    KMU_MODEL_CHECK(stored == liveEvents + cancelledSeqs.size(),
+                    "scheduler holds %zu entries but %llu live + %zu "
+                    "cancelled events are booked", stored,
                     (unsigned long long)liveEvents,
                     cancelledSeqs.size());
-
-    HeapEntry entry = heap.top();
-    heap.pop();
-    Event *ev = entry.event;
+#endif
 
     KMU_INVARIANT(entry.when >= now,
                   "event queue time went backwards (%llu < %llu)",
@@ -152,29 +198,59 @@ EventQueue::serviceOne()
                     "%llu", ev->name().c_str(),
                     (unsigned long long)entry.when,
                     (unsigned long long)ev->scheduledAt);
+    if (schedKind == SchedulerKind::Heap)
+        heap.popFront();
+    else
+        ladder.popFront();
     now = entry.when;
     ev->isScheduled = false;
     liveEvents--;
     servicedCount++;
-    ev->process();
 
-    // One-shot lambdas are freed once they have run (unless they
-    // rescheduled themselves, which CallbackEvent never does).
-    if (ev->ownedByQueue && !ev->scheduled())
-        ownedLambdas.erase(ev);
+    // Tag dispatch: the two hot event shapes (one-shot lambdas and
+    // component CallbackEvents) are invoked directly; everything else
+    // takes the virtual process() path.
+    switch (ev->kind) {
+      case Event::Kind::Lambda: {
+        auto *le = static_cast<LambdaEvent *>(ev);
+        KMU_INVARIANT(ownedLive > 0,
+                      "owned event count underflow servicing '%s'",
+                      le->name().c_str());
+        ownedLive--;
+        le->invoke();
+        // One-shot lambdas are recycled once they have run; a
+        // LambdaEvent never reschedules itself (user code has no
+        // pointer to it).
+        releaseLambda(le);
+        break;
+      }
+      case Event::Kind::Callback:
+        static_cast<CallbackEvent *>(ev)->invokeCallback();
+        break;
+      case Event::Kind::Virtual:
+        ev->process();
+        break;
+    }
+}
+
+bool
+EventQueue::serviceOne()
+{
+    sched::Entry entry;
+    if (!peek(entry))
+        return false;
+    servicePeeked(entry);
     return true;
 }
 
 Tick
 EventQueue::run(Tick limit)
 {
-    while (true) {
-        skipDead();
-        if (heap.empty())
+    sched::Entry entry;
+    while (peek(entry)) {
+        if (entry.when > limit)
             break;
-        if (heap.top().when > limit)
-            break;
-        serviceOne();
+        servicePeeked(entry);
     }
     return now;
 }

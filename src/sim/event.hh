@@ -7,21 +7,34 @@
  * same configuration produce identical schedules. Components own their
  * Event objects and schedule them on the queue; one-shot lambda events
  * are also supported for glue logic.
+ *
+ * The hot path is allocation-free after warmup: one-shot lambdas live
+ * in a slab-recycled arena (LambdaEvent) whose slots keep their name
+ * strings' capacity across reuse, callables up to 48 bytes are stored
+ * inline without a std::function, and dispatch goes through a kind
+ * tag instead of a virtual call. Pending events sit in a ladder
+ * (hierarchical calendar) scheduler — see sim/scheduler.hh for the
+ * structure and the service-order proof; KMU_EVENT_KERNEL=heap
+ * selects the original binary-heap scheduler, which stays
+ * observationally identical.
  */
 
 #ifndef KMU_SIM_EVENT_HH
 #define KMU_SIM_EVENT_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
+#include <new>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
+#include <string_view>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/types.hh"
+#include "sim/scheduler.hh"
 
 namespace kmu
 {
@@ -64,15 +77,33 @@ class Event
     /** Tick this event is scheduled for (valid only if scheduled()). */
     Tick when() const { return scheduledAt; }
 
+  protected:
+    /**
+     * Dispatch tag: the queue services the known subclasses through
+     * a direct (devirtualized) call. Subclasses other than the two
+     * below always take the virtual process() path.
+     */
+    enum class Kind : std::uint8_t
+    {
+        Virtual = 0,  //!< dispatch via virtual process()
+        Callback = 1, //!< CallbackEvent: direct std::function call
+        Lambda = 2    //!< LambdaEvent: inline-stored callable
+    };
+
   private:
     friend class EventQueue;
 
     std::string eventName;
     EventPriority prio;
+    Kind kind = Kind::Virtual;
     bool isScheduled = false;
-    bool ownedByQueue = false; //!< queue frees it after it runs
+    bool ownedByQueue = false; //!< queue recycles it after it runs
     Tick scheduledAt = 0;
-    std::uint64_t heapSeq = 0; //!< seq of the live heap entry
+    std::uint64_t heapSeq = 0; //!< seq of the live scheduler entry
+
+  protected:
+    /** Subclass constructors claim their dispatch tag here. */
+    void setKind(Kind k) { kind = k; }
 };
 
 /** Event whose process() runs a bound callable. */
@@ -82,19 +113,104 @@ class CallbackEvent : public Event
     CallbackEvent(std::string name, std::function<void()> fn,
                   EventPriority priority = EventPriority::Default)
         : Event(std::move(name), priority), callback(std::move(fn))
-    {}
+    {
+        setKind(Kind::Callback);
+    }
 
     void process() override { callback(); }
 
   private:
+    friend class EventQueue;
+
+    /** Tag-dispatch fast path: skips the vtable. */
+    void invokeCallback() { callback(); }
+
     std::function<void()> callback;
+};
+
+/**
+ * Arena-recycled one-shot event backing EventQueue::scheduleLambda.
+ *
+ * The callable is stored inline (no std::function, no heap) when it
+ * fits `inlineBytes`; larger captures fall back to a single heap
+ * allocation. Slots are recycled through a freelist, and the name
+ * string keeps its capacity across reuse, so a steady-state schedule/
+ * service cycle performs no allocation at all. Only EventQueue
+ * creates these; user code never sees the pointer.
+ */
+class LambdaEvent final : public Event
+{
+  public:
+    LambdaEvent() : Event("lambda") { setKind(Kind::Lambda); }
+
+    ~LambdaEvent() override { dispose(); }
+
+    void process() override { invoke(); }
+
+  private:
+    friend class EventQueue;
+
+    static constexpr std::size_t inlineBytes = 48;
+
+    template <typename F>
+    void
+    bind(F &&fn)
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (sizeof(Fn) <= inlineBytes &&
+                      alignof(Fn) <= alignof(std::max_align_t)) {
+            // Placement-new into the inline slot; destroyed via
+            // disposePtr, never deleted.
+            // kmu-analyze: allow(raw-new)
+            ::new (static_cast<void *>(store))
+                Fn(std::forward<F>(fn));
+            invokePtr = [](LambdaEvent &e) {
+                (*std::launder(reinterpret_cast<Fn *>(e.store)))();
+            };
+            disposePtr = [](LambdaEvent &e) {
+                std::launder(reinterpret_cast<Fn *>(e.store))->~Fn();
+            };
+        } else {
+            // Type-erased spill slot; paired with the delete in
+            // disposePtr below.
+            // kmu-analyze: allow(raw-new)
+            heapObj = new Fn(std::forward<F>(fn));
+            invokePtr = [](LambdaEvent &e) {
+                (*static_cast<Fn *>(e.heapObj))();
+            };
+            disposePtr = [](LambdaEvent &e) {
+                // kmu-analyze: allow(raw-new)
+                delete static_cast<Fn *>(e.heapObj);
+                e.heapObj = nullptr;
+            };
+        }
+    }
+
+    void invoke() { invokePtr(*this); }
+
+    /** Destroy the bound callable (idempotent). */
+    void
+    dispose()
+    {
+        if (disposePtr) {
+            disposePtr(*this);
+            disposePtr = nullptr;
+            invokePtr = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char store[inlineBytes];
+    void *heapObj = nullptr;
+    void (*invokePtr)(LambdaEvent &) = nullptr;
+    void (*disposePtr)(LambdaEvent &) = nullptr;
+    LambdaEvent *nextFree = nullptr; //!< arena freelist link
 };
 
 /**
  * Deterministic time-ordered event queue.
  *
- * Descheduling is lazy: the heap entry's unique sequence number is
- * recorded as cancelled and the entry is skipped when popped. Dead
+ * Descheduling is lazy: the scheduler entry's unique sequence number
+ * is recorded as cancelled and the entry is skipped when met. Dead
  * entries are recognised by sequence number alone — the queue never
  * dereferences an event through a cancelled entry, so an event may be
  * destroyed any time after it is descheduled.
@@ -102,8 +218,20 @@ class CallbackEvent : public Event
 class EventQueue
 {
   public:
-    EventQueue();
+    /** Pending-event scheduler implementations (sim/scheduler.hh). */
+    enum class SchedulerKind
+    {
+        Ladder, //!< hierarchical calendar queue (default)
+        Heap    //!< reference binary heap
+    };
+
+    /** Process default: KMU_EVENT_KERNEL=heap|ladder, else Ladder. */
+    static SchedulerKind defaultSchedulerKind();
+
+    explicit EventQueue(SchedulerKind kind = defaultSchedulerKind());
     ~EventQueue();
+
+    SchedulerKind schedulerKind() const { return schedKind; }
 
     /** Current simulated time. */
     Tick curTick() const { return now; }
@@ -118,12 +246,25 @@ class EventQueue
     void reschedule(Event *event, Tick when);
 
     /**
-     * Schedule a one-shot lambda; the queue owns and frees it after
-     * it runs (or at queue destruction if never reached).
+     * Schedule a one-shot callable; the queue owns the backing
+     * arena slot and recycles it after the callable runs (or on
+     * deschedule, or at queue destruction if never reached). @p name
+     * is copied into recycled storage — pass a cached string for hot
+     * paths and the call is allocation-free.
      */
-    void scheduleLambda(Tick when, std::function<void()> fn,
-                        EventPriority prio = EventPriority::Default,
-                        std::string name = "lambda");
+    template <typename F>
+    void
+    scheduleLambda(Tick when, F &&fn,
+                   EventPriority prio = EventPriority::Default,
+                   std::string_view name = "lambda")
+    {
+        LambdaEvent *ev = acquireLambda();
+        ev->eventName.assign(name.data(), name.size());
+        ev->prio = prio;
+        ev->bind(std::forward<F>(fn));
+        ev->ownedByQueue = true;
+        schedule(ev, when);
+    }
 
     /** True when no runnable events remain. */
     bool empty() const { return liveEvents == 0; }
@@ -143,57 +284,56 @@ class EventQueue
     /** Total events serviced since construction. */
     std::uint64_t serviced() const { return servicedCount; }
 
-    /** Cancelled heap entries not yet popped or compacted (bounded:
-     *  see deschedule()'s compaction trigger). */
+    /** Cancelled scheduler entries not yet met or compacted
+     *  (bounded: see deschedule()'s compaction trigger). */
     std::size_t deadEntries() const { return cancelledSeqs.size(); }
+
+    /** Owned one-shot lambdas currently scheduled (bounded by
+     *  size(): a descheduled lambda is recycled immediately). */
+    std::uint64_t ownedPending() const { return ownedLive; }
 
   private:
     /**
-     * Rebuild the heap without its cancelled entries. Lazy
+     * Drop every cancelled entry from the scheduler. Lazy
      * descheduling alone lets dead entries accumulate without bound
      * when a workload schedules and cancels far-future events (e.g.
-     * timeout guards that almost never fire) faster than the heap
-     * pops them. deschedule() triggers this once the dead entries
-     * outnumber the live ones (and exceed a floor), which amortizes
-     * the O(n) rebuild to O(1) per deschedule and keeps heap memory
-     * proportional to live events.
+     * timeout guards that almost never fire) faster than the
+     * scheduler meets them. deschedule() triggers this once the dead
+     * entries outnumber the live ones (and exceed a floor), which
+     * amortizes the O(n) walk to O(1) per deschedule and keeps
+     * scheduler memory proportional to live events.
      */
     void compact();
-    struct HeapEntry
-    {
-        Tick when;
-        std::int32_t prio;
-        std::uint64_t seq;
-        Event *event;
-    };
 
-    struct HeapCompare
-    {
-        bool
-        operator()(const HeapEntry &a, const HeapEntry &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            if (a.prio != b.prio)
-                return a.prio > b.prio;
-            return a.seq > b.seq;
-        }
-    };
+    /** Take a recycled (or fresh) arena slot. */
+    LambdaEvent *acquireLambda();
 
-    /** Pop invalidated entries off the heap top. */
-    void skipDead();
+    /** Destroy the callable and return the slot to the freelist. */
+    void releaseLambda(LambdaEvent *ev);
+
+    /** Service the entry a successful peek() exposed. */
+    void servicePeeked(const sched::Entry &entry);
+
+    bool peek(sched::Entry &out);
 
     Tick now = 0;
     std::uint64_t nextSeq = 0;
     std::uint64_t liveEvents = 0;
     std::uint64_t servicedCount = 0;
-    std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapCompare>
-        heap;
-    /** Seqs of descheduled heap entries not yet popped. */
-    std::unordered_set<std::uint64_t> cancelledSeqs;
-    /** One-shot lambdas the queue owns, keyed by their address. */
-    std::unordered_map<const Event *, std::unique_ptr<CallbackEvent>>
-        ownedLambdas;
+    std::uint64_t ownedLive = 0;
+
+    SchedulerKind schedKind;
+    sched::LadderScheduler ladder;
+    sched::HeapScheduler heap;
+
+    /** Seqs of descheduled scheduler entries not yet met. */
+    sched::CancelSet cancelledSeqs;
+
+    /** @{ One-shot lambda arena: fixed slabs + freelist. */
+    static constexpr std::size_t slabSize = 64;
+    std::vector<std::unique_ptr<LambdaEvent[]>> slabs;
+    LambdaEvent *freeLambdas = nullptr;
+    /** @} */
 };
 
 } // namespace kmu

@@ -17,19 +17,31 @@ benchRecordJson(const std::string &figure,
     const double speedup = st.wallSeconds > 0.0
                                ? st.serialSeconds / st.wallSeconds
                                : 1.0;
+    const double eventsPerSec =
+        st.kernelSeconds > 0.0
+            ? double(st.kernelEvents) / st.kernelSeconds
+            : 0.0;
     return csprintf(
         "{\"figure\": \"%s\", \"jobs\": %u, \"points\": %zu, "
         "\"wall_s\": %.6g, \"serial_est_s\": %.6g, "
         "\"points_per_s\": %.6g, \"speedup_vs_serial\": %.6g, "
-        "\"workers_died\": %u, \"points_recovered\": %zu}",
+        "\"workers_died\": %u, \"points_recovered\": %zu, "
+        "\"events\": %llu, \"events_per_s\": %.6g}",
         figure.c_str(), st.jobs, st.points, st.wallSeconds,
         st.serialSeconds, pointsPerSec, speedup, st.workersDied,
-        st.pointsRecovered);
+        st.pointsRecovered, (unsigned long long)st.kernelEvents,
+        eventsPerSec);
 }
 
 bool
 appendBenchRecord(const std::string &path, const std::string &figure,
                   const SweepRunner::Stats &stats)
+{
+    return appendBenchJson(path, benchRecordJson(figure, stats));
+}
+
+bool
+appendBenchJson(const std::string &path, const std::string &record)
 {
     // Load whatever is there; a missing or non-array file restarts
     // the log rather than failing the figure run.
@@ -42,7 +54,6 @@ appendBenchRecord(const std::string &path, const std::string &figure,
         std::fclose(f);
     }
 
-    const std::string record = benchRecordJson(figure, stats);
     std::string out;
     const std::size_t close = existing.rfind(']');
     if (!existing.empty() && existing[0] == '[' &&

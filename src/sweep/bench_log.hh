@@ -31,6 +31,15 @@ bool appendBenchRecord(const std::string &path,
 std::string benchRecordJson(const std::string &figure,
                             const SweepRunner::Stats &stats);
 
+/**
+ * Append an arbitrary pre-formatted JSON object @p record to the
+ * array at @p path (same create/recover semantics as
+ * appendBenchRecord). For self-measurements that are not figure
+ * sweeps — e.g. the event-kernel microbench.
+ */
+bool appendBenchJson(const std::string &path,
+                     const std::string &record);
+
 } // namespace kmu::sweep
 
 #endif // KMU_SWEEP_BENCH_LOG_HH

@@ -262,12 +262,16 @@ figureMain(int argc, char **argv, const std::string &figure,
     }
     std::fprintf(stderr,
                  "%s: %zu points, jobs=%u, %.3fs wall "
-                 "(serial est %.3fs, %.2fx)%s\n",
+                 "(serial est %.3fs, %.2fx), %.3g Mevents/s%s\n",
                  figure.c_str(), stats.points, stats.jobs,
                  stats.wallSeconds, stats.serialSeconds,
                  stats.wallSeconds > 0.0
                      ? stats.serialSeconds / stats.wallSeconds
                      : 1.0,
+                 stats.kernelSeconds > 0.0
+                     ? double(stats.kernelEvents) /
+                           stats.kernelSeconds / 1e6
+                     : 0.0,
                  stats.pointsRecovered
                      ? csprintf(" [%zu points recovered]",
                                 stats.pointsRecovered).c_str()

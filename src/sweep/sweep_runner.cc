@@ -34,8 +34,11 @@ secondsSince(Clock::time_point t0)
     return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
-/** One result frame on a worker pipe. */
-constexpr std::size_t frameHeaderBytes = 4 + 8; // index + durationNs
+/** One result frame on a worker pipe. Host timing rides in the
+ *  header, never inside the serialized RunResult (which must stay a
+ *  pure function of the configuration). */
+constexpr std::size_t frameHeaderBytes =
+    4 + 8 + 8; // index + durationNs + kernelNs
 constexpr std::size_t frameBytes =
     frameHeaderBytes + runResultWireBytes;
 
@@ -84,8 +87,11 @@ workerMain(int fd, std::size_t worker, std::size_t jobs,
 
         std::uint8_t frame[frameBytes];
         const std::uint32_t idx32 = std::uint32_t(i);
+        const std::uint64_t kernelNs =
+            std::uint64_t(res.kernelWallSeconds * 1e9);
         std::memcpy(frame, &idx32, 4);
         std::memcpy(frame + 4, &durNs, 8);
+        std::memcpy(frame + 12, &kernelNs, 8);
         const std::vector<std::uint8_t> wire =
             serializeRunResult(res);
         std::memcpy(frame + frameHeaderBytes, wire.data(),
@@ -166,6 +172,10 @@ SweepRunner::run(std::size_t count, const PointFn &fn, unsigned jobs,
             have[i] = true;
         }
         st.wallSeconds = secondsSince(wall0);
+        for (const RunResult &r : results) {
+            st.kernelEvents += r.kernelEvents;
+            st.kernelSeconds += r.kernelWallSeconds;
+        }
         if (stats)
             *stats = st;
         return results;
@@ -250,8 +260,10 @@ SweepRunner::run(std::size_t count, const PointFn &fn, unsigned jobs,
             while (w.buf.size() >= frameBytes) {
                 std::uint32_t idx32;
                 std::uint64_t durNs;
+                std::uint64_t kernelNs;
                 std::memcpy(&idx32, w.buf.data(), 4);
                 std::memcpy(&durNs, w.buf.data() + 4, 8);
+                std::memcpy(&kernelNs, w.buf.data() + 12, 8);
                 RunResult res;
                 if (idx32 >= count ||
                     !deserializeRunResult(
@@ -269,6 +281,7 @@ SweepRunner::run(std::size_t count, const PointFn &fn, unsigned jobs,
                 results[idx32] = res;
                 have[idx32] = true;
                 st.serialSeconds += double(durNs) * 1e-9;
+                st.kernelSeconds += double(kernelNs) * 1e-9;
                 w.buf.erase(w.buf.begin(),
                             w.buf.begin() +
                                 std::ptrdiff_t(frameBytes));
@@ -301,6 +314,14 @@ SweepRunner::run(std::size_t count, const PointFn &fn, unsigned jobs,
 #endif // KMU_SWEEP_HAVE_FORK
 
     st.wallSeconds = secondsSince(wall0);
+    // The deterministic event count crosses the wire inside each
+    // RunResult; kernel wall time arrives via the frame headers
+    // (already totalled above), so worker-delivered results carry
+    // kernelWallSeconds == 0 and only parent-run points add here.
+    for (const RunResult &r : results) {
+        st.kernelEvents += r.kernelEvents;
+        st.kernelSeconds += r.kernelWallSeconds;
+    }
     if (stats)
         *stats = st;
     return results;

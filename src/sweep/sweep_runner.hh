@@ -54,6 +54,14 @@ class SweepRunner
         unsigned jobs = 1;          //!< workers actually used
         unsigned workersDied = 0;   //!< abnormal worker exits
         std::size_t pointsRecovered = 0; //!< re-run in the parent
+
+        /** @{ Event-kernel totals summed over the points' RunResult
+         *  self-measurement (events serviced, wall seconds inside
+         *  EventQueue::run). Their ratio is the kernel events/sec
+         *  for this sweep's workload. */
+        std::uint64_t kernelEvents = 0;
+        double kernelSeconds = 0.0;
+        /** @} */
     };
 
     /**

@@ -57,6 +57,8 @@ sampleResult()
         r.serveLatencyBuckets[i] = i * i + 1;
     r.serveLatencyUnderflow = 2;
     r.serveLatencyOverflow = 3;
+    r.kernelEvents = 987654321;
+    r.kernelWallSeconds = 0.125 + 1.0 / 3.0;
     return r;
 }
 
@@ -111,6 +113,21 @@ TEST(RunResultWire, RoundTripIsBitExact)
     EXPECT_EQ(out.serveLatencyBuckets, in.serveLatencyBuckets);
     EXPECT_EQ(out.serveLatencyUnderflow, in.serveLatencyUnderflow);
     EXPECT_EQ(out.serveLatencyOverflow, in.serveLatencyOverflow);
+    EXPECT_EQ(out.kernelEvents, in.kernelEvents);
+    // Host timing is deliberately NOT on the wire: the serialized
+    // result must be a pure function of the configuration (the
+    // determinism gates byte-compare it), so the decoder leaves the
+    // wall-seconds field at its default.
+    EXPECT_EQ(out.kernelWallSeconds, 0.0);
+}
+
+TEST(RunResultWire, WireExcludesHostTiming)
+{
+    RunResult a = sampleResult();
+    RunResult b = sampleResult();
+    a.kernelWallSeconds = 0.25;
+    b.kernelWallSeconds = 123.456;
+    EXPECT_EQ(serializeRunResult(a), serializeRunResult(b));
 }
 
 TEST(RunResultWire, DefaultConstructedRoundTrips)

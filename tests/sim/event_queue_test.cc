@@ -1,6 +1,10 @@
 /**
  * @file
  * Unit tests for the discrete-event kernel.
+ *
+ * Every test runs twice — once per pending-event scheduler (the
+ * ladder calendar queue and the reference binary heap) — so the two
+ * kernels are pinned to identical observable behavior.
  */
 
 #include <gtest/gtest.h>
@@ -30,9 +34,22 @@ class RecordingEvent : public Event
     std::vector<std::string> &log;
 };
 
-TEST(EventQueueTest, OrdersByTick)
+class EventQueueTest
+    : public ::testing::TestWithParam<EventQueue::SchedulerKind>
 {
-    EventQueue eq;
+};
+
+const char *
+schedulerName(
+    const ::testing::TestParamInfo<EventQueue::SchedulerKind> &info)
+{
+    return info.param == EventQueue::SchedulerKind::Ladder ? "Ladder"
+                                                           : "Heap";
+}
+
+TEST_P(EventQueueTest, OrdersByTick)
+{
+    EventQueue eq(GetParam());
     std::vector<std::string> log;
     RecordingEvent a("a", log);
     RecordingEvent b("b", log);
@@ -45,9 +62,9 @@ TEST(EventQueueTest, OrdersByTick)
     EXPECT_EQ(eq.curTick(), 30u);
 }
 
-TEST(EventQueueTest, SameTickFifoWithinPriority)
+TEST_P(EventQueueTest, SameTickFifoWithinPriority)
 {
-    EventQueue eq;
+    EventQueue eq(GetParam());
     std::vector<std::string> log;
     RecordingEvent a("first", log);
     RecordingEvent b("second", log);
@@ -57,9 +74,9 @@ TEST(EventQueueTest, SameTickFifoWithinPriority)
     EXPECT_EQ(log, (std::vector<std::string>{"first", "second"}));
 }
 
-TEST(EventQueueTest, PriorityBreaksTickTies)
+TEST_P(EventQueueTest, PriorityBreaksTickTies)
 {
-    EventQueue eq;
+    EventQueue eq(GetParam());
     std::vector<std::string> log;
     RecordingEvent late("cpu", log, EventPriority::CpuTick);
     RecordingEvent early("resp", log, EventPriority::DeviceResponse);
@@ -69,9 +86,9 @@ TEST(EventQueueTest, PriorityBreaksTickTies)
     EXPECT_EQ(log, (std::vector<std::string>{"resp", "cpu"}));
 }
 
-TEST(EventQueueTest, DescheduleSkipsEvent)
+TEST_P(EventQueueTest, DescheduleSkipsEvent)
 {
-    EventQueue eq;
+    EventQueue eq(GetParam());
     std::vector<std::string> log;
     RecordingEvent a("a", log);
     RecordingEvent b("b", log);
@@ -84,14 +101,14 @@ TEST(EventQueueTest, DescheduleSkipsEvent)
 }
 
 // Regression: a descheduled event may be destroyed while its stale
-// heap entry is still parked in the queue. The queue must recognise
-// the dead entry by sequence number alone — both while servicing and
-// in its own destructor — without dereferencing the freed event.
-// (Found by ASan: SimChecker deschedules its sweep event in its
-// destructor, which runs before ~EventQueue inside ~SimSystem.)
-TEST(EventQueueTest, DescheduledEventMayDieBeforeQueue)
+// scheduler entry is still parked in the queue. The queue must
+// recognise the dead entry by sequence number alone — both while
+// servicing and in its own destructor — without dereferencing the
+// freed event. (Found by ASan: SimChecker deschedules its sweep event
+// in its destructor, which runs before ~EventQueue inside ~SimSystem.)
+TEST_P(EventQueueTest, DescheduledEventMayDieBeforeQueue)
 {
-    EventQueue eq;
+    EventQueue eq(GetParam());
     std::vector<std::string> log;
     RecordingEvent keep("keep", log);
     eq.schedule(&keep, 30);
@@ -99,7 +116,7 @@ TEST(EventQueueTest, DescheduledEventMayDieBeforeQueue)
         auto doomed = std::make_unique<RecordingEvent>("doomed", log);
         eq.schedule(doomed.get(), 10);
         eq.deschedule(doomed.get());
-    } // freed here; its heap entry still sits in front of "keep"
+    } // freed here; its scheduler entry still sits in front of "keep"
     eq.run();
     EXPECT_EQ(log, (std::vector<std::string>{"keep"}));
 
@@ -111,9 +128,9 @@ TEST(EventQueueTest, DescheduledEventMayDieBeforeQueue)
     EXPECT_EQ(eq.size(), 0u);
 }
 
-TEST(EventQueueTest, RescheduleMovesEvent)
+TEST_P(EventQueueTest, RescheduleMovesEvent)
 {
-    EventQueue eq;
+    EventQueue eq(GetParam());
     std::vector<std::string> log;
     RecordingEvent a("a", log);
     RecordingEvent b("b", log);
@@ -124,9 +141,9 @@ TEST(EventQueueTest, RescheduleMovesEvent)
     EXPECT_EQ(log, (std::vector<std::string>{"b", "a"}));
 }
 
-TEST(EventQueueTest, RunHonorsLimit)
+TEST_P(EventQueueTest, RunHonorsLimit)
 {
-    EventQueue eq;
+    EventQueue eq(GetParam());
     std::vector<std::string> log;
     RecordingEvent a("a", log);
     RecordingEvent b("b", log);
@@ -139,9 +156,9 @@ TEST(EventQueueTest, RunHonorsLimit)
     EXPECT_EQ(log.size(), 2u);
 }
 
-TEST(EventQueueTest, ServiceOneStepsExactlyOne)
+TEST_P(EventQueueTest, ServiceOneStepsExactlyOne)
 {
-    EventQueue eq;
+    EventQueue eq(GetParam());
     std::vector<std::string> log;
     RecordingEvent a("a", log);
     RecordingEvent b("b", log);
@@ -154,20 +171,21 @@ TEST(EventQueueTest, ServiceOneStepsExactlyOne)
     EXPECT_EQ(eq.serviced(), 2u);
 }
 
-TEST(EventQueueTest, LambdaEventsRunAndFree)
+TEST_P(EventQueueTest, LambdaEventsRunAndFree)
 {
-    EventQueue eq;
+    EventQueue eq(GetParam());
     int hits = 0;
     for (int i = 0; i < 100; ++i)
         eq.scheduleLambda(Tick(i), [&hits]() { hits++; });
     eq.run();
     EXPECT_EQ(hits, 100);
     EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.ownedPending(), 0u);
 }
 
-TEST(EventQueueTest, EventsScheduledDuringProcessing)
+TEST_P(EventQueueTest, EventsScheduledDuringProcessing)
 {
-    EventQueue eq;
+    EventQueue eq(GetParam());
     int depth = 0;
     std::function<void()> chain = [&]() {
         if (++depth < 5)
@@ -179,9 +197,9 @@ TEST(EventQueueTest, EventsScheduledDuringProcessing)
     EXPECT_EQ(eq.curTick(), 40u);
 }
 
-TEST(EventQueueTest, SizeTracksLiveEvents)
+TEST_P(EventQueueTest, SizeTracksLiveEvents)
 {
-    EventQueue eq;
+    EventQueue eq(GetParam());
     std::vector<std::string> log;
     RecordingEvent a("a", log);
     eq.schedule(&a, 10);
@@ -191,14 +209,15 @@ TEST(EventQueueTest, SizeTracksLiveEvents)
     EXPECT_TRUE(eq.empty());
 }
 
-// Regression: lazy descheduling used to let cancelled heap entries
-// accumulate without bound when far-future events are scheduled and
-// cancelled faster than the heap pops them (the timeout-guard
-// pattern). The queue now compacts once dead entries outnumber live
-// ones, so the dead set stays bounded by max(64, liveEvents).
-TEST(EventQueueTest, CancelledEntriesStayBounded)
+// Regression: lazy descheduling used to let cancelled scheduler
+// entries accumulate without bound when far-future events are
+// scheduled and cancelled faster than the scheduler meets them (the
+// timeout-guard pattern). The queue now compacts once dead entries
+// outnumber live ones, so the dead set stays bounded by
+// max(64, liveEvents).
+TEST_P(EventQueueTest, CancelledEntriesStayBounded)
 {
-    EventQueue eq;
+    EventQueue eq(GetParam());
     std::vector<std::string> log;
     RecordingEvent guard("guard", log);
     RecordingEvent keep("keep", log);
@@ -223,11 +242,12 @@ TEST(EventQueueTest, CancelledEntriesStayBounded)
     EXPECT_EQ(log, (std::vector<std::string>{"guard", "keep"}));
 }
 
-// Compaction rebuilds the heap; the surviving entries must keep their
-// (tick, priority, insertion-sequence) service order exactly.
-TEST(EventQueueTest, CompactionPreservesOrdering)
+// Compaction rebuilds the pending set; the surviving entries must
+// keep their (tick, priority, insertion-sequence) service order
+// exactly.
+TEST_P(EventQueueTest, CompactionPreservesOrdering)
 {
-    EventQueue eq;
+    EventQueue eq(GetParam());
     std::vector<std::string> log;
 
     std::vector<std::unique_ptr<RecordingEvent>> live;
@@ -251,9 +271,50 @@ TEST(EventQueueTest, CompactionPreservesOrdering)
     EXPECT_TRUE(eq.empty());
 }
 
-TEST(EventQueueDeathTest, PastSchedulingPanics)
+// Regression (this PR): an event rescheduled *after* a compaction ran
+// must fire exactly once at its new tick. Compaction drops the
+// cancelled-seq bookkeeping wholesale; a stale mapping from the
+// rescheduled event's old sequence number must not survive it, and
+// the fresh entry must not be mistaken for a dead one.
+TEST_P(EventQueueTest, RescheduleSurvivesCompaction)
 {
-    EventQueue eq;
+    EventQueue eq(GetParam());
+    std::vector<std::string> log;
+    RecordingEvent mover("mover", log);
+    RecordingEvent churn("churn", log);
+
+    eq.schedule(&mover, 500);
+    // Cancel the first placement, leaving a dead entry behind...
+    eq.reschedule(&mover, 700);
+    // ...then force a compaction while that dead entry is pending.
+    for (int i = 0; i < 200; ++i) {
+        eq.schedule(&churn, Tick(1000) + Tick(i));
+        eq.deschedule(&churn);
+    }
+    EXPECT_LE(eq.deadEntries(), 65u); // compaction ran
+    EXPECT_TRUE(mover.scheduled());
+
+    // And reschedule once more after the compaction.
+    eq.reschedule(&mover, 600);
+    eq.run();
+    EXPECT_EQ(log, (std::vector<std::string>{"mover"}));
+    EXPECT_EQ(eq.curTick(), 600u);
+    EXPECT_TRUE(eq.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kernels, EventQueueTest,
+    ::testing::Values(EventQueue::SchedulerKind::Ladder,
+                      EventQueue::SchedulerKind::Heap),
+    schedulerName);
+
+class EventQueueDeathTest : public EventQueueTest
+{
+};
+
+TEST_P(EventQueueDeathTest, PastSchedulingPanics)
+{
+    EventQueue eq(GetParam());
     std::vector<std::string> log;
     RecordingEvent a("a", log);
     eq.scheduleLambda(100, []() {});
@@ -261,15 +322,21 @@ TEST(EventQueueDeathTest, PastSchedulingPanics)
     EXPECT_DEATH(eq.schedule(&a, 50), "past");
 }
 
-TEST(EventQueueDeathTest, DoubleSchedulePanics)
+TEST_P(EventQueueDeathTest, DoubleSchedulePanics)
 {
-    EventQueue eq;
+    EventQueue eq(GetParam());
     std::vector<std::string> log;
     RecordingEvent a("a", log);
     eq.schedule(&a, 10);
     EXPECT_DEATH(eq.schedule(&a, 20), "twice");
     eq.deschedule(&a);
 }
+
+INSTANTIATE_TEST_SUITE_P(
+    Kernels, EventQueueDeathTest,
+    ::testing::Values(EventQueue::SchedulerKind::Ladder,
+                      EventQueue::SchedulerKind::Heap),
+    schedulerName);
 
 } // anonymous namespace
 } // namespace kmu

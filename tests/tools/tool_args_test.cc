@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Unit tests for the shared strict CLI argument parsers.
+ *
+ * The regression pinned here: strtoull/strtod skip leading
+ * whitespace and strtoull accepts a sign, so values like " -1"
+ * passed the whole-string check and wrapped to huge integers (a
+ * measure_us of ~1.8e19 µs panicked deep inside the simulation
+ * instead of failing at the command line).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "tools/tool_args.hh"
+
+namespace kmu::toolargs
+{
+namespace
+{
+
+TEST(ToolArgsTest, ParseKvSplitsKeyAndValue)
+{
+    std::string key, value;
+    EXPECT_TRUE(parseKv("lambda=0.5", key, value));
+    EXPECT_EQ(key, "lambda");
+    EXPECT_EQ(value, "0.5");
+
+    EXPECT_TRUE(parseKv("trace=", key, value));
+    EXPECT_EQ(key, "trace");
+    EXPECT_EQ(value, "");
+
+    // Only the first '=' splits; the rest belongs to the value.
+    EXPECT_TRUE(parseKv("expr=a=b", key, value));
+    EXPECT_EQ(key, "expr");
+    EXPECT_EQ(value, "a=b");
+
+    EXPECT_FALSE(parseKv("noequals", key, value));
+    EXPECT_FALSE(parseKv("=value", key, value));
+}
+
+TEST(ToolArgsTest, ParseU64AcceptsWholeNumbers)
+{
+    std::uint64_t v = 0;
+    EXPECT_TRUE(parseU64("0", v));
+    EXPECT_EQ(v, 0u);
+    EXPECT_TRUE(parseU64("12345", v));
+    EXPECT_EQ(v, 12345u);
+    EXPECT_TRUE(parseU64("0x10", v));
+    EXPECT_EQ(v, 16u);
+    EXPECT_TRUE(parseU64("18446744073709551615", v));
+    EXPECT_EQ(v, std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(ToolArgsTest, ParseU64RejectsGarbageSignsAndOverflow)
+{
+    std::uint64_t v = 0;
+    EXPECT_FALSE(parseU64("", v));
+    EXPECT_FALSE(parseU64("25oo", v));
+    EXPECT_FALSE(parseU64("10 ", v));
+    EXPECT_FALSE(parseU64("-1", v));
+    EXPECT_FALSE(parseU64("+1", v));
+    EXPECT_FALSE(parseU64("18446744073709551616", v)); // 2^64
+}
+
+// Regression: strtoull swallows leading whitespace and then a sign,
+// so " -1" used to wrap to 18446744073709551615 with the end pointer
+// at the end of the string.
+TEST(ToolArgsTest, ParseU64RejectsLeadingWhitespace)
+{
+    std::uint64_t v = 0;
+    EXPECT_FALSE(parseU64(" 1", v));
+    EXPECT_FALSE(parseU64("\t1", v));
+    EXPECT_FALSE(parseU64(" -1", v));
+    EXPECT_FALSE(parseU64("\n-1", v));
+}
+
+TEST(ToolArgsTest, ParseU32RejectsValuesBeyond32Bits)
+{
+    std::uint32_t v = 0;
+    EXPECT_TRUE(parseU32("4294967295", v));
+    EXPECT_EQ(v, std::numeric_limits<std::uint32_t>::max());
+    EXPECT_FALSE(parseU32("4294967296", v));
+    EXPECT_FALSE(parseU32(" 7", v));
+}
+
+TEST(ToolArgsTest, ParseF64AcceptsFiniteNumbers)
+{
+    double v = 0.0;
+    EXPECT_TRUE(parseF64("0.5", v));
+    EXPECT_DOUBLE_EQ(v, 0.5);
+    EXPECT_TRUE(parseF64("-2.25", v));
+    EXPECT_DOUBLE_EQ(v, -2.25);
+    EXPECT_TRUE(parseF64("1e3", v));
+    EXPECT_DOUBLE_EQ(v, 1000.0);
+}
+
+TEST(ToolArgsTest, ParseF64RejectsGarbageAndNonFinite)
+{
+    double v = 0.0;
+    EXPECT_FALSE(parseF64("", v));
+    EXPECT_FALSE(parseF64("0.5x", v));
+    EXPECT_FALSE(parseF64("1.5 ", v));
+    EXPECT_FALSE(parseF64("nan", v));
+    EXPECT_FALSE(parseF64("inf", v));
+    EXPECT_FALSE(parseF64("1e999", v));
+}
+
+// Regression: strtod also skips leading whitespace, letting " 1.5"
+// (and whitespace-wrapped junk) slip through the whole-string check.
+TEST(ToolArgsTest, ParseF64RejectsLeadingWhitespace)
+{
+    double v = 0.0;
+    EXPECT_FALSE(parseF64(" 1.5", v));
+    EXPECT_FALSE(parseF64("\t0.5", v));
+    EXPECT_FALSE(parseF64(" -1", v));
+}
+
+TEST(ToolArgsTest, ParseFlagIsExactlyZeroOrOne)
+{
+    bool v = false;
+    EXPECT_TRUE(parseFlag("1", v));
+    EXPECT_TRUE(v);
+    EXPECT_TRUE(parseFlag("0", v));
+    EXPECT_FALSE(v);
+    EXPECT_FALSE(parseFlag("true", v));
+    EXPECT_FALSE(parseFlag("2", v));
+    EXPECT_FALSE(parseFlag("", v));
+    EXPECT_FALSE(parseFlag(" 1", v));
+}
+
+} // anonymous namespace
+} // namespace kmu::toolargs

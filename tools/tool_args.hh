@@ -13,6 +13,7 @@
 #ifndef KMU_TOOLS_TOOL_ARGS_HH
 #define KMU_TOOLS_TOOL_ARGS_HH
 
+#include <cctype>
 #include <cerrno>
 #include <cstdint>
 #include <cstdio>
@@ -43,7 +44,10 @@ parseKv(const char *arg, std::string &key, std::string &value)
 inline bool
 parseU64(const std::string &s, std::uint64_t &out)
 {
-    if (s.empty() || s[0] == '-' || s[0] == '+')
+    // The first character must be a digit: strtoull itself skips
+    // leading whitespace and accepts a sign, so " -1" would
+    // otherwise wrap to a huge value with end == s.end().
+    if (s.empty() || !std::isdigit(static_cast<unsigned char>(s[0])))
         return false;
     errno = 0;
     char *end = nullptr;
@@ -72,7 +76,10 @@ parseU32(const std::string &s, std::uint32_t &out)
 inline bool
 parseF64(const std::string &s, double &out)
 {
-    if (s.empty())
+    // strtod skips leading whitespace, which would let " 1.5" (and
+    // whitespace-wrapped junk generally) slip through the
+    // whole-string check below.
+    if (s.empty() || std::isspace(static_cast<unsigned char>(s[0])))
         return false;
     errno = 0;
     char *end = nullptr;
