@@ -277,18 +277,26 @@ class LadderScheduler
 
     std::size_t size() const { return count; }
 
+    /** Visit every stored entry, consuming it (like HeapScheduler's
+     *  draining walk): afterwards size()==0 and nothing is stored. */
     template <typename Fn>
     void
     forEachEntry(Fn fn)
     {
         for (std::size_t i = head; i < active.size(); ++i)
             fn(active[i]);
-        for (Rung &r : rung)
-            for (auto &vec : r.bucket)
-                for (const Entry &e : vec)
+        for (Rung &r : rung) {
+            for (std::size_t i = 0; i < bucketCount; ++i) {
+                for (const Entry &e : r.bucket[i])
                     fn(e);
+                r.bucket[i].clear();
+            }
+            for (std::uint64_t &word : r.occ)
+                word = 0;
+        }
         for (const Entry &e : over)
             fn(e);
+        over.clear();
         active.clear();
         head = 0;
         count = 0;
@@ -494,37 +502,47 @@ class LadderScheduler
     bool
     rebaseOverflow(CancelSet &cancels)
     {
-        while (!over.empty()) {
-            Tick min_when = maxTick;
-            for (const Entry &e : over)
-                min_when = std::min(min_when, e.when);
-            const Tick span = Tick(bucketCount) << shift2;
-            Rung &r = rung[2];
-            r.winStart = min_when & ~(span - 1);
-            r.pos = 0;
-            std::vector<Entry> keep;
-            for (const Entry &e : over) {
-                if (cancels.erase(e.seq)) {
-                    --count;
-                    continue;
-                }
-                if (e.when - r.winStart < span) {
-                    const std::size_t idx =
-                        std::size_t((e.when - r.winStart) >> shift2);
-                    r.bucket[idx].push_back(e);
-                    setBit(r.occ, idx);
-                } else {
-                    keep.push_back(e);
-                }
-            }
-            over = std::move(keep);
-            // All entries may have been cancelled; then the rung is
-            // still empty and the remaining overflow (if any) must
-            // seed another window.
-            if (findFrom(r.occ, 0) < bucketCount)
+        // Drop cancelled entries BEFORE computing the new window.
+        // If the window moved first and every entry then turned out
+        // to be dead, winStart would sit parked far ahead while
+        // frontEnd stays low: a later insert into the uncovered gap
+        // would join the active run while an earlier-tick insert
+        // could still land in a stale finer-rung window — serviced
+        // after it, breaking the exact order.
+        auto dead = [&](const Entry &e) {
+            if (cancels.erase(e.seq)) {
+                --count;
                 return true;
+            }
+            return false;
+        };
+        over.erase(std::remove_if(over.begin(), over.end(), dead),
+                   over.end());
+        if (over.empty())
+            return false;
+        Tick min_when = maxTick;
+        for (const Entry &e : over)
+            min_when = std::min(min_when, e.when);
+        const Tick span = Tick(bucketCount) << shift2;
+        Rung &r = rung[2];
+        r.winStart = min_when & ~(span - 1);
+        r.pos = 0;
+        std::vector<Entry> keep;
+        for (const Entry &e : over) {
+            if (e.when - r.winStart < span) {
+                const std::size_t idx =
+                    std::size_t((e.when - r.winStart) >> shift2);
+                r.bucket[idx].push_back(e);
+                setBit(r.occ, idx);
+            } else {
+                keep.push_back(e);
+            }
         }
-        return false;
+        over = std::move(keep);
+        // The minimum survivor is in-window by construction (the
+        // window starts at min_when aligned down), so the rung now
+        // holds at least one live entry.
+        return true;
     }
 
     Rung rung[3];

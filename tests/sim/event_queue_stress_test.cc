@@ -397,6 +397,58 @@ TEST_P(EventQueueStressTest, OverflowRebasePreservesOrder)
     EXPECT_EQ(log, expect);
 }
 
+// Regression: descheduling EVERY overflow entry and then draining
+// (which triggers an overflow rebase that meets only dead entries)
+// must not move the coarsest rung's window. The bug: the rebase set
+// the window to the dead entries' far-future minimum before
+// filtering, parking it well past the service point while frontEnd
+// stayed low. A later insert into the uncovered gap then joined the
+// active run while an earlier-tick insert landed in a stale
+// finer-rung window — and was serviced second, aborting on "time
+// went backwards". Timeout guards cancelled under load hit exactly
+// this shape.
+TEST_P(EventQueueStressTest, AllCancelledOverflowRebaseKeepsOrder)
+{
+    EventQueue eq(GetParam());
+    std::vector<int> log;
+
+    // Park guard events deep in the overflow list (~2^40 ps = ~1 s),
+    // then cancel them all. The compaction trigger's floor keeps the
+    // cancellations lazy, so the dead seqs are still stored when the
+    // rebase runs.
+    std::vector<std::unique_ptr<IdEvent>> guards;
+    for (int i = 0; i < 4; ++i) {
+        guards.push_back(std::make_unique<IdEvent>(100 + i, log));
+        eq.schedule(guards.back().get(),
+                    (Tick(1) << 40) + Tick(i) * 1'000);
+    }
+    for (auto &g : guards)
+        eq.deschedule(g.get());
+
+    // Drain: the refill cascades through the empty rungs into the
+    // overflow rebase, which finds only cancelled entries.
+    EXPECT_FALSE(eq.serviceOne());
+    EXPECT_TRUE(eq.empty());
+
+    // A later event into what the stale window would leave as an
+    // uncovered gap, then an earlier event into the (possibly stale)
+    // finest-rung window. Service order must follow the ticks.
+    IdEvent later(1, log);
+    IdEvent earlier(0, log);
+    eq.schedule(&later, Tick(1) << 30);
+    eq.schedule(&earlier, Tick(1) << 16);
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{0, 1}));
+    EXPECT_EQ(eq.curTick(), Tick(1) << 30);
+
+    // The rungs must still accept and rebase a fresh overflow
+    // generation after the all-cancelled episode.
+    IdEvent far(2, log);
+    eq.schedule(&far, Tick(1) << 40);
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{0, 1, 2}));
+}
+
 // Sparse-bucket promotion: µs-spaced events leave coarse-rung buckets
 // at or below the promotion threshold, so cascading promotes them
 // straight into the active run. Inserting new events *below* the
