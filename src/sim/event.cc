@@ -5,6 +5,7 @@
 
 #include "check/invariant.hh"
 #include "common/logging.hh"
+#include "sim/parallel.hh"
 
 namespace kmu
 {
@@ -62,9 +63,20 @@ EventQueue::schedule(Event *event, Tick when)
                   "event '%s' scheduled in the past (%llu < %llu)",
                   event->name().c_str(), (unsigned long long)when,
                   (unsigned long long)now);
+    // Only one-shot lambdas may cross shard domains: a member Event
+    // is owned by a component on the other side, and handing the
+    // pointer through a mailbox would let two threads race on its
+    // scheduled state.
+    KMU_INVARIANT(par == nullptr || !crossDomainCall(),
+                  "cross-domain schedule of member event '%s' (only "
+                  "scheduleLambda may cross shard domains)",
+                  event->name().c_str());
     event->isScheduled = true;
     event->scheduledAt = when;
     event->heapSeq = nextSeq;
+    event->bornTick = now;
+    if (par != nullptr)
+        event->rootStamp = tlsRoot;
     const sched::Entry entry{when, std::int32_t(event->prio),
                              nextSeq++, event};
     if (schedKind == SchedulerKind::Heap)
@@ -207,6 +219,16 @@ EventQueue::servicePeeked(const sched::Entry &entry)
     liveEvents--;
     servicedCount++;
 
+    // Publish the executing-event context so schedule calls this
+    // event makes into sibling domains are recognised as crossings
+    // and inherit its provenance stamps. Unbound queues skip this —
+    // the serial hot path pays one predictable branch.
+    if (par != nullptr) {
+        tlsServicing = this;
+        tlsRoot = ev->rootStamp;
+        tlsBorn = ev->bornTick;
+    }
+
     // Tag dispatch: the two hot event shapes (one-shot lambdas and
     // component CallbackEvents) are invoked directly; everything else
     // takes the virtual process() path.
@@ -253,6 +275,72 @@ EventQueue::run(Tick limit)
         servicePeeked(entry);
     }
     return now;
+}
+
+void
+EventQueue::bindDomain(ParallelExecutor *exec, std::uint32_t id)
+{
+    par = exec;
+    domain = id;
+}
+
+Tick
+EventQueue::contextNow() const
+{
+    if (par == nullptr)
+        return now;
+    const EventQueue *cur = tlsServicing;
+    return (cur != nullptr && cur != this && cur->par == par)
+               ? cur->now : now;
+}
+
+bool
+EventQueue::nextEventTick(Tick &out)
+{
+    sched::Entry entry;
+    if (!peek(entry))
+        return false;
+    out = entry.when;
+    return true;
+}
+
+void
+EventQueue::crossSchedule(Tick when, std::int32_t prio,
+                          std::string_view name, sim_detail::CrossFn fn)
+{
+    par->pushCross(*tlsServicing, *this, when, prio, name,
+                   std::move(fn));
+}
+
+void
+EventQueue::scheduleCrossEntry(Tick when, std::int32_t prio,
+                               std::string_view name,
+                               sim_detail::CrossFn fn,
+                               std::uint64_t root, Tick born)
+{
+    // Runs on the coordinator at an epoch barrier, where TLS may
+    // still carry the last serviced event's context; suppress it so
+    // the schedule below is unconditionally local, then restore the
+    // entry's own provenance recorded at push time.
+    EventQueue *saved = tlsServicing;
+    tlsServicing = nullptr;
+    LambdaEvent *ev = acquireLambda();
+    ev->eventName.assign(name.data(), name.size());
+    ev->prio = EventPriority(prio);
+    ev->bind([f = std::move(fn)]() mutable { f(); });
+    ev->ownedByQueue = true;
+    schedule(ev, when);
+    ev->rootStamp = root;
+    ev->bornTick = born;
+    tlsServicing = saved;
+}
+
+void
+EventQueue::clearServicingTls()
+{
+    tlsServicing = nullptr;
+    tlsRoot = 0;
+    tlsBorn = 0;
 }
 
 } // namespace kmu

@@ -1,0 +1,291 @@
+#include "sim/parallel.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <tuple>
+
+#include "check/invariant.hh"
+#include "common/logging.hh"
+
+namespace kmu
+{
+
+ParallelMode
+defaultParallelMode()
+{
+    const char *env = std::getenv("KMU_PARALLEL");
+    if (env && std::strcmp(env, "shards") == 0)
+        return ParallelMode::Shards;
+    return ParallelMode::Off;
+}
+
+std::uint32_t
+defaultParallelThreads()
+{
+    const char *env = std::getenv("KMU_PARALLEL_THREADS");
+    if (!env || !*env)
+        return 0;
+    const long v = std::atol(env);
+    return v > 0 ? std::uint32_t(v) : 0;
+}
+
+ParallelExecutor::ParallelExecutor(EventQueue &host_queue,
+                                   std::uint32_t shard_domains,
+                                   Tick lookahead,
+                                   std::uint32_t total_threads)
+    : lookaheadTicks(lookahead)
+{
+    KMU_INVARIANT(shard_domains >= 1,
+                  "parallel executor needs at least one shard domain");
+    KMU_INVARIANT(lookahead >= 1,
+                  "zero lookahead admits same-window causality; the "
+                  "cross-domain latency must be at least one tick");
+
+    domains.push_back(&host_queue);
+    for (std::uint32_t s = 0; s < shard_domains; ++s) {
+        shardQueues.push_back(std::make_unique<EventQueue>(
+            host_queue.schedulerKind()));
+        domains.push_back(shardQueues.back().get());
+    }
+    for (std::uint32_t d = 0; d < domains.size(); ++d)
+        domains[d]->bindDomain(this, d);
+    mailboxes.resize(domains.size() * domains.size());
+
+    // Shard domains round-robin across the worker threads; the
+    // caller keeps the host domain. threads==1 leaves no workers and
+    // run() services every domain itself, window by window — same
+    // machinery, no concurrency.
+    std::uint32_t threads = total_threads == 0
+                                ? shard_domains + 1 : total_threads;
+    threads = std::min(threads, shard_domains + 1);
+    threads = std::max(threads, std::uint32_t(1));
+    const std::uint32_t nworkers = threads - 1;
+    for (std::uint32_t w = 0; w < nworkers; ++w)
+        workers.push_back(std::make_unique<Worker>());
+    for (std::uint32_t s = 0; s < shard_domains && nworkers > 0; ++s)
+        workers[s % nworkers]->domainIds.push_back(1 + s);
+}
+
+ParallelExecutor::~ParallelExecutor()
+{
+    if (workersStarted) {
+        for (auto &w : workers)
+            w->go.store(stopEpoch, std::memory_order_release);
+        for (auto &w : workers)
+            w->thread.join();
+    }
+    // Unbind so queue teardown (and any stray late schedule) takes
+    // the plain serial paths.
+    for (std::uint32_t d = 0; d < domains.size(); ++d)
+        domains[d]->bindDomain(nullptr, 0);
+}
+
+EventQueue &
+ParallelExecutor::domainQueue(std::uint32_t d)
+{
+    KMU_INVARIANT(d < domains.size(), "domain id %u out of range",
+                  (unsigned)d);
+    return *domains[d];
+}
+
+void
+ParallelExecutor::addBarrierCheck(std::function<void()> check)
+{
+    barrierChecks.push_back(std::move(check));
+}
+
+std::uint64_t
+ParallelExecutor::totalServiced() const
+{
+    std::uint64_t total = 0;
+    for (const EventQueue *q : domains)
+        total += q->serviced();
+    return total;
+}
+
+std::uint64_t
+ParallelExecutor::totalPending() const
+{
+    std::uint64_t total = 0;
+    for (const EventQueue *q : domains)
+        total += q->size();
+    return total;
+}
+
+void
+ParallelExecutor::pushCross(EventQueue &src, EventQueue &dst,
+                            Tick when, std::int32_t prio,
+                            std::string_view name,
+                            sim_detail::CrossFn fn)
+{
+    // The conservative window relies on every crossing landing at
+    // least one full lookahead after its creation tick: the current
+    // window ends before creation + lookahead, so nothing absorbed
+    // at the next barrier can belong to the window that made it.
+    KMU_INVARIANT(when >= src.now + lookaheadTicks,
+                  "cross-domain event '%.*s' at %llu violates the "
+                  "lookahead (created at %llu, lookahead %llu)",
+                  int(name.size()), name.data(),
+                  (unsigned long long)when,
+                  (unsigned long long)src.now,
+                  (unsigned long long)lookaheadTicks);
+
+    Mailbox &mb = mailbox(src.domain, dst.domain);
+    CrossEntry e;
+    e.when = when;
+    e.prio = prio;
+    e.creationTick = src.now;
+    e.creatorBorn = EventQueue::tlsBorn;
+    // Every host-side push roots a new crossing chain (host pushes
+    // happen in serial creation order on the coordinator); shard
+    // pushes are descendants and inherit the chain's root.
+    e.rootX = src.domain == 0 ? ++rootCounter : EventQueue::tlsRoot;
+    e.srcDomain = src.domain;
+    e.srcSeq = mb.pushes++;
+    e.name.assign(name);
+    e.fn = std::move(fn);
+    mb.entries.push_back(std::move(e));
+}
+
+void
+ParallelExecutor::absorbAll()
+{
+    const std::size_t d_count = domains.size();
+    for (std::size_t dst = 0; dst < d_count; ++dst) {
+        staging.clear();
+        for (std::size_t src = 0; src < d_count; ++src) {
+            auto &entries =
+                mailboxes[src * d_count + dst].entries;
+            for (auto &e : entries)
+                staging.push_back(std::move(e));
+            entries.clear();
+        }
+        if (staging.empty())
+            continue;
+        // The stamp order reproduces the serial kernel's
+        // (when, prio, seq) service order for these entries: see
+        // DESIGN.md §15 for why creation tick, creator born tick and
+        // chain root recover the serial insertion sequence.
+        std::sort(staging.begin(), staging.end(),
+                  [](const CrossEntry &a, const CrossEntry &b) {
+                      return std::tie(a.when, a.prio, a.creationTick,
+                                      a.creatorBorn, a.rootX,
+                                      a.srcDomain, a.srcSeq) <
+                             std::tie(b.when, b.prio, b.creationTick,
+                                      b.creatorBorn, b.rootX,
+                                      b.srcDomain, b.srcSeq);
+                  });
+        for (auto &e : staging) {
+            domains[dst]->scheduleCrossEntry(e.when, e.prio, e.name,
+                                             std::move(e.fn), e.rootX,
+                                             e.creatorBorn);
+            ++crossingsAbsorbed;
+        }
+    }
+}
+
+bool
+ParallelExecutor::minNextTick(Tick &out)
+{
+    bool any = false;
+    Tick best = maxTick;
+    for (EventQueue *q : domains) {
+        Tick t;
+        if (q->nextEventTick(t) && (!any || t < best)) {
+            best = t;
+            any = true;
+        }
+    }
+    if (any)
+        out = best;
+    return any;
+}
+
+void
+ParallelExecutor::startWorkers()
+{
+    if (workersStarted || workers.empty())
+        return;
+    workersStarted = true;
+    for (auto &w : workers) {
+        Worker *self = w.get();
+        w->thread = std::thread([this, self] { workerMain(*self); });
+    }
+}
+
+void
+ParallelExecutor::workerMain(Worker &me)
+{
+    std::uint64_t last = 0;
+    for (;;) {
+        std::uint64_t epoch;
+        std::uint32_t spins = 0;
+        while ((epoch = me.go.load(std::memory_order_acquire)) ==
+               last) {
+            // Spin briefly, then yield: windows are short (hundreds
+            // of events), and on machines with fewer cores than
+            // threads a stubborn spin would starve the very domain
+            // we are waiting for.
+            if (++spins > 64)
+                std::this_thread::yield();
+        }
+        if (epoch == stopEpoch)
+            return;
+        const Tick end = me.windowEnd; // ordered by the go acquire
+        for (std::uint32_t d : me.domainIds)
+            domains[d]->run(end);
+        last = epoch;
+        me.done.store(epoch, std::memory_order_release);
+    }
+}
+
+Tick
+ParallelExecutor::run(Tick limit)
+{
+    startWorkers();
+    EventQueue::clearServicingTls();
+    for (;;) {
+        // Barrier phase: workers are parked, so the mailboxes and
+        // every domain queue are safe to touch from this thread.
+        absorbAll();
+        Tick t;
+        if (!minNextTick(t) || t > limit)
+            break;
+        Tick horizon = t + lookaheadTicks - 1;
+        if (horizon < t)
+            horizon = maxTick; // overflow clamp
+        const Tick end = std::min(horizon, limit);
+        const std::uint64_t epoch = ++epochsRun;
+
+        if (workers.empty()) {
+            // Sequential windows: same epochs, same mailboxes, no
+            // concurrency. Domain order within a window is free —
+            // domains share no state and crossings are deferred —
+            // so run them in id order.
+            for (EventQueue *q : domains)
+                q->run(end);
+        } else {
+            for (auto &w : workers) {
+                w->windowEnd = end;
+                w->go.store(epoch, std::memory_order_release);
+            }
+            domains[0]->run(end); // host domain on this thread
+            for (auto &w : workers) {
+                std::uint32_t spins = 0;
+                while (w->done.load(std::memory_order_acquire) <
+                       epoch) {
+                    if (++spins > 64)
+                        std::this_thread::yield();
+                }
+            }
+        }
+
+        for (const auto &check : barrierChecks)
+            check();
+    }
+    EventQueue::clearServicingTls();
+    return domains[0]->curTick();
+}
+
+} // namespace kmu

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Conservative parallel discrete-event executor over shard domains.
+ *
+ * The event space is partitioned into a host domain (domain 0) and N
+ * shard domains (1..N), each owning a private EventQueue. Execution
+ * advances in lockstep epochs: every epoch services the window
+ * [T, T + L - 1] where T is the global minimum pending tick and L is
+ * the lookahead — the minimum cross-domain latency (the per-shard
+ * PCIe link propagation delay, extracted by topo::lookaheadTicks).
+ * Within a window the domains run concurrently with no
+ * synchronization at all: the model guarantees every cross-domain
+ * event lands at least L after its creation tick, so nothing created
+ * inside a window can be serviced inside the same window
+ * (null-message-free conservative synchronization). There are no
+ * null messages and no per-event handshakes — one spin barrier pair
+ * per epoch is the entire protocol.
+ *
+ * Cross-domain events travel through per-(src,dst) SPSC mailboxes
+ * with a strict phase discipline: during an epoch only the source
+ * domain's thread appends; at the barrier only the coordinator
+ * drains. Each entry is stamped with
+ *
+ *   (when, prio, creationTick, creatorBorn, rootX, srcSeq)
+ *
+ * and absorbed into the destination queue in that lexicographic
+ * order, which reproduces the serial kernel's (when, prio, seq)
+ * service order exactly — see DESIGN.md §15 for the proof sketch.
+ * rootX is a host-assigned monotone id of the crossing chain's root
+ * (every host->shard push gets a fresh one; shard-side descendants
+ * inherit it through the queue's thread-local root stamp), and
+ * creatorBorn is the creating event's own scheduling tick, which
+ * together resolve cross-shard ties the way the serial insertion
+ * sequence would.
+ *
+ * The executor is selected at runtime with KMU_PARALLEL=off|shards
+ * (mirroring KMU_EVENT_KERNEL) and sized with KMU_PARALLEL_THREADS;
+ * threads=1 runs the same epoch/mailbox machinery on the calling
+ * thread alone (sequential windows — useful for differential testing
+ * on small hosts), threads>=2 runs shard domains on worker threads
+ * while the caller services the host domain.
+ */
+
+#ifndef KMU_SIM_PARALLEL_HH
+#define KMU_SIM_PARALLEL_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_annotations.hh"
+#include "common/types.hh"
+#include "sim/event.hh"
+
+namespace kmu
+{
+
+/** Runtime selection of the parallel executor (KMU_PARALLEL). */
+enum class ParallelMode
+{
+    Auto,  //!< follow the KMU_PARALLEL environment knob
+    Off,   //!< serial kernel regardless of the environment
+    Shards //!< shard-domain executor (when the config is eligible)
+};
+
+/** Process default: KMU_PARALLEL=shards|off, else Off. */
+ParallelMode defaultParallelMode();
+
+/** KMU_PARALLEL_THREADS, or 0 meaning one thread per domain. */
+std::uint32_t defaultParallelThreads();
+
+class ParallelExecutor
+{
+  public:
+    /**
+     * @param host_queue    domain 0's queue (owned by the caller).
+     * @param shard_domains number of shard domains (>= 1).
+     * @param lookahead     minimum cross-domain latency in ticks;
+     *                      must be >= 1 (zero lookahead would allow
+     *                      same-window causality and is rejected).
+     * @param total_threads OS threads including the caller; clamped
+     *                      to [1, 1 + shard_domains]. 1 = sequential
+     *                      windows on the calling thread.
+     */
+    ParallelExecutor(EventQueue &host_queue,
+                     std::uint32_t shard_domains, Tick lookahead,
+                     std::uint32_t total_threads);
+    ~ParallelExecutor();
+
+    ParallelExecutor(const ParallelExecutor &) = delete;
+    ParallelExecutor &operator=(const ParallelExecutor &) = delete;
+
+    /** Domain d's queue (0 = host, 1..shardDomains() = shards). */
+    EventQueue &domainQueue(std::uint32_t d);
+
+    std::uint32_t domainCount() const
+    {
+        return std::uint32_t(domains.size());
+    }
+    std::uint32_t shardDomainCount() const { return domainCount() - 1; }
+    Tick lookahead() const { return lookaheadTicks; }
+
+    /** OS threads the executor uses, caller included. */
+    std::uint32_t threadCount() const
+    {
+        return std::uint32_t(workers.size()) + 1;
+    }
+
+    /**
+     * Service every domain's events with when <= @p limit, epoch by
+     * epoch (the parallel equivalent of EventQueue::run). Callable
+     * repeatedly with increasing limits; returns the host domain's
+     * current tick. Must always be called from the same thread.
+     */
+    Tick run(Tick limit);
+
+    /** Sum of serviced() over every domain queue: equals the serial
+     *  kernel's serviced() for the same model by event-count parity
+     *  (each crossing schedules exactly one event, as in serial). */
+    std::uint64_t totalServiced() const;
+
+    /** Events still scheduled across all domains (quiesced only). */
+    std::uint64_t totalPending() const;
+
+    /** Barrier-synchronized epochs executed so far. */
+    std::uint64_t epochCount() const { return epochsRun; }
+
+    /** Cross-domain events absorbed through the mailboxes so far. */
+    std::uint64_t crossingCount() const { return crossingsAbsorbed; }
+
+    /**
+     * Register a check to run at every epoch barrier, when all
+     * domains are quiesced — the only point where shard-domain state
+     * may be read from the coordinating thread. Checks must not
+     * schedule events or produce observable output (they exist so
+     * invariant sweeps over shard state stay data-race-free without
+     * perturbing the serial-identical event stream).
+     */
+    void addBarrierCheck(std::function<void()> check);
+
+  private:
+    friend class EventQueue;
+
+    /** One cross-domain event in flight between two domains. */
+    struct CrossEntry
+    {
+        Tick when = 0;
+        std::int32_t prio = 0;
+        Tick creationTick = 0;  //!< source domain's tick at push
+        Tick creatorBorn = 0;   //!< creating event's scheduling tick
+        std::uint64_t rootX = 0; //!< crossing-chain root id
+        std::uint32_t srcDomain = 0; //!< producing domain id
+        std::uint64_t srcSeq = 0; //!< per-mailbox push index
+        std::string name;
+        sim_detail::CrossFn fn;
+    };
+
+    /** SPSC by phase: the source thread appends during an epoch, the
+     *  coordinator drains at the barrier (never concurrently). */
+    struct Mailbox
+    {
+        std::vector<CrossEntry> entries;
+        std::uint64_t pushes = 0;
+    };
+
+    struct Worker
+    {
+        std::thread thread;
+        /** Epoch the coordinator asks this worker to execute; the
+         *  stop sentinel (~0) shuts the worker down. */
+        std::atomic<std::uint64_t> go
+            KMU_ATOMIC_ROLE(coordinator_writes, worker_reads){0};
+        /** Last epoch this worker completed. */
+        std::atomic<std::uint64_t> done
+            KMU_ATOMIC_ROLE(worker_writes, coordinator_reads){0};
+        Tick windowEnd = 0; //!< published by go, read after acquire
+        std::vector<std::uint32_t> domainIds;
+    };
+
+    /** Called by EventQueue when a schedule call targets another
+     *  domain: stamp the entry and append it to the mailbox. Runs on
+     *  the source domain's thread. */
+    void pushCross(EventQueue &src, EventQueue &dst, Tick when,
+                   std::int32_t prio, std::string_view name,
+                   sim_detail::CrossFn fn);
+
+    Mailbox &mailbox(std::uint32_t src, std::uint32_t dst)
+    {
+        return mailboxes[src * domains.size() + dst];
+    }
+
+    /** Drain every mailbox into its destination queue in stamped
+     *  order. Coordinator only, all domains quiesced. */
+    void absorbAll();
+
+    /** Smallest pending tick across all domains, if any. */
+    bool minNextTick(Tick &out);
+
+    void startWorkers();
+    void workerMain(Worker &me);
+
+    static constexpr std::uint64_t stopEpoch = ~std::uint64_t(0);
+
+    Tick lookaheadTicks;
+    std::vector<EventQueue *> domains; //!< [0] = host, then shards
+    std::vector<std::unique_ptr<EventQueue>> shardQueues;
+    std::vector<Mailbox> mailboxes;
+    std::vector<std::unique_ptr<Worker>> workers;
+    std::vector<std::function<void()>> barrierChecks;
+    std::vector<CrossEntry> staging; //!< absorb scratch, reused
+
+    bool workersStarted = false;
+    std::uint64_t epochsRun = 0;
+    std::uint64_t crossingsAbsorbed = 0;
+    std::uint64_t rootCounter = 0; //!< host-push root ids (monotone)
+};
+
+} // namespace kmu
+
+#endif // KMU_SIM_PARALLEL_HH

@@ -64,8 +64,9 @@ TEST(WorkloadInvariantsTest, BfsLevelsFormValidTree)
         }
         // Every non-source vertex was discovered from the previous
         // frontier: some neighbor sits exactly one level up.
-        if (v != src && lv > 0)
+        if (v != src && lv > 0) {
             EXPECT_EQ(best, lv - 1) << "vertex " << v;
+        }
     }
     EXPECT_EQ(res.reached, reached);
     EXPECT_EQ(res.depth, depth);

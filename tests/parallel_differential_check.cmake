@@ -1,0 +1,264 @@
+# Parallel differential gate: KMU_PARALLEL=shards may change how
+# fast the model computes, never what it computes. The battery
+# re-runs every committed figure/ablation artifact, the golden
+# closed-loop config list, richer kmu_sim configs (serving arrivals,
+# write mixes, page interleave, partitioned chip queues), a traced
+# run plus its decode, and the faultstorm campaign under the
+# parallel executor — across BOTH event kernels — and requires every
+# byte of output (CSV, stats dump, .kmt trace, trace exports,
+# campaign CSV) to equal the serial run. Ineligible configs (shards=1,
+# swqueue, fault plans, the real-time faultstorm runtime) must fall
+# back to serial silently, so they are part of the same matrix: the
+# environment knob must be output-neutral everywhere.
+#
+# Invoked by ctest as:
+#   cmake -DKMU_SIM=<path> -DKMU_TRACE=<path> -DKMU_FAULTSTORM=<path>
+#         -DFIG02=<path> -DFIG07=<path> -DABL_SHARDING=<path>
+#         -DABL_OUTAGE=<path> -DFIG_KNEE=<path>
+#         -DARTIFACT_DIR=<dir> -DWORK_DIR=<dir>
+#         -P parallel_differential_check.cmake
+
+foreach(var KMU_SIM KMU_TRACE KMU_FAULTSTORM FIG02 FIG07
+        ABL_SHARDING ABL_OUTAGE FIG_KNEE ARTIFACT_DIR)
+    if(NOT ${var})
+        message(FATAL_ERROR "pass -D${var}=<path>")
+    endif()
+endforeach()
+if(NOT WORK_DIR)
+    set(WORK_DIR ${CMAKE_CURRENT_BINARY_DIR})
+endif()
+
+set(dir ${WORK_DIR}/parallel_differential)
+file(REMOVE_RECURSE ${dir})
+file(MAKE_DIRECTORY ${dir})
+
+set(ENVCMD ${CMAKE_COMMAND} -E env)
+
+# --- 1. Committed bench artifacts under the parallel executor -----
+# Every CSV the figure benches emit must match the committed
+# serial-generated artifact byte-for-byte, under both event kernels.
+foreach(kernel ladder heap)
+    foreach(bench ${FIG02} ${FIG07} ${ABL_SHARDING} ${ABL_OUTAGE}
+            ${FIG_KNEE})
+        get_filename_component(name ${bench} NAME)
+        set(bdir ${dir}/bench_${kernel}_${name})
+        file(MAKE_DIRECTORY ${bdir})
+        execute_process(
+            COMMAND ${ENVCMD} KMU_PARALLEL=shards
+                    KMU_EVENT_KERNEL=${kernel}
+                    ${bench} jobs=4 bench_json=
+            WORKING_DIRECTORY ${bdir}
+            OUTPUT_FILE ${bdir}/${name}.out
+            ERROR_VARIABLE err
+            RESULT_VARIABLE rc)
+        if(NOT rc EQUAL 0)
+            message(FATAL_ERROR
+                "${name} under KMU_PARALLEL=shards/${kernel} failed "
+                "(rc=${rc}): ${err}")
+        endif()
+        file(GLOB produced ${bdir}/*.csv)
+        if(NOT produced)
+            message(FATAL_ERROR "${name} produced no CSVs")
+        endif()
+        foreach(csv ${produced})
+            get_filename_component(csvname ${csv} NAME)
+            execute_process(
+                COMMAND ${CMAKE_COMMAND} -E compare_files
+                        ${csv} ${ARTIFACT_DIR}/${csvname}
+                RESULT_VARIABLE diff)
+            if(NOT diff EQUAL 0)
+                message(FATAL_ERROR
+                    "'${csvname}' (${kernel} kernel) differs from "
+                    "the committed artifact under "
+                    "KMU_PARALLEL=shards: the parallel executor "
+                    "changed observable output (fresh copy in "
+                    "${bdir})")
+            endif()
+        endforeach()
+    endforeach()
+endforeach()
+
+# --- 2. kmu_sim serial-vs-parallel pairs -------------------------
+# Full stdout (CSV row + stats dump) must match between
+# KMU_PARALLEL=off and KMU_PARALLEL=shards, for parallel-eligible
+# configs and serial-fallback configs alike, under both kernels.
+set(pair_1 mechanism=prefetch cores=2 threads=8 shards=4
+           write_frac=0.3 measure_us=200 csv=1 stats=1)
+set(pair_2 mechanism=ondemand smt=2 cores=4 shards=2 measure_us=200
+           csv=1 stats=1)
+set(pair_3 mechanism=prefetch cores=4 threads=4 shards=8
+           interleave=page measure_us=200 csv=1 stats=1)
+set(pair_4 mechanism=prefetch cores=2 threads=8 shards=4
+           chipq_policy=partitioned write_frac=0.5 measure_us=300
+           csv=1 stats=1)
+set(pair_5 mechanism=prefetch cores=2 threads=8 shards=4
+           arrival=bursty lambda=6 duty=0.4 zipf=0.9 measure_us=200
+           csv=1 stats=1)
+set(pair_6 mechanism=swqueue cores=2 threads=8 shards=4
+           measure_us=200 csv=1 stats=1)
+set(npairs 6)
+
+foreach(kernel ladder heap)
+    foreach(i RANGE 1 ${npairs})
+        execute_process(
+            COMMAND ${ENVCMD} KMU_PARALLEL=off
+                    KMU_EVENT_KERNEL=${kernel}
+                    ${KMU_SIM} ${pair_${i}}
+            OUTPUT_FILE ${dir}/pair${i}_${kernel}_serial.txt
+            RESULT_VARIABLE rc)
+        if(NOT rc EQUAL 0)
+            message(FATAL_ERROR
+                "kmu_sim pair ${i} serial/${kernel} failed")
+        endif()
+        execute_process(
+            COMMAND ${ENVCMD} KMU_PARALLEL=shards
+                    KMU_EVENT_KERNEL=${kernel}
+                    ${KMU_SIM} ${pair_${i}}
+            OUTPUT_FILE ${dir}/pair${i}_${kernel}_par.txt
+            RESULT_VARIABLE rc)
+        if(NOT rc EQUAL 0)
+            message(FATAL_ERROR
+                "kmu_sim pair ${i} parallel/${kernel} failed")
+        endif()
+        execute_process(
+            COMMAND ${CMAKE_COMMAND} -E compare_files
+                    ${dir}/pair${i}_${kernel}_serial.txt
+                    ${dir}/pair${i}_${kernel}_par.txt
+            RESULT_VARIABLE diff)
+        if(NOT diff EQUAL 0)
+            message(FATAL_ERROR
+                "kmu_sim config ${i} (${kernel} kernel) diverges "
+                "under KMU_PARALLEL=shards (compare "
+                "pair${i}_${kernel}_serial.txt and _par.txt in "
+                "${dir})")
+        endif()
+    endforeach()
+endforeach()
+
+# Thread-count neutrality: sequential-window mode (threads=1) must
+# match the default one-thread-per-domain run byte-for-byte.
+execute_process(
+    COMMAND ${ENVCMD} KMU_PARALLEL=shards KMU_PARALLEL_THREADS=1
+            ${KMU_SIM} ${pair_1}
+    OUTPUT_FILE ${dir}/pair1_threads1.txt
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "kmu_sim pair 1 threads=1 failed")
+endif()
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            ${dir}/pair1_threads1.txt ${dir}/pair1_ladder_par.txt
+    RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+    message(FATAL_ERROR
+        "KMU_PARALLEL_THREADS=1 output differs from the threaded "
+        "run: window execution order leaks into the model")
+endif()
+
+# --- 3. Golden closed-loop artifact ------------------------------
+# The concatenated closed-loop config list must still reproduce the
+# committed kmu_sim_closed_loop.csv under the parallel knob.
+set(cl_1 "")
+set(cl_2 mechanism=ondemand smt=2)
+set(cl_3 mechanism=swqueue threads=16)
+set(cl_4 mechanism=prefetch threads=10 latency_us=4)
+set(cl_5 mechanism=swqueue threads=8 shards=4 write_frac=0.2)
+set(closed ${dir}/closed_loop_parallel.csv)
+file(WRITE ${closed} "")
+foreach(i RANGE 1 5)
+    execute_process(
+        COMMAND ${ENVCMD} KMU_PARALLEL=shards
+                ${KMU_SIM} csv=1 ${cl_${i}}
+        OUTPUT_VARIABLE row
+        RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR
+            "kmu_sim closed-loop config ${i} (parallel) failed")
+    endif()
+    file(APPEND ${closed} "${row}")
+endforeach()
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            ${closed} ${ARTIFACT_DIR}/kmu_sim_closed_loop.csv
+    RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+    message(FATAL_ERROR
+        "closed-loop golden CSV differs under KMU_PARALLEL=shards "
+        "(fresh copy: ${closed})")
+endif()
+
+# --- 4. Traced run + decode --------------------------------------
+# Tracing requires the serial executor; a traced config must force
+# itself serial under KMU_PARALLEL=shards and emit a byte-identical
+# .kmt, decode JSON/CSV, and stdout.
+set(TRACE_ARGS mechanism=prefetch cores=2 threads=8 shards=4
+               write_frac=0.3 measure_us=200 csv=1)
+foreach(mode off shards)
+    execute_process(
+        COMMAND ${ENVCMD} KMU_PARALLEL=${mode}
+                ${KMU_SIM} ${TRACE_ARGS} trace=${dir}/par_${mode}.kmt
+        OUTPUT_FILE ${dir}/par_${mode}_trace.txt
+        RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "traced kmu_sim (${mode}) failed")
+    endif()
+    execute_process(
+        COMMAND ${KMU_TRACE} ${dir}/par_${mode}.kmt quiet=1
+                json=${dir}/par_${mode}.json
+                csv=${dir}/par_${mode}.csv
+        RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "kmu_trace decode (${mode}) failed")
+    endif()
+endforeach()
+foreach(ext kmt json csv _trace.txt)
+    string(REGEX REPLACE "^_" "" label ${ext})
+    if(ext MATCHES "^_")
+        set(fa ${dir}/par_off${ext})
+        set(fb ${dir}/par_shards${ext})
+    else()
+        set(fa ${dir}/par_off.${ext})
+        set(fb ${dir}/par_shards.${ext})
+    endif()
+    execute_process(
+        COMMAND ${CMAKE_COMMAND} -E compare_files ${fa} ${fb}
+        RESULT_VARIABLE diff)
+    if(NOT diff EQUAL 0)
+        message(FATAL_ERROR
+            "traced output (${label}) differs under "
+            "KMU_PARALLEL=shards; tracing must force the serial "
+            "executor without changing a byte (${fa} vs ${fb})")
+    endif()
+endforeach()
+
+# --- 5. Faultstorm campaign --------------------------------------
+# The campaign drives the real-time runtime, where KMU_PARALLEL is
+# legitimately inert — but it must be *verifiably* inert.
+set(FS_ARGS seed=7 rates=0,0.001,0.01 ops=1500 fibers=4
+            require_recovery=1)
+foreach(mode off shards)
+    execute_process(
+        COMMAND ${ENVCMD} KMU_PARALLEL=${mode}
+                ${KMU_FAULTSTORM} ${FS_ARGS}
+        OUTPUT_FILE ${dir}/faultstorm_${mode}.csv
+        RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR
+            "kmu_faultstorm (${mode}) failed (rc=${rc})")
+    endif()
+endforeach()
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            ${dir}/faultstorm_off.csv ${dir}/faultstorm_shards.csv
+    RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+    message(FATAL_ERROR
+        "faultstorm campaign CSV differs under KMU_PARALLEL=shards "
+        "(compare faultstorm_off.csv and faultstorm_shards.csv in "
+        "${dir})")
+endif()
+
+message(STATUS
+    "parallel differential check passed: every artifact, config "
+    "pair, trace, and campaign byte-identical under "
+    "KMU_PARALLEL=shards x both event kernels")

@@ -1,0 +1,482 @@
+/**
+ * @file
+ * Property and stress tests for the conservative parallel executor.
+ *
+ * The determinism contract under test: for workloads in the shape
+ * the executor guarantees (host-rooted crossing chains with
+ * priority-separated event classes — exactly what SimSystem
+ * produces, see DESIGN.md §15), every domain's service sequence is
+ * identical to the serial single-queue execution of the same
+ * logical program, regardless of thread count.
+ *
+ * Randomized storms plant host-rooted chains (host seed -> shard
+ * arrival -> shard-local work -> host response -> host-local tail)
+ * with randomized ticks, fan-outs, and depths drawn at *plant* time
+ * (never inside event bodies, so the draw order cannot depend on
+ * the executor), then replay the identical program three ways:
+ * serial single queue, parallel with sequential windows
+ * (threads=1), and parallel with one thread per domain. The
+ * per-domain service logs must match across all three.
+ *
+ * Targeted tests pin the epoch-boundary corners: a crossing landing
+ * exactly at the lookahead horizon, zero-lookahead rejection,
+ * lookahead-violating pushes, empty-domain epochs, a domain
+ * finishing many windows before the rest, split run() calls, and
+ * mailbox FIFO order for same-stamp pushes.
+ *
+ * The whole file is data-race-clean by construction (per-domain
+ * logs are written only by the thread servicing that domain) and
+ * runs under the TSan CI leg.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "sim/event.hh"
+#include "sim/parallel.hh"
+
+namespace kmu
+{
+namespace
+{
+
+/** One serviced storm node: enough to compare service order. */
+struct LogRec
+{
+    std::uint64_t id;
+    Tick tick;
+
+    bool operator==(const LogRec &o) const
+    {
+        return id == o.id && tick == o.tick;
+    }
+};
+
+/**
+ * A storm is a forest of host-rooted chains, fully materialized
+ * before execution so serial and parallel replays run byte-for-byte
+ * the same program. Node delays are relative to the parent's
+ * service tick; crossings always carry delay >= lookahead.
+ */
+struct Storm
+{
+    struct Node
+    {
+        std::uint64_t id = 0;
+        std::uint32_t domain = 0;
+        Tick delay = 0; //!< seeds: absolute tick
+        EventPriority prio = EventPriority::Default;
+        std::vector<const Node *> kids;
+    };
+
+    std::deque<Node> arena; //!< stable addresses for kid pointers
+    std::vector<const Node *> seeds;
+    std::uint64_t nodeCount = 0;
+    std::uint64_t crossings = 0;
+
+    Node *
+    make(std::uint32_t domain, Tick delay, EventPriority prio)
+    {
+        arena.push_back(Node{nodeCount++, domain, delay, prio, {}});
+        return &arena.back();
+    }
+};
+
+/**
+ * Generate a randomized host-rooted storm. The class layout mirrors
+ * the real system's priority separation: host->shard crossings at
+ * Default, shard-local work at CpuTick, shard->host responses at
+ * DeviceResponse, host-local tails at CpuTick. Within each class
+ * ties in (when, prio) are plentiful by design (delays are drawn
+ * from a tiny set), which is exactly what exercises the mailbox
+ * stamp ordering.
+ */
+Storm
+makeStorm(std::uint64_t seed, std::uint32_t shards, Tick lookahead)
+{
+    std::mt19937_64 rng(seed);
+    auto draw = [&](std::uint64_t n) { return rng() % n; };
+
+    Storm storm;
+    const int nSeeds = 24 + int(draw(16));
+    for (int i = 0; i < nSeeds; ++i) {
+        // Cluster seeds on few ticks so many chains share windows.
+        Storm::Node *host = storm.make(
+            0, Tick(draw(4) * lookahead + draw(3)),
+            EventPriority::Default);
+        storm.seeds.push_back(host);
+
+        const int fan = 1 + int(draw(3));
+        for (int f = 0; f < fan; ++f) {
+            const auto shard = std::uint32_t(1 + draw(shards));
+            // Crossing: >= lookahead ahead, tiny jitter set so
+            // distinct roots collide on (when, prio) often.
+            Storm::Node *arrive = storm.make(
+                shard, lookahead + Tick(draw(3)),
+                EventPriority::Default);
+            ++storm.crossings;
+            host->kids.push_back(arrive);
+
+            Storm::Node *up = arrive;
+            if (draw(2) == 0) {
+                // Optional shard-local hop before responding.
+                Storm::Node *local = storm.make(
+                    shard, Tick(draw(3)), EventPriority::CpuTick);
+                arrive->kids.push_back(local);
+                up = local;
+            }
+            if (draw(4) != 0) {
+                Storm::Node *resp = storm.make(
+                    0, lookahead + Tick(draw(3)),
+                    EventPriority::DeviceResponse);
+                ++storm.crossings;
+                up->kids.push_back(resp);
+                if (draw(2) == 0) {
+                    resp->kids.push_back(storm.make(
+                        0, Tick(draw(3)), EventPriority::CpuTick));
+                }
+            }
+        }
+    }
+    return storm;
+}
+
+/** Replay context: resolves a domain id to the queue backing it. */
+struct Replay
+{
+    std::function<EventQueue &(std::uint32_t)> queueFor;
+    std::vector<std::vector<LogRec>> logs; //!< one per domain
+
+    void
+    plant(const Storm &storm)
+    {
+        for (const Storm::Node *seedNode : storm.seeds)
+            schedule(seedNode, 0);
+    }
+
+    void
+    schedule(const Storm::Node *n, Tick base)
+    {
+        EventQueue &q = queueFor(n->domain);
+        q.scheduleLambda(
+            base + n->delay,
+            [this, n]() {
+                EventQueue &mine = queueFor(n->domain);
+                const Tick now = mine.curTick();
+                logs[n->domain].push_back({n->id, now});
+                for (const Storm::Node *kid : n->kids)
+                    schedule(kid, now);
+            },
+            n->prio, "storm");
+    }
+};
+
+/** Serial single-queue reference run of @p storm. */
+std::vector<std::vector<LogRec>>
+serialReference(const Storm &storm, std::uint32_t shards)
+{
+    EventQueue eq;
+    Replay replay;
+    replay.logs.resize(1 + shards);
+    replay.queueFor = [&eq](std::uint32_t) -> EventQueue & {
+        return eq;
+    };
+    replay.plant(storm);
+    eq.run(maxTick);
+    return replay.logs;
+}
+
+/** Parallel run of @p storm with @p threads OS threads. */
+std::vector<std::vector<LogRec>>
+parallelRun(const Storm &storm, std::uint32_t shards, Tick lookahead,
+            std::uint32_t threads)
+{
+    EventQueue host;
+    ParallelExecutor exec(host, shards, lookahead, threads);
+    Replay replay;
+    replay.logs.resize(1 + shards);
+    replay.queueFor = [&exec](std::uint32_t d) -> EventQueue & {
+        return exec.domainQueue(d);
+    };
+    replay.plant(storm);
+    exec.run(maxTick);
+    EXPECT_EQ(exec.crossingCount(), storm.crossings);
+    EXPECT_EQ(exec.totalPending(), 0u);
+    return replay.logs;
+}
+
+TEST(ParallelExec, StormMatchesSerialReferenceSequentialWindows)
+{
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        const std::uint32_t shards = 2 + std::uint32_t(seed % 3);
+        const Tick lookahead = 40 + Tick(seed * 7);
+        const Storm storm = makeStorm(seed, shards, lookahead);
+
+        const auto ref = serialReference(storm, shards);
+        const auto par =
+            parallelRun(storm, shards, lookahead, /*threads=*/1);
+
+        ASSERT_EQ(ref.size(), par.size());
+        for (std::size_t d = 0; d < ref.size(); ++d)
+            EXPECT_EQ(ref[d], par[d]) << "seed " << seed
+                                      << " domain " << d;
+    }
+}
+
+TEST(ParallelExec, StormMatchesSerialReferenceThreaded)
+{
+    for (std::uint64_t seed = 11; seed <= 14; ++seed) {
+        const std::uint32_t shards = 3;
+        const Tick lookahead = 64;
+        const Storm storm = makeStorm(seed, shards, lookahead);
+
+        const auto ref = serialReference(storm, shards);
+        // One thread per domain: shard domains on workers, host on
+        // the caller. Under TSan this exercises the full barrier
+        // protocol.
+        const auto par = parallelRun(storm, shards, lookahead,
+                                     /*threads=*/1 + shards);
+
+        ASSERT_EQ(ref.size(), par.size());
+        for (std::size_t d = 0; d < ref.size(); ++d)
+            EXPECT_EQ(ref[d], par[d]) << "seed " << seed
+                                      << " domain " << d;
+    }
+}
+
+TEST(ParallelExec, StormThreadCountInvariance)
+{
+    // Oversubscribed (threads < domains+1) and exact thread counts
+    // must produce identical per-domain logs.
+    const std::uint32_t shards = 4;
+    const Tick lookahead = 50;
+    const Storm storm = makeStorm(99, shards, lookahead);
+
+    const auto seq = parallelRun(storm, shards, lookahead, 1);
+    const auto two = parallelRun(storm, shards, lookahead, 2);
+    const auto full = parallelRun(storm, shards, lookahead, 5);
+    const auto over = parallelRun(storm, shards, lookahead, 64);
+
+    EXPECT_EQ(seq, two);
+    EXPECT_EQ(seq, full);
+    EXPECT_EQ(seq, over);
+}
+
+TEST(ParallelExec, CrossingExactlyAtLookaheadHorizon)
+{
+    // A crossing stamped when == src.now + L is the minimum legal
+    // distance; it must land in a *later* epoch than its creator
+    // and service at exactly that tick.
+    EventQueue host;
+    const Tick L = 100;
+    ParallelExecutor exec(host, /*shards=*/2, L, /*threads=*/1);
+
+    std::vector<LogRec> log;
+    host.scheduleLambda(0, [&]() {
+        const Tick now = host.curTick();
+        exec.domainQueue(1).scheduleLambda(
+            now + L, [&]() {
+                log.push_back({1, exec.domainQueue(1).curTick()});
+            });
+    });
+    exec.run(maxTick);
+
+    ASSERT_EQ(log.size(), 1u);
+    EXPECT_EQ(log[0].tick, L);
+    EXPECT_EQ(exec.crossingCount(), 1u);
+    // Window 1 covers [0, L-1]; the crossing at L needs a second.
+    EXPECT_GE(exec.epochCount(), 2u);
+}
+
+TEST(ParallelExecDeathTest, ZeroLookaheadRejected)
+{
+    EventQueue host;
+    EXPECT_DEATH(ParallelExecutor(host, 2, /*lookahead=*/0, 1),
+                 "lookahead");
+}
+
+TEST(ParallelExecDeathTest, LookaheadViolatingCrossingRejected)
+{
+    // A cross-domain schedule closer than the lookahead would allow
+    // same-window causality; the mailbox push must refuse it.
+    EventQueue host;
+    const Tick L = 100;
+    ParallelExecutor exec(host, 2, L, 1);
+    host.scheduleLambda(0, [&]() {
+        exec.domainQueue(1).scheduleLambda(host.curTick() + L - 1,
+                                           []() {});
+    });
+    EXPECT_DEATH(exec.run(maxTick), "lookahead");
+}
+
+TEST(ParallelExecDeathTest, MemberEventMayNotCrossDomains)
+{
+    // Only scheduleLambda may cross shard domains: member-event
+    // schedule() from another domain's context must die, not
+    // silently corrupt the foreign queue.
+    EventQueue host;
+    ParallelExecutor exec(host, 2, 100, 1);
+    CallbackEvent ev("cross-member", []() {});
+    host.scheduleLambda(0, [&]() {
+        exec.domainQueue(1).schedule(&ev, host.curTick() + 200);
+    });
+    EXPECT_DEATH(exec.run(maxTick), "cross-domain");
+}
+
+TEST(ParallelExec, EmptyDomainsAndEmptyRun)
+{
+    EventQueue host;
+    ParallelExecutor exec(host, 4, 50, 1);
+
+    // Entirely empty: run returns without spinning up epochs.
+    exec.run(1000);
+    EXPECT_EQ(exec.epochCount(), 0u);
+    EXPECT_EQ(exec.totalServiced(), 0u);
+
+    // Only shard 2 has work; domains 0/1/3/4 stay empty across
+    // every epoch. Chain several windows on the one busy domain.
+    std::vector<LogRec> log;
+    std::function<void(int)> chain = [&](int depth) {
+        log.push_back({std::uint64_t(depth),
+                       exec.domainQueue(2).curTick()});
+        if (depth < 5) {
+            exec.domainQueue(2).scheduleLambda(
+                exec.domainQueue(2).curTick() + 200,
+                [&chain, depth]() { chain(depth + 1); });
+        }
+    };
+    exec.domainQueue(2).scheduleLambda(10, [&chain]() { chain(0); });
+    exec.run(maxTick);
+
+    ASSERT_EQ(log.size(), 6u);
+    for (int i = 0; i <= 5; ++i)
+        EXPECT_EQ(log[i].tick, Tick(10 + 200 * i));
+    EXPECT_EQ(exec.crossingCount(), 0u);
+    EXPECT_EQ(exec.totalServiced(), 6u);
+}
+
+TEST(ParallelExec, DomainFinishingEarly)
+{
+    // Shard 1 drains in the first window; shard 2 keeps producing
+    // local work for many windows after. The executor must keep
+    // cycling epochs for the busy domain while the idle one parks.
+    EventQueue host;
+    const Tick L = 100;
+    ParallelExecutor exec(host, 2, L, /*threads=*/3);
+
+    std::vector<LogRec> early, late;
+    exec.domainQueue(1).scheduleLambda(5, [&]() {
+        early.push_back({0, exec.domainQueue(1).curTick()});
+    });
+    std::function<void(int)> tail = [&](int depth) {
+        late.push_back({std::uint64_t(depth),
+                        exec.domainQueue(2).curTick()});
+        if (depth < 12) {
+            exec.domainQueue(2).scheduleLambda(
+                exec.domainQueue(2).curTick() + L,
+                [&tail, depth]() { tail(depth + 1); });
+        }
+    };
+    exec.domainQueue(2).scheduleLambda(5, [&tail]() { tail(0); });
+    exec.run(maxTick);
+
+    ASSERT_EQ(early.size(), 1u);
+    EXPECT_EQ(early[0].tick, 5u);
+    ASSERT_EQ(late.size(), 13u);
+    EXPECT_EQ(late.back().tick, Tick(5 + 12 * L));
+    // Each tail hop lands one window later: at least 13 epochs.
+    EXPECT_GE(exec.epochCount(), 13u);
+}
+
+TEST(ParallelExec, MailboxPreservesPushOrderOnEqualStamps)
+{
+    // Same source event, same destination, same (when, prio):
+    // service order must equal push order (srcSeq tie-break), which
+    // is what the serial kernel's insertion sequence would do.
+    EventQueue host;
+    const Tick L = 100;
+    ParallelExecutor exec(host, 2, L, 1);
+
+    std::vector<LogRec> log;
+    host.scheduleLambda(0, [&]() {
+        const Tick when = host.curTick() + L;
+        for (std::uint64_t i = 0; i < 8; ++i) {
+            exec.domainQueue(1).scheduleLambda(when, [&log, i]() {
+                log.push_back({i, 0});
+            });
+        }
+    });
+    exec.run(maxTick);
+
+    ASSERT_EQ(log.size(), 8u);
+    for (std::uint64_t i = 0; i < 8; ++i)
+        EXPECT_EQ(log[i].id, i);
+    EXPECT_EQ(exec.crossingCount(), 8u);
+}
+
+TEST(ParallelExec, SplitRunMatchesSingleRun)
+{
+    // run(t1); run(t2) must land exactly where a single run(t2)
+    // does — window construction may not depend on where previous
+    // calls stopped.
+    const std::uint32_t shards = 3;
+    const Tick lookahead = 64;
+    const Storm storm = makeStorm(7, shards, lookahead);
+
+    const auto whole = parallelRun(storm, shards, lookahead, 1);
+
+    EventQueue host;
+    ParallelExecutor exec(host, shards, lookahead, 1);
+    Replay replay;
+    replay.logs.resize(1 + shards);
+    replay.queueFor = [&exec](std::uint32_t d) -> EventQueue & {
+        return exec.domainQueue(d);
+    };
+    replay.plant(storm);
+    // Limits deliberately unaligned with window boundaries.
+    for (Tick limit : {Tick(37), Tick(150), Tick(151), Tick(977)})
+        exec.run(limit);
+    exec.run(maxTick);
+
+    EXPECT_EQ(replay.logs, whole);
+    EXPECT_EQ(exec.totalPending(), 0u);
+}
+
+TEST(ParallelExec, BarrierChecksRunQuiesced)
+{
+    // Barrier checks observe every domain at the same tick with no
+    // event mid-flight; they run at least once per epoch.
+    EventQueue host;
+    const Tick L = 100;
+    ParallelExecutor exec(host, 2, L, /*threads=*/3);
+
+    std::uint64_t calls = 0;
+    exec.addBarrierCheck([&]() {
+        ++calls;
+        EXPECT_EQ(exec.totalPending(),
+                  exec.domainQueue(0).size() +
+                      exec.domainQueue(1).size() +
+                      exec.domainQueue(2).size());
+    });
+
+    const Storm storm = makeStorm(3, 2, L);
+    Replay replay;
+    replay.logs.resize(3);
+    replay.queueFor = [&exec](std::uint32_t d) -> EventQueue & {
+        return exec.domainQueue(d);
+    };
+    replay.plant(storm);
+    exec.run(maxTick);
+
+    EXPECT_GE(calls, exec.epochCount());
+}
+
+} // namespace
+} // namespace kmu
